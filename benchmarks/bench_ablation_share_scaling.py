@@ -1,0 +1,78 @@
+"""Ablation — share scaling and the fairness horizon.
+
+Section 2.1 defines the cycle as S·Q "assuming the shares have been
+scaled by their greatest common divisor", while the evaluation
+deliberately does *not* rescale (equal20 runs with 20 shares each, a
+400-quantum cycle).  Scaling changes no target proportion — only how
+much CPU time one cycle spans, i.e. the horizon over which fairness is
+guaranteed and the pace at which errors are corrected.
+
+This bench runs the same equal-share workload with shares {n, …} vs
+the GCD-scaled {1, …} and compares cycle length, per-cycle error, and
+ALPS overhead.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_for_cycles
+from repro.metrics.accuracy import mean_rms_relative_error
+from repro.units import SEC, ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _run(per_process_share: int, n: int = 10, horizon_s: float = 60.0):
+    cw = build_controlled_workload(
+        [per_process_share] * n, AlpsConfig(quantum_us=ms(10)), seed=0
+    )
+    cw.engine.run_until(sec(horizon_s))
+    log = cw.agent.cycle_log
+    err = mean_rms_relative_error(log, skip=3)
+    cycle_ms = per_process_share * n * 10
+    return {
+        "share": per_process_share,
+        "cycle_ms": cycle_ms,
+        "cycles": len(log),
+        "error_pct": err,
+        "overhead_pct": 100 * cw.overhead_fraction(),
+        "reads": cw.agent.reads,
+    }
+
+
+def test_share_scaling_ablation(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: [_run(s) for s in (1, 2, 5, 10, 20)], rounds=1, iterations=1
+    )
+    rows = [
+        [r["share"], r["cycle_ms"], r["cycles"],
+         round(r["error_pct"], 2), round(r["overhead_pct"], 3), r["reads"]]
+        for r in results
+    ]
+    emit(
+        "ABLATION — share scaling (equal shares × 10 procs, Q = 10 ms)",
+        format_table(
+            ["share/proc", "cycle (ms)", "cycles done",
+             "per-cycle err %", "overhead %", "reads"],
+            rows,
+        )
+        + "\n\nproportions are identical in every row; larger raw shares "
+        "mean longer cycles (a longer fairness horizon) and cheaper "
+        "scheduling (reads are postponed further).",
+    )
+    write_csv(results_dir / "ablation_share_scaling.csv", results)
+
+    by_share = {r["share"]: r for r in results}
+    # Cycle length scales linearly with the raw share size.
+    assert by_share[20]["cycle_ms"] == 20 * by_share[1]["cycle_ms"]
+    # Bigger allowances let measurement postponement defer more reads.
+    assert by_share[20]["reads"] < by_share[1]["reads"]
+    assert by_share[20]["overhead_pct"] < by_share[1]["overhead_pct"]
+    # Per-cycle error improves monotonically with longer cycles (one
+    # quantum of slop amortised over more entitlement) and is already
+    # small at the Table 2 scale (10 shares/process).
+    errors = [r["error_pct"] for r in results]
+    assert all(a > b for a, b in zip(errors, errors[1:]))
+    assert by_share[10]["error_pct"] < 5.0

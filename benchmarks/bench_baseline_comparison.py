@@ -1,0 +1,139 @@
+"""Extension — ALPS vs in-kernel proportional share vs cpulimit.
+
+Places ALPS between its bounds:
+
+* **stride** (in-kernel, deterministic) — what kernel support buys:
+  zero per-cycle error by construction.
+* **lottery** (in-kernel, randomized) — proportional in expectation,
+  visibly noisier per cycle.
+* **duty-cycle limiter** (user-level, cpulimit-style caps) — similar
+  mechanism to ALPS but not work-conserving; when a process exits or
+  blocks its slice idles instead of being re-apportioned.
+
+All user-level contenders run inside the same simulated kernel with
+the same cost model.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.baselines.duty_cycle import spawn_duty_cycle
+from repro.baselines.lottery import LotteryScheduler
+from repro.baselines.stride import StrideScheduler
+from repro.experiments.common import run_for_cycles
+from repro.kernel.kernel import Kernel
+from repro.metrics.accuracy import mean_rms_relative_error
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.shares import ShareDistribution, workload_shares
+from repro.workloads.spinner import spinner_behavior
+
+Q_US = ms(10)
+CYCLES = 60
+
+
+def _alps_error(shares):
+    cw = build_controlled_workload(list(shares), AlpsConfig(quantum_us=Q_US), seed=0)
+    run_for_cycles(cw, CYCLES + 5)
+    return mean_rms_relative_error(cw.agent.cycle_log, skip=5)
+
+
+def _stride_error(shares):
+    sched = StrideScheduler({i: s for i, s in enumerate(shares)}, Q_US)
+    return mean_rms_relative_error(sched.cycle_log(CYCLES))
+
+
+def _lottery_error(shares):
+    sched = LotteryScheduler({i: s for i, s in enumerate(shares)}, Q_US, seed=0)
+    return mean_rms_relative_error(sched.cycle_log(CYCLES))
+
+
+def _duty_cycle_utilisation_gap():
+    """Duty-cycle caps leave CPU idle when a process exits; ALPS
+    re-apportions.  Returns (alps_util, duty_util) with one of two
+    processes killed halfway."""
+    from repro.kernel.signals import SIGKILL
+
+    def run(kind):
+        eng = Engine(seed=0)
+        k = Kernel(eng)
+        a = k.spawn("a", spinner_behavior())
+        b = k.spawn("b", spinner_behavior())
+        if kind == "alps":
+            from repro.alps.agent import spawn_alps
+            from repro.alps.subjects import ProcessSubject
+
+            subjects = [
+                ProcessSubject(sid=0, share=1, pid=a.pid),
+                ProcessSubject(sid=1, share=1, pid=b.pid),
+            ]
+            spawn_alps(k, subjects, AlpsConfig(quantum_us=Q_US))
+        else:
+            spawn_duty_cycle(k, [1, 1], [a.pid, b.pid])
+        eng.at(sec(10), lambda e: k.kill(a.pid, SIGKILL))
+        eng.run_until(sec(20))
+        # Utilisation of the second half (after the death).
+        return k.getrusage(b.pid) / sec(20)
+
+    return run("alps"), run("duty")
+
+
+def test_baseline_accuracy_comparison(benchmark, results_dir):
+    workloads = [
+        ("linear5", workload_shares(ShareDistribution.LINEAR, 5)),
+        ("equal5", workload_shares(ShareDistribution.EQUAL, 5)),
+        ("skewed5", workload_shares(ShareDistribution.SKEWED, 5)),
+    ]
+
+    def sweep():
+        out = []
+        for name, shares in workloads:
+            out.append(
+                (
+                    name,
+                    _alps_error(shares),
+                    _stride_error(shares),
+                    _lottery_error(shares),
+                )
+            )
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [name, round(alps, 2), round(stride, 2), round(lottery, 2)]
+        for name, alps, stride, lottery in results
+    ]
+    alps_util, duty_util = _duty_cycle_utilisation_gap()
+    emit(
+        "BASELINES — per-cycle RMS error (%) and work conservation",
+        format_table(
+            ["workload", "ALPS (user)", "stride (kernel)", "lottery (kernel)"],
+            rows,
+        )
+        + "\n\nwork conservation after one of two processes exits:"
+        + f"\n  survivor's CPU share — ALPS: {alps_util:.1%}"
+        + f"   duty-cycle limiter: {duty_util:.1%} (capped, not work-conserving)",
+    )
+    write_csv(
+        results_dir / "baseline_comparison.csv",
+        [
+            {
+                "workload": name,
+                "alps_err_pct": alps,
+                "stride_err_pct": stride,
+                "lottery_err_pct": lottery,
+            }
+            for name, alps, stride, lottery in results
+        ],
+    )
+
+    for name, alps, stride, lottery in results:
+        assert stride <= 0.01  # in-kernel deterministic: exact
+        assert alps < lottery + 5.0  # user-level ALPS ~ competitive
+    # ALPS is work-conserving, the duty-cycle limiter is not.
+    assert alps_util > 0.70
+    assert duty_util < 0.62

@@ -1,0 +1,85 @@
+"""Extension — ALPS beyond the paper: multiprocessor scheduling.
+
+The paper's testbed is a uniprocessor; its related work cites surplus
+fair scheduling (Chandra et al.) as the SMP generalisation of
+proportional share.  Running the unmodified ALPS algorithm on a
+simulated 2-CPU kernel shows both sides of that story:
+
+* proportions of the *aggregate* capacity still hold (the eligible-set
+  mechanism is CPU-count agnostic), but
+* utilisation drops whenever fewer eligible processes remain than CPUs
+  near the end of a cycle — the exact pathology SFS fixes in-kernel.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_for_cycles
+from repro.kernel.kconfig import KernelConfig
+from repro.metrics.accuracy import mean_rms_relative_error, per_subject_fractions
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _run(shares, ncpus, *, horizon_s=40):
+    cw = build_controlled_workload(
+        list(shares),
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        kernel_config=KernelConfig(ncpus=ncpus),
+    )
+    cw.engine.run_until(sec(horizon_s))
+    fractions = per_subject_fractions(cw.agent.cycle_log, skip=5)
+    err = mean_rms_relative_error(cw.agent.cycle_log, skip=5)
+    util = cw.kernel.total_busy_us / (ncpus * cw.kernel.now)
+    return fractions, err, util
+
+
+def test_smp_extension(benchmark, results_dir):
+    shares = (1, 2, 3, 4)
+
+    def sweep():
+        return {ncpus: _run(shares, ncpus) for ncpus in (1, 2)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for ncpus, (fractions, err, util) in sorted(results.items()):
+        rows.append(
+            [
+                ncpus,
+                "  ".join(f"{fractions[i]:.1%}" for i in range(len(shares))),
+                round(err, 2),
+                f"{util:.1%}",
+            ]
+        )
+    emit(
+        "EXTENSION — ALPS on SMP (shares 1:2:3:4, targets 10/20/30/40 %)",
+        format_table(
+            ["CPUs", "achieved fractions", "RMS err %", "machine utilisation"],
+            rows,
+        )
+        + "\n\nproportions survive on SMP; utilisation does not — the gap "
+        "surplus fair scheduling closes in-kernel.",
+    )
+    write_csv(
+        results_dir / "extension_smp.csv",
+        [
+            {
+                "ncpus": ncpus,
+                "err_pct": err,
+                "utilization": util,
+                **{f"frac_{i}": fractions[i] for i in range(len(shares))},
+            }
+            for ncpus, (fractions, err, util) in sorted(results.items())
+        ],
+    )
+
+    up_frac, up_err, up_util = results[1]
+    smp_frac, smp_err, smp_util = results[2]
+    for i, share in enumerate(shares):
+        assert smp_frac[i] == pytest.approx(share / 10, abs=0.02)
+    assert up_util > 0.98
+    assert smp_util < 0.95  # the SMP utilisation gap is real

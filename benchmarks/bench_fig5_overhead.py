@@ -1,0 +1,90 @@
+"""Figure 5 — Overhead: fraction of time ALPS executes vs experiment
+duration, across the Table 2 workloads at Q ∈ {10, 20, 40} ms.
+
+Reproduction targets: overhead well under 1 % (paper: typically under
+0.3 %), highest for equal-share distributions, growing as the quantum
+shrinks and as the process count grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.ascii_plot import ascii_series_plot
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.overhead import overhead_sweep
+from repro.workloads.shares import ShareDistribution
+
+SIZES = (5, 10, 15, 20)
+QUANTA_MS = (10, 20, 40)
+
+
+def test_figure5_overhead_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: overhead_sweep(sizes=SIZES, quanta_ms=QUANTA_MS, cycles=40),
+        rounds=1,
+        iterations=1,
+    )
+
+    series = {}
+    rows = []
+    for p in points:
+        key = f"{p.model.value},{int(p.quantum_ms)}ms"
+        xs, ys = series.setdefault(key, ([], []))
+        xs.append(p.n)
+        ys.append(p.overhead_pct)
+        rows.append(
+            [
+                p.model.value,
+                p.n,
+                p.quantum_ms,
+                round(p.overhead_pct, 3),
+                p.invocations,
+                p.reads,
+            ]
+        )
+    emit(
+        "FIGURE 5 — Overhead (%) vs number of processes",
+        format_table(
+            ["model", "N", "Q (ms)", "overhead %", "invocations", "reads"], rows
+        )
+        + "\n\n"
+        + ascii_series_plot(
+            series, title="overhead % vs N", xlabel="N", ylabel="overhead %"
+        ),
+    )
+    write_csv(
+        results_dir / "fig5_overhead.csv",
+        [
+            {
+                "model": p.model.value,
+                "n": p.n,
+                "quantum_ms": p.quantum_ms,
+                "overhead_pct": p.overhead_pct,
+                "invocations": p.invocations,
+                "reads": p.reads,
+            }
+            for p in points
+        ],
+    )
+
+    ov = {(p.model, p.n, p.quantum_ms): p.overhead_pct for p in points}
+    # All cells under 1 % (paper: "in general, overhead is very low").
+    assert all(v < 1.0 for v in ov.values())
+    # Smaller quantum costs more, for every model at N=20.
+    for model in ShareDistribution:
+        assert ov[(model, 20, 10)] > ov[(model, 20, 40)]
+    # Equal is the costliest model at N=20 (fewest early suspensions).
+    for q in QUANTA_MS:
+        assert ov[(ShareDistribution.EQUAL, 20, q)] >= max(
+            ov[(ShareDistribution.SKEWED, 20, q)],
+            ov[(ShareDistribution.LINEAR, 20, q)],
+        )
+    # Overhead grows with N at Q=10 for equal/linear; skewed is nearly
+    # flat (most of its processes are suspended most of the time, so
+    # the measured set barely grows with N).
+    for model in (ShareDistribution.EQUAL, ShareDistribution.LINEAR):
+        assert ov[(model, 20, 10)] > ov[(model, 5, 10)]
+    assert ov[(ShareDistribution.SKEWED, 20, 10)] > 0.5 * ov[
+        (ShareDistribution.SKEWED, 5, 10)
+    ]

@@ -1,0 +1,78 @@
+"""Substrate microbenchmarks: engine and kernel throughput.
+
+Not a paper artifact — these keep an eye on the simulator itself
+(events/second, ALPS steps/second), which bounds how large the paper's
+sweeps can run.  Regressions here make the figure benchmarks slow.
+"""
+
+import pytest
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.alps.config import AlpsConfig
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.spinner import spinner_behavior
+
+
+def test_bench_engine_event_dispatch(benchmark):
+    """Raw event calendar throughput (schedule + dispatch)."""
+
+    def run():
+        eng = Engine(seed=0)
+
+        def chain(event):
+            if eng.now < 100_000:
+                eng.after(10, chain)
+
+        eng.at(0, chain)
+        eng.run_until(200_000)
+        return eng.events_processed
+
+    events = benchmark(run)
+    assert events > 10_000
+
+
+def test_bench_kernel_spinners(benchmark):
+    """Simulated seconds of an 8-spinner kernel per wall call."""
+
+    def run():
+        eng = Engine(seed=0)
+        k = Kernel(eng, KernelConfig())
+        for i in range(8):
+            k.spawn(f"p{i}", spinner_behavior())
+        eng.run_until(sec(10))
+        return eng.events_processed
+
+    benchmark(run)
+
+
+def test_bench_alps_controlled_simulation(benchmark):
+    """End-to-end ALPS over 10 processes, 10 simulated seconds."""
+
+    def run():
+        cw = build_controlled_workload(
+            [5] * 10, AlpsConfig(quantum_us=ms(10)), seed=0
+        )
+        cw.engine.run_until(sec(10))
+        return len(cw.agent.cycle_log)
+
+    cycles = benchmark(run)
+    assert cycles > 5
+
+
+def test_bench_alps_core_quantum(benchmark):
+    """Pure algorithm step cost (begin + complete for 20 subjects)."""
+    core = AlpsCore({i: 5 for i in range(20)}, ms(10), optimized=False)
+    core.begin_quantum()
+    core.complete_quantum({})
+
+    def step():
+        due = core.begin_quantum()
+        core.complete_quantum(
+            {sid: Measurement(consumed_us=500) for sid in due}
+        )
+
+    benchmark(step)

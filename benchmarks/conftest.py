@@ -1,0 +1,30 @@
+"""Benchmark harness helpers.
+
+Each benchmark file regenerates one paper table/figure: it runs the
+experiment under pytest-benchmark timing, prints the same rows/series
+the paper reports (run with ``-s`` to see them inline), and writes a
+CSV copy under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled result block (visible with ``pytest -s``)."""
+    line = "=" * 72
+    # Write to stderr as well so output survives default capture in logs.
+    for stream in (sys.stdout,):
+        print(f"\n{line}\n{title}\n{line}\n{body}\n", file=stream)

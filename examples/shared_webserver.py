@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Section 5 scenario: a shared web server with per-user CPU shares.
+
+Three bulletin-board sites (one per user) run on one simulated web
+server; each is driven by closed-loop clients.  First the kernel
+scheduler divides the CPU on its own (roughly evenly); then one ALPS
+schedules the three *users* as resource principals with shares 1:2:3
+(100 ms quantum, 1 s membership refresh) and throughput follows.
+
+Run:  python examples/shared_webserver.py        (~1 minute)
+"""
+
+from repro.experiments.webserver import run_webserver_experiment
+
+
+def main() -> None:
+    print("Simulating 3 prefork sites x 50 workers, 325 clients each...")
+    result = run_webserver_experiment(warmup_s=15.0, measure_s=45.0, seed=0)
+
+    print("\nThroughput (requests/second):")
+    print("site   user-share   kernel-only   with-ALPS")
+    for i, share in enumerate(result.shares):
+        print(
+            f"  {i + 1}        {share}          "
+            f"{result.baseline_rps[i]:6.1f}      {result.alps_rps[i]:6.1f}"
+        )
+    base_total = sum(result.baseline_rps)
+    alps_total = sum(result.alps_rps)
+    print(f"\ntotals: {base_total:.1f} -> {alps_total:.1f} req/s")
+    print(
+        "ALPS throughput fractions:",
+        "  ".join(f"{f:.1%}" for f in result.alps_fractions),
+        "(target 16.7% / 33.3% / 50.0%)",
+    )
+    print(f"ALPS overhead: {result.alps_overhead_pct:.2f}% of CPU")
+    print(f"database utilisation: {result.db_utilization:.0%} (not the bottleneck)")
+    print(
+        "\nPaper measured {29, 30, 40} -> {18, 35, 53} req/s on its "
+        "FreeBSD testbed — the same even-to-1:2:3 reapportionment."
+    )
+
+
+if __name__ == "__main__":
+    main()

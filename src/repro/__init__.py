@@ -1,0 +1,80 @@
+"""Reproduction of *ALPS: An Application-Level Proportional-Share
+Scheduler* (Newhouse & Pasquale, HPDC 2006).
+
+ALPS is a user-level, unprivileged, per-application proportional-share
+CPU scheduler: it periodically samples the CPU consumption of the
+processes it controls and SIGSTOP/SIGCONTs them so that, over each
+*cycle*, every process receives CPU time in proportion to its share —
+while the unmodified kernel scheduler does all fine-grained time
+slicing.
+
+This package provides:
+
+* the ALPS algorithm and agents (:mod:`repro.alps`),
+* a simulated 4.4BSD-style UNIX kernel to run them on
+  (:mod:`repro.kernel` over :mod:`repro.sim`),
+* a real-Linux backend (:mod:`repro.hostos`),
+* the paper's workloads, web-server case study, baselines, metrics,
+  and one experiment runner per table/figure
+  (:mod:`repro.workloads`, :mod:`repro.webserver`,
+  :mod:`repro.baselines`, :mod:`repro.metrics`,
+  :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import AlpsConfig, build_controlled_workload, ms, sec
+    from repro.metrics import per_subject_fractions
+
+    cw = build_controlled_workload([1, 2, 3], AlpsConfig(quantum_us=ms(10)))
+    cw.engine.run_until(sec(30))
+    print(per_subject_fractions(cw.agent.cycle_log, skip=5))
+"""
+
+from repro.alps import (
+    AlpsAgent,
+    AlpsConfig,
+    AlpsCore,
+    CostModel,
+    CycleLog,
+    CycleRecord,
+    ProcessSubject,
+    UserSubject,
+)
+from repro.alps.agent import spawn_alps
+from repro.kernel import Kernel, KernelConfig
+from repro.sim import Engine
+from repro.units import MSEC, SEC, USEC, ms, sec, usec
+from repro.workloads import (
+    ShareDistribution,
+    build_controlled_workload,
+    build_multi_alps_scenario,
+    workload_shares,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlpsAgent",
+    "AlpsConfig",
+    "AlpsCore",
+    "CostModel",
+    "CycleLog",
+    "CycleRecord",
+    "Engine",
+    "Kernel",
+    "KernelConfig",
+    "MSEC",
+    "ProcessSubject",
+    "SEC",
+    "ShareDistribution",
+    "USEC",
+    "UserSubject",
+    "__version__",
+    "build_controlled_workload",
+    "build_multi_alps_scenario",
+    "ms",
+    "sec",
+    "spawn_alps",
+    "usec",
+    "workload_shares",
+]

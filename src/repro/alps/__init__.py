@@ -1,0 +1,43 @@
+"""ALPS: the Application-Level Proportional-Share Scheduler.
+
+This package implements the paper's contribution:
+
+* :mod:`~repro.alps.algorithm` — the core scheduling algorithm of
+  Figure 3 (allowances, cycles, the measurement-postponement
+  optimization, and blocked-process accounting), as a pure state
+  machine independent of any execution substrate.
+* :mod:`~repro.alps.subjects` — the resource principals ALPS schedules:
+  single processes (Sections 2–4) or whole users (Section 5).
+* :mod:`~repro.alps.agent` — the ALPS *process* for the simulated
+  kernel: an unprivileged process that wakes every quantum, pays the
+  Table 1 operation costs in CPU time, samples progress, and signals.
+* :mod:`~repro.alps.costs` — the Table 1 cost model.
+* :mod:`~repro.alps.instrumentation` — per-cycle consumption logs used
+  by the accuracy metrics.
+
+The same :class:`~repro.alps.algorithm.AlpsCore` also drives the
+real-Linux controller in :mod:`repro.hostos`.
+"""
+
+from repro.alps.agent import AlpsAgent
+from repro.alps.algorithm import AlpsCore, QuantumDecisions
+from repro.alps.config import AlpsConfig
+from repro.alps.costs import CostAccumulator, CostModel
+from repro.alps.instrumentation import CycleLog, CycleRecord
+from repro.alps.state import SubjectState
+from repro.alps.subjects import ProcessSubject, Subject, UserSubject
+
+__all__ = [
+    "AlpsAgent",
+    "AlpsConfig",
+    "AlpsCore",
+    "CostAccumulator",
+    "CostModel",
+    "CycleLog",
+    "CycleRecord",
+    "ProcessSubject",
+    "QuantumDecisions",
+    "Subject",
+    "SubjectState",
+    "UserSubject",
+]

@@ -1,0 +1,300 @@
+"""The ALPS agent: a simulated *process* running the ALPS algorithm.
+
+The agent is an ordinary unprivileged process in the simulated kernel.
+Every quantum its timer fires; once the kernel actually schedules it,
+it pays CPU for receiving the timer event and for reading the progress
+of the subjects that are due (per the Table 1 cost model), runs the
+Figure 3 algorithm, pays for and sends the SIGSTOP/SIGCONT transitions,
+and sleeps until the next quantum boundary.
+
+Because the agent competes for the CPU like everyone else, everything
+the paper observes about user-level scheduling — sampling jitter,
+overhead, and the loss of control when the agent's work exceeds its
+fair share (Section 4.2) — emerges from the simulation rather than
+being asserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.alps.algorithm import AlpsCore, Measurement, QuantumDecisions
+from repro.alps.config import AlpsConfig
+from repro.alps.costs import CostAccumulator
+from repro.alps.instrumentation import CycleLog
+from repro.alps.subjects import ProcessSubject, Subject
+from repro.errors import NoSuchProcessError
+from repro.kernel.actions import Action, Compute, Sleep
+from repro.kernel.signals import SIGCONT, SIGSTOP
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kapi import KernelAPI
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class _Phase(enum.Enum):
+    INIT = "init"
+    SLEEPING = "sleeping"
+    MEASURING = "measuring"
+    SIGNALING = "signaling"
+
+
+class AlpsAgent:
+    """Behavior implementing one ALPS scheduler over a set of subjects."""
+
+    def __init__(self, subjects: Sequence[Subject], config: AlpsConfig) -> None:
+        if not subjects:
+            raise ValueError("AlpsAgent requires at least one subject")
+        self.cfg = config
+        self.subjects: dict[int, Subject] = {s.sid: s for s in subjects}
+        if len(self.subjects) != len(subjects):
+            raise ValueError("subject ids must be unique")
+        self.core = AlpsCore(
+            {s.sid: s.share for s in subjects},
+            config.quantum_us,
+            optimized=config.optimized,
+        )
+        self._acc = CostAccumulator()
+        self._phase = _Phase.INIT
+        self._epoch = 0
+        self._next_refresh = 0
+        self._due: list[tuple[int, list[int]]] = []
+        self._pending_signals: list[tuple[int, int]] = []  # (pid, signo)
+        self._last_read: dict[int, int] = {}
+        self._stopped_pids: set[int] = set()
+        self._cumulative: dict[int, int] = {}
+        #: Number of algorithm invocations performed (timer events serviced).
+        self.invocations = 0
+        #: Total progress reads performed (for overhead statistics).
+        self.reads = 0
+        #: Total signals sent.
+        self.signals_sent = 0
+        #: Delay (µs) between each quantum boundary and the moment the
+        #: progress reads actually executed — the sampling-latency
+        #: distribution whose growth is the §4.2 breakdown.
+        self.sampling_delays_us: list[int] = []
+        self._wake_boundary = 0
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments
+    # ------------------------------------------------------------------
+    @property
+    def cycle_log(self) -> CycleLog:
+        """Per-cycle consumption log (the paper's accuracy instrument)."""
+        return self.core.cycle_log
+
+    def set_share(self, sid: int, share: int) -> None:
+        """Reweight a subject mid-run (takes effect next quantum)."""
+        self.core.set_share(sid, share)
+        subj = self.subjects.get(sid)
+        if subj is not None:
+            subj.share = share
+
+    def cumulative_cpu_of(self, sid: int) -> int:
+        """CPU (µs) consumed by subject ``sid`` since control began, as
+        known from the agent's own measurements."""
+        subj = self.subjects.get(sid)
+        if subj is None:
+            return 0
+        return self._cumulative.get(sid, 0)
+
+    # ------------------------------------------------------------------
+    # Behavior protocol
+    # ------------------------------------------------------------------
+    def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
+        if self._phase is _Phase.INIT:
+            return self._do_init(kapi)
+        if self._phase is _Phase.SLEEPING:
+            return self._do_wake(kapi)
+        if self._phase is _Phase.MEASURING:
+            return self._do_apply(kapi)
+        if self._phase is _Phase.SIGNALING:
+            return self._do_deliver(kapi)
+        raise AssertionError(f"unknown phase {self._phase}")  # pragma: no cover
+
+    # -- phase bodies ----------------------------------------------------
+    def _do_init(self, kapi: "KernelAPI") -> Action:
+        self._epoch = kapi.now
+        self.core._now_fn = lambda: kapi.now
+        self._cumulative: dict[int, int] = {s: 0 for s in self.subjects}
+        for subj in self.subjects.values():
+            subj.refresh(kapi)
+            for pid in subj.pids(kapi):
+                self._last_read[pid] = self._safe_rusage(kapi, pid)
+        self._next_refresh = kapi.now + self.cfg.principal_refresh_us
+        self._phase = _Phase.SLEEPING
+        return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+
+    def _do_wake(self, kapi: "KernelAPI") -> Action:
+        """Timer fired: select who to measure and pay for the work."""
+        cost = self.cfg.costs.timer_event_us
+        if kapi.now >= self._next_refresh:
+            cost += self._refresh_principals(kapi)
+            self._next_refresh = kapi.now + self.cfg.principal_refresh_us
+        self._reap_dead_subjects(kapi)
+        due_sids = self.core.begin_quantum()
+        self.invocations += 1
+        self._wake_boundary = kapi.now
+        self._due = []
+        npids = 0
+        for sid in due_sids:
+            pids = self.subjects[sid].pids(kapi)
+            self._due.append((sid, pids))
+            npids += len(pids)
+        cost += self.cfg.costs.measure_cost(npids)
+        self.reads += npids
+        self._phase = _Phase.MEASURING
+        return Compute(self._acc.charge(cost))
+
+    def _do_apply(self, kapi: "KernelAPI") -> Action:
+        """Measurement CPU spent: read progress now and run the algorithm."""
+        self.sampling_delays_us.append(kapi.now - self._wake_boundary)
+        measurements: dict[int, Measurement] = {}
+        for sid, pids in self._due:
+            if sid not in self.core.subjects:
+                continue
+            consumed = 0
+            blocked_votes: list[bool] = []
+            live = 0
+            for pid in pids:
+                try:
+                    usage = kapi.getrusage(pid)
+                except NoSuchProcessError:
+                    self._last_read.pop(pid, None)
+                    self._stopped_pids.discard(pid)
+                    continue
+                live += 1
+                consumed += usage - self._last_read.get(pid, usage)
+                self._last_read[pid] = usage
+                blocked_votes.append(kapi.is_blocked(pid))
+            blocked = (
+                self.cfg.track_io and live > 0 and all(blocked_votes)
+            )
+            measurements[sid] = Measurement(consumed_us=consumed, blocked=blocked)
+            self._cumulative[sid] = self._cumulative.get(sid, 0) + consumed
+        decisions = self.core.complete_quantum(measurements)
+        self._pending_signals = self._signals_for(kapi, decisions)
+        if not self._pending_signals:
+            self._phase = _Phase.SLEEPING
+            return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+        self._phase = _Phase.SIGNALING
+        cost = self.cfg.costs.signal_us * len(self._pending_signals)
+        return Compute(self._acc.charge(cost))
+
+    def _do_deliver(self, kapi: "KernelAPI") -> Action:
+        """Signal CPU spent: actually deliver the queued signals."""
+        for pid, signo in self._pending_signals:
+            try:
+                kapi.kill(pid, signo)
+            except NoSuchProcessError:
+                self._stopped_pids.discard(pid)
+                continue
+            self.signals_sent += 1
+            if signo == SIGSTOP:
+                self._stopped_pids.add(pid)
+            else:
+                self._stopped_pids.discard(pid)
+        self._pending_signals = []
+        self._phase = _Phase.SLEEPING
+        return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+
+    # -- helpers ----------------------------------------------------------
+    def _until_next_boundary(self, now: int) -> int:
+        q = self.cfg.quantum_us
+        k = (now - self._epoch) // q + 1
+        return self._epoch + k * q - now
+
+    def _signals_for(
+        self, kapi: "KernelAPI", decisions: QuantumDecisions
+    ) -> list[tuple[int, int]]:
+        signals: list[tuple[int, int]] = []
+        for sid in decisions.to_suspend:
+            subj = self.subjects.get(sid)
+            if subj is None:
+                continue
+            for pid in subj.pids(kapi):
+                if pid not in self._stopped_pids:
+                    signals.append((pid, SIGSTOP))
+        for sid in decisions.to_resume:
+            subj = self.subjects.get(sid)
+            if subj is None:
+                continue
+            for pid in subj.pids(kapi):
+                if pid in self._stopped_pids:
+                    signals.append((pid, SIGCONT))
+        return signals
+
+    def _refresh_principals(self, kapi: "KernelAPI") -> float:
+        """Re-enumerate multi-process principals (Section 5).
+
+        Newly discovered pids inherit the principal's current
+        eligibility (a new worker of a suspended user is stopped at
+        discovery).  Returns the CPU cost to charge.
+        """
+        cost = 0.0
+        for sid, subj in self.subjects.items():
+            before = set(subj.pids(kapi))
+            if not subj.refresh(kapi):
+                continue
+            cost += self.cfg.costs.principal_refresh_us
+            after = set(subj.pids(kapi))
+            for pid in after - before:
+                self._last_read[pid] = self._safe_rusage(kapi, pid)
+                if sid in self.core.subjects and not self.core.subjects[sid].eligible:
+                    self._pending_signals.append((pid, SIGSTOP))
+            for pid in before - after:
+                self._last_read.pop(pid, None)
+                self._stopped_pids.discard(pid)
+        # Deliver discovery-time stops immediately (they are few).
+        if self._pending_signals:
+            for pid, signo in self._pending_signals:
+                try:
+                    kapi.kill(pid, signo)
+                    self.signals_sent += 1
+                    if signo == SIGSTOP:
+                        self._stopped_pids.add(pid)
+                except NoSuchProcessError:
+                    pass
+            self._pending_signals = []
+        return cost
+
+    def _reap_dead_subjects(self, kapi: "KernelAPI") -> None:
+        """Drop single-process subjects whose process exited."""
+        for sid in list(self.subjects):
+            subj = self.subjects[sid]
+            if not isinstance(subj, ProcessSubject):
+                continue
+            subj.refresh(kapi)
+            if subj.pids(kapi):
+                continue
+            if sid in self.core.subjects and len(self.core.subjects) > 1:
+                self.core.remove_subject(sid)
+            del self.subjects[sid]
+
+    def _safe_rusage(self, kapi: "KernelAPI", pid: int) -> int:
+        try:
+            return kapi.getrusage(pid)
+        except NoSuchProcessError:
+            return 0
+
+
+def spawn_alps(
+    kernel: "Kernel",
+    subjects: Sequence[Subject],
+    config: AlpsConfig,
+    *,
+    name: str = "alps",
+    uid: int = 0,
+    nice: int = 0,
+    start_delay: int = 0,
+) -> tuple["Process", AlpsAgent]:
+    """Spawn an ALPS scheduler process in the simulated kernel.
+
+    Returns the agent's process (for overhead accounting via
+    ``proc.cpu_time``) and the agent object (for its cycle log).
+    """
+    agent = AlpsAgent(subjects, config)
+    proc = kernel.spawn(name, agent, uid=uid, nice=nice, start_delay=start_delay)
+    return proc, agent

@@ -1,0 +1,289 @@
+"""The ALPS scheduling algorithm (paper Figure 3), as a pure state machine.
+
+The core is deliberately independent of any execution substrate: it
+never reads clocks, sends signals, or sleeps.  A driver (the simulated
+agent in :mod:`repro.alps.agent` or the real-Linux controller in
+:mod:`repro.hostos.controller`) calls :meth:`AlpsCore.begin_quantum` when
+its quantum timer fires, performs the (costly) progress reads the core
+asked for, and feeds them to :meth:`AlpsCore.complete_quantum`, which
+returns the eligibility transitions to enact.
+
+Algorithm recap (Figure 3).  Each subject *i* has ``share_i`` and an
+``allowance_i`` measured in quanta.  Per invocation::
+
+    count += 1
+    for i eligible with update_i <= count:
+        consumed_i, blocked_i = READ-PROGRESS(i)
+        allowance_i -= consumed_i / Q ;  tc -= consumed_i
+        if blocked_i: allowance_i -= 1 ;  tc -= Q
+    if tc <= 0: tc += S*Q ; cycles = 1 else 0
+    for all i:
+        allowance_i += share_i * cycles
+        state_i = eligible if allowance_i > 0 else ineligible
+        if update_i <= count: update_i = count + ceil(allowance_i)
+
+The ``update_i`` bookkeeping is the paper's key optimization: a subject
+with allowance *a* cannot exhaust it in fewer than ⌈a⌉ quanta, so its
+progress need not be read again sooner.  Constructing the core with
+``optimized=False`` disables it (every eligible subject is measured
+every quantum), which is the ablation of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.alps.instrumentation import CycleLog, CycleRecord
+from repro.alps.state import Eligibility, SubjectState
+from repro.errors import SchedulerConfigError
+
+
+@dataclass(slots=True, frozen=True)
+class Measurement:
+    """Result of READ-PROGRESS for one subject.
+
+    Attributes:
+        consumed_us: CPU time consumed since the previous measurement.
+        blocked: True if the subject was observed blocked (sleeping on a
+            wait channel) at read time.
+    """
+
+    consumed_us: int
+    blocked: bool = False
+
+
+@dataclass(slots=True)
+class QuantumDecisions:
+    """What the driver must enact after one algorithm invocation."""
+
+    #: Subjects that transitioned eligible -> ineligible (suspend them).
+    to_suspend: list[int] = field(default_factory=list)
+    #: Subjects that transitioned ineligible -> eligible (resume them).
+    to_resume: list[int] = field(default_factory=list)
+    #: Set when this invocation completed a cycle.
+    cycle_completed: bool = False
+    #: The finished cycle's record (present iff ``cycle_completed``).
+    cycle_record: Optional[CycleRecord] = None
+
+
+class AlpsCore:
+    """Backend-independent implementation of the ALPS algorithm.
+
+    Subjects are integer ids (pids for per-process scheduling, or
+    principal ids for user-level grouping).  Shares must be positive
+    integers.  The paper scales shares by their GCD when defining the
+    cycle length; we follow the evaluation section and use the raw total
+    (the evaluation explicitly does not rescale).
+    """
+
+    def __init__(
+        self,
+        shares: Mapping[int, int],
+        quantum_us: int,
+        *,
+        optimized: bool = True,
+        cycle_log: Optional[CycleLog] = None,
+        now_fn: Callable[[], int] = lambda: 0,
+    ) -> None:
+        if quantum_us <= 0:
+            raise SchedulerConfigError(f"quantum must be positive, got {quantum_us}")
+        if not shares:
+            raise SchedulerConfigError("at least one subject is required")
+        self.quantum_us = quantum_us
+        self.optimized = optimized
+        self.cycle_log = cycle_log if cycle_log is not None else CycleLog()
+        self._now_fn = now_fn
+        self.subjects: dict[int, SubjectState] = {}
+        self.count = 0
+        self.cycles_completed = 0
+        self.total_shares = 0
+        #: Remaining CPU time (µs) in the current cycle (tc in Figure 3).
+        self.tc = 0
+        for sid, share in shares.items():
+            self._insert_subject(sid, share)
+        self.tc = self.cycle_length_us
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _insert_subject(self, sid: int, share: int) -> None:
+        if share <= 0:
+            raise SchedulerConfigError(
+                f"share for subject {sid} must be a positive integer, got {share}"
+            )
+        if sid in self.subjects:
+            raise SchedulerConfigError(f"duplicate subject id {sid}")
+        self.subjects[sid] = SubjectState(share=share, allowance=float(share))
+        self.total_shares += share
+
+    @property
+    def cycle_length_us(self) -> int:
+        """S · Q — the CPU time over which proportions are guaranteed."""
+        return self.total_shares * self.quantum_us
+
+    def add_subject(self, sid: int, share: int) -> None:
+        """Add a subject mid-run.
+
+        The new subject starts ineligible with a full allowance, and the
+        current cycle is extended by its entitlement (``share · Q``) so
+        existing subjects' proportions within the extended cycle are
+        preserved.
+        """
+        self._insert_subject(sid, share)
+        self.tc += share * self.quantum_us
+
+    def set_share(self, sid: int, share: int) -> None:
+        """Change a subject's share mid-run (extension).
+
+        The paper's motivating scientific application reweights
+        processes as its mesh refines; this adjusts the cycle the same
+        way add/remove do: the current cycle is stretched or shrunk by
+        the entitlement delta, and the subject's allowance is adjusted
+        so already-earned credit is preserved.
+        """
+        st = self.subjects.get(sid)
+        if st is None:
+            raise SchedulerConfigError(f"unknown subject id {sid}")
+        if share <= 0:
+            raise SchedulerConfigError(
+                f"share for subject {sid} must be a positive integer, got {share}"
+            )
+        delta = share - st.share
+        if delta == 0:
+            return
+        self.total_shares += delta
+        self.tc += delta * self.quantum_us
+        st.allowance += delta
+        st.share = share
+        # Eligibility is deliberately left as-is: the next invocation's
+        # partition loop recomputes it and reports the transition, so
+        # the driver sends the matching SIGSTOP/SIGCONT.
+
+    def remove_subject(self, sid: int) -> SubjectState:
+        """Remove a subject (e.g. its process exited) and return its state.
+
+        The unconsumed part of its entitlement leaves the cycle with it,
+        so remaining subjects are not stretched over CPU time that will
+        never be consumed.
+        """
+        state = self.subjects.pop(sid, None)
+        if state is None:
+            raise SchedulerConfigError(f"unknown subject id {sid}")
+        self.total_shares -= state.share
+        if self.total_shares < 0:  # pragma: no cover - defensive
+            raise SchedulerConfigError("total shares went negative")
+        remaining_entitlement = max(0.0, state.allowance) * self.quantum_us
+        self.tc -= int(remaining_entitlement)
+        return state
+
+    # ------------------------------------------------------------------
+    # The algorithm
+    # ------------------------------------------------------------------
+    def begin_quantum(self) -> list[int]:
+        """Start an invocation: advance ``count`` and pick who to measure.
+
+        Returns the subject ids whose progress the driver must read
+        (eligible, and due per the postponement optimization).  The
+        driver then calls :meth:`complete_quantum` with the readings.
+        """
+        self.count += 1
+        due: list[int] = []
+        for sid, st in self.subjects.items():
+            if st.state is not Eligibility.ELIGIBLE:
+                continue
+            if self.optimized and st.update > self.count:
+                continue
+            due.append(sid)
+        return due
+
+    def complete_quantum(
+        self, measurements: Mapping[int, Measurement]
+    ) -> QuantumDecisions:
+        """Apply one invocation's measurements (Figure 3 body).
+
+        ``measurements`` must cover exactly the ids returned by the
+        matching :meth:`begin_quantum` call (missing ids are treated as
+        unmeasured, which preserves liveness if a read failed).
+        """
+        q = self.quantum_us
+        measured: list[int] = []
+        for sid, m in measurements.items():
+            st = self.subjects.get(sid)
+            if st is None:
+                continue  # subject removed between begin and complete
+            st.allowance -= m.consumed_us / q
+            self.tc -= m.consumed_us
+            st.consumed_this_cycle += m.consumed_us
+            st.measurements += 1
+            if m.blocked:
+                st.allowance -= 1.0
+                self.tc -= q
+                st.blocked_quanta_this_cycle += 1
+            measured.append(sid)
+
+        decisions = QuantumDecisions()
+        cycles = 0
+        if self.tc <= 0:
+            cycles = 1
+            self.tc += self.cycle_length_us
+            decisions.cycle_completed = True
+            decisions.cycle_record = self._finish_cycle()
+
+        measured_set = set(measured)
+        for sid, st in self.subjects.items():
+            if cycles:
+                st.allowance += st.share * cycles
+            new_state = (
+                Eligibility.ELIGIBLE if st.allowance > 0 else Eligibility.INELIGIBLE
+            )
+            if new_state is not st.state:
+                if new_state is Eligibility.ELIGIBLE:
+                    decisions.to_resume.append(sid)
+                else:
+                    decisions.to_suspend.append(sid)
+                st.state = new_state
+            if st.update <= self.count or sid in measured_set:
+                st.update = self.count + max(1, math.ceil(st.allowance))
+        return decisions
+
+    def _finish_cycle(self) -> CycleRecord:
+        record = CycleRecord(
+            index=self.cycles_completed,
+            end_time=self._now_fn(),
+            consumed={sid: st.consumed_this_cycle for sid, st in self.subjects.items()},
+            blocked_quanta={
+                sid: st.blocked_quanta_this_cycle for sid, st in self.subjects.items()
+            },
+            shares={sid: st.share for sid, st in self.subjects.items()},
+            quantum_us=self.quantum_us,
+        )
+        self.cycle_log.append(record)
+        self.cycles_completed += 1
+        for st in self.subjects.values():
+            st.consumed_this_cycle = 0
+            st.blocked_quanta_this_cycle = 0
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def eligibility(self, sid: int) -> Eligibility:
+        """Current eligibility of a subject."""
+        return self.subjects[sid].state
+
+    def allowance(self, sid: int) -> float:
+        """Current allowance (quanta) of a subject."""
+        return self.subjects[sid].allowance
+
+    def invariant_check(self) -> None:
+        """Sanity checks used by tests: eligibility matches allowance sign.
+
+        Raises AssertionError on violation.
+        """
+        for sid, st in self.subjects.items():
+            if st.allowance > 0:
+                assert st.state is Eligibility.ELIGIBLE, (sid, st)
+            else:
+                assert st.state is Eligibility.INELIGIBLE, (sid, st)

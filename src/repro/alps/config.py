@@ -1,0 +1,42 @@
+"""Configuration for an ALPS scheduler instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alps.costs import CostModel
+from repro.errors import SchedulerConfigError
+from repro.units import MSEC, SEC
+
+
+@dataclass(slots=True, frozen=True)
+class AlpsConfig:
+    """Tunables of one ALPS instance.
+
+    Attributes:
+        quantum_us: the ALPS quantum Q — the period between invocations
+            of the scheduling algorithm and the unit of allowances.  The
+            paper evaluates 10–40 ms (100 ms for the web server).
+        optimized: enable the measurement-postponement optimization
+            (Section 2.3).  Disabling it is the Section 3.2 ablation.
+        track_io: enable blocked-process accounting (Section 2.4).
+        costs: the Table 1 cost model charged to the agent's own CPU.
+        principal_refresh_us: how often multi-process principals
+            re-enumerate their membership (Section 5 uses 1 s).
+    """
+
+    quantum_us: int = 10 * MSEC
+    optimized: bool = True
+    track_io: bool = True
+    costs: CostModel = field(default_factory=CostModel)
+    principal_refresh_us: int = 1 * SEC
+
+    def __post_init__(self) -> None:
+        if self.quantum_us <= 0:
+            raise SchedulerConfigError(
+                f"quantum_us must be positive, got {self.quantum_us}"
+            )
+        if self.principal_refresh_us <= 0:
+            raise SchedulerConfigError(
+                f"principal_refresh_us must be positive, got {self.principal_refresh_us}"
+            )

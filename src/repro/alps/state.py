@@ -1,0 +1,41 @@
+"""Per-subject bookkeeping for the ALPS algorithm."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Eligibility(enum.Enum):
+    """Whether a subject may contend for the CPU this quantum."""
+
+    ELIGIBLE = "eligible"
+    INELIGIBLE = "ineligible"
+
+
+@dataclass(slots=True)
+class SubjectState:
+    """Scheduler state for one subject (process or principal).
+
+    Mirrors the per-process variables of Figure 3: ``share``,
+    ``allowance`` (in quanta), eligibility ``state``, and the
+    measurement-postponement index ``update``.
+    """
+
+    share: int
+    #: Remaining quanta of CPU the subject may use this cycle.
+    allowance: float
+    state: Eligibility = Eligibility.INELIGIBLE
+    #: Quantum index at which to next measure the subject's progress.
+    update: int = 0
+    #: CPU consumed (µs) within the current cycle (instrumentation).
+    consumed_this_cycle: int = 0
+    #: Quanta charged for being blocked within the current cycle.
+    blocked_quanta_this_cycle: int = 0
+    #: Total number of times this subject was measured (statistics).
+    measurements: int = 0
+
+    @property
+    def eligible(self) -> bool:
+        """Convenience accessor for the eligibility flag."""
+        return self.state is Eligibility.ELIGIBLE

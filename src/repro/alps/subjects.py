@@ -1,0 +1,86 @@
+"""Resource principals: what an ALPS schedules.
+
+Sections 2–4 of the paper schedule individual processes; Section 5
+generalises the principal to *a user* — every process owned by the user
+counts against one allocation and is stopped/resumed as a group.  Both
+are modelled here behind one small interface the agent consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kapi import KernelAPI
+
+
+@runtime_checkable
+class Subject(Protocol):
+    """A schedulable principal with a share of the CPU."""
+
+    #: Unique id used as the key inside :class:`~repro.alps.algorithm.AlpsCore`.
+    sid: int
+    #: Integer share of CPU time.
+    share: int
+
+    def pids(self, kapi: "KernelAPI") -> list[int]:
+        """Current live pids belonging to this principal."""
+        ...
+
+    def refresh(self, kapi: "KernelAPI") -> bool:
+        """Re-enumerate membership; returns True if membership changed."""
+        ...
+
+
+class ProcessSubject:
+    """A principal that is a single process (the paper's base case)."""
+
+    __slots__ = ("sid", "share", "pid", "_alive")
+
+    def __init__(self, sid: int, share: int, pid: int) -> None:
+        self.sid = sid
+        self.share = share
+        self.pid = pid
+        self._alive = True
+
+    def pids(self, kapi: "KernelAPI") -> list[int]:
+        return [self.pid] if self._alive else []
+
+    def refresh(self, kapi: "KernelAPI") -> bool:
+        alive = kapi.pid_exists(self.pid)
+        changed = alive != self._alive
+        self._alive = alive
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessSubject(sid={self.sid}, share={self.share}, pid={self.pid})"
+
+
+class UserSubject:
+    """A principal that is a user: all of the user's processes share one
+    allocation (Section 5's shared web server policy).
+
+    Membership is refreshed lazily by the agent (once per
+    ``principal_refresh_us``), mirroring the paper's once-per-second
+    ``kvm_getprocs`` scan.
+    """
+
+    __slots__ = ("sid", "share", "uid", "_pids")
+
+    def __init__(self, sid: int, share: int, uid: int) -> None:
+        self.sid = sid
+        self.share = share
+        self.uid = uid
+        self._pids: list[int] = []
+
+    def pids(self, kapi: "KernelAPI") -> list[int]:
+        return list(self._pids)
+
+    def refresh(self, kapi: "KernelAPI") -> bool:
+        new = sorted(kapi.pids_of_uid(self.uid))
+        changed = new != self._pids
+        self._pids = new
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UserSubject(sid={self.sid}, share={self.share}, uid={self.uid})"

@@ -1,0 +1,95 @@
+"""Observability for ALPS schedulers: a per-quantum decision trace.
+
+Attaching an :class:`AlpsTrace` to an agent records, for every
+invocation: when it woke, which subjects it measured and what it saw,
+which transitions it enacted, and whether a cycle completed.  Useful
+for debugging share configurations and for fine-grained tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.alps.algorithm import Measurement, QuantumDecisions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.alps.agent import AlpsAgent
+
+
+@dataclass(slots=True, frozen=True)
+class QuantumTraceRecord:
+    """One algorithm invocation as observed at the core boundary."""
+
+    count: int
+    measured: Mapping[int, Measurement]
+    suspended: tuple[int, ...]
+    resumed: tuple[int, ...]
+    cycle_completed: bool
+    tc_after: int
+
+
+@dataclass(slots=True)
+class AlpsTrace:
+    """Collected per-quantum records."""
+
+    records: list[QuantumTraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def suspensions_of(self, sid: int) -> int:
+        """How many times ``sid`` was suspended."""
+        return sum(1 for r in self.records if sid in r.suspended)
+
+    def measurements_of(self, sid: int) -> int:
+        """How many times ``sid`` was measured."""
+        return sum(1 for r in self.records if sid in r.measured)
+
+    def cycles(self) -> int:
+        """Number of cycle completions observed."""
+        return sum(1 for r in self.records if r.cycle_completed)
+
+    def format(self, last: int = 20) -> str:
+        """Human-readable tail of the trace."""
+        lines = []
+        for r in self.records[-last:]:
+            seen = ", ".join(
+                f"{sid}:{m.consumed_us}us{'(blk)' if m.blocked else ''}"
+                for sid, m in r.measured.items()
+            )
+            marks = []
+            if r.suspended:
+                marks.append(f"stop{list(r.suspended)}")
+            if r.resumed:
+                marks.append(f"cont{list(r.resumed)}")
+            if r.cycle_completed:
+                marks.append("CYCLE")
+            lines.append(
+                f"#{r.count:<5} measured[{seen}] {' '.join(marks)}"
+            )
+        return "\n".join(lines)
+
+
+def attach_alps_trace(agent: "AlpsAgent") -> AlpsTrace:
+    """Record every invocation of ``agent``'s core; returns the trace."""
+    trace = AlpsTrace()
+    core = agent.core
+    original = core.complete_quantum
+
+    def wrapped(measurements: Mapping[int, Measurement]) -> QuantumDecisions:
+        decisions = original(measurements)
+        trace.records.append(
+            QuantumTraceRecord(
+                count=core.count,
+                measured=dict(measurements),
+                suspended=tuple(decisions.to_suspend),
+                resumed=tuple(decisions.to_resume),
+                cycle_completed=decisions.cycle_completed,
+                tc_after=core.tc,
+            )
+        )
+        return decisions
+
+    core.complete_quantum = wrapped  # type: ignore[method-assign]
+    return trace

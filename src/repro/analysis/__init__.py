@@ -1,0 +1,19 @@
+"""Result formatting: ASCII tables, terminal plots, CSV export.
+
+The benchmark harness uses these to print the same rows/series the
+paper's tables and figures report.
+"""
+
+from repro.analysis.ascii_plot import ascii_series_plot
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.analysis.timeline import RunInterval, Timeline, attach_timeline
+
+__all__ = [
+    "RunInterval",
+    "Timeline",
+    "ascii_series_plot",
+    "attach_timeline",
+    "format_table",
+    "write_csv",
+]

@@ -1,0 +1,57 @@
+"""Minimal terminal line plots for benchmark output.
+
+Not a plotting library — just enough to show a figure's *shape*
+(monotonicity, crossovers, knees) next to the numeric series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_series_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named (x, y) series on one character grid."""
+    xs = [x for pts in series.values() for x in pts[0]]
+    ys = [y for pts in series.values() for y in pts[1]]
+    if not xs:
+        return "(no data)"
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (sx, sy)) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(sx, sy):
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = height - 1 - int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[row][col] = mark
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:10.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{ymin:10.2f} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{xmin:<10.1f}" + " " * max(0, width - 20) + f"{xmax:>10.1f}"
+    )
+    if xlabel or ylabel:
+        lines.append(" " * 12 + f"x: {xlabel}   y: {ylabel}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

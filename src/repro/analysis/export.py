@@ -1,0 +1,28 @@
+"""CSV export of experiment results."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    fieldnames: Sequence[str] | None = None,
+) -> Path:
+    """Write dict rows to ``path``; returns the resolved path."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    names = list(fieldnames) if fieldnames is not None else list(rows[0].keys())
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=names)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: row.get(k) for k in names})
+    return path

@@ -1,0 +1,81 @@
+"""Run summaries: one table describing what happened in a simulation.
+
+``summarize_workload`` condenses a :class:`ControlledWorkload` run into
+per-process rows (CPU, share of group, context switches, signals) plus
+scheduler totals — the first thing to look at when a share
+configuration behaves unexpectedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.metrics.accuracy import mean_rms_relative_error, per_subject_fractions
+from repro.workloads.scenarios import ControlledWorkload
+
+
+@dataclass(slots=True, frozen=True)
+class WorkloadSummary:
+    """Aggregated view of one controlled run."""
+
+    wall_us: int
+    cycles: int
+    error_pct: float
+    overhead_pct: float
+    alps_invocations: int
+    alps_reads: int
+    alps_signals: int
+    context_switches: int
+    rows: tuple[tuple, ...]  # (name, share, target, achieved, cpu_ms, preempt)
+
+    def format(self) -> str:
+        """Render as an aligned table with a totals footer."""
+        table = format_table(
+            ["process", "share", "target", "achieved", "cpu (ms)", "preemptions"],
+            [list(r) for r in self.rows],
+            title="workload summary",
+        )
+        footer = (
+            f"\nwall {self.wall_us / 1e6:.1f}s   cycles {self.cycles}   "
+            f"error {self.error_pct:.2f}%   overhead {self.overhead_pct:.3f}%"
+            f"\nALPS: {self.alps_invocations} invocations, "
+            f"{self.alps_reads} reads, {self.alps_signals} signals; "
+            f"kernel: {self.context_switches} context switches"
+        )
+        return table + footer
+
+
+def summarize_workload(
+    workload: ControlledWorkload, *, skip_cycles: int = 5
+) -> WorkloadSummary:
+    """Build the summary for a finished (or in-flight) run."""
+    kernel = workload.kernel
+    agent = workload.agent
+    log = agent.cycle_log
+    fractions = per_subject_fractions(log, skip=skip_cycles)
+    total_share = workload.total_shares
+    rows = []
+    for sid, (worker, share) in enumerate(zip(workload.workers, workload.shares)):
+        cpu = kernel.getrusage(worker.pid) if worker.alive else worker.cpu_time
+        rows.append(
+            (
+                worker.name,
+                share,
+                f"{share / total_share:.1%}",
+                f"{fractions.get(sid, 0.0):.1%}",
+                round(cpu / 1000, 1),
+                worker.preemptions,
+            )
+        )
+    return WorkloadSummary(
+        wall_us=kernel.now,
+        cycles=len(log),
+        error_pct=mean_rms_relative_error(log, skip=skip_cycles),
+        overhead_pct=100 * workload.overhead_fraction(),
+        alps_invocations=agent.invocations,
+        alps_reads=agent.reads,
+        alps_signals=agent.signals_sent,
+        context_switches=kernel.context_switches,
+        rows=tuple(rows),
+    )

@@ -1,0 +1,115 @@
+"""Scheduling timelines: record and render who held the CPU when.
+
+`attach_timeline(kernel)` hooks the kernel's charge path and records
+every materialised run interval.  The result can be queried (per-pid
+busy time in a window, interval list) or rendered as an ASCII Gantt
+chart — handy for debugging scheduler behaviour and for asserting
+fine-grained properties in tests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.kernel.kernel import Kernel
+
+
+@dataclass(slots=True, frozen=True)
+class RunInterval:
+    """One contiguous on-CPU interval of a process."""
+
+    pid: int
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class Timeline:
+    """Recorded run intervals, in chronological order."""
+
+    intervals: list[RunInterval] = field(default_factory=list)
+
+    def add(self, pid: int, start: int, end: int) -> None:
+        if end <= start:
+            return
+        last = self.intervals[-1] if self.intervals else None
+        if last is not None and last.pid == pid and last.end == start:
+            # Merge contiguous charges of the same process.
+            self.intervals[-1] = RunInterval(pid, last.start, end)
+        else:
+            self.intervals.append(RunInterval(pid, start, end))
+
+    def busy_of(self, pid: int, lo: int = 0, hi: Optional[int] = None) -> int:
+        """CPU time (µs) pid held within [lo, hi)."""
+        total = 0
+        for iv in self.intervals:
+            if iv.pid != pid:
+                continue
+            end = iv.end if hi is None else min(iv.end, hi)
+            start = max(iv.start, lo)
+            if end > start:
+                total += end - start
+        return total
+
+    def pids(self) -> list[int]:
+        """All pids that ever ran."""
+        return sorted({iv.pid for iv in self.intervals})
+
+    def render(
+        self,
+        lo: int,
+        hi: int,
+        *,
+        width: int = 72,
+        labels: Optional[dict[int, str]] = None,
+    ) -> str:
+        """ASCII Gantt chart of [lo, hi): one row per pid."""
+        if hi <= lo:
+            raise ValueError("need hi > lo")
+        labels = labels or {}
+        rows: list[str] = []
+        scale = (hi - lo) / width
+        for pid in self.pids():
+            cells = [" "] * width
+            for iv in self.intervals:
+                if iv.pid != pid or iv.end <= lo or iv.start >= hi:
+                    continue
+                c0 = int((max(iv.start, lo) - lo) / scale)
+                c1 = int((min(iv.end, hi) - lo - 1) / scale)
+                for c in range(max(c0, 0), min(c1, width - 1) + 1):
+                    cells[c] = "#"
+            name = labels.get(pid, f"pid{pid}")
+            rows.append(f"{name:>10} |{''.join(cells)}|")
+        header = (
+            f"{'':>10}  {lo / 1000:.1f} ms"
+            + " " * max(0, width - 24)
+            + f"{hi / 1000:.1f} ms"
+        )
+        return "\n".join([header] + rows)
+
+
+def attach_timeline(kernel: Kernel) -> Timeline:
+    """Start recording run intervals on ``kernel``; returns the timeline.
+
+    Wraps the kernel's internal charge step, so every interval is
+    captured exactly once regardless of why it was materialised
+    (completion, preemption, housekeeping).
+    """
+    timeline = Timeline()
+    original = kernel._charge_proc
+
+    def charging(proc):
+        start = proc.run_start
+        now = kernel.now
+        if now > start:
+            timeline.add(proc.pid, start, now)
+        original(proc)
+
+    kernel._charge_proc = charging  # type: ignore[method-assign]
+    return timeline

@@ -1,0 +1,28 @@
+"""Baseline schedulers ALPS is compared against.
+
+* :mod:`~repro.baselines.stride` — Waldspurger's stride scheduler, the
+  canonical *in-kernel* deterministic proportional-share policy.  It
+  bounds allocation error by one quantum and shows what kernel support
+  buys over a user-level approach.
+* :mod:`~repro.baselines.lottery` — randomized proportional share
+  (lottery scheduling); probabilistically fair, higher variance.
+* :mod:`~repro.baselines.duty_cycle` — a cpulimit-style user-level
+  limiter that duty-cycles each process independently against a fixed
+  cap.  Unlike ALPS it is not work-conserving: CPU released by one
+  process is not re-apportioned to the others.
+
+The "unoptimized ALPS" ablation (Section 2.3/3.2) is not a separate
+module — construct :class:`~repro.alps.config.AlpsConfig` with
+``optimized=False``.
+"""
+
+from repro.baselines.duty_cycle import DutyCycleAgent, spawn_duty_cycle
+from repro.baselines.lottery import LotteryScheduler
+from repro.baselines.stride import StrideScheduler
+
+__all__ = [
+    "DutyCycleAgent",
+    "LotteryScheduler",
+    "StrideScheduler",
+    "spawn_duty_cycle",
+]

@@ -1,0 +1,143 @@
+"""A cpulimit-style duty-cycle limiter (user-level baseline).
+
+``cpulimit`` enforces a per-process CPU *cap* by sampling usage and
+SIGSTOP/SIGCONT-ing the process so it does not exceed the cap within a
+control period.  It can emulate proportional shares by giving process
+*i* the cap ``share_i / S``, but unlike ALPS it is not
+work-conserving: when a process blocks or exits, its reserved slice
+idles instead of flowing to the others.  This baseline runs in the
+same simulated kernel as ALPS (same signals, same costs) so the
+comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.alps.costs import CostAccumulator, CostModel
+from repro.errors import NoSuchProcessError, SchedulerConfigError
+from repro.kernel.actions import Action, Compute, Sleep
+from repro.kernel.signals import SIGCONT, SIGSTOP
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kapi import KernelAPI
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class _Phase(enum.Enum):
+    INIT = "init"
+    SLEEPING = "sleeping"
+    WORKING = "working"
+
+
+class DutyCycleAgent:
+    """Per-process duty-cycle limiter over a control period.
+
+    Every ``sample_us`` the agent reads each process's usage; a process
+    that has consumed at least its cap for the current period is
+    stopped until the period rolls over, at which point everyone is
+    resumed.
+    """
+
+    def __init__(
+        self,
+        caps: Mapping[int, float],
+        *,
+        period_us: int = 100_000,
+        sample_us: int = 10_000,
+        costs: CostModel | None = None,
+    ) -> None:
+        if period_us <= 0 or sample_us <= 0 or sample_us > period_us:
+            raise SchedulerConfigError(
+                f"need 0 < sample_us <= period_us, got {sample_us}, {period_us}"
+            )
+        total = sum(caps.values())
+        if total > 1.0 + 1e-9:
+            raise SchedulerConfigError(f"caps sum to {total}, must be <= 1")
+        for pid, cap in caps.items():
+            if cap <= 0:
+                raise SchedulerConfigError(f"cap for pid {pid} must be positive")
+        self.caps = dict(caps)
+        self.period_us = period_us
+        self.sample_us = sample_us
+        self.costs = costs if costs is not None else CostModel()
+        self._acc = CostAccumulator()
+        self._phase = _Phase.INIT
+        self._period_start = 0
+        self._used_in_period: dict[int, int] = {}
+        self._last_read: dict[int, int] = {}
+        self._stopped: set[int] = set()
+        self.signals_sent = 0
+
+    def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
+        if self._phase is _Phase.INIT:
+            self._period_start = kapi.now
+            for pid in self.caps:
+                self._last_read[pid] = self._safe_usage(kapi, pid)
+                self._used_in_period[pid] = 0
+            self._phase = _Phase.SLEEPING
+            return Sleep(self.sample_us, channel="dutycycle")
+        if self._phase is _Phase.SLEEPING:
+            cost = self.costs.timer_event_us + self.costs.measure_cost(len(self.caps))
+            self._phase = _Phase.WORKING
+            return Compute(self._acc.charge(cost))
+        # WORKING: apply the control law.
+        now = kapi.now
+        if now - self._period_start >= self.period_us:
+            self._period_start = now
+            for pid in list(self._stopped):
+                self._signal(kapi, pid, SIGCONT)
+            self._used_in_period = {pid: 0 for pid in self.caps}
+        for pid, cap in self.caps.items():
+            try:
+                usage = kapi.getrusage(pid)
+            except NoSuchProcessError:
+                continue
+            delta = usage - self._last_read.get(pid, usage)
+            self._last_read[pid] = usage
+            self._used_in_period[pid] = self._used_in_period.get(pid, 0) + delta
+            budget = cap * self.period_us
+            if self._used_in_period[pid] >= budget and pid not in self._stopped:
+                self._signal(kapi, pid, SIGSTOP)
+        self._phase = _Phase.SLEEPING
+        return Sleep(self.sample_us, channel="dutycycle")
+
+    def _signal(self, kapi: "KernelAPI", pid: int, signo: int) -> None:
+        try:
+            kapi.kill(pid, signo)
+        except NoSuchProcessError:
+            self._stopped.discard(pid)
+            return
+        self.signals_sent += 1
+        if signo == SIGSTOP:
+            self._stopped.add(pid)
+        else:
+            self._stopped.discard(pid)
+
+    def _safe_usage(self, kapi: "KernelAPI", pid: int) -> int:
+        try:
+            return kapi.getrusage(pid)
+        except NoSuchProcessError:
+            return 0
+
+
+def spawn_duty_cycle(
+    kernel: "Kernel",
+    shares: Sequence[int],
+    pids: Sequence[int],
+    *,
+    period_us: int = 100_000,
+    sample_us: int = 10_000,
+    name: str = "cpulimit",
+) -> tuple["Process", DutyCycleAgent]:
+    """Spawn a duty-cycle limiter emulating proportional shares.
+
+    Process ``i`` receives the cap ``shares[i] / sum(shares)``.
+    """
+    total = sum(shares)
+    caps = {pid: share / total for pid, share in zip(pids, shares)}
+    agent = DutyCycleAgent(caps, period_us=period_us, sample_us=sample_us)
+    proc = kernel.spawn(name, agent)
+    return proc, agent

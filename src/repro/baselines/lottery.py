@@ -1,0 +1,84 @@
+"""Lottery scheduling (Waldspurger & Weihl, 1994).
+
+Randomized proportional share: each quantum a ticket is drawn uniformly
+and the holding client runs.  Expected allocations are proportional;
+per-cycle variance is higher than stride's — a useful contrast when
+judging ALPS's measured error bars.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.alps.instrumentation import CycleLog, CycleRecord
+from repro.errors import SchedulerConfigError
+
+
+class LotteryScheduler:
+    """Randomized proportional-share scheduling of CPU-bound clients."""
+
+    def __init__(
+        self,
+        shares: Mapping[int, int],
+        quantum_us: int,
+        *,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        if quantum_us <= 0:
+            raise SchedulerConfigError(f"quantum must be positive: {quantum_us}")
+        if not shares:
+            raise SchedulerConfigError("need at least one client")
+        for cid, share in shares.items():
+            if share <= 0:
+                raise SchedulerConfigError(f"share of {cid} must be positive")
+        self.quantum_us = quantum_us
+        self.shares = dict(shares)
+        self.total_shares = sum(shares.values())
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self._clients = np.array(list(self.shares.keys()))
+        weights = np.array([self.shares[c] for c in self._clients], dtype=float)
+        self._probs = weights / weights.sum()
+        self.consumed_us: dict[int, int] = {cid: 0 for cid in self.shares}
+
+    def run_quantum(self) -> int:
+        """Hold one lottery; returns the winning client."""
+        cid = int(self.rng.choice(self._clients, p=self._probs))
+        self.consumed_us[cid] += self.quantum_us
+        return cid
+
+    def run(self, duration_us: int) -> dict[int, int]:
+        """Run for ``duration_us`` of CPU time; returns consumption."""
+        n = duration_us // self.quantum_us
+        winners = self.rng.choice(self._clients, size=n, p=self._probs)
+        ids, counts = np.unique(winners, return_counts=True)
+        for cid, count in zip(ids, counts):
+            self.consumed_us[int(cid)] += int(count) * self.quantum_us
+        return dict(self.consumed_us)
+
+    def cycle_log(self, cycles: int) -> CycleLog:
+        """Run ``cycles`` cycles of S quanta each, logged like ALPS."""
+        log = CycleLog()
+        quanta_per_cycle = self.total_shares
+        for index in range(cycles):
+            winners = self.rng.choice(
+                self._clients, size=quanta_per_cycle, p=self._probs
+            )
+            consumed = {cid: 0 for cid in self.shares}
+            for w in winners:
+                consumed[int(w)] += self.quantum_us
+            for cid, c in consumed.items():
+                self.consumed_us[cid] += c
+            log.append(
+                CycleRecord(
+                    index=index,
+                    end_time=(index + 1) * quanta_per_cycle * self.quantum_us,
+                    consumed=consumed,
+                    blocked_quanta={cid: 0 for cid in self.shares},
+                    shares=dict(self.shares),
+                    quantum_us=self.quantum_us,
+                )
+            )
+        return log

@@ -1,0 +1,10 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands reproduce individual paper artifacts (``fig4``, ``sec5``, …),
+run the live Linux controller (``live``), or print the experiment
+index (``list``).
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

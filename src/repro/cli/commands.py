@@ -1,0 +1,399 @@
+"""CLI command implementations.
+
+Each ``cmd_*`` runs one experiment, prints the paper-style table, and
+optionally writes a CSV.  ``full=True`` switches to the paper's full
+protocol (200 cycles × 3 seeds, all quantum lengths, N up to 120).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_series_plot
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+
+
+def _maybe_csv(csv: Optional[str], rows) -> None:
+    if csv:
+        path = write_csv(csv, rows)
+        print(f"\n[csv written to {path}]")
+
+
+# ---------------------------------------------------------------------------
+def cmd_table1(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.table1_ops import Table1Result, run_table1
+
+    result = run_table1(quick=not full)
+    rows = [
+        ["Receive a timer event", f"{result.timer_event_us:.2f}",
+         f"{Table1Result.PAPER_TIMER_US:.2f}"],
+        ["Measure CPU time of n processes",
+         f"{result.measure_fixed_us:.1f} + {result.measure_per_proc_us:.1f}n",
+         "1.1 + 17.4n"],
+        ["Signal a process", f"{result.signal_us:.2f}",
+         f"{Table1Result.PAPER_SIGNAL_US:.2f}"],
+    ]
+    print(format_table(
+        ["operation", "this host (µs)", "paper (µs)"], rows,
+        title="Table 1 — Primary ALPS operation times",
+    ))
+    _maybe_csv(csv, [{"operation": r[0], "host": r[1], "paper": r[2]} for r in rows])
+    return 0
+
+
+def _fig4_cell(args):
+    """Module-level worker for process-parallel Figure 4 sweeps."""
+    from repro.experiments.accuracy import run_accuracy_point
+
+    model, n, q, cycles, seeds = args
+    return run_accuracy_point(model, n, q, cycles=cycles, seeds=seeds)
+
+
+def cmd_fig4(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.parallel import parallel_map
+    from repro.workloads.shares import DISTRIBUTIONS
+
+    quanta = (10, 15, 20, 25, 30, 35, 40) if full else (10, 20, 30, 40)
+    seeds = (seed, seed + 1, seed + 2) if full else (seed,)
+    cycles = {5: 200, 10: 200, 20: 200} if full else {5: 120, 10: 70, 20: 40}
+    cells = [
+        (model, n, q, cycles[n], seeds)
+        for model in DISTRIBUTIONS
+        for n in (5, 10, 20)
+        for q in quanta
+    ]
+    points = parallel_map(_fig4_cell, cells, workers=None if full else 1)
+    rows = [
+        [p.label, p.quantum_ms, round(p.mean_rms_error_pct, 2)] for p in points
+    ]
+    print(format_table(
+        ["workload", "Q (ms)", "mean RMS error %"], rows,
+        title="Figure 4 — accuracy vs quantum length",
+    ))
+    series: dict[str, tuple[list, list]] = {}
+    for p in points:
+        xs, ys = series.setdefault(p.label, ([], []))
+        xs.append(p.quantum_ms)
+        ys.append(p.mean_rms_error_pct)
+    print()
+    print(ascii_series_plot(series, title="error % vs Q (ms)"))
+    _maybe_csv(
+        csv,
+        [
+            {"workload": p.label, "quantum_ms": p.quantum_ms,
+             "error_pct": p.mean_rms_error_pct}
+            for p in points
+        ],
+    )
+    return 0
+
+
+def cmd_fig5(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.overhead import overhead_sweep
+
+    points = overhead_sweep(cycles=100 if full else 40, seed=seed)
+    rows = [
+        [p.model.value, p.n, p.quantum_ms, round(p.overhead_pct, 3)]
+        for p in points
+    ]
+    print(format_table(
+        ["model", "N", "Q (ms)", "overhead %"], rows,
+        title="Figure 5 — overhead vs workload",
+    ))
+    _maybe_csv(
+        csv,
+        [
+            {"model": p.model.value, "n": p.n, "quantum_ms": p.quantum_ms,
+             "overhead_pct": p.overhead_pct}
+            for p in points
+        ],
+    )
+    return 0
+
+
+def cmd_fig6(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.io import run_io_experiment
+
+    result = run_io_experiment(
+        total_cycles=1200 if full else 800, warmup_cpu_s=8.0, seed=seed
+    )
+    steady = result.mean_shares(result.steady_mask)
+    active = result.mean_shares(result.active_mask)
+    blocked = result.mean_shares(result.blocked_mask)
+    rows = [
+        ["steady (pre-I/O)", *(round(x, 1) for x in steady)],
+        ["B active", *(round(x, 1) for x in active)],
+        ["B blocked", *(round(x, 1) for x in blocked)],
+    ]
+    print(format_table(
+        ["phase", "A (1 share) %", "B (2 shares) %", "C (3 shares) %"], rows,
+        title=f"Figure 6 — I/O redistribution (I/O starts at cycle "
+        f"{result.io_start_cycle})",
+    ))
+    _maybe_csv(
+        csv,
+        [
+            {"cycle": int(result.cycle_indices[i]),
+             "A_pct": result.share_pct[i, 0],
+             "B_pct": result.share_pct[i, 1],
+             "C_pct": result.share_pct[i, 2]}
+            for i in range(len(result.cycle_indices))
+        ],
+    )
+    return 0
+
+
+def cmd_fig7(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.multi import run_multi_alps_experiment
+
+    result = run_multi_alps_experiment(seed=seed)
+    table = result.table3()
+    rows = [
+        [r["share"], r["group"], round(r["target_pct"], 1),
+         r["phase1_pct"], r["phase1_relerr"],
+         r["phase2_pct"], r["phase2_relerr"],
+         r["phase3_pct"], r["phase3_relerr"]]
+        for r in table
+    ]
+    print(format_table(
+        ["S", "grp", "target%", "ph1%", "re1", "ph2%", "re2", "ph3%", "re3"],
+        rows,
+        title="Table 3 — accuracy of multiple ALPSs",
+    ))
+    errs = [
+        r[f"phase{p}_relerr"]
+        for r in table for p in (1, 2, 3) if r[f"phase{p}_relerr"] is not None
+    ]
+    print(f"\naverage relative error: {np.mean(errs):.2f}%  (paper: 0.93%)")
+    _maybe_csv(csv, table)
+    return 0
+
+
+def cmd_fig8(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.scalability import analyze_breakdown, scalability_sweep
+
+    sizes = (5, 10, 20, 30, 40, 50, 60, 80, 100, 120) if full else (
+        5, 10, 20, 30, 40, 60, 80
+    )
+    points = scalability_sweep(
+        sizes=sizes, cycles=40 if full else 25, seed=seed
+    )
+    rows = [
+        [p.n, p.quantum_ms, round(p.overhead_pct, 3),
+         round(p.mean_rms_error_pct, 1)]
+        for p in points
+    ]
+    print(format_table(
+        ["N", "Q (ms)", "overhead %", "RMS error %"], rows,
+        title="Figures 8/9 — scalability",
+    ))
+    print()
+    arow = []
+    for a in analyze_breakdown(points):
+        arow.append(
+            [a.quantum_ms, f"{a.fit.slope:.4f}N+{a.fit.intercept:.4f}",
+             round(a.predicted_n), a.observed_n]
+        )
+    print(format_table(
+        ["Q (ms)", "U_Q(N)", "predicted N*", "observed N*"], arow,
+        title="Section 4.2 — breakdown thresholds "
+        "(paper: pred. 39/54/75, obs. 40/60/90)",
+    ))
+    _maybe_csv(
+        csv,
+        [
+            {"n": p.n, "quantum_ms": p.quantum_ms,
+             "overhead_pct": p.overhead_pct,
+             "error_pct": p.mean_rms_error_pct}
+            for p in points
+        ],
+    )
+    return 0
+
+
+def cmd_sec5(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.webserver import run_webserver_experiment
+
+    result = run_webserver_experiment(
+        warmup_s=20.0 if full else 15.0,
+        measure_s=60.0 if full else 45.0,
+        seed=seed,
+    )
+    rows = [
+        [i + 1, result.shares[i], round(result.baseline_rps[i], 1),
+         round(result.alps_rps[i], 1)]
+        for i in range(3)
+    ]
+    print(format_table(
+        ["site", "share", "kernel-only rps", "with ALPS rps"], rows,
+        title="Section 5 — shared web server "
+        "(paper: {29,30,40} → {18,35,53})",
+    ))
+    print(f"\nALPS overhead: {result.alps_overhead_pct:.2f}%")
+    _maybe_csv(
+        csv,
+        [
+            {"site": i + 1, "share": result.shares[i],
+             "baseline_rps": result.baseline_rps[i],
+             "alps_rps": result.alps_rps[i]}
+            for i in range(3)
+        ],
+    )
+    return 0
+
+
+def cmd_ablation(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    from repro.experiments.overhead import run_overhead_point
+    from repro.workloads.shares import DISTRIBUTIONS
+
+    rows = []
+    data = []
+    for model in DISTRIBUTIONS:
+        for n in (5, 10, 20):
+            cycles = 100 if full else 40
+            opt = run_overhead_point(model, n, 10, cycles=cycles, seed=seed)
+            unopt = run_overhead_point(
+                model, n, 10, cycles=cycles, seed=seed, optimized=False
+            )
+            factor = unopt.overhead_pct / opt.overhead_pct
+            rows.append(
+                [f"{model.value}{n}", round(unopt.overhead_pct, 3),
+                 round(opt.overhead_pct, 3), round(factor, 2)]
+            )
+            data.append(
+                {"workload": f"{model.value}{n}",
+                 "unoptimized_pct": unopt.overhead_pct,
+                 "optimized_pct": opt.overhead_pct, "factor": factor}
+            )
+    print(format_table(
+        ["workload", "unoptimized %", "optimized %", "factor"], rows,
+        title="Ablation — measurement postponement (paper: 1.8×–5.9×)",
+    ))
+    _maybe_csv(csv, data)
+    return 0
+
+
+def parse_group_spec(spec: str) -> list[tuple[int, int]]:
+    """Parse 'SHARExMEMBERS,...' (e.g. '1x2,3x1') to (share, size) pairs."""
+    groups: list[tuple[int, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        share_s, _x, size_s = part.partition("x")
+        share, size = int(share_s), int(size_s or "1")
+        if share <= 0 or size <= 0:
+            raise ValueError(f"bad group spec element {part!r}")
+        groups.append((share, size))
+    if not groups:
+        raise ValueError(f"empty group spec {spec!r}")
+    return groups
+
+
+def _cmd_live_groups(spec: str, duration: float, quantum: float) -> int:
+    from repro.hostos import HostGroupAlps, spawn_spinner
+
+    try:
+        groups = parse_group_spec(spec)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    procs = []
+    group_shares: dict[int, int] = {}
+    group_pids: dict[int, list[int]] = {}
+    for gid, (share, size) in enumerate(groups):
+        members = [spawn_spinner() for _ in range(size)]
+        procs.extend(members)
+        group_shares[gid] = share
+        group_pids[gid] = [p.pid for p in members]
+    try:
+        alps = HostGroupAlps(group_shares, group_pids, quantum_s=quantum)
+        print(
+            f"controlling {len(procs)} spinners in {len(groups)} groups "
+            f"for {duration:.0f}s..."
+        )
+        report = alps.run(duration)
+        by_group = alps.group_consumed(report)
+        total = sum(by_group.values()) or 1
+        total_shares = sum(group_shares.values())
+        rows = [
+            [gid, group_shares[gid], len(group_pids[gid]),
+             f"{group_shares[gid] / total_shares:.1%}",
+             f"{by_group[gid] / total:.1%}"]
+            for gid in sorted(group_shares)
+        ]
+        print(format_table(
+            ["group", "share", "members", "target", "achieved"], rows
+        ))
+        print(f"\ncycles: {report.cycles}   "
+              f"overhead: {report.overhead_fraction:.2%}")
+    finally:
+        for p in procs:
+            p.kill()
+        for p in procs:
+            p.wait()
+    return 0
+
+
+def cmd_live(
+    *, shares: str, duration: float, quantum: float, groups: Optional[str] = None
+) -> int:
+    from repro.hostos import HostAlps, spawn_spinner
+
+    if groups is not None:
+        return _cmd_live_groups(groups, duration, quantum)
+    share_list = [int(s) for s in shares.split(",") if s.strip()]
+    if not share_list or any(s <= 0 for s in share_list):
+        print("shares must be positive integers, e.g. --shares 1,2,3")
+        return 2
+    procs = [spawn_spinner() for _ in share_list]
+    try:
+        alps = HostAlps(
+            {p.pid: s for p, s in zip(procs, share_list)}, quantum_s=quantum
+        )
+        print(
+            f"controlling {len(procs)} spinners for {duration:.0f}s "
+            f"(quantum {quantum * 1000:.0f} ms)..."
+        )
+        report = alps.run(duration)
+        fr = report.fractions()
+        total = sum(share_list)
+        rows = [
+            [p.pid, s, f"{s / total:.1%}", f"{fr[p.pid]:.1%}"]
+            for p, s in zip(procs, share_list)
+        ]
+        print(format_table(["pid", "share", "target", "achieved"], rows))
+        print(f"\ncycles: {report.cycles}   "
+              f"overhead: {report.overhead_fraction:.2%}")
+    finally:
+        for p in procs:
+            p.kill()
+        for p in procs:
+            p.wait()
+    return 0
+
+
+def cmd_demo(*, shares: str, quantum_ms: float, seconds: float, seed: int) -> int:
+    from repro.alps.config import AlpsConfig
+    from repro.metrics.accuracy import (
+        mean_rms_relative_error,
+        per_subject_fractions,
+    )
+    from repro.units import ms, sec
+    from repro.workloads.scenarios import build_controlled_workload
+
+    share_list = [int(s) for s in shares.split(",") if s.strip()]
+    if not share_list or any(s <= 0 for s in share_list):
+        print("shares must be positive integers, e.g. --shares 1,2,3")
+        return 2
+    cw = build_controlled_workload(
+        share_list, AlpsConfig(quantum_us=ms(quantum_ms)), seed=seed
+    )
+    cw.engine.run_until(sec(seconds))
+    from repro.analysis.summary import summarize_workload
+
+    print(summarize_workload(cw).format())
+    return 0

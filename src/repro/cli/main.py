@@ -1,0 +1,151 @@
+"""CLI dispatcher and argument parsing."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.cli import commands
+
+EXPERIMENTS = {
+    "table1": (
+        commands.cmd_table1,
+        "Table 1 — ALPS primitive operation costs (live host measurement)",
+    ),
+    "fig4": (
+        commands.cmd_fig4,
+        "Figure 4 — accuracy vs quantum length (Table 2 workloads)",
+    ),
+    "fig5": (
+        commands.cmd_fig5,
+        "Figure 5 — overhead vs workload size/distribution",
+    ),
+    "fig6": (
+        commands.cmd_fig6,
+        "Figure 6 — I/O redistribution timeline",
+    ),
+    "fig7": (
+        commands.cmd_fig7,
+        "Figure 7 + Table 3 — multiple concurrent ALPSs",
+    ),
+    "fig8": (
+        commands.cmd_fig8,
+        "Figures 8/9 + §4.2 — scalability and breakdown thresholds",
+    ),
+    "sec5": (
+        commands.cmd_sec5,
+        "Section 5 — shared web server isolation",
+    ),
+    "ablation": (
+        commands.cmd_ablation,
+        "§2.3/§3.2 ablation — measurement-postponement optimization",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'ALPS: An Application-Level Proportional-"
+            "Share Scheduler' (HPDC 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="reproduce one paper artifact")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full protocol (much slower) instead of the "
+        "benchmark-sized one",
+    )
+    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    run.add_argument(
+        "--csv", metavar="PATH", default=None, help="also write results to CSV"
+    )
+
+    live = sub.add_parser(
+        "live", help="run ALPS over real processes on this Linux host"
+    )
+    live.add_argument(
+        "--shares",
+        default="1,2,3",
+        help="comma-separated integer shares, one spinner per share",
+    )
+    live.add_argument(
+        "--duration", type=float, default=8.0, help="seconds to control"
+    )
+    live.add_argument(
+        "--quantum", type=float, default=0.05, help="ALPS quantum in seconds"
+    )
+    live.add_argument(
+        "--groups",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "schedule groups instead of single processes: "
+            "'share×members,share×members', e.g. '1x2,3x1' runs a "
+            "1-share group of two spinners against a 3-share group of one"
+        ),
+    )
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--full", action="store_true", help="use the paper's full protocol"
+    )
+
+    demo = sub.add_parser(
+        "demo", help="simulated quickstart (shares 1:2:3, 30 virtual seconds)"
+    )
+    demo.add_argument("--shares", default="1,2,3")
+    demo.add_argument("--quantum-ms", type=float, default=10.0)
+    demo.add_argument("--seconds", type=float, default=30.0)
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for key in sorted(EXPERIMENTS):
+            print(f"  {key.ljust(width)}  {EXPERIMENTS[key][1]}")
+        return 0
+    if args.command == "run":
+        fn = EXPERIMENTS[args.experiment][0]
+        return fn(full=args.full, seed=args.seed, csv=args.csv)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        out = generate_report(seed=args.seed, quick=not args.full, path=args.out)
+        print(f"report written to {out}")
+        return 0
+    if args.command == "live":
+        return commands.cmd_live(
+            shares=args.shares,
+            duration=args.duration,
+            quantum=args.quantum,
+            groups=args.groups,
+        )
+    if args.command == "demo":
+        return commands.cmd_demo(
+            shares=args.shares,
+            quantum_ms=args.quantum_ms,
+            seconds=args.seconds,
+            seed=args.seed,
+        )
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover

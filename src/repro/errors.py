@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ALPS reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies detected inside the simulation engine."""
+
+
+class KernelError(ReproError):
+    """Raised for invalid operations against the simulated kernel."""
+
+
+class NoSuchProcessError(KernelError):
+    """Raised when a pid does not name a live process."""
+
+    def __init__(self, pid: int) -> None:
+        super().__init__(f"no such process: pid {pid}")
+        self.pid = pid
+
+
+class InvalidProcessStateError(KernelError):
+    """Raised when an operation is illegal in the process's current state."""
+
+
+class SchedulerConfigError(ReproError):
+    """Raised for invalid ALPS or kernel scheduler configuration."""
+
+
+class HostOSError(ReproError):
+    """Raised by the real-OS backend for host-level failures."""

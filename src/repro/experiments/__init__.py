@@ -1,0 +1,38 @@
+"""Experiment runners: one module per paper table/figure.
+
+==========  ==========================================================
+Module       Paper artifact
+==========  ==========================================================
+table1_ops   Table 1 — ALPS primary operation costs
+accuracy     Figure 4 — accuracy vs quantum length (Table 2 workloads)
+overhead     Figure 5 — overhead vs workload size/distribution
+io           Figure 6 — I/O redistribution timeline
+multi        Figure 7 + Table 3 — multiple concurrent ALPSs
+scalability  Figures 8/9 + Section 4.2 breakdown thresholds
+webserver    Section 5 — shared web server isolation
+==========  ==========================================================
+
+Every runner is deterministic given its seed(s) and returns plain
+dataclasses that the benchmark harness formats.
+"""
+
+from repro.experiments.accuracy import AccuracyPoint, run_accuracy_point, accuracy_sweep
+from repro.experiments.io import IoExperimentResult, run_io_experiment
+from repro.experiments.multi import MultiAlpsResult, run_multi_alps_experiment
+from repro.experiments.overhead import OverheadPoint, overhead_sweep, run_overhead_point
+from repro.experiments.scalability import ScalabilityPoint, scalability_sweep
+
+__all__ = [
+    "AccuracyPoint",
+    "IoExperimentResult",
+    "MultiAlpsResult",
+    "OverheadPoint",
+    "ScalabilityPoint",
+    "accuracy_sweep",
+    "overhead_sweep",
+    "run_accuracy_point",
+    "run_io_experiment",
+    "run_multi_alps_experiment",
+    "run_overhead_point",
+    "scalability_sweep",
+]

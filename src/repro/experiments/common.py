@@ -1,0 +1,24 @@
+"""Shared helpers for experiment runners."""
+
+from __future__ import annotations
+
+from repro.units import SEC
+from repro.workloads.scenarios import ControlledWorkload
+
+
+def run_for_cycles(
+    workload: ControlledWorkload,
+    cycles: int,
+    *,
+    max_sim_us: int = 4 * 3600 * SEC,
+    chunk_us: int = 5 * SEC,
+) -> None:
+    """Advance the simulation until the ALPS has completed ``cycles``.
+
+    ``max_sim_us`` bounds runaway runs (e.g. past the scalability
+    breakdown, where cycles stretch enormously).
+    """
+    engine = workload.engine
+    log = workload.agent.cycle_log
+    while len(log) < cycles and engine.now < max_sim_us:
+        engine.run_until(engine.now + chunk_us)

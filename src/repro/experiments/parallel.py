@@ -1,0 +1,41 @@
+"""Process-parallel execution of experiment sweeps.
+
+Simulation runs are single-threaded and independent across sweep cells,
+so they scale across cores with process pools.  ``parallel_map`` is a
+thin, picklable-friendly wrapper used by the CLI's ``--full`` sweeps;
+it degrades gracefully to serial execution when only one worker is
+available (or when the platform lacks working multiprocessing).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Number of workers: CPUs minus one, at least one."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    ``fn`` and the items must be picklable (module-level functions and
+    plain data).  With ``workers <= 1`` the map runs serially in this
+    process — same semantics, no pool overhead.
+    """
+    nworkers = default_workers() if workers is None else workers
+    if nworkers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(nworkers, len(items))) as pool:
+        return list(pool.map(fn, items))

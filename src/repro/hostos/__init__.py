@@ -1,0 +1,38 @@
+"""Real-OS backend: ALPS as an actual user-level scheduler on Linux.
+
+The paper's implementation runs on FreeBSD using getrusage/kvm and
+SIGSTOP/SIGCONT.  This backend is the Linux equivalent: CPU time and
+blocked-state come from ``/proc/<pid>/stat``, eligibility is enacted
+with real signals, and the controller is the same
+:class:`~repro.alps.algorithm.AlpsCore` used in simulation.
+
+Calibration note: Python's sampling-loop timing is the weak point of a
+live reproduction (jitter of the interpreter and of ``time.sleep`` is
+a significant fraction of small quanta), so quantitative experiments
+use the simulator; this backend demonstrates the system end-to-end and
+feeds the Table 1 micro-benchmarks.
+"""
+
+from repro.hostos.controller import HostAlps, HostAlpsReport
+from repro.hostos.groups import HostGroupAlps
+from repro.hostos.procfs import (
+    cpu_time_us,
+    is_alive,
+    is_blocked,
+    proc_state,
+    read_proc_stat,
+)
+from repro.hostos.spawn import spawn_io_child, spawn_spinner
+
+__all__ = [
+    "HostAlps",
+    "HostAlpsReport",
+    "HostGroupAlps",
+    "cpu_time_us",
+    "is_alive",
+    "is_blocked",
+    "proc_state",
+    "read_proc_stat",
+    "spawn_io_child",
+    "spawn_spinner",
+]

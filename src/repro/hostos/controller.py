@@ -1,0 +1,173 @@
+"""A real user-level ALPS controller for Linux.
+
+Drives the same :class:`~repro.alps.algorithm.AlpsCore` as the
+simulator, but against live processes: progress comes from
+``/proc/<pid>/stat``, eligibility is enacted with SIGSTOP/SIGCONT, and
+the quantum timer is an absolute-deadline sleep loop.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.alps.instrumentation import CycleLog
+from repro.errors import HostOSError
+from repro.hostos import procfs
+
+
+@dataclass(slots=True)
+class HostAlpsReport:
+    """Outcome of a live run."""
+
+    duration_s: float
+    cycles: int
+    cycle_log: CycleLog
+    #: CPU time (µs) each controlled pid consumed during the run.
+    consumed_us: dict[int, int]
+    #: The controller's own CPU time (µs) — the overhead numerator.
+    controller_cpu_us: int
+
+    def fractions(self) -> dict[int, float]:
+        """Fraction of group CPU each pid received."""
+        total = sum(self.consumed_us.values())
+        if total == 0:
+            return {pid: 0.0 for pid in self.consumed_us}
+        return {pid: c / total for pid, c in self.consumed_us.items()}
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Controller CPU / wall time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.controller_cpu_us / (self.duration_s * 1_000_000)
+
+
+class HostAlps:
+    """User-level proportional-share scheduler over real pids.
+
+    Note: quanta below ~20 ms are dominated by Python/sleep jitter and
+    by the tick resolution of /proc CPU accounting; the simulator is
+    the instrument for quantitative claims (see package docstring).
+    """
+
+    def __init__(
+        self,
+        shares: Mapping[int, int],
+        *,
+        quantum_s: float = 0.05,
+        optimized: bool = True,
+        track_io: bool = True,
+    ) -> None:
+        if quantum_s <= 0:
+            raise HostOSError(f"quantum must be positive, got {quantum_s}")
+        self.quantum_us = int(quantum_s * 1_000_000)
+        self.track_io = track_io
+        self.core = AlpsCore(
+            dict(shares),
+            self.quantum_us,
+            optimized=optimized,
+            now_fn=lambda: int(time.monotonic() * 1_000_000),
+        )
+        self._last_read: dict[int, int] = {}
+        self._stopped: set[int] = set()
+        self._initial: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> HostAlpsReport:
+        """Control the processes for ``duration_s`` seconds.
+
+        All controlled processes are resumed (SIGCONT) on the way out,
+        even if the run raises.
+        """
+        t_start = time.monotonic()
+        own_cpu_start = time.process_time()
+        for pid in list(self.core.subjects):
+            try:
+                usage = procfs.cpu_time_us(pid)
+            except HostOSError:
+                self.core.remove_subject(pid)
+                continue
+            self._last_read[pid] = usage
+            self._initial[pid] = usage
+        deadline = t_start + duration_s
+        boundary = t_start + self.quantum_us / 1_000_000
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= deadline:
+                    break
+                if boundary > now:
+                    time.sleep(boundary - now)
+                # Skip past any boundaries we overslept.
+                now = time.monotonic()
+                q_s = self.quantum_us / 1_000_000
+                missed = int((now - boundary) / q_s)
+                boundary += (missed + 1) * q_s
+                self._one_quantum()
+        finally:
+            self._resume_all()
+        t_end = time.monotonic()
+        own_cpu_us = int((time.process_time() - own_cpu_start) * 1_000_000)
+        consumed = {}
+        for pid, start in self._initial.items():
+            final = self._last_read.get(pid, start)
+            try:
+                final = procfs.cpu_time_us(pid)
+            except HostOSError:
+                pass
+            consumed[pid] = final - start
+        return HostAlpsReport(
+            duration_s=t_end - t_start,
+            cycles=self.core.cycles_completed,
+            cycle_log=self.core.cycle_log,
+            consumed_us=consumed,
+            controller_cpu_us=own_cpu_us,
+        )
+
+    # ------------------------------------------------------------------
+    def _one_quantum(self) -> None:
+        due = self.core.begin_quantum()
+        measurements: dict[int, Measurement] = {}
+        for pid in due:
+            try:
+                stat = procfs.read_proc_stat(pid)
+            except HostOSError:
+                # Process died: remove it from scheduling.
+                if pid in self.core.subjects and len(self.core.subjects) > 1:
+                    self.core.remove_subject(pid)
+                self._stopped.discard(pid)
+                continue
+            usage = stat.cpu_time_us
+            consumed = usage - self._last_read.get(pid, usage)
+            self._last_read[pid] = usage
+            blocked = self.track_io and stat.state in ("S", "D")
+            measurements[pid] = Measurement(consumed_us=consumed, blocked=blocked)
+        decisions = self.core.complete_quantum(measurements)
+        for pid in decisions.to_suspend:
+            self._signal(pid, signal.SIGSTOP)
+        for pid in decisions.to_resume:
+            self._signal(pid, signal.SIGCONT)
+
+    def _signal(self, pid: int, signo: int) -> None:
+        try:
+            os.kill(pid, signo)
+        except ProcessLookupError:
+            self._stopped.discard(pid)
+            return
+        if signo == signal.SIGSTOP:
+            self._stopped.add(pid)
+        else:
+            self._stopped.discard(pid)
+
+    def _resume_all(self) -> None:
+        for pid in list(self._stopped):
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+            self._stopped.discard(pid)

@@ -1,0 +1,193 @@
+"""Group scheduling on the live backend (Section 5 parity).
+
+The paper's shared-web-server experiment treats *a set of processes*
+(all processes of a user) as one resource principal.  ``HostGroupAlps``
+does the same over real Linux processes: each group of pids shares one
+allocation; consumption is summed across members, and the whole group
+is stopped/resumed together.  Membership may be refreshed via a
+callback (e.g. re-enumerating a user's processes) once per refresh
+interval, mirroring the paper's once-per-second ``kvm_getprocs`` scan.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Callable, Mapping, Optional
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.errors import HostOSError
+from repro.hostos import procfs
+from repro.hostos.controller import HostAlpsReport
+
+MembershipCallback = Callable[[int], list[int]]
+
+
+class HostGroupAlps:
+    """User-level proportional share over *groups* of real processes."""
+
+    def __init__(
+        self,
+        group_shares: Mapping[int, int],
+        group_pids: Mapping[int, list[int]],
+        *,
+        quantum_s: float = 0.1,
+        optimized: bool = True,
+        track_io: bool = True,
+        refresh_s: float = 1.0,
+        membership: Optional[MembershipCallback] = None,
+    ) -> None:
+        if quantum_s <= 0:
+            raise HostOSError(f"quantum must be positive, got {quantum_s}")
+        if set(group_shares) != set(group_pids):
+            raise HostOSError("group_shares and group_pids must share keys")
+        self.quantum_us = int(quantum_s * 1_000_000)
+        self.track_io = track_io
+        self.refresh_s = refresh_s
+        self.membership = membership
+        self.core = AlpsCore(
+            dict(group_shares),
+            self.quantum_us,
+            optimized=optimized,
+            now_fn=lambda: int(time.monotonic() * 1_000_000),
+        )
+        self.group_pids: dict[int, list[int]] = {
+            gid: list(pids) for gid, pids in group_pids.items()
+        }
+        self._last_read: dict[int, int] = {}
+        self._stopped: set[int] = set()
+        self._initial: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> HostAlpsReport:
+        """Control the groups for ``duration_s`` seconds."""
+        t_start = time.monotonic()
+        own_cpu_start = time.process_time()
+        for pids in self.group_pids.values():
+            for pid in list(pids):
+                try:
+                    usage = procfs.cpu_time_us(pid)
+                except HostOSError:
+                    pids.remove(pid)
+                    continue
+                self._last_read[pid] = usage
+                self._initial[pid] = usage
+        deadline = t_start + duration_s
+        next_refresh = t_start + self.refresh_s
+        boundary = t_start + self.quantum_us / 1_000_000
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= deadline:
+                    break
+                if boundary > now:
+                    time.sleep(boundary - now)
+                now = time.monotonic()
+                q_s = self.quantum_us / 1_000_000
+                missed = int((now - boundary) / q_s)
+                boundary += (missed + 1) * q_s
+                if self.membership is not None and now >= next_refresh:
+                    self._refresh()
+                    next_refresh = now + self.refresh_s
+                self._one_quantum()
+        finally:
+            self._resume_all()
+        t_end = time.monotonic()
+        own_cpu_us = int((time.process_time() - own_cpu_start) * 1_000_000)
+        consumed = {}
+        for pid, start in self._initial.items():
+            final = self._last_read.get(pid, start)
+            try:
+                final = procfs.cpu_time_us(pid)
+            except HostOSError:
+                pass
+            consumed[pid] = final - start
+        return HostAlpsReport(
+            duration_s=t_end - t_start,
+            cycles=self.core.cycles_completed,
+            cycle_log=self.core.cycle_log,
+            consumed_us=consumed,
+            controller_cpu_us=own_cpu_us,
+        )
+
+    def group_consumed(self, report: HostAlpsReport) -> dict[int, int]:
+        """Aggregate a report's per-pid consumption by group."""
+        out = {gid: 0 for gid in self.group_pids}
+        for gid, pids in self.group_pids.items():
+            for pid in pids:
+                out[gid] += report.consumed_us.get(pid, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        assert self.membership is not None
+        for gid in list(self.group_pids):
+            try:
+                new = sorted(self.membership(gid))
+            except Exception:
+                continue
+            old = set(self.group_pids[gid])
+            self.group_pids[gid] = new
+            for pid in set(new) - old:
+                try:
+                    usage = procfs.cpu_time_us(pid)
+                except HostOSError:
+                    continue
+                self._last_read[pid] = usage
+                self._initial.setdefault(pid, usage)
+                # Newcomers inherit the group's eligibility.
+                if gid in self.core.subjects and not self.core.subjects[gid].eligible:
+                    self._signal(pid, signal.SIGSTOP)
+            for pid in old - set(new):
+                self._last_read.pop(pid, None)
+                self._stopped.discard(pid)
+
+    def _one_quantum(self) -> None:
+        due = self.core.begin_quantum()
+        measurements: dict[int, Measurement] = {}
+        for gid in due:
+            consumed = 0
+            blocked_votes: list[bool] = []
+            for pid in list(self.group_pids.get(gid, ())):
+                try:
+                    stat = procfs.read_proc_stat(pid)
+                except HostOSError:
+                    self.group_pids[gid].remove(pid)
+                    self._stopped.discard(pid)
+                    continue
+                usage = stat.cpu_time_us
+                consumed += usage - self._last_read.get(pid, usage)
+                self._last_read[pid] = usage
+                blocked_votes.append(stat.state in ("S", "D"))
+            blocked = (
+                self.track_io and bool(blocked_votes) and all(blocked_votes)
+            )
+            measurements[gid] = Measurement(consumed_us=consumed, blocked=blocked)
+        decisions = self.core.complete_quantum(measurements)
+        for gid in decisions.to_suspend:
+            for pid in self.group_pids.get(gid, ()):
+                self._signal(pid, signal.SIGSTOP)
+        for gid in decisions.to_resume:
+            for pid in self.group_pids.get(gid, ()):
+                if pid in self._stopped:
+                    self._signal(pid, signal.SIGCONT)
+
+    def _signal(self, pid: int, signo: int) -> None:
+        try:
+            os.kill(pid, signo)
+        except ProcessLookupError:
+            self._stopped.discard(pid)
+            return
+        if signo == signal.SIGSTOP:
+            self._stopped.add(pid)
+        else:
+            self._stopped.discard(pid)
+
+    def _resume_all(self) -> None:
+        for pid in list(self._stopped):
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+            self._stopped.discard(pid)

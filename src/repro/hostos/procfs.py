@@ -1,0 +1,98 @@
+"""Minimal /proc parsing (the Linux stand-in for getrusage-of-others/kvm).
+
+Only what ALPS needs: per-process CPU time, run state, and wait-channel
+style "is it blocked" inspection.  No psutil dependency — the fields
+are read straight from ``/proc/<pid>/stat``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import HostOSError
+
+#: Kernel clock ticks per second (USER_HZ); utime/stime are in these.
+CLK_TCK = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+_US_PER_TICK = 1_000_000 // int(CLK_TCK)
+
+
+@dataclass(slots=True, frozen=True)
+class ProcStat:
+    """Parsed subset of ``/proc/<pid>/stat``."""
+
+    pid: int
+    comm: str
+    state: str
+    utime_ticks: int
+    stime_ticks: int
+
+    @property
+    def cpu_time_us(self) -> int:
+        """User + system CPU time in microseconds (tick resolution)."""
+        return (self.utime_ticks + self.stime_ticks) * _US_PER_TICK
+
+
+def parse_stat_line(raw: str) -> ProcStat:
+    """Parse one ``/proc/<pid>/stat`` line.
+
+    The ``comm`` field may contain spaces and parentheses, so the line
+    is split at the *last* closing parenthesis (the kernel's own
+    convention for unambiguous parsing).
+    """
+    try:
+        lparen = raw.index("(")
+        rparen = raw.rindex(")")
+        pid = int(raw[:lparen].strip())
+        comm = raw[lparen + 1 : rparen]
+        rest = raw[rparen + 2 :].split()
+        # rest[0] is the state; utime/stime are stat fields 14/15, i.e.
+        # rest[11]/rest[12] after the pid/comm/state offsets.
+        return ProcStat(
+            pid=pid,
+            comm=comm,
+            state=rest[0],
+            utime_ticks=int(rest[11]),
+            stime_ticks=int(rest[12]),
+        )
+    except (ValueError, IndexError) as exc:
+        raise HostOSError(f"malformed stat line: {raw!r}") from exc
+
+
+def read_proc_stat(pid: int) -> ProcStat:
+    """Read and parse ``/proc/<pid>/stat``.
+
+    Raises :class:`HostOSError` if the process does not exist.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as f:
+            raw = f.read().decode("ascii", errors="replace")
+    except FileNotFoundError:
+        raise HostOSError(f"no such process: {pid}") from None
+    except ProcessLookupError:  # pragma: no cover - race
+        raise HostOSError(f"no such process: {pid}") from None
+    return parse_stat_line(raw)
+
+
+def cpu_time_us(pid: int) -> int:
+    """Total CPU time (µs) consumed by ``pid``."""
+    return read_proc_stat(pid).cpu_time_us
+
+
+def proc_state(pid: int) -> str:
+    """One-letter run state (R, S, D, T, Z, ...)."""
+    return read_proc_stat(pid).state
+
+
+def is_blocked(pid: int) -> bool:
+    """True if the process is sleeping on an event (S or D state).
+
+    A job-control stopped process (T) is *not* blocked — ALPS stopped
+    it itself.
+    """
+    return proc_state(pid) in ("S", "D")
+
+
+def is_alive(pid: int) -> bool:
+    """True if the pid names an existing process."""
+    return os.path.exists(f"/proc/{pid}/stat")

@@ -1,0 +1,66 @@
+"""Host process-table scanning (the kvm_getprocs equivalent).
+
+The paper's Section 5 implementation used FreeBSD's
+``kvm_getprocs(KERN_PROC_UID)`` to enumerate a user's processes once
+per second.  On Linux the equivalent is a /proc scan; these helpers
+provide it for :class:`~repro.hostos.groups.HostGroupAlps` membership
+callbacks and for ad-hoc tooling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.errors import HostOSError
+
+
+def iter_pids() -> Iterator[int]:
+    """All numeric entries of /proc (live pids at scan time)."""
+    for entry in os.listdir("/proc"):
+        if entry.isdigit():
+            yield int(entry)
+
+
+def uid_of(pid: int) -> int:
+    """Real uid of ``pid`` (owner of its /proc directory)."""
+    try:
+        return os.stat(f"/proc/{pid}").st_uid
+    except (FileNotFoundError, ProcessLookupError):
+        raise HostOSError(f"no such process: {pid}") from None
+
+
+def pids_of_uid(uid: int) -> list[int]:
+    """All live pids owned by ``uid`` — kvm_getprocs(KERN_PROC_UID)."""
+    out: list[int] = []
+    for pid in iter_pids():
+        try:
+            if os.stat(f"/proc/{pid}").st_uid == uid:
+                out.append(pid)
+        except (FileNotFoundError, ProcessLookupError):
+            continue  # raced with exit
+    return out
+
+
+def children_of(parent_pid: int) -> list[int]:
+    """Live direct children of ``parent_pid`` (via /proc stat ppid).
+
+    Useful for controlling everything a master process forked (the
+    paper's alternative to per-user principals).
+    """
+    from repro.hostos.procfs import read_proc_stat
+
+    out: list[int] = []
+    for pid in iter_pids():
+        try:
+            raw = open(f"/proc/{pid}/stat", "rb").read().decode(
+                "ascii", errors="replace"
+            )
+        except (FileNotFoundError, ProcessLookupError, PermissionError):
+            continue
+        rparen = raw.rindex(")")
+        fields = raw[rparen + 2 :].split()
+        # field 4 (ppid) is fields[1] after state.
+        if int(fields[1]) == parent_pid:
+            out.append(pid)
+    return out

@@ -1,0 +1,43 @@
+"""Spawning real workload child processes for the live backend."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+_SPINNER_SRC = (
+    "import itertools\n"
+    "x = 0\n"
+    "for i in itertools.count():\n"
+    "    x = (x + i) & 0xFFFFFFFF\n"
+)
+
+_IO_SRC_TEMPLATE = (
+    "import time\n"
+    "compute_s = {compute_s!r}\n"
+    "sleep_s = {sleep_s!r}\n"
+    "while True:\n"
+    "    t0 = time.process_time()\n"
+    "    x = 0\n"
+    "    while time.process_time() - t0 < compute_s:\n"
+    "        x = (x + 1) & 0xFFFFFFFF\n"
+    "    time.sleep(sleep_s)\n"
+)
+
+
+def spawn_spinner() -> subprocess.Popen:
+    """Start a compute-bound child (the paper's loop-counter workload)."""
+    return subprocess.Popen(
+        [sys.executable, "-c", _SPINNER_SRC],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def spawn_io_child(compute_s: float, sleep_s: float) -> subprocess.Popen:
+    """Start a child alternating CPU bursts with sleeps (simulated I/O)."""
+    return subprocess.Popen(
+        [sys.executable, "-c", _IO_SRC_TEMPLATE.format(compute_s=compute_s, sleep_s=sleep_s)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )

@@ -1,0 +1,47 @@
+"""Simulated UNIX kernel substrate.
+
+This package models the parts of a 4.4BSD/FreeBSD-4.x kernel that the
+ALPS paper's behaviour depends on:
+
+* a decay-usage scheduler (``estcpu`` charged per statclock tick while
+  running, decayed once per second by a load-dependent filter, priority
+  recomputed as ``PUSER + estcpu/4 + 2*nice``),
+* 100 ms round-robin among equal-priority processes,
+* sleep/wakeup with wait channels (visible to user level, as via kvm),
+* job-control signals (SIGSTOP/SIGCONT) — the mechanism ALPS uses to
+  make processes ineligible/eligible,
+* per-process CPU-time accounting (getrusage), and
+* a one-minute load average.
+
+The kernel runs on top of :class:`repro.sim.Engine`; simulated processes
+express their work as :class:`~repro.kernel.behaviors.Behavior` objects
+that emit :mod:`~repro.kernel.actions`.
+"""
+
+from repro.kernel.actions import Compute, Exit, Sleep, SleepOn
+from repro.kernel.behaviors import Behavior, GeneratorBehavior, behavior
+from repro.kernel.cfs import CfsKernel
+from repro.kernel.kapi import KernelAPI
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process, ProcState
+from repro.kernel.signals import SIGCONT, SIGKILL, SIGSTOP
+
+__all__ = [
+    "Behavior",
+    "CfsKernel",
+    "Compute",
+    "Exit",
+    "GeneratorBehavior",
+    "Kernel",
+    "KernelAPI",
+    "KernelConfig",
+    "Process",
+    "ProcState",
+    "SIGCONT",
+    "SIGKILL",
+    "SIGSTOP",
+    "Sleep",
+    "SleepOn",
+    "behavior",
+]

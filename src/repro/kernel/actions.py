@@ -1,0 +1,57 @@
+"""Actions a simulated process can take.
+
+A :class:`~repro.kernel.behaviors.Behavior` yields these to the kernel's
+process trampoline.  ``Compute`` consumes CPU (and is where the process
+is preemptible), ``Sleep``/``SleepOn`` block voluntarily, and ``Exit``
+terminates the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+
+
+@dataclass(slots=True, frozen=True)
+class Compute:
+    """Consume ``duration_us`` of CPU time before the next action."""
+
+    duration_us: int
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise KernelError(f"Compute duration must be >= 0, got {self.duration_us}")
+
+
+@dataclass(slots=True, frozen=True)
+class Sleep:
+    """Block for ``duration_us`` of real (virtual wall-clock) time.
+
+    ``channel`` names what the process is waiting on; it is visible to
+    user-level observers the way a wait channel is via kvm on BSD.
+    """
+
+    duration_us: int
+    channel: str = "timer"
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise KernelError(f"Sleep duration must be >= 0, got {self.duration_us}")
+
+
+@dataclass(slots=True, frozen=True)
+class SleepOn:
+    """Block indefinitely on ``channel`` until someone calls ``wakeup``."""
+
+    channel: str
+
+
+@dataclass(slots=True, frozen=True)
+class Exit:
+    """Terminate the process."""
+
+    status: int = 0
+
+
+Action = Compute | Sleep | SleepOn | Exit

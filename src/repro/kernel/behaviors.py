@@ -1,0 +1,78 @@
+"""Behavior protocol: how simulated processes express their work.
+
+A behavior is asked for its next :mod:`action <repro.kernel.actions>`
+each time the previous one completes (compute finished, sleep expired,
+or the process was just created).  Behaviors may perform side effects
+(send signals, wake channels, record statistics) inside
+:meth:`Behavior.next_action` — the call happens at exactly the virtual
+time the previous action completed.
+
+Most workloads are most naturally written as generators; wrap those with
+:class:`GeneratorBehavior` or the :func:`behavior` decorator.  Complex
+agents (like the ALPS scheduler process) implement the protocol
+directly as state machines.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Protocol, runtime_checkable
+
+from repro.kernel.actions import Action, Exit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kapi import KernelAPI
+    from repro.kernel.process import Process
+
+
+@runtime_checkable
+class Behavior(Protocol):
+    """Supplies successive actions for one simulated process."""
+
+    def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
+        """Return the next action.  Called when the previous completed."""
+        ...
+
+
+BehaviorGenerator = Generator[Action, None, None]
+BehaviorFactory = Callable[["Process", "KernelAPI"], BehaviorGenerator]
+
+
+class GeneratorBehavior:
+    """Adapts a generator function to the :class:`Behavior` protocol.
+
+    The generator receives ``(proc, kapi)`` and yields actions; when it
+    returns (or raises ``StopIteration``) the process exits.
+    """
+
+    def __init__(self, factory: BehaviorFactory) -> None:
+        self._factory = factory
+        self._gen: Optional[BehaviorGenerator] = None
+
+    def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
+        if self._gen is None:
+            self._gen = self._factory(proc, kapi)
+        try:
+            return next(self._gen)
+        except StopIteration:
+            return Exit()
+
+
+def behavior(factory: BehaviorFactory) -> Callable[[], GeneratorBehavior]:
+    """Decorator turning a generator function into a behavior factory.
+
+    Usage::
+
+        @behavior
+        def spinner(proc, kapi):
+            while True:
+                yield Compute(ms(100))
+
+        kernel.spawn("worker", spinner())
+    """
+
+    @functools.wraps(factory)
+    def make() -> GeneratorBehavior:
+        return GeneratorBehavior(factory)
+
+    return make

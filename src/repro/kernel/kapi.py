@@ -1,0 +1,81 @@
+"""User-level view of the kernel: the "system call" facade.
+
+Behaviors and user-level schedulers (ALPS agents) interact with the
+kernel exclusively through this object.  It exposes only operations an
+unprivileged UNIX process has: reading time, process accounting
+(getrusage / kvm-style process inspection), sending signals, spawning
+processes, and waking wait channels (the moral equivalent of writing to
+a pipe another process sleeps on).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.behaviors import Behavior
+    from repro.kernel.process import Process
+
+
+class KernelAPI:
+    """Unprivileged system-call surface of a :class:`~repro.kernel.kernel.Kernel`."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+
+    @property
+    def now(self) -> int:
+        """Current time (µs) — gettimeofday."""
+        return self._kernel.now
+
+    def getrusage(self, pid: int) -> int:
+        """CPU time consumed by ``pid`` (µs) — getrusage/kvm_getprocs."""
+        return self._kernel.getrusage(pid)
+
+    def wait_channel_of(self, pid: int) -> Optional[str]:
+        """Wait channel if ``pid`` is blocked, else None — kvm inspection."""
+        return self._kernel.wait_channel_of(pid)
+
+    def is_blocked(self, pid: int) -> bool:
+        """True if ``pid`` is currently sleeping on some channel."""
+        return self._kernel.wait_channel_of(pid) is not None
+
+    def kill(self, pid: int, signo: int) -> None:
+        """Send a signal — kill(2)."""
+        self._kernel.kill(pid, signo)
+
+    def spawn(
+        self,
+        name: str,
+        behavior: "Behavior",
+        *,
+        uid: int = 0,
+        nice: int = 0,
+        start_delay: int = 0,
+    ) -> "Process":
+        """Create a new process — fork/exec."""
+        return self._kernel.spawn(
+            name, behavior, uid=uid, nice=nice, start_delay=start_delay
+        )
+
+    def pids_of_uid(self, uid: int) -> list[int]:
+        """All live pids owned by ``uid`` — kvm_getprocs(KERN_PROC_UID)."""
+        return self._kernel.pids_of_uid(uid)
+
+    def pid_exists(self, pid: int) -> bool:
+        """True if ``pid`` names a live process."""
+        try:
+            self._kernel.lookup(pid)
+            return True
+        except Exception:
+            return False
+
+    def wakeup(self, channel: str) -> int:
+        """Wake sleepers on ``channel`` (e.g. producer/consumer handoff)."""
+        return self._kernel.wakeup(channel)
+
+    def wakeup_one(self, channel: str) -> bool:
+        """Wake a single sleeper on ``channel`` (no thundering herd)."""
+        return self._kernel.wakeup_one(channel)

@@ -1,0 +1,640 @@
+"""The simulated kernel: dispatch, preemption, sleep/wakeup, signals.
+
+Single-CPU, event-driven model of a 4.4BSD/FreeBSD-4.x kernel.  The
+scheduler machinery consists of three periodic activities plus
+event-driven rescheduling:
+
+* ``schedclock`` (every 40 ms): materialise the running process's CPU
+  charge, recompute its priority, preempt if a better process waits.
+* ``roundrobin`` (every 100 ms): rotate among processes whose priorities
+  fall in the same run-queue bucket.
+* ``schedcpu`` (every 1 s): decay every process's ``estcpu`` with the
+  load-dependent filter, age sleepers' ``slptime``, update the load
+  average.
+* ``wakeup``/``SIGCONT``: a newly-runnable process preempts the current
+  one if its priority is strictly better.
+
+Design notes
+------------
+CPU charging is *analytic*: rather than simulating statclock ticks, the
+kernel charges ``ran_us / tick_us`` of estcpu whenever a run interval is
+materialised (burst completion, preemption, schedclock).  This is
+equivalent at the granularity that matters and keeps the event count
+low — the "compute less" optimization the HPC guides start from.
+
+Rescheduling triggered from inside an event handler (e.g. a behavior
+sending SIGCONT, making a high-priority process runnable) is deferred to
+the end of the handler via a dispatch-depth guard, so kernel state is
+always consistent when a context switch is performed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.errors import (
+    InvalidProcessStateError,
+    KernelError,
+    NoSuchProcessError,
+)
+from repro.kernel.behaviors import Behavior
+from repro.kernel.actions import Action, Compute, Exit, Sleep, SleepOn
+from repro.kernel.kapi import KernelAPI
+from repro.kernel.kconfig import DEFAULT_CONFIG, KernelConfig
+from repro.kernel.loadavg import LoadAverage
+from repro.kernel.priorities import (
+    charge_estcpu,
+    decay_estcpu,
+    user_priority,
+    wakeup_decay,
+)
+from repro.kernel.process import Process, ProcState
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.signals import SIGCONT, SIGKILL, SIGSTOP, signal_name
+from repro.sim.engine import Engine
+
+# Event priorities (lower fires first at equal times).
+_EVPRI_START = 0
+_EVPRI_BURST = 1
+_EVPRI_SLEEP = 2
+_EVPRI_HOUSEKEEPING = 3
+
+# Safety bound on consecutive zero-length actions from one behavior.
+_MAX_IMMEDIATE_ACTIONS = 64
+
+
+class Kernel:
+    """A single-CPU simulated UNIX kernel scheduling :class:`Process` es."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: KernelConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.engine = engine
+        self.cfg = config
+        self.procs: dict[int, Process] = {}
+        self.runq = RunQueue()
+        #: Per-CPU running process (None = idle).  The paper's testbed
+        #: is a uniprocessor (ncpus=1, the default); SMP is an
+        #: extension for studying ALPS beyond the paper's setting.
+        self.cpus: list[Optional[Process]] = [None] * config.ncpus
+        self.loadavg = LoadAverage(config)
+        self.kapi = KernelAPI(self)
+        self._next_pid = 1
+        self._channels: dict[str, list[Process]] = {}
+        self._on_runq: set[int] = set()
+        self._dispatch_depth = 0
+        self._resched_pending = False
+        self.total_busy_us = 0
+        self.context_switches = 0
+        self._exit_hooks: list[Callable[[Process], None]] = []
+        self._start_housekeeping()
+
+    # ------------------------------------------------------------------
+    # Public API (mirrored by KernelAPI)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time (µs)."""
+        return self.engine.now
+
+    @property
+    def current(self) -> Optional[Process]:
+        """The process on CPU 0 (uniprocessor convenience accessor)."""
+        return self.cpus[0]
+
+    def running_processes(self) -> list[Process]:
+        """Processes currently on a CPU."""
+        return [p for p in self.cpus if p is not None]
+
+    def spawn(
+        self,
+        name: str,
+        behavior: Behavior,
+        *,
+        uid: int = 0,
+        nice: int = 0,
+        start_delay: int = 0,
+    ) -> Process:
+        """Create a process; its behavior's first action fires after
+        ``start_delay`` µs."""
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(pid=pid, name=name, uid=uid, nice=nice, behavior=behavior)
+        proc.priority = user_priority(self.cfg, 0.0, nice)
+        proc.state = ProcState.SLEEPING  # embryonic until started
+        proc.wait_channel = "fork"
+        self.procs[pid] = proc
+        self.engine.after(
+            start_delay,
+            self._on_start,
+            priority=_EVPRI_START,
+            payload=proc,
+            tag=f"start:{name}",
+        )
+        return proc
+
+    def lookup(self, pid: int) -> Process:
+        """Return the live process with ``pid`` (raises if absent/zombie)."""
+        proc = self.procs.get(pid)
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
+        return proc
+
+    def getrusage(self, pid: int) -> int:
+        """Total CPU time consumed by ``pid`` in µs, including any
+        in-flight run interval (like reading kernel accounting live)."""
+        proc = self.lookup(pid)
+        cpu = proc.cpu_time
+        if proc.state is ProcState.RUNNING and self.now > proc.run_start:
+            cpu += self.now - proc.run_start
+        return cpu
+
+    def wait_channel_of(self, pid: int) -> Optional[str]:
+        """The wait channel of ``pid`` (None unless sleeping) — the
+        kvm-style introspection ALPS uses to detect blocked processes."""
+        proc = self.lookup(pid)
+        if proc.state is ProcState.SLEEPING:
+            return proc.wait_channel
+        return None
+
+    def pids_of_uid(self, uid: int) -> list[int]:
+        """All live pids owned by ``uid`` (kvm_getprocs equivalent)."""
+        return [
+            p.pid
+            for p in self.procs.values()
+            if p.uid == uid and p.state is not ProcState.ZOMBIE
+        ]
+
+    def live_processes(self) -> Iterable[Process]:
+        """Iterate over all live processes."""
+        return (p for p in self.procs.values() if p.state is not ProcState.ZOMBIE)
+
+    def add_exit_hook(self, hook: Callable[[Process], None]) -> None:
+        """Register a callback invoked whenever a process exits."""
+        self._exit_hooks.append(hook)
+
+    def kill(self, pid: int, signo: int) -> None:
+        """Deliver a signal.  Only SIGSTOP/SIGCONT/SIGKILL are modelled."""
+        proc = self.lookup(pid)
+        if signo == SIGSTOP:
+            self._do_stop(proc)
+        elif signo == SIGCONT:
+            self._do_cont(proc)
+        elif signo == SIGKILL:
+            self._do_exit(proc, status=-SIGKILL)
+        else:
+            raise KernelError(f"unsupported signal {signal_name(signo)}")
+
+    def wakeup(self, channel: str) -> int:
+        """Wake every process sleeping on ``channel``; returns the count."""
+        sleepers = self._channels.pop(channel, [])
+        for proc in sleepers:
+            if proc.sleep_handle is not None:
+                proc.sleep_handle.cancel()
+                proc.sleep_handle = None
+            self._finish_sleep(proc)
+        self._request_resched()
+        return len(sleepers)
+
+    def wakeup_one(self, channel: str) -> bool:
+        """Wake the longest-waiting sleeper on ``channel`` (wakeup_one).
+
+        Returns True if someone was woken.  Used by producer/consumer
+        handoffs (e.g. a connection arriving at an accept queue) to
+        avoid thundering herds.
+        """
+        sleepers = self._channels.get(channel)
+        if not sleepers:
+            return False
+        proc = sleepers.pop(0)
+        if not sleepers:
+            self._channels.pop(channel, None)
+        if proc.sleep_handle is not None:
+            proc.sleep_handle.cancel()
+            proc.sleep_handle = None
+        self._finish_sleep(proc)
+        self._request_resched()
+        return True
+
+    def runnable_count(self) -> int:
+        """Instantaneous count of runnable + running processes."""
+        return len(self.runq) + sum(1 for p in self.cpus if p is not None)
+
+    # ------------------------------------------------------------------
+    # Process start / trampoline
+    # ------------------------------------------------------------------
+    def _on_start(self, event) -> None:
+        proc: Process = event.payload
+        if proc.state is ProcState.ZOMBIE:
+            return
+        proc.wait_channel = None
+        proc.state = ProcState.RUNNABLE
+        self._with_dispatch_guard(self._advance, proc, False)
+
+    def _advance(self, proc: Process, on_cpu: bool) -> None:
+        """Ask the behavior for actions until one takes time.
+
+        ``on_cpu`` is True when ``proc`` just completed a burst while
+        running; a follow-on Compute then continues without a context
+        switch.
+        """
+        for _ in range(_MAX_IMMEDIATE_ACTIONS):
+            action: Action = proc.behavior.next_action(proc, self.kapi)
+            if proc.state is ProcState.ZOMBIE:
+                return  # behavior side effect killed the process
+            if isinstance(action, Compute):
+                if action.duration_us == 0:
+                    continue
+                proc.pending_burst_us = action.duration_us
+                if on_cpu:
+                    self._schedule_burst(proc, restart=True)
+                else:
+                    self._setrunnable(proc)
+                return
+            if isinstance(action, (Sleep, SleepOn)):
+                timeout = action.duration_us if isinstance(action, Sleep) else None
+                self._sleep(proc, action.channel, timeout, on_cpu)
+                return
+            if isinstance(action, Exit):
+                self._do_exit(proc, status=action.status)
+                return
+            raise KernelError(f"behavior returned unknown action {action!r}")
+        raise KernelError(
+            f"pid {proc.pid} issued {_MAX_IMMEDIATE_ACTIONS} zero-length "
+            "actions in a row; behavior is likely stuck"
+        )
+
+    # ------------------------------------------------------------------
+    # CPU dispatch
+    # ------------------------------------------------------------------
+    def _schedule_burst(self, proc: Process, *, restart: bool) -> None:
+        """(Re)arm the burst-completion event for the running ``proc``."""
+        if restart:
+            proc.run_start = self.now
+        done_at = proc.run_start + proc.pending_burst_us
+        proc.burst_handle = self.engine.at(
+            max(done_at, self.now),
+            self._on_burst_complete,
+            priority=_EVPRI_BURST,
+            payload=proc,
+            tag=f"burst:{proc.name}",
+        )
+
+    def _on_burst_complete(self, event) -> None:
+        proc: Process = event.payload
+        if (
+            proc.state is not ProcState.RUNNING
+            or proc.cpu_index is None
+            or self.cpus[proc.cpu_index] is not proc
+        ):
+            return  # stale event (should have been cancelled)
+        proc.burst_handle = None
+        self._charge_proc(proc)
+        self._with_dispatch_guard(self._advance, proc, True)
+
+    def _charge_proc(self, proc: Process) -> None:
+        """Account one running process's in-flight CPU consumption."""
+        consumed = self.now - proc.run_start
+        if consumed <= 0:
+            return
+        proc.cpu_time += consumed
+        proc.pending_burst_us = max(0, proc.pending_burst_us - consumed)
+        proc.estcpu = charge_estcpu(self.cfg, proc.estcpu, consumed)
+        proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
+        proc.run_start = self.now
+        self.total_busy_us += consumed
+
+    def _charge_current(self) -> None:
+        """Materialise the in-flight charges of every running process."""
+        for proc in self.cpus:
+            if proc is not None:
+                self._charge_proc(proc)
+
+    def _dispatch(self) -> None:
+        """Fill idle CPUs with the best runnable processes."""
+        for i, occupant in enumerate(self.cpus):
+            if occupant is not None:
+                continue
+            proc = self.runq.pop_best()
+            if proc is None:
+                return
+            self._on_runq.discard(proc.pid)
+            if proc.boost_priority is not None:
+                # The wakeup boost is consumed at dispatch; user-mode
+                # work proceeds at the ordinary decay-usage priority.
+                proc.boost_priority = None
+                proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
+            proc.state = ProcState.RUNNING
+            proc.cpu_index = i
+            self.cpus[i] = proc
+            self.context_switches += 1
+            proc.run_start = self.now + self.cfg.ctx_switch_us
+            self._schedule_burst(proc, restart=False)
+
+    def _preempt_cpu(self, index: int) -> None:
+        """Take the process on CPU ``index`` off and requeue it."""
+        proc = self.cpus[index]
+        if proc is None:
+            return
+        if proc.burst_handle is not None:
+            proc.burst_handle.cancel()
+            proc.burst_handle = None
+        self._charge_proc(proc)
+        proc.state = ProcState.RUNNABLE
+        proc.preemptions += 1
+        proc.cpu_index = None
+        self.cpus[index] = None
+        if not proc.stopped:
+            self.runq.insert(proc)
+            self._on_runq.add(proc.pid)
+
+    def _setrunnable(self, proc: Process) -> None:
+        """Make ``proc`` eligible for dispatch (unless stopped)."""
+        proc.state = ProcState.RUNNABLE
+        if proc.stopped:
+            return  # parked until SIGCONT
+        if proc.slptime >= 1:
+            proc.estcpu = wakeup_decay(
+                self.cfg, proc.estcpu, proc.nice, self.loadavg.value, proc.slptime
+            )
+            proc.slptime = 0
+        proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
+        if proc.boost_priority is not None:
+            proc.priority = min(proc.priority, proc.boost_priority)
+        if proc.pid not in self._on_runq:
+            self.runq.insert(proc)
+            self._on_runq.add(proc.pid)
+        self._request_resched()
+
+    def _inst_priority(self, proc: Process) -> int:
+        """A running process's priority including in-flight CPU usage."""
+        inflight = max(0, self.now - proc.run_start)
+        est = charge_estcpu(self.cfg, proc.estcpu, inflight)
+        return user_priority(self.cfg, est, proc.nice)
+
+    def _worst_cpu(self) -> Optional[tuple[int, int]]:
+        """(index, instantaneous priority) of the worst-priority running
+        process, or None if some CPU is idle."""
+        worst: Optional[tuple[int, int]] = None
+        for i, proc in enumerate(self.cpus):
+            if proc is None:
+                return None
+            pri = self._inst_priority(proc)
+            if worst is None or pri > worst[1]:
+                worst = (i, pri)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Deferred rescheduling
+    # ------------------------------------------------------------------
+    def _with_dispatch_guard(self, fn, *args) -> None:
+        self._dispatch_depth += 1
+        try:
+            fn(*args)
+        finally:
+            self._dispatch_depth -= 1
+        if self._dispatch_depth == 0 and self._resched_pending:
+            self._resched_pending = False
+            self._resched_now()
+
+    def _request_resched(self) -> None:
+        if self._dispatch_depth > 0:
+            self._resched_pending = True
+        else:
+            self._resched_now()
+
+    def _resched_now(self) -> None:
+        worst = self._worst_cpu()
+        if worst is None:  # at least one idle CPU
+            self._dispatch()
+            return
+        best = self.runq.best_priority()
+        if best is not None and best < worst[1]:
+            self._preempt_cpu(worst[0])
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Sleep / wakeup
+    # ------------------------------------------------------------------
+    def _sleep(
+        self, proc: Process, channel: str, timeout: Optional[int], on_cpu: bool
+    ) -> None:
+        if on_cpu:
+            if proc.cpu_index is None or self.cpus[proc.cpu_index] is not proc:
+                raise InvalidProcessStateError(
+                    f"pid {proc.pid} sleeping on-cpu but is not running"
+                )
+            proc.voluntary_switches += 1
+            self.cpus[proc.cpu_index] = None
+            proc.cpu_index = None
+        if timeout == 0:
+            # Zero-length sleep: yield the CPU but wake immediately.
+            proc.state = ProcState.RUNNABLE
+            self._setrunnable(proc)
+            self._request_resched()
+            return
+        proc.state = ProcState.SLEEPING
+        proc.wait_channel = channel
+        self._channels.setdefault(channel, []).append(proc)
+        if timeout is not None:
+            # Timeout expiries are quantized to the callout resolution,
+            # as tsleep/nanosleep/setitimer are on real kernels: the
+            # callout fires at the first timer edge at or after the
+            # nominal deadline.
+            deadline = self.now + timeout
+            res = self.cfg.callout_resolution_us
+            deadline = ((deadline + res - 1) // res) * res
+            proc.sleep_handle = self.engine.at(
+                deadline,
+                self._on_sleep_timeout,
+                priority=_EVPRI_SLEEP,
+                payload=proc,
+                tag=f"wake:{proc.name}",
+            )
+        self._request_resched()
+
+    def _on_sleep_timeout(self, event) -> None:
+        proc: Process = event.payload
+        if proc.state is not ProcState.SLEEPING:
+            return  # stale
+        proc.sleep_handle = None
+        waiters = self._channels.get(proc.wait_channel or "")
+        if waiters and proc in waiters:
+            waiters.remove(proc)
+            if not waiters:
+                self._channels.pop(proc.wait_channel or "", None)
+        self._finish_sleep(proc)
+        self._request_resched()
+
+    def _finish_sleep(self, proc: Process) -> None:
+        """Complete a sleep: ask the behavior what to do next.
+
+        The process receives the tsleep wakeup-priority boost, so if it
+        becomes runnable it preempts user-mode work immediately (as a
+        process returning from a kernel sleep does on BSD).
+        """
+        proc.wait_channel = None
+        proc.state = ProcState.RUNNABLE
+        proc.boost_priority = self.cfg.sleep_priority
+        self._with_dispatch_guard(self._advance, proc, False)
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def _do_stop(self, proc: Process) -> None:
+        if proc.stopped:
+            return
+        proc.stopped = True
+        if proc.state is ProcState.RUNNING and proc.cpu_index is not None:
+            # Target is on a CPU: take it off without requeueing.
+            self._preempt_cpu(proc.cpu_index)
+            self._request_resched()
+        elif proc.pid in self._on_runq:
+            self.runq.remove(proc)
+            self._on_runq.discard(proc.pid)
+        # SLEEPING: stays asleep; slptime keeps accruing while stopped.
+
+    def _do_cont(self, proc: Process) -> None:
+        if not proc.stopped:
+            return
+        proc.stopped = False
+        if proc.state is ProcState.RUNNABLE:
+            self._setrunnable(proc)
+        # SLEEPING: resumes waiting; nothing to do.
+
+    def _do_exit(self, proc: Process, *, status: int) -> None:
+        if proc.state is ProcState.ZOMBIE:
+            return
+        if proc.state is ProcState.RUNNING and proc.cpu_index is not None:
+            if proc.burst_handle is not None:
+                proc.burst_handle.cancel()
+                proc.burst_handle = None
+            self._charge_proc(proc)
+            self.cpus[proc.cpu_index] = None
+            proc.cpu_index = None
+            self._request_resched()
+        if proc.pid in self._on_runq:
+            self.runq.remove(proc)
+            self._on_runq.discard(proc.pid)
+        if proc.sleep_handle is not None:
+            proc.sleep_handle.cancel()
+            proc.sleep_handle = None
+        if proc.wait_channel is not None:
+            waiters = self._channels.get(proc.wait_channel)
+            if waiters and proc in waiters:
+                waiters.remove(proc)
+            proc.wait_channel = None
+        proc.state = ProcState.ZOMBIE
+        proc.exit_status = status
+        for hook in self._exit_hooks:
+            hook(proc)
+        self._request_resched()
+
+    # ------------------------------------------------------------------
+    # Periodic scheduler housekeeping
+    # ------------------------------------------------------------------
+    def _start_housekeeping(self) -> None:
+        self.engine.after(
+            self.cfg.schedclock_us,
+            self._on_schedclock,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="schedclock",
+        )
+        self.engine.after(
+            self.cfg.slice_us,
+            self._on_roundrobin,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="roundrobin",
+        )
+        self.engine.after(
+            self.cfg.schedcpu_us,
+            self._on_schedcpu,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="schedcpu",
+        )
+        self.engine.after(
+            self.cfg.loadavg_interval_us,
+            self._on_loadavg,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="loadavg",
+        )
+
+    def _on_schedclock(self, event) -> None:
+        # Never rotate out a process that was dispatched this very
+        # instant (e.g. a wakeup coinciding with the housekeeping grid):
+        # on real hardware the wakeup and the clock tick resolve in one
+        # dispatch decision, not two.
+        for i, proc in enumerate(self.cpus):
+            if proc is None or self.now <= proc.run_start:
+                continue
+            self._charge_proc(proc)
+            best = self.runq.best_priority()
+            if best is not None and best < proc.priority:
+                self._preempt_cpu(i)
+                self._dispatch()
+        self.engine.after(
+            self.cfg.schedclock_us,
+            self._on_schedclock,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="schedclock",
+        )
+
+    def _on_roundrobin(self, event) -> None:
+        for i, proc in enumerate(self.cpus):
+            if proc is None or not self.runq or self.now <= proc.run_start:
+                continue
+            self._charge_proc(proc)
+            best = self.runq.best_priority()
+            # Rotate if the best waiter is in the same or a better
+            # priority bucket (BSD compares run-queue indexes).
+            if best is not None and (best >> 2) <= (proc.priority >> 2):
+                self._preempt_cpu(i)
+                self._dispatch()
+        self.engine.after(
+            self.cfg.slice_us,
+            self._on_roundrobin,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="roundrobin",
+        )
+
+    def _on_schedcpu(self, event) -> None:
+        self._charge_current()
+        load = self.loadavg.value
+        for proc in self.procs.values():
+            if proc.state is ProcState.ZOMBIE:
+                continue
+            if proc.state is ProcState.SLEEPING or proc.stopped:
+                proc.slptime += 1
+                if proc.slptime > 1:
+                    continue  # updatepri handles long sleepers on wakeup
+            new_est = decay_estcpu(self.cfg, proc.estcpu, proc.nice, load)
+            if new_est != proc.estcpu:
+                proc.estcpu = new_est
+                new_pri = user_priority(self.cfg, proc.estcpu, proc.nice)
+                if proc.boost_priority is not None:
+                    new_pri = min(new_pri, proc.boost_priority)
+                if new_pri != proc.priority:
+                    if proc.pid in self._on_runq:
+                        self.runq.remove(proc)
+                        proc.priority = new_pri
+                        self.runq.insert(proc)
+                    else:
+                        proc.priority = new_pri
+        self._request_resched()
+        self.engine.after(
+            self.cfg.schedcpu_us,
+            self._on_schedcpu,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="schedcpu",
+        )
+
+    def _on_loadavg(self, event) -> None:
+        self.loadavg.sample(self.runnable_count())
+        self.engine.after(
+            self.cfg.loadavg_interval_us,
+            self._on_loadavg,
+            priority=_EVPRI_HOUSEKEEPING,
+            tag="loadavg",
+        )

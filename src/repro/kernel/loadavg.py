@@ -1,0 +1,31 @@
+"""One-minute load average (EWMA of the runnable-process count)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernel.kconfig import KernelConfig
+
+
+class LoadAverage:
+    """Exponentially-weighted moving average of runnable process count.
+
+    Mirrors the kernel's ``loadav()``: sampled every few seconds, blended
+    with coefficient ``exp(-interval/tau)`` for a one-minute horizon.
+    """
+
+    def __init__(self, cfg: KernelConfig) -> None:
+        self._coeff = math.exp(-cfg.loadavg_interval_us / cfg.loadavg_tau_us)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current smoothed load average."""
+        return self._value
+
+    def sample(self, runnable_count: int) -> float:
+        """Fold one sample of the instantaneous runnable count."""
+        if runnable_count < 0:
+            raise ValueError("runnable_count must be >= 0")
+        self._value = self._coeff * self._value + (1.0 - self._coeff) * runnable_count
+        return self._value

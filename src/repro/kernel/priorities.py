@@ -1,0 +1,68 @@
+"""BSD decay-usage priority arithmetic.
+
+Implements the classic 4.4BSD formulas (McKusick et al., ch. 4):
+
+* ``p_usrpri = PUSER + p_estcpu / 4 + 2 * p_nice`` (clamped to MAXPRI)
+* once per second: ``p_estcpu = (2*load / (2*load + 1)) * p_estcpu + p_nice``
+* on wakeup after sleeping >= 1 s: the decay filter is applied once per
+  second slept, approximating the usage the process would have shed.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kconfig import KernelConfig
+
+
+def user_priority(cfg: KernelConfig, estcpu: float, nice: int) -> int:
+    """Compute ``p_usrpri`` from estcpu and nice, clamped to the user range."""
+    pri = cfg.puser + estcpu / cfg.estcpu_weight + cfg.nice_weight * nice
+    if pri < 0:
+        return 0
+    if pri > cfg.maxpri:
+        return cfg.maxpri
+    return int(pri)
+
+
+def decay_factor(load: float) -> float:
+    """The per-second decay filter coefficient ``2L / (2L + 1)``.
+
+    Under higher load the filter forgets more slowly, so accumulated
+    usage penalises a process for longer — the property that ultimately
+    erodes the ALPS process's scheduling advantage at scale.
+    """
+    if load < 0:
+        raise ValueError(f"load must be >= 0, got {load}")
+    return (2.0 * load) / (2.0 * load + 1.0)
+
+
+def decay_estcpu(cfg: KernelConfig, estcpu: float, nice: int, load: float) -> float:
+    """Apply one second's decay to ``estcpu`` (the ``schedcpu`` step)."""
+    new = decay_factor(load) * estcpu + nice
+    if new < 0.0:
+        return 0.0
+    return min(new, cfg.estcpu_limit)
+
+
+def wakeup_decay(cfg: KernelConfig, estcpu: float, nice: int, load: float, slept_seconds: int) -> float:
+    """Decay ``estcpu`` for a process that slept ``slept_seconds`` seconds.
+
+    4.4BSD applies the per-second filter once for each second of sleep
+    (``updatepri``), so long sleepers return at a much better priority.
+    """
+    new = estcpu
+    for _ in range(min(slept_seconds, 64)):  # filter converges; cap the loop
+        new = decay_factor(load) * new + nice
+    if new < 0.0:
+        return 0.0
+    return min(new, cfg.estcpu_limit)
+
+
+def charge_estcpu(cfg: KernelConfig, estcpu: float, ran_us: int) -> float:
+    """Charge estcpu for ``ran_us`` microseconds of CPU consumption.
+
+    BSD increments estcpu by one per statclock tick while running; we
+    charge the equivalent amount analytically when the run interval ends
+    (fractional ticks included, so short runs are not free).
+    """
+    new = estcpu + ran_us / cfg.tick_us
+    return min(new, cfg.estcpu_limit)

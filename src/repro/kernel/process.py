@@ -1,0 +1,101 @@
+"""Process control block and process states."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.behaviors import Behavior
+    from repro.sim.event_queue import EventHandle
+
+
+class ProcState(enum.Enum):
+    """Lifecycle states of a simulated process.
+
+    ``STOPPED`` (job control) is modelled as an orthogonal flag on the
+    PCB rather than a state, matching UNIX where a process can be
+    simultaneously sleeping and stopped; this enum covers the scheduling
+    dimension only.
+    """
+
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    ZOMBIE = "zombie"
+
+
+@dataclass(slots=True)
+class Process:
+    """Process control block.
+
+    Time fields are integer microseconds of virtual time.  ``estcpu``
+    follows the BSD convention: one unit per statclock tick of CPU
+    consumed, decayed once per second.
+    """
+
+    pid: int
+    name: str
+    uid: int
+    nice: int
+    behavior: "Behavior"
+    state: ProcState = ProcState.RUNNABLE
+    #: Job-control stop flag (SIGSTOP/SIGCONT), orthogonal to state.
+    stopped: bool = False
+    #: Set when a stopped process's sleep expired; it becomes runnable
+    #: immediately upon SIGCONT.
+    ready_while_stopped: bool = False
+
+    # -- scheduler state ------------------------------------------------
+    estcpu: float = 0.0
+    priority: int = 0
+    #: Kernel wakeup-priority boost; set when waking from a voluntary
+    #: sleep, consumed at first dispatch (4.4BSD tsleep priority).
+    boost_priority: Optional[int] = None
+    #: Seconds spent sleeping/stopped (drives wakeup decay).
+    slptime: int = 0
+    #: Virtual runtime (used by the CFS-like policy only).
+    vruntime: float = 0.0
+
+    # -- accounting -----------------------------------------------------
+    #: Total CPU time consumed (µs), excluding any in-flight run interval.
+    cpu_time: int = 0
+    #: Virtual time the current on-CPU interval began (valid iff RUNNING).
+    run_start: int = 0
+    #: Index of the CPU this process occupies (valid iff RUNNING).
+    cpu_index: Optional[int] = None
+    #: Number of involuntary context switches (preemptions).
+    preemptions: int = 0
+    #: Number of voluntary context switches (sleeps).
+    voluntary_switches: int = 0
+
+    # -- dispatch bookkeeping --------------------------------------------
+    #: CPU demand (µs) remaining in the current Compute action.
+    pending_burst_us: int = 0
+    #: Wait channel name while SLEEPING (kvm-visible).
+    wait_channel: Optional[str] = None
+    #: Pending sleep-timeout event (cancelled on external wakeup).
+    sleep_handle: Optional["EventHandle"] = field(default=None, repr=False)
+    #: Pending burst-completion event while RUNNING.
+    burst_handle: Optional["EventHandle"] = field(default=None, repr=False)
+    #: Exit status (valid once ZOMBIE).
+    exit_status: int = 0
+
+    @property
+    def alive(self) -> bool:
+        """True until the process exits."""
+        return self.state is not ProcState.ZOMBIE
+
+    @property
+    def runnable(self) -> bool:
+        """True if the process may be placed on a run queue."""
+        return self.state is ProcState.RUNNABLE and not self.stopped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "T" if self.stopped else ""
+        return (
+            f"Process(pid={self.pid}, name={self.name!r}, state={self.state.value}"
+            f"{'+' + flags if flags else ''}, pri={self.priority}, "
+            f"cpu={self.cpu_time})"
+        )

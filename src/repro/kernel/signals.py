@@ -1,0 +1,23 @@
+"""Signal numbers understood by the simulated kernel.
+
+Only the job-control signals that ALPS uses (plus SIGKILL for cleanup)
+are modelled.  Numeric values match POSIX for familiarity.
+"""
+
+from __future__ import annotations
+
+#: Terminate the process immediately.
+SIGKILL: int = 9
+#: Suspend the process (cannot be caught or ignored).
+SIGSTOP: int = 17
+#: Resume a stopped process.
+SIGCONT: int = 19
+
+ALL_SIGNALS = frozenset({SIGKILL, SIGSTOP, SIGCONT})
+
+
+def signal_name(signo: int) -> str:
+    """Human-readable name for a modelled signal number."""
+    return {SIGKILL: "SIGKILL", SIGSTOP: "SIGSTOP", SIGCONT: "SIGCONT"}.get(
+        signo, f"SIG#{signo}"
+    )

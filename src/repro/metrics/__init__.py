@@ -1,0 +1,34 @@
+"""Accuracy, overhead, and scalability metrics from the paper.
+
+* :mod:`~repro.metrics.accuracy` — per-cycle RMS relative error and its
+  mean (Sections 3.1, 4.2).
+* :mod:`~repro.metrics.overhead` — ALPS CPU / wall-time overhead and
+  the linear overhead fits of Section 4.2.
+* :mod:`~repro.metrics.regression` — cumulative-consumption slope fits
+  (Section 4.1 / Table 3).
+* :mod:`~repro.metrics.breakdown` — the analytic breakdown-threshold
+  model ``U_Q(N*) = 100/(N*+1)`` of Section 4.2.
+"""
+
+from repro.metrics.accuracy import (
+    cycle_rms_relative_errors,
+    mean_rms_relative_error,
+    per_subject_fractions,
+)
+from repro.metrics.breakdown import predicted_threshold
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.metrics.overhead import OverheadFit, fit_overhead_line
+from repro.metrics.regression import phase_fractions, slope
+
+__all__ = [
+    "LatencySummary",
+    "OverheadFit",
+    "summarize_latencies",
+    "cycle_rms_relative_errors",
+    "fit_overhead_line",
+    "mean_rms_relative_error",
+    "per_subject_fractions",
+    "phase_fractions",
+    "predicted_threshold",
+    "slope",
+]

@@ -1,0 +1,77 @@
+"""Accuracy metrics (paper Section 3.1).
+
+The paper summarises accuracy as: per cycle, compute the RMS of the
+per-process relative errors (actual vs. ideal CPU time consumed); then
+average that RMS over all cycles of the experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alps.instrumentation import CycleLog
+
+
+def per_subject_fractions(log: CycleLog, *, skip: int = 0) -> dict[int, float]:
+    """Fraction of total CPU each subject received over the logged cycles."""
+    totals: dict[int, int] = {}
+    for rec in log.skip(skip):
+        for sid, consumed in rec.consumed.items():
+            totals[sid] = totals.get(sid, 0) + consumed
+    grand = sum(totals.values())
+    if grand == 0:
+        return {sid: 0.0 for sid in totals}
+    return {sid: consumed / grand for sid, consumed in totals.items()}
+
+
+def cycle_rms_relative_errors(
+    log: CycleLog,
+    *,
+    skip: int = 0,
+    ideal: str = "proportional",
+) -> np.ndarray:
+    """Per-cycle RMS relative error (%) across subjects.
+
+    ``ideal`` selects the reference allocation:
+
+    * ``"proportional"`` (default) — subject *i*'s ideal is
+      ``share_i / S`` of the CPU time the group actually consumed in
+      the cycle.  This matches the paper's framing of ALPS as a
+      proportional-share scheduler of *whatever CPU the kernel grants*.
+    * ``"entitlement"`` — the ideal is the subject's nominal
+      entitlement ``share_i · Q``; overshoot of the cycle then counts
+      as error.
+    """
+    if ideal not in ("proportional", "entitlement"):
+        raise ValueError(f"unknown ideal mode {ideal!r}")
+    out: list[float] = []
+    for rec in log.skip(skip):
+        shares = rec.shares
+        total_share = sum(shares.values())
+        if total_share == 0:
+            continue
+        errors: list[float] = []
+        total_consumed = rec.total_consumed
+        for sid, share in shares.items():
+            actual = rec.consumed.get(sid, 0)
+            if ideal == "proportional":
+                target = total_consumed * share / total_share
+            else:
+                target = share * rec.quantum_us
+            if target <= 0:
+                continue
+            errors.append((actual - target) / target)
+        if errors:
+            arr = np.asarray(errors)
+            out.append(float(np.sqrt(np.mean(arr * arr))) * 100.0)
+    return np.asarray(out)
+
+
+def mean_rms_relative_error(
+    log: CycleLog, *, skip: int = 0, ideal: str = "proportional"
+) -> float:
+    """Mean over cycles of the per-cycle RMS relative error (%)."""
+    per_cycle = cycle_rms_relative_errors(log, skip=skip, ideal=ideal)
+    if per_cycle.size == 0:
+        return float("nan")
+    return float(per_cycle.mean())

@@ -1,0 +1,29 @@
+"""Analytic breakdown-threshold model (paper Section 4.2).
+
+ALPS breaks down when the CPU it needs per quantum exceeds the fair
+share the kernel will grant it: overhead ``U_Q(N)`` (in %) meets
+``100/(N+1)``.  With a linear fit ``U_Q(N) = a·N + b`` the threshold
+solves ``a·N² + (a+b)·N + (b - 100) = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def predicted_threshold(slope: float, intercept: float) -> float:
+    """Solve ``slope·N + intercept = 100/(N+1)`` for the positive root.
+
+    Arguments are in percent (as in the paper's fits, e.g.
+    ``U10(N) = .0639·N + .0604`` → threshold ≈ 39).
+    """
+    a = slope
+    b = intercept
+    if a <= 0:
+        raise ValueError(f"slope must be positive, got {a}")
+    # a·N² + (a+b)·N + (b-100) = 0
+    disc = (a + b) ** 2 - 4 * a * (b - 100.0)
+    if disc < 0:
+        raise ValueError("no real threshold for these coefficients")
+    root = (-(a + b) + math.sqrt(disc)) / (2 * a)
+    return root

@@ -1,0 +1,59 @@
+"""Response-latency summaries for the web-server experiments.
+
+The paper reports only throughput for Section 5; latency percentiles
+are the natural companion metric (a shared host that reapportions CPU
+also reshapes per-site response times), so the harness records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(slots=True, frozen=True)
+class LatencySummary:
+    """Percentile summary of response latencies (µs)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p90_us: float
+    p99_us: float
+
+    def scaled_ms(self) -> dict[str, float]:
+        """The summary in milliseconds, for display."""
+        return {
+            "mean_ms": self.mean_us / 1000,
+            "p50_ms": self.p50_us / 1000,
+            "p90_ms": self.p90_us / 1000,
+            "p99_ms": self.p99_us / 1000,
+        }
+
+
+def summarize_latencies(
+    responses: Sequence[tuple[int, int]],
+    *,
+    window: tuple[int, int] | None = None,
+) -> LatencySummary:
+    """Summarise ``(completed_at, latency_us)`` pairs.
+
+    ``window`` restricts to completions inside ``[lo, hi)`` so warm-up
+    can be excluded.
+    """
+    if window is not None:
+        lo, hi = window
+        lat = np.array([l for t, l in responses if lo <= t < hi], dtype=float)
+    else:
+        lat = np.array([l for _t, l in responses], dtype=float)
+    if lat.size == 0:
+        return LatencySummary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    return LatencySummary(
+        count=int(lat.size),
+        mean_us=float(lat.mean()),
+        p50_us=float(np.percentile(lat, 50)),
+        p90_us=float(np.percentile(lat, 90)),
+        p99_us=float(np.percentile(lat, 99)),
+    )

@@ -1,0 +1,48 @@
+"""Overhead accounting and the Section 4.2 linear overhead fits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def overhead_percent(alps_cpu_us: int, wall_us: int) -> float:
+    """ALPS CPU time over wall time, in percent (the paper's metric)."""
+    if wall_us <= 0:
+        raise ValueError(f"wall time must be positive, got {wall_us}")
+    return 100.0 * alps_cpu_us / wall_us
+
+
+@dataclass(slots=True, frozen=True)
+class OverheadFit:
+    """Linear fit ``U(N) = slope·N + intercept`` of overhead vs. N (%)."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def __call__(self, n: float) -> float:
+        """Predicted overhead (%) for ``n`` processes."""
+        return self.slope * n + self.intercept
+
+
+def fit_overhead_line(
+    ns: Sequence[float], overheads_percent: Sequence[float]
+) -> OverheadFit:
+    """Least-squares fit of overhead (%) against process count.
+
+    Used on the initial (pre-breakdown) region of the scalability sweep
+    to recover the paper's ``U_Q(N)`` lines.
+    """
+    x = np.asarray(ns, dtype=float)
+    y = np.asarray(overheads_percent, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (N, overhead) points")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return OverheadFit(slope=float(slope), intercept=float(intercept), r_squared=r2)

@@ -1,0 +1,49 @@
+"""Slope fits of cumulative CPU consumption (Section 4.1 / Table 3).
+
+The paper calculates, per phase, the slope of each process's cumulative
+CPU consumption against real time via linear regression, and derives
+the fraction of its group's CPU each process received.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def slope(times_us: Sequence[int], values_us: Sequence[int]) -> float:
+    """Least-squares slope of ``values`` against ``times``."""
+    t = np.asarray(times_us, dtype=float)
+    v = np.asarray(values_us, dtype=float)
+    if t.size != v.size or t.size < 2:
+        raise ValueError("need at least two points")
+    m, _b = np.polyfit(t, v, 1)
+    return float(m)
+
+
+def phase_fractions(
+    series: Mapping[int, tuple[Sequence[int], Sequence[int]]],
+    window: tuple[int, int],
+) -> dict[int, float]:
+    """Per-subject fraction of group CPU within a time window.
+
+    ``series`` maps subject id to ``(times, cumulative_cpu)`` samples.
+    For each subject, points inside ``window`` are fit with a line; the
+    fractions are the normalised slopes.  Subjects with fewer than two
+    points in the window are excluded (they were not running).
+    """
+    lo, hi = window
+    slopes: dict[int, float] = {}
+    for sid, (times, values) in series.items():
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        mask = (t >= lo) & (t <= hi)
+        if int(mask.sum()) < 2:
+            continue
+        m, _b = np.polyfit(t[mask], v[mask], 1)
+        slopes[sid] = max(0.0, float(m))
+    total = sum(slopes.values())
+    if total <= 0:
+        return {sid: 0.0 for sid in slopes}
+    return {sid: m / total for sid, m in slopes.items()}

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+The simulator is a classic event-calendar design: an :class:`EventQueue`
+orders :class:`Event` records by ``(time, priority, sequence)``, and the
+:class:`Engine` pops and dispatches them while advancing a virtual
+:class:`Clock`.  Everything above this layer (the simulated kernel, ALPS
+agents, workloads, the web-server model) is built out of events.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.event_queue import Event, EventHandle, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "RngStreams",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,38 @@
+"""Virtual clock for the discrete-event engine."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonic virtual clock measured in integer microseconds.
+
+    Only the :class:`~repro.sim.engine.Engine` should advance the clock;
+    all other components read it through :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to ``when``.
+
+        Raises :class:`SimulationError` if ``when`` is in the past; a
+        discrete-event simulation must never move time backwards.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now} target={when}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now})"

@@ -1,0 +1,137 @@
+"""The discrete-event simulation engine (event loop)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.event_queue import Event, EventCallback, EventHandle, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+
+class Engine:
+    """Drives a simulation by popping events and advancing the clock.
+
+    The engine is deliberately dumb: all semantics live in the components
+    that schedule events (the simulated kernel, ALPS agents, workload
+    drivers).  Determinism comes from the stable event ordering plus the
+    named, seeded RNG streams in :class:`RngStreams`.
+    """
+
+    def __init__(self, *, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.rng = RngStreams(seed)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._events_processed = 0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time (µs)."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_processed
+
+    def at(
+        self,
+        when: int,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        payload: Any = None,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule an event at absolute virtual time ``when`` (µs)."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now} when={when}"
+            )
+        return self.queue.schedule(
+            when, callback, priority=priority, payload=payload, tag=tag
+        )
+
+    def after(
+        self,
+        delay: int,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        payload: Any = None,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule an event ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(
+            self.clock.now + delay,
+            callback,
+            priority=priority,
+            payload=payload,
+            tag=tag,
+        )
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run_until(self, until: int, *, max_events: Optional[int] = None) -> int:
+        """Run until virtual time ``until`` (inclusive of events at it).
+
+        Returns the number of events processed by this call.  The clock is
+        left at ``until`` even if the queue drained earlier, so callers can
+        take end-of-run measurements at a well-defined instant.
+        """
+        processed = 0
+        self._stop_requested = False
+        while True:
+            if self._stop_requested:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            event = self.queue.pop()
+            assert event is not None  # peek said there was one
+            self.clock.advance_to(event.time)
+            if self.tracer.enabled:
+                self.tracer.record(event.time, "event", event.tag)
+            event.callback(event)
+            processed += 1
+            self._events_processed += 1
+        if not self._stop_requested and self.clock.now < until:
+            self.clock.advance_to(until)
+        return processed
+
+    def run_until_idle(self, *, max_events: int = 10_000_000) -> int:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        processed = 0
+        self._stop_requested = False
+        while not self._stop_requested:
+            event = self.queue.pop()
+            if event is None:
+                break
+            if processed >= max_events:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events; "
+                    "likely a self-rescheduling event loop"
+                )
+            self.clock.advance_to(event.time)
+            if self.tracer.enabled:
+                self.tracer.record(event.time, "event", event.tag)
+            event.callback(event)
+            processed += 1
+            self._events_processed += 1
+        return processed

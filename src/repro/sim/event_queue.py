@@ -1,0 +1,155 @@
+"""Event calendar: a stable, cancellable binary-heap priority queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering *stable*: two events scheduled for the same time and
+priority fire in the order they were scheduled, which keeps the simulation
+deterministic.  Cancellation is lazy — cancelled entries stay in the heap
+and are skipped on pop — which is the standard O(log n) approach and, per
+the HPC guides, is both the simple and the fast choice here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+EventCallback = Callable[["Event"], None]
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled occurrence in virtual time.
+
+    Attributes:
+        time: firing time in integer microseconds.
+        priority: tie-break rank for events at the same time (lower fires
+            first).  Kernel-internal events use low values so that, e.g.,
+            a timer expiry is processed before same-instant user activity.
+        seq: global scheduling sequence number (stable tie break).
+        callback: function invoked with the event when it fires.
+        payload: arbitrary data for the callback.
+        tag: short human-readable label used by tracing and debugging.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: EventCallback
+    payload: Any = None
+    tag: str = ""
+    cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple[int, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.schedule`.
+
+    Holding a handle allows the scheduler of an event to cancel it later
+    (e.g. a kernel callout that is no longer needed).
+    """
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: "EventQueue") -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> int:
+        """Scheduled firing time of the underlying event."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is pending (not fired, not cancelled)."""
+        return not self._event.cancelled and not self._event.fired
+
+    def cancel(self) -> None:
+        """Cancel the event.  Cancelling twice (or after firing) is harmless."""
+        if not self._event.cancelled and not self._event.fired:
+            self._event.cancelled = True
+            self._queue._live -= 1
+
+
+class _HeapEntry:
+    """Heap wrapper ordering events by their sort key."""
+
+    __slots__ = ("key", "event")
+
+    def __init__(self, event: Event) -> None:
+        self.key = event.sort_key()
+        self.event = event
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return self.key < other.key
+
+
+class EventQueue:
+    """Binary-heap event calendar with stable ordering and lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapEntry] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return self._live
+
+    def schedule(
+        self,
+        time: int,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        payload: Any = None,
+        tag: str = "",
+    ) -> EventHandle:
+        """Insert an event and return a cancellable handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        self._seq += 1
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=self._seq,
+            callback=callback,
+            payload=payload,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, _HeapEntry(event))
+        self._live += 1
+        return EventHandle(event, self)
+
+    def peek_time(self) -> Optional[int]:
+        """Firing time of the next pending event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].event.time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next pending event, or None if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        entry = heapq.heappop(self._heap)
+        self._live -= 1
+        entry.event.fired = True
+        return entry.event
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].event.cancelled:
+            heapq.heappop(heap)
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0

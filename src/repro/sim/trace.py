@@ -1,0 +1,51 @@
+"""Lightweight simulation tracing.
+
+Tracing is off by default (the check is a single attribute read on the
+hot path).  When enabled it records ``(time, kind, detail)`` tuples that
+tests and debugging sessions can assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(slots=True, frozen=True)
+class TraceRecord:
+    """One trace entry: virtual time, a category, and free-form detail."""
+
+    time: int
+    kind: str
+    detail: str
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, *, enabled: bool = True, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._records: list[TraceRecord] = []
+
+    def record(self, time: int, kind: str, detail: str = "") -> None:
+        """Append a record (drops silently once capacity is reached)."""
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            return
+        self._records.append(TraceRecord(time, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of a given category."""
+        return [r for r in self._records if r.kind == kind]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

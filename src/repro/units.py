@@ -1,0 +1,41 @@
+"""Time units used throughout the simulator and the ALPS implementation.
+
+All simulated time is kept as **integer microseconds** to avoid floating
+point drift in long experiments (a 200-cycle accuracy run simulates hours
+of virtual CPU time).  These helpers convert between human-friendly units
+and the internal representation.
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base unit).
+USEC: int = 1
+#: Microseconds per millisecond.
+MSEC: int = 1_000
+#: Microseconds per second.
+SEC: int = 1_000_000
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer microseconds (rounded)."""
+    return round(value * MSEC)
+
+
+def sec(value: float) -> int:
+    """Convert seconds to integer microseconds (rounded)."""
+    return round(value * SEC)
+
+
+def usec(value: float) -> int:
+    """Convert (possibly fractional) microseconds to integer microseconds."""
+    return round(value)
+
+
+def to_ms(value: int) -> float:
+    """Convert integer microseconds to floating-point milliseconds."""
+    return value / MSEC
+
+
+def to_sec(value: int) -> float:
+    """Convert integer microseconds to floating-point seconds."""
+    return value / SEC

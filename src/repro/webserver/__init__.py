@@ -1,0 +1,26 @@
+"""Shared web server substrate (paper Section 5).
+
+Models the paper's testbed: three Apache-prefork sites on one
+single-CPU web server machine (each site a different user, up to 50
+worker processes), a separate database server machine, and closed-loop
+client populations driving a RUBBoS-like dynamic-content workload
+(each page request runs PHP CPU bursts interleaved with blocking
+database round-trips).
+
+The CPU of the (simulated) web server machine is the bottleneck
+resource, as in the paper's characterisation of the bulletin-board
+benchmark, so apportioning it with ALPS reapportions throughput.
+"""
+
+from repro.webserver.apache import PreforkSite
+from repro.webserver.clients import ClosedLoopClients
+from repro.webserver.database import DatabaseServer
+from repro.webserver.requests import PageRequest, RequestFactory
+
+__all__ = [
+    "ClosedLoopClients",
+    "DatabaseServer",
+    "PageRequest",
+    "PreforkSite",
+    "RequestFactory",
+]

@@ -1,0 +1,99 @@
+"""Prefork-MPM web site model.
+
+Each site is one Apache instance running as its own user with a pool
+of worker processes (the paper caps each instance at 50).  Workers
+block on the accept queue when idle, and alternate PHP CPU bursts with
+blocking database round-trips while serving a request — exactly the
+process behaviour ALPS observes and controls in Section 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.kernel.actions import Compute, SleepOn
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.webserver.database import DatabaseServer
+from repro.webserver.requests import PageRequest
+
+CompletionCallback = Callable[[PageRequest], None]
+
+
+@dataclass(slots=True)
+class SiteStats:
+    """Throughput accounting for one site."""
+
+    completed: int = 0
+    completion_times: list[int] = field(default_factory=list)
+    total_cpu_served_us: int = 0
+
+    def completions_in(self, lo_us: int, hi_us: int) -> int:
+        """Requests completed within the window [lo, hi)."""
+        return sum(1 for t in self.completion_times if lo_us <= t < hi_us)
+
+
+class PreforkSite:
+    """One Apache-prefork instance: accept queue plus worker pool."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        database: DatabaseServer,
+        *,
+        name: str,
+        uid: int,
+        max_workers: int = 50,
+    ) -> None:
+        self.kernel = kernel
+        self.database = database
+        self.name = name
+        self.uid = uid
+        self.accept_channel = f"accept:{name}"
+        self.queue: deque[PageRequest] = deque()
+        self.stats = SiteStats()
+        self.workers: list[Process] = []
+        self._on_complete: Optional[CompletionCallback] = None
+        for i in range(max_workers):
+            proc = kernel.spawn(
+                f"{name}-w{i}", self._worker_behavior(), uid=uid
+            )
+            self.workers.append(proc)
+
+    def set_completion_callback(self, callback: CompletionCallback) -> None:
+        """Register the client driver's completion hook."""
+        self._on_complete = callback
+
+    def enqueue(self, request: PageRequest) -> None:
+        """A connection arrives: queue it and rouse one idle worker."""
+        self.queue.append(request)
+        self.kernel.wakeup_one(self.accept_channel)
+
+    # ------------------------------------------------------------------
+    def _worker_behavior(self) -> GeneratorBehavior:
+        site = self
+
+        def run(proc, kapi):
+            db_channel = f"db:{site.name}:{proc.pid}"
+            while True:
+                if not site.queue:
+                    yield SleepOn(site.accept_channel)
+                    continue
+                req = site.queue.popleft()
+                yield Compute(req.parse_cpu_us)
+                for db_service_us, php_cpu_us in req.rounds:
+                    site.database.submit(db_service_us, db_channel)
+                    yield SleepOn(db_channel)
+                    yield Compute(php_cpu_us)
+                yield Compute(req.render_cpu_us)
+                req.completed_at = kapi.now
+                site.stats.completed += 1
+                site.stats.completion_times.append(kapi.now)
+                site.stats.total_cpu_served_us += req.total_cpu_us
+                if site._on_complete is not None:
+                    site._on_complete(req)
+
+        return GeneratorBehavior(run)

@@ -1,0 +1,68 @@
+"""Closed-loop client population driving one site.
+
+The paper drives each site from a workstation running 325 simultaneous
+clients.  Clients are closed-loop: submit a request, wait for the
+response, think, repeat.  They run on *other machines*, so they are
+pure event-driven entities consuming no web-server CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.webserver.apache import PreforkSite
+from repro.webserver.requests import PageRequest, RequestFactory
+
+
+class ClosedLoopClients:
+    """A population of closed-loop clients for one site."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        site: PreforkSite,
+        factory: RequestFactory,
+        *,
+        n_clients: int = 325,
+        mean_think_us: int = 2_000_000,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.engine = engine
+        self.site = site
+        self.factory = factory
+        self.n_clients = n_clients
+        self.mean_think_us = mean_think_us
+        self.rng = rng if rng is not None else engine.rng.stream(f"clients:{site.name}")
+        self.responses: list[tuple[int, int]] = []  # (completed_at, latency)
+        site.set_completion_callback(self._on_complete)
+
+    def start(self) -> None:
+        """Begin all client loops, staggered over one think time."""
+        for cid in range(self.n_clients):
+            offset = int(self.rng.uniform(0, self.mean_think_us))
+            self.engine.after(
+                offset, self._submit, payload=cid, tag=f"client:{self.site.name}"
+            )
+
+    def _submit(self, event) -> None:
+        cid: int = event.payload
+        req = self.factory.make(self.site.name, cid, self.engine.now)
+        self.site.enqueue(req)
+
+    def _on_complete(self, req: PageRequest) -> None:
+        assert req.completed_at is not None
+        self.responses.append(
+            (req.completed_at, req.completed_at - req.submitted_at)
+        )
+        think = max(1, int(self.rng.exponential(self.mean_think_us)))
+        self.engine.after(
+            think, self._submit, payload=req.client_id, tag=f"client:{self.site.name}"
+        )
+
+    def throughput(self, lo_us: int, hi_us: int) -> float:
+        """Requests per second completed in the window."""
+        window_s = (hi_us - lo_us) / 1_000_000
+        if window_s <= 0:
+            return 0.0
+        return self.site.stats.completions_in(lo_us, hi_us) / window_s

@@ -1,0 +1,72 @@
+"""The database server machine.
+
+The paper's MySQL host is a separate dual-CPU machine, so query
+processing consumes no web-server CPU — it only adds latency (service
+plus queueing).  Modelled as a k-server queue driven by engine events:
+a web worker submits a query naming its wakeup channel, blocks, and is
+woken when the query completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+
+
+@dataclass(slots=True)
+class _PendingQuery:
+    service_us: int
+    wake_channel: str
+
+
+class DatabaseServer:
+    """k-server FIFO queueing model of the remote database machine."""
+
+    def __init__(self, engine: Engine, kernel: Kernel, *, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.kernel = kernel
+        self.capacity = capacity
+        self._queue: deque[_PendingQuery] = deque()
+        self._busy = 0
+        #: Total queries served (statistics).
+        self.completed = 0
+        #: Aggregate busy time (µs) across servers (for utilisation).
+        self.busy_us = 0
+
+    def submit(self, service_us: int, wake_channel: str) -> None:
+        """Submit a query; the sleeper on ``wake_channel`` is woken when
+        it completes.  Callers must block *after* submitting (the
+        completion fires strictly in the future)."""
+        if service_us < 1:
+            service_us = 1
+        query = _PendingQuery(service_us=service_us, wake_channel=wake_channel)
+        if self._busy < self.capacity:
+            self._start(query)
+        else:
+            self._queue.append(query)
+
+    def utilization(self, wall_us: int) -> float:
+        """Mean fraction of DB capacity in use over ``wall_us``."""
+        if wall_us <= 0:
+            return 0.0
+        return self.busy_us / (wall_us * self.capacity)
+
+    def _start(self, query: _PendingQuery) -> None:
+        self._busy += 1
+        self.busy_us += query.service_us
+        self.engine.after(
+            query.service_us, self._on_done, payload=query, tag="db-done"
+        )
+
+    def _on_done(self, event) -> None:
+        query: _PendingQuery = event.payload
+        self._busy -= 1
+        self.completed += 1
+        self.kernel.wakeup(query.wake_channel)
+        if self._queue and self._busy < self.capacity:
+            self._start(self._queue.popleft())

@@ -1,0 +1,107 @@
+"""Prefork worker-pool auto-regulation (Apache's MinSpare/MaxSpare).
+
+The paper notes "Apache automatically regulates the number of active
+processes up to this maximum".  This module adds that behaviour to
+:class:`~repro.webserver.apache.PreforkSite`: a master process wakes
+once per second, counts idle workers, forks more when spare capacity is
+low, and retires workers when too many idle.  Dynamically spawned
+workers belong to the site's uid, so an ALPS scheduling the site as a
+:class:`~repro.alps.subjects.UserSubject` adopts them at its next
+membership refresh — including stopping newcomers of a suspended user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState, Process
+from repro.kernel.signals import SIGKILL
+from repro.units import SEC
+from repro.webserver.apache import PreforkSite
+
+
+@dataclass(slots=True, frozen=True)
+class RegulationPolicy:
+    """Apache-prefork-like pool regulation parameters."""
+
+    min_spare: int = 2
+    max_spare: int = 6
+    start_workers: int = 4
+    max_workers: int = 50
+    #: How many workers may be forked per regulation round (Apache's
+    #: exponential ramp is approximated by a flat burst).
+    fork_burst: int = 4
+    interval_us: int = 1 * SEC
+    #: CPU cost of one regulation pass (master's own work).
+    pass_cpu_us: int = 50
+
+
+class PreforkMaster:
+    """Master-process behavior regulating one site's worker pool."""
+
+    def __init__(self, site: PreforkSite, policy: RegulationPolicy) -> None:
+        self.site = site
+        self.policy = policy
+        self.forked = 0
+        self.reaped = 0
+        self._started = False
+
+    # -- Behavior protocol -------------------------------------------------
+    def next_action(self, proc: "Process", kapi):
+        if not self._started:
+            self._started = True
+            return Sleep(self.policy.interval_us, channel="prefork-master")
+        self._regulate()
+        return Sleep(self.policy.interval_us, channel="prefork-master")
+
+    # -- regulation --------------------------------------------------------
+    def _idle_workers(self) -> list:
+        return [
+            w
+            for w in self.site.workers
+            if w.alive and w.wait_channel == self.site.accept_channel
+        ]
+
+    def _regulate(self) -> None:
+        site = self.site
+        policy = self.policy
+        live = [w for w in site.workers if w.alive]
+        idle = self._idle_workers()
+        if len(idle) < policy.min_spare and len(live) < policy.max_workers:
+            room = policy.max_workers - len(live)
+            want = min(policy.fork_burst, room)
+            for _ in range(want):
+                worker = site.kernel.spawn(
+                    f"{site.name}-w{len(site.workers)}",
+                    site._worker_behavior(),
+                    uid=site.uid,
+                )
+                site.workers.append(worker)
+                self.forked += 1
+        elif len(idle) > policy.max_spare and len(live) > policy.start_workers:
+            excess = min(
+                len(idle) - policy.max_spare, len(live) - policy.start_workers
+            )
+            for worker in idle[:excess]:
+                site.kernel.kill(worker.pid, SIGKILL)
+                self.reaped += 1
+
+
+def regulated_site(
+    kernel: Kernel,
+    database,
+    *,
+    name: str,
+    uid: int,
+    policy: RegulationPolicy | None = None,
+) -> tuple[PreforkSite, PreforkMaster, Process]:
+    """Create a site that starts small and self-regulates its pool."""
+    policy = policy if policy is not None else RegulationPolicy()
+    site = PreforkSite(
+        kernel, database, name=name, uid=uid, max_workers=policy.start_workers
+    )
+    master = PreforkMaster(site, policy)
+    master_proc = kernel.spawn(f"{name}-master", master, uid=uid)
+    return site, master, master_proc

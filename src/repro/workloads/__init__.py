@@ -1,0 +1,45 @@
+"""Workload generators used by the paper's evaluation.
+
+* :mod:`~repro.workloads.shares` — the Table 2 share distributions
+  (linear / equal / skewed over 5, 10, 20 processes).
+* :mod:`~repro.workloads.spinner` — compute-bound processes.
+* :mod:`~repro.workloads.io_pattern` — the Section 3.3 compute/sleep
+  I/O simulation.
+* :mod:`~repro.workloads.scenarios` — assembled scenarios: one ALPS
+  over one workload, the Section 4.1 phased multi-ALPS experiment, and
+  the Section 4.2 scalability sweep configuration.
+"""
+
+from repro.workloads.io_pattern import compute_sleep_behavior
+from repro.workloads.shares import (
+    DISTRIBUTIONS,
+    ShareDistribution,
+    equal_shares,
+    linear_shares,
+    normalize_shares,
+    skewed_shares,
+    workload_shares,
+)
+from repro.workloads.spinner import spinner_behavior
+from repro.workloads.scenarios import (
+    ControlledWorkload,
+    build_controlled_workload,
+    MultiAlpsScenario,
+    build_multi_alps_scenario,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "ControlledWorkload",
+    "MultiAlpsScenario",
+    "ShareDistribution",
+    "build_controlled_workload",
+    "build_multi_alps_scenario",
+    "compute_sleep_behavior",
+    "equal_shares",
+    "linear_shares",
+    "normalize_shares",
+    "skewed_shares",
+    "spinner_behavior",
+    "workload_shares",
+]

@@ -1,0 +1,46 @@
+"""Bursty (on/off) workload processes.
+
+The paper evaluates compute-bound processes and one deterministic
+compute/sleep pattern.  Real services are burstier; this behavior
+alternates exponentially-distributed CPU bursts with exponentially-
+distributed idle (blocked) periods, giving a Markov-modulated demand
+stream for robustness experiments beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulerConfigError
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+
+
+def bursty_behavior(
+    rng: np.random.Generator,
+    *,
+    mean_burst_us: int,
+    mean_idle_us: int,
+    channel: str = "netio",
+) -> GeneratorBehavior:
+    """Alternate exp(mean_burst) CPU with exp(mean_idle) blocked time.
+
+    The long-run *demand* fraction is
+    ``mean_burst / (mean_burst + mean_idle)`` of one CPU; whether the
+    process achieves it depends on the scheduler and its share.
+    """
+    if mean_burst_us <= 0 or mean_idle_us < 0:
+        raise SchedulerConfigError(
+            f"need mean_burst_us > 0 and mean_idle_us >= 0, got "
+            f"{mean_burst_us}, {mean_idle_us}"
+        )
+
+    def run(proc, kapi):
+        while True:
+            burst = max(1, int(rng.exponential(mean_burst_us)))
+            yield Compute(burst)
+            if mean_idle_us > 0:
+                idle = max(1, int(rng.exponential(mean_idle_us)))
+                yield Sleep(idle, channel=channel)
+
+    return GeneratorBehavior(run)

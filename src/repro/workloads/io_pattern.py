@@ -1,0 +1,37 @@
+"""The Section 3.3 I/O workload: alternate computing and sleeping.
+
+Process B in the paper's I/O experiment "simulat[es] I/O requests by
+sleeping for 240 milliseconds after every 80 milliseconds of execution
+time", starting only after an initial warm-up of pure computation.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.units import ms
+
+
+def compute_sleep_behavior(
+    compute_us: int = ms(80),
+    sleep_us: int = ms(240),
+    *,
+    warmup_cpu_us: int = 0,
+    channel: str = "bio",
+) -> GeneratorBehavior:
+    """Compute ``compute_us`` of CPU, then sleep ``sleep_us``, forever.
+
+    ``warmup_cpu_us`` of pure computation runs first, reproducing the
+    paper's "after waiting for the processes to reach a steady state"
+    protocol.  The sleep channel is kvm-visible, so ALPS's blocked
+    detection sees the process waiting on I/O.
+    """
+
+    def run(proc, kapi):
+        if warmup_cpu_us > 0:
+            yield Compute(warmup_cpu_us)
+        while True:
+            yield Compute(compute_us)
+            yield Sleep(sleep_us, channel=channel)
+
+    return GeneratorBehavior(run)

@@ -1,0 +1,153 @@
+"""Assembled simulation scenarios.
+
+``build_controlled_workload`` wires the common case — one kernel, one
+ALPS, N compute-bound processes with given shares — and is the basis of
+the Figure 4/5/8/9 experiments.  ``build_multi_alps_scenario`` builds
+the Section 4.1 three-application phased experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.alps.agent import AlpsAgent, spawn_alps
+from repro.alps.config import AlpsConfig
+from repro.alps.subjects import ProcessSubject
+from repro.kernel.behaviors import Behavior
+from repro.kernel.kconfig import DEFAULT_CONFIG, KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+from repro.sim.engine import Engine
+from repro.workloads.spinner import spinner_behavior
+
+
+@dataclass(slots=True)
+class ControlledWorkload:
+    """One ALPS controlling one group of processes."""
+
+    engine: Engine
+    kernel: Kernel
+    alps_proc: Process
+    agent: AlpsAgent
+    workers: list[Process]
+    shares: list[int]
+
+    @property
+    def total_shares(self) -> int:
+        """Sum of the group's shares."""
+        return sum(self.shares)
+
+    def overhead_fraction(self, *, since: int = 0) -> float:
+        """ALPS CPU time / wall time, the paper's overhead metric."""
+        elapsed = self.kernel.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.kernel.getrusage(self.alps_proc.pid) / elapsed
+
+
+KernelFactory = Callable[[Engine, KernelConfig], Kernel]
+
+
+def build_controlled_workload(
+    shares: Sequence[int],
+    alps_config: AlpsConfig,
+    *,
+    seed: int = 0,
+    kernel_config: KernelConfig = DEFAULT_CONFIG,
+    behaviors: Optional[Sequence[Behavior]] = None,
+    alps_start_delay: int = 0,
+    kernel_factory: KernelFactory = Kernel,
+) -> ControlledWorkload:
+    """Create a kernel with N workers under one ALPS.
+
+    ``behaviors`` overrides the default all-spinner workload (used by
+    the I/O experiment to make one process block periodically);
+    ``kernel_factory`` selects the kernel policy (e.g.
+    :class:`~repro.kernel.cfs.CfsKernel` for the portability study).
+    """
+    engine = Engine(seed=seed)
+    kernel = kernel_factory(engine, kernel_config)
+    workers: list[Process] = []
+    for i, share in enumerate(shares):
+        beh = behaviors[i] if behaviors is not None else spinner_behavior()
+        workers.append(kernel.spawn(f"w{i}", beh, uid=100 + i))
+    subjects = [
+        ProcessSubject(sid=i, share=share, pid=workers[i].pid)
+        for i, share in enumerate(shares)
+    ]
+    alps_proc, agent = spawn_alps(
+        kernel, subjects, alps_config, start_delay=alps_start_delay
+    )
+    return ControlledWorkload(
+        engine=engine,
+        kernel=kernel,
+        alps_proc=alps_proc,
+        agent=agent,
+        workers=workers,
+        shares=list(shares),
+    )
+
+
+@dataclass(slots=True)
+class MultiAlpsScenario:
+    """Section 4.1: several independent ALPSs on one kernel."""
+
+    engine: Engine
+    kernel: Kernel
+    groups: list[ControlledWorkloadGroup] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class ControlledWorkloadGroup:
+    """One application (ALPS + workers) within a multi-ALPS scenario."""
+
+    label: str
+    alps_proc: Process
+    agent: AlpsAgent
+    workers: list[Process]
+    shares: list[int]
+    start_time: int
+
+
+def build_multi_alps_scenario(
+    group_specs: Sequence[tuple[str, Sequence[int], int]],
+    alps_config: AlpsConfig,
+    *,
+    seed: int = 0,
+    kernel_config: KernelConfig = DEFAULT_CONFIG,
+) -> MultiAlpsScenario:
+    """Build several (label, shares, start_time_us) groups, each with its
+    own ALPS process, all contending under one kernel scheduler."""
+    engine = Engine(seed=seed)
+    kernel = Kernel(engine, kernel_config)
+    scenario = MultiAlpsScenario(engine=engine, kernel=kernel)
+    for label, shares, start in group_specs:
+        workers = [
+            kernel.spawn(
+                f"{label}{i}", spinner_behavior(), uid=0, start_delay=start
+            )
+            for i in range(len(shares))
+        ]
+        subjects = [
+            ProcessSubject(sid=i, share=share, pid=workers[i].pid)
+            for i, share in enumerate(shares)
+        ]
+        alps_proc, agent = spawn_alps(
+            kernel,
+            subjects,
+            alps_config,
+            name=f"alps-{label}",
+            start_delay=start,
+        )
+        scenario.groups.append(
+            ControlledWorkloadGroup(
+                label=label,
+                alps_proc=alps_proc,
+                agent=agent,
+                workers=workers,
+                shares=list(shares),
+                start_time=start,
+            )
+        )
+    return scenario

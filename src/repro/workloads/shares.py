@@ -1,0 +1,91 @@
+"""Share distributions of the paper's evaluation (Table 2).
+
+Workloads have 5, 10, or 20 processes with n² total shares:
+
+* linear — odd numbers {1, 3, 5, ...}
+* equal — n shares each
+* skewed — all but one process hold 1 share; the last holds the rest
+
+The evaluation deliberately does **not** rescale shares by their GCD.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SchedulerConfigError
+
+
+class ShareDistribution(enum.Enum):
+    """Distribution models from Table 2."""
+
+    LINEAR = "linear"
+    EQUAL = "equal"
+    SKEWED = "skewed"
+
+
+#: All three distribution models in paper order.
+DISTRIBUTIONS = (
+    ShareDistribution.SKEWED,
+    ShareDistribution.LINEAR,
+    ShareDistribution.EQUAL,
+)
+
+
+def linear_shares(n: int) -> list[int]:
+    """Linear model: the first n odd numbers (sums to n²)."""
+    _check(n)
+    return [2 * i + 1 for i in range(n)]
+
+
+def equal_shares(n: int, per_process: int | None = None) -> list[int]:
+    """Equal model: ``per_process`` shares each (default n, summing to n²).
+
+    The Section 4.2 scalability experiment uses ``per_process=5``.
+    """
+    _check(n)
+    per = n if per_process is None else per_process
+    if per <= 0:
+        raise SchedulerConfigError(f"per_process must be positive, got {per}")
+    return [per] * n
+
+def skewed_shares(n: int) -> list[int]:
+    """Skewed model: n-1 single shares plus one holding the remainder of n²."""
+    _check(n)
+    if n == 1:
+        return [1]
+    return [1] * (n - 1) + [n * n - (n - 1)]
+
+
+def workload_shares(model: ShareDistribution, n: int) -> list[int]:
+    """Shares for a Table 2 workload of ``n`` processes."""
+    if model is ShareDistribution.LINEAR:
+        return linear_shares(n)
+    if model is ShareDistribution.EQUAL:
+        return equal_shares(n)
+    if model is ShareDistribution.SKEWED:
+        return skewed_shares(n)
+    raise SchedulerConfigError(f"unknown distribution {model!r}")
+
+
+def normalize_shares(weights: list[int]) -> list[int]:
+    """Scale integer weights by their GCD.
+
+    The paper defines the cycle length assuming "the shares have been
+    scaled by their greatest common divisor"; applications with large
+    raw weights (cell counts, bytes, request rates) should normalise so
+    cycles — and therefore the fairness horizon — stay short.
+    """
+    import math
+
+    if not weights:
+        raise SchedulerConfigError("need at least one weight")
+    if any(w <= 0 for w in weights):
+        raise SchedulerConfigError(f"weights must be positive, got {weights}")
+    g = math.gcd(*weights)
+    return [w // g for w in weights]
+
+
+def _check(n: int) -> None:
+    if n < 1:
+        raise SchedulerConfigError(f"workload needs >= 1 process, got {n}")

@@ -1,0 +1,23 @@
+"""Compute-bound workload processes.
+
+The paper's accuracy/overhead experiments use synthetic compute-bound
+processes (a loop counter).  The behavior requests CPU in large chunks;
+chunk size only bounds event frequency, not semantics, because the
+kernel preempts freely within a chunk.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.actions import Compute
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.units import SEC
+
+
+def spinner_behavior(chunk_us: int = 10 * SEC) -> GeneratorBehavior:
+    """An endless CPU burner requesting ``chunk_us`` of CPU at a time."""
+
+    def run(proc, kapi):
+        while True:
+            yield Compute(chunk_us)
+
+    return GeneratorBehavior(run)

@@ -1,0 +1,276 @@
+"""The ALPS algorithm (Figure 3): unit semantics.
+
+These tests drive :class:`AlpsCore` directly with synthetic
+measurements — no kernel, no agent — checking each clause of the
+pseudo-code: allowance bookkeeping, cycle completion, the eligibility
+partition, the measurement-postponement optimization, error carryover,
+and the blocked-process heuristic.
+"""
+
+import math
+
+import pytest
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.alps.state import Eligibility
+from repro.errors import SchedulerConfigError
+
+Q = 10_000  # 10 ms quantum in µs
+
+
+def make_core(shares, **kw):
+    return AlpsCore(shares, Q, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+def test_initial_state_per_paper():
+    core = make_core({1: 1, 2: 2, 3: 3})
+    assert core.total_shares == 6
+    assert core.cycle_length_us == 6 * Q
+    assert core.tc == 6 * Q
+    for sid, share in [(1, 1), (2, 2), (3, 3)]:
+        st = core.subjects[sid]
+        assert st.allowance == share
+        assert st.state is Eligibility.INELIGIBLE  # until first quantum
+
+
+def test_rejects_bad_config():
+    with pytest.raises(SchedulerConfigError):
+        AlpsCore({}, Q)
+    with pytest.raises(SchedulerConfigError):
+        AlpsCore({1: 0}, Q)
+    with pytest.raises(SchedulerConfigError):
+        AlpsCore({1: -2}, Q)
+    with pytest.raises(SchedulerConfigError):
+        AlpsCore({1: 1}, 0)
+
+
+# ---------------------------------------------------------------------------
+# First invocation
+# ---------------------------------------------------------------------------
+def test_first_quantum_makes_everyone_eligible():
+    core = make_core({1: 1, 2: 2})
+    due = core.begin_quantum()
+    assert due == []  # nobody eligible yet, so nobody measured
+    decisions = core.complete_quantum({})
+    assert sorted(decisions.to_resume) == [1, 2]
+    assert decisions.to_suspend == []
+    assert core.subjects[1].state is Eligibility.ELIGIBLE
+
+
+def test_update_postponement_set_from_allowance():
+    core = make_core({1: 3, 2: 1})
+    core.begin_quantum()
+    core.complete_quantum({})
+    # allowance 3 -> next measurement 3 quanta out; allowance 1 -> next.
+    assert core.subjects[1].update == core.count + 3
+    assert core.subjects[2].update == core.count + 1
+
+
+# ---------------------------------------------------------------------------
+# Measurement accounting
+# ---------------------------------------------------------------------------
+def test_consumption_reduces_allowance_and_tc():
+    core = make_core({1: 2, 2: 2})
+    core.begin_quantum()
+    core.complete_quantum({})
+    tc_before = core.tc
+    core.begin_quantum()
+    core.complete_quantum({1: Measurement(consumed_us=Q)})
+    assert core.subjects[1].allowance == pytest.approx(1.0)
+    assert core.tc == tc_before - Q
+
+
+def test_exhausted_subject_suspended():
+    core = make_core({1: 1, 2: 5})
+    core.begin_quantum()
+    core.complete_quantum({})
+    core.begin_quantum()
+    decisions = core.complete_quantum({1: Measurement(consumed_us=Q)})
+    assert 1 in decisions.to_suspend
+    assert core.subjects[1].state is Eligibility.INELIGIBLE
+
+
+def test_fractional_consumption_rounds_up_wait():
+    core = make_core({1: 5, 2: 5})
+    core.begin_quantum()
+    core.complete_quantum({})
+    count0 = core.count
+    core.begin_quantum()
+    core.complete_quantum({1: Measurement(consumed_us=7_000)})  # 0.7 Q
+    # allowance 4.3 -> paper: cannot finish before ceil(4.3)=5 quanta.
+    assert core.subjects[1].allowance == pytest.approx(4.3)
+    assert core.subjects[1].update == core.count + 5
+
+
+def test_only_due_subjects_are_measured():
+    core = make_core({1: 4, 2: 1})
+    core.begin_quantum()
+    core.complete_quantum({})
+    due = core.begin_quantum()
+    assert due == [2]  # subject 1 postponed for 4 quanta
+    core.complete_quantum({2: Measurement(consumed_us=Q)})
+    # 3 quanta later subject 1 becomes due.
+    for _ in range(2):
+        assert 1 not in core.begin_quantum()
+        core.complete_quantum({})
+    assert 1 in core.begin_quantum()
+
+
+def test_unoptimized_measures_every_eligible_subject():
+    core = make_core({1: 4, 2: 4}, optimized=False)
+    core.begin_quantum()
+    core.complete_quantum({})
+    for _ in range(3):
+        due = core.begin_quantum()
+        assert sorted(due) == [1, 2]
+        core.complete_quantum({sid: Measurement(consumed_us=0) for sid in due})
+
+
+# ---------------------------------------------------------------------------
+# Cycle completion
+# ---------------------------------------------------------------------------
+def test_cycle_completes_when_tc_exhausted():
+    core = make_core({1: 1, 2: 1})
+    core.begin_quantum()
+    core.complete_quantum({})
+    core.begin_quantum()
+    decisions = core.complete_quantum(
+        {1: Measurement(consumed_us=Q), 2: Measurement(consumed_us=Q)}
+    )
+    assert decisions.cycle_completed
+    assert core.cycles_completed == 1
+    assert core.tc == 2 * Q  # replenished by S·Q
+    # Allowances re-credited with shares.
+    assert core.subjects[1].allowance == pytest.approx(1.0)
+
+
+def test_cycle_record_contents():
+    core = make_core({1: 1, 2: 3})
+    core.begin_quantum()
+    core.complete_quantum({})
+    core.begin_quantum()
+    decisions = core.complete_quantum(
+        {1: Measurement(consumed_us=Q), 2: Measurement(consumed_us=3 * Q)}
+    )
+    rec = decisions.cycle_record
+    assert rec is not None
+    assert rec.consumed == {1: Q, 2: 3 * Q}
+    assert rec.shares == {1: 1, 2: 3}
+    assert rec.total_consumed == 4 * Q
+    assert len(core.cycle_log) == 1
+
+
+def test_overconsumption_carries_to_next_cycle():
+    """Paper §2.2: a process that consumed twice its share skips the
+    next cycle, so over two cycles the distribution is met."""
+    core = make_core({1: 1, 2: 1})
+    core.begin_quantum()
+    core.complete_quantum({})
+    core.begin_quantum()
+    decisions = core.complete_quantum(
+        {1: Measurement(consumed_us=2 * Q), 2: Measurement(consumed_us=0)}
+    )
+    assert decisions.cycle_completed
+    # allowance was 1 - 2 = -1, +1 share = 0 -> still ineligible.
+    assert core.subjects[1].allowance == pytest.approx(0.0)
+    assert core.subjects[1].state is Eligibility.INELIGIBLE
+    assert 1 in decisions.to_suspend
+
+
+def test_consumption_spans_cycles_correctly():
+    core = make_core({1: 2, 2: 2})
+    core.begin_quantum()
+    core.complete_quantum({})
+    # Consume the whole cycle's CPU in one lump measurement.
+    core.begin_quantum()
+    decisions = core.complete_quantum(
+        {1: Measurement(consumed_us=2 * Q), 2: Measurement(consumed_us=2 * Q)}
+    )
+    assert decisions.cycle_completed
+    assert core.tc == 4 * Q
+
+
+# ---------------------------------------------------------------------------
+# Blocked-process heuristic (Section 2.4)
+# ---------------------------------------------------------------------------
+def test_blocked_charges_one_quantum():
+    core = make_core({1: 3, 2: 3})
+    core.begin_quantum()
+    core.complete_quantum({})
+    tc_before = core.tc
+    core.begin_quantum()
+    core.complete_quantum({1: Measurement(consumed_us=0, blocked=True)})
+    assert core.subjects[1].allowance == pytest.approx(2.0)
+    assert core.tc == tc_before - Q
+    assert core.subjects[1].blocked_quanta_this_cycle == 1
+
+
+def test_fully_blocked_process_ends_cycle_early():
+    """If a process blocks through all its quanta, the cycle shortens as
+    if its shares never contributed (Section 2.4)."""
+    core = make_core({1: 2, 2: 2})
+    core.begin_quantum()
+    core.complete_quantum({})
+    # Subject 1 blocked for 2 quanta, subject 2 consumes its 2 quanta.
+    core.begin_quantum()
+    core.complete_quantum(
+        {
+            1: Measurement(consumed_us=0, blocked=True),
+            2: Measurement(consumed_us=Q),
+        }
+    )
+    core.begin_quantum()
+    decisions = core.complete_quantum(
+        {
+            1: Measurement(consumed_us=0, blocked=True),
+            2: Measurement(consumed_us=Q),
+        }
+    )
+    assert decisions.cycle_completed  # only 2Q of real consumption needed
+
+
+# ---------------------------------------------------------------------------
+# Dynamic membership
+# ---------------------------------------------------------------------------
+def test_add_subject_extends_cycle():
+    core = make_core({1: 1})
+    tc_before = core.tc
+    core.add_subject(2, 3)
+    assert core.total_shares == 4
+    assert core.tc == tc_before + 3 * Q
+    assert core.subjects[2].allowance == 3.0
+
+
+def test_add_duplicate_subject_rejected():
+    core = make_core({1: 1})
+    with pytest.raises(SchedulerConfigError):
+        core.add_subject(1, 2)
+
+
+def test_remove_subject_shrinks_cycle():
+    core = make_core({1: 1, 2: 3})
+    st = core.remove_subject(2)
+    assert st.share == 3
+    assert core.total_shares == 1
+    assert core.tc == 4 * Q - 3 * Q
+    assert 2 not in core.subjects
+
+
+def test_remove_unknown_subject_rejected():
+    core = make_core({1: 1})
+    with pytest.raises(SchedulerConfigError):
+        core.remove_subject(9)
+
+
+def test_measurement_for_removed_subject_ignored():
+    core = make_core({1: 1, 2: 1})
+    core.begin_quantum()
+    core.complete_quantum({})
+    core.begin_quantum()
+    core.remove_subject(2)
+    decisions = core.complete_quantum({2: Measurement(consumed_us=Q)})
+    assert 2 not in core.subjects
+    assert decisions is not None

@@ -1,0 +1,91 @@
+"""Edge cases of the core algorithm."""
+
+import pytest
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.alps.state import Eligibility
+from repro.errors import SchedulerConfigError
+
+Q = 10_000
+
+
+def test_single_subject_always_eligible_after_first_quantum():
+    core = AlpsCore({1: 1}, Q)
+    core.begin_quantum()
+    core.complete_quantum({})
+    for _ in range(20):
+        due = core.begin_quantum()
+        decisions = core.complete_quantum(
+            {sid: Measurement(consumed_us=Q) for sid in due}
+        )
+        # With only itself in the cycle, every consumed quantum
+        # completes a cycle and re-credits it immediately.
+        assert core.subjects[1].state is Eligibility.ELIGIBLE
+
+
+def test_huge_shares_do_not_overflow():
+    core = AlpsCore({1: 10**9, 2: 10**9}, Q)
+    assert core.cycle_length_us == 2 * 10**9 * Q
+    core.begin_quantum()
+    core.complete_quantum({})
+    assert core.subjects[1].allowance == pytest.approx(1e9)
+
+
+def test_zero_consumption_measurement_keeps_everything_stable():
+    core = AlpsCore({1: 2, 2: 3}, Q)
+    core.begin_quantum()
+    core.complete_quantum({})
+    tc = core.tc
+    for _ in range(5):
+        due = core.begin_quantum()
+        core.complete_quantum({sid: Measurement(consumed_us=0) for sid in due})
+    assert core.tc == tc
+    assert core.subjects[1].allowance == pytest.approx(2.0)
+
+
+def test_blocked_only_cycle_terminates():
+    """All subjects blocked through their entitlement: the cycle still
+    completes (via the tc -= Q charges), so nobody deadlocks."""
+    core = AlpsCore({1: 1, 2: 1}, Q)
+    core.begin_quantum()
+    core.complete_quantum({})
+    completed = False
+    for _ in range(10):
+        due = core.begin_quantum()
+        decisions = core.complete_quantum(
+            {sid: Measurement(consumed_us=0, blocked=True) for sid in due}
+        )
+        completed = completed or decisions.cycle_completed
+    assert completed
+    assert core.cycles_completed >= 1
+
+
+def test_removing_last_subject_forbidden_by_construction():
+    core = AlpsCore({1: 1}, Q)
+    st = core.remove_subject(1)
+    assert st.share == 1
+    # Core now has no subjects: begin_quantum yields nothing and
+    # complete_quantum still functions (degenerate but defined).
+    assert core.begin_quantum() == []
+    core.complete_quantum({})
+
+
+def test_share_must_be_integer_positive_on_add():
+    core = AlpsCore({1: 1}, Q)
+    with pytest.raises(SchedulerConfigError):
+        core.add_subject(2, 0)
+
+
+def test_fractional_measurements_accumulate_exactly():
+    core = AlpsCore({1: 3, 2: 3}, Q, optimized=False)
+    core.begin_quantum()
+    core.complete_quantum({})
+    for _ in range(6):
+        due = core.begin_quantum()
+        core.complete_quantum(
+            {sid: Measurement(consumed_us=Q // 2) for sid in due}
+        )
+    # 6 half-quantum measurements each = 3 quanta each = one cycle.
+    assert core.cycles_completed == 1
+    for sid in (1, 2):
+        assert core.subjects[sid].allowance == pytest.approx(3.0)

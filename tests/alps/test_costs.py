@@ -1,0 +1,51 @@
+"""Table 1 cost model and the fractional-cost accumulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.alps.costs import CostAccumulator, CostModel
+
+
+def test_paper_constants_are_default():
+    m = CostModel()
+    assert m.timer_event_us == pytest.approx(9.02)
+    assert m.measure_fixed_us == pytest.approx(1.1)
+    assert m.measure_per_proc_us == pytest.approx(17.4)
+    assert m.signal_us == pytest.approx(0.97)
+
+
+def test_measure_cost_linear_in_n():
+    m = CostModel()
+    assert m.measure_cost(0) == 0.0
+    assert m.measure_cost(1) == pytest.approx(1.1 + 17.4)
+    assert m.measure_cost(10) == pytest.approx(1.1 + 174.0)
+
+
+def test_quantum_cost_includes_timer():
+    m = CostModel()
+    assert m.quantum_cost(0) == pytest.approx(9.02)
+    assert m.quantum_cost(3) == pytest.approx(9.02 + 1.1 + 3 * 17.4)
+
+
+def test_accumulator_rejects_negative():
+    with pytest.raises(ValueError):
+        CostAccumulator().charge(-0.1)
+
+
+def test_accumulator_carries_fractions():
+    acc = CostAccumulator()
+    charges = [acc.charge(0.4) for _ in range(10)]
+    assert sum(charges) == 4  # 10 × 0.4 = 4 exactly over time
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=500))
+def test_accumulator_total_is_exact_to_one_unit(costs):
+    acc = CostAccumulator()
+    total = sum(acc.charge(c) for c in costs)
+    assert abs(total - sum(costs)) < 1.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=200))
+def test_accumulator_never_negative_charge(costs):
+    acc = CostAccumulator()
+    assert all(acc.charge(c) >= 0 for c in costs)

@@ -1,0 +1,55 @@
+"""Cycle log structure and helpers."""
+
+import numpy as np
+
+from repro.alps.instrumentation import CycleLog, CycleRecord
+
+
+def make_record(index, consumed, shares=None, end=0):
+    shares = shares if shares is not None else {k: 1 for k in consumed}
+    return CycleRecord(
+        index=index,
+        end_time=end,
+        consumed=consumed,
+        blocked_quanta={k: 0 for k in consumed},
+        shares=shares,
+        quantum_us=10_000,
+    )
+
+
+def test_append_len_iter_index():
+    log = CycleLog()
+    log.append(make_record(0, {1: 100}))
+    log.append(make_record(1, {1: 200}))
+    assert len(log) == 2
+    assert [r.index for r in log] == [0, 1]
+    assert log[1].consumed[1] == 200
+
+
+def test_total_consumed():
+    rec = make_record(0, {1: 100, 2: 300})
+    assert rec.total_consumed == 400
+
+
+def test_consumption_matrix_orders_columns():
+    log = CycleLog()
+    log.append(make_record(0, {1: 10, 2: 20}))
+    log.append(make_record(1, {1: 30, 2: 40}))
+    m = log.consumption_matrix([2, 1])
+    assert m.shape == (2, 2)
+    assert (m == np.array([[20, 10], [40, 30]])).all()
+
+
+def test_matrix_missing_subject_zero():
+    log = CycleLog()
+    log.append(make_record(0, {1: 10}))
+    m = log.consumption_matrix([1, 99])
+    assert m[0, 1] == 0
+
+
+def test_skip_and_tail():
+    log = CycleLog()
+    for i in range(10):
+        log.append(make_record(i, {1: i}))
+    assert [r.index for r in log.skip(7)] == [7, 8, 9]
+    assert [r.index for r in log.tail(2)] == [8, 9]

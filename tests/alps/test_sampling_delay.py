@@ -1,0 +1,52 @@
+"""Sampling-latency instrumentation: prompt below breakdown, not above."""
+
+import numpy as np
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.experiments.common import run_for_cycles
+from repro.units import SEC, ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.shares import equal_shares
+
+
+def _delays(n, *, horizon_s=60):
+    cw = build_controlled_workload(
+        equal_shares(n, 5), AlpsConfig(quantum_us=ms(10)), seed=0
+    )
+    cw.engine.run_until(sec(horizon_s))
+    return np.asarray(cw.agent.sampling_delays_us)
+
+
+def test_sampling_is_prompt_below_breakdown():
+    """Below the N≈40 threshold the agent samples within a fraction of
+    a quantum of each boundary (its work plus dispatch, tens of µs)."""
+    d = _delays(10)
+    assert d.size > 1000
+    assert np.median(d) < 500
+    assert np.percentile(d, 99) < ms(5)
+
+
+def test_sampling_delay_explodes_past_breakdown():
+    """Past the threshold the agent suffers occasional multi-second
+    parkings and misses most quantum boundaries outright (§4.2's 'may
+    not be scheduled promptly')."""
+    below = _delays(20, horizon_s=40)
+    above = _delays(80, horizon_s=40)
+    # Worst-case parking: bounded below threshold, seconds above it.
+    assert below.max() < ms(5)
+    assert above.max() > 100 * ms(10)
+    # Boundary coverage: ~every quantum serviced below threshold, most
+    # missed above it (invocations collapse while parked).
+    expected = 40 * SEC // ms(10)
+    assert below.size > 0.9 * expected
+    assert above.size < 0.5 * expected
+
+
+def test_delay_equals_work_plus_dispatch_for_lone_group():
+    """With a single worker, ALPS is never contended: each delay is just
+    its own modelled work."""
+    cw = build_controlled_workload([1], AlpsConfig(quantum_us=ms(10)), seed=0)
+    cw.engine.run_until(sec(5))
+    d = np.asarray(cw.agent.sampling_delays_us)
+    assert d.max() < 200  # timer + one measurement + dispatch slivers

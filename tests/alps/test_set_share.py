@@ -1,0 +1,57 @@
+"""Dynamic reweighting (set_share extension)."""
+
+import pytest
+
+from repro.alps.algorithm import AlpsCore
+from repro.alps.config import AlpsConfig
+from repro.errors import SchedulerConfigError
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+Q = 10_000
+
+
+def test_set_share_adjusts_totals_and_allowance():
+    core = AlpsCore({1: 2, 2: 2}, Q)
+    core.set_share(1, 5)
+    assert core.total_shares == 7
+    assert core.subjects[1].share == 5
+    assert core.subjects[1].allowance == pytest.approx(5.0)
+    assert core.tc == 7 * Q
+
+
+def test_set_share_decrease():
+    core = AlpsCore({1: 5, 2: 2}, Q)
+    core.set_share(1, 1)
+    assert core.total_shares == 3
+    assert core.subjects[1].allowance == pytest.approx(1.0)
+
+
+def test_set_share_same_value_is_noop():
+    core = AlpsCore({1: 2}, Q)
+    tc = core.tc
+    core.set_share(1, 2)
+    assert core.tc == tc
+
+
+def test_set_share_validation():
+    core = AlpsCore({1: 2}, Q)
+    with pytest.raises(SchedulerConfigError):
+        core.set_share(9, 2)
+    with pytest.raises(SchedulerConfigError):
+        core.set_share(1, 0)
+
+
+def test_end_to_end_reweighting_shifts_allocation():
+    cw = build_controlled_workload([1, 1], AlpsConfig(quantum_us=ms(10)), seed=0)
+    cw.engine.run_until(sec(10))
+    before = [cw.kernel.getrusage(w.pid) for w in cw.workers]
+    # Make worker 1 worth 4x worker 0 from now on.
+    cw.agent.set_share(1, 4)
+    cw.engine.run_until(sec(30))
+    after = [cw.kernel.getrusage(w.pid) for w in cw.workers]
+    window = [a - b for a, b in zip(after, before)]
+    frac1 = window[1] / sum(window)
+    assert frac1 == pytest.approx(0.8, abs=0.04)
+    # First phase was an even split.
+    assert before[0] == pytest.approx(before[1], rel=0.1)

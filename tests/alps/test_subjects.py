@@ -1,0 +1,59 @@
+"""Resource principals."""
+
+from repro.alps.subjects import ProcessSubject, Subject, UserSubject
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import SIGKILL
+from repro.sim.engine import Engine
+from repro.units import ms
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_env():
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    return eng, k, k.kapi
+
+
+def test_process_subject_tracks_single_pid():
+    eng, k, kapi = make_env()
+    p = k.spawn("a", spinner_behavior())
+    subj = ProcessSubject(sid=0, share=3, pid=p.pid)
+    assert isinstance(subj, Subject)
+    assert subj.pids(kapi) == [p.pid]
+    assert subj.refresh(kapi) is False  # unchanged
+
+
+def test_process_subject_detects_death():
+    eng, k, kapi = make_env()
+    p = k.spawn("a", spinner_behavior())
+    subj = ProcessSubject(sid=0, share=1, pid=p.pid)
+    eng.run_until(ms(5))
+    k.kill(p.pid, SIGKILL)
+    assert subj.refresh(kapi) is True
+    assert subj.pids(kapi) == []
+
+
+def test_user_subject_enumerates_uid():
+    eng, k, kapi = make_env()
+    a = k.spawn("a", spinner_behavior(), uid=5)
+    b = k.spawn("b", spinner_behavior(), uid=5)
+    k.spawn("c", spinner_behavior(), uid=6)
+    subj = UserSubject(sid=0, share=2, uid=5)
+    assert subj.pids(kapi) == []  # before first refresh
+    assert subj.refresh(kapi) is True
+    assert sorted(subj.pids(kapi)) == sorted([a.pid, b.pid])
+
+
+def test_user_subject_refresh_tracks_membership_changes():
+    eng, k, kapi = make_env()
+    a = k.spawn("a", spinner_behavior(), uid=5)
+    subj = UserSubject(sid=0, share=1, uid=5)
+    subj.refresh(kapi)
+    assert subj.refresh(kapi) is False  # no change
+    b = k.spawn("b", spinner_behavior(), uid=5)
+    assert subj.refresh(kapi) is True
+    assert sorted(subj.pids(kapi)) == sorted([a.pid, b.pid])
+    eng.run_until(ms(5))
+    k.kill(a.pid, SIGKILL)
+    assert subj.refresh(kapi) is True
+    assert subj.pids(kapi) == [b.pid]

@@ -1,0 +1,48 @@
+"""ALPS decision tracing."""
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.alps.tracing import attach_alps_trace
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    cw = build_controlled_workload([1, 3], AlpsConfig(quantum_us=ms(10)), seed=0)
+    trace = attach_alps_trace(cw.agent)
+    cw.engine.run_until(sec(5))
+    return cw, trace
+
+
+def test_trace_records_every_invocation(traced_run):
+    cw, trace = traced_run
+    # The final invocation may still be mid-flight when the run stops.
+    assert abs(len(trace) - cw.agent.invocations) <= 1
+    assert len(trace) > 100
+
+
+def test_trace_cycle_count_matches_log(traced_run):
+    cw, trace = traced_run
+    assert trace.cycles() == len(cw.agent.cycle_log)
+
+
+def test_small_share_subject_suspended_often(traced_run):
+    cw, trace = traced_run
+    assert trace.suspensions_of(0) > trace.suspensions_of(1)
+    assert trace.suspensions_of(0) > 10
+
+
+def test_measurement_counts_positive(traced_run):
+    cw, trace = traced_run
+    assert trace.measurements_of(0) > 0
+    assert trace.measurements_of(1) > 0
+
+
+def test_format_tail(traced_run):
+    _cw, trace = traced_run
+    text = trace.format(last=5)
+    assert text.count("\n") == 4
+    assert "measured[" in text
+    assert "CYCLE" in text or trace.cycles() == 0

@@ -1,0 +1,25 @@
+"""ASCII plotting."""
+
+from repro.analysis.ascii_plot import ascii_series_plot
+
+
+def test_empty_series():
+    assert ascii_series_plot({"a": ([], [])}) == "(no data)"
+
+
+def test_plot_contains_marks_and_legend():
+    out = ascii_series_plot(
+        {"up": ([0, 1, 2], [0, 1, 2]), "down": ([0, 1, 2], [2, 1, 0])},
+        width=20,
+        height=8,
+        title="T",
+    )
+    assert out.splitlines()[0] == "T"
+    assert "o up" in out
+    assert "x down" in out
+    assert "o" in out and "x" in out
+
+
+def test_constant_series_does_not_crash():
+    out = ascii_series_plot({"flat": ([0, 1], [5, 5])})
+    assert "flat" in out

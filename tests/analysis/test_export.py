@@ -1,0 +1,32 @@
+"""CSV export."""
+
+import csv
+
+from repro.analysis.export import write_csv
+
+
+def test_writes_rows(tmp_path):
+    path = write_csv(
+        tmp_path / "out.csv",
+        [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}],
+    )
+    with path.open() as f:
+        rows = list(csv.DictReader(f))
+    assert rows == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+
+def test_empty_rows_creates_empty_file(tmp_path):
+    path = write_csv(tmp_path / "empty.csv", [])
+    assert path.read_text() == ""
+
+
+def test_explicit_fieldnames_subset(tmp_path):
+    path = write_csv(
+        tmp_path / "sub.csv", [{"a": 1, "b": 2}], fieldnames=["a"]
+    )
+    assert path.read_text().splitlines()[0] == "a"
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = write_csv(tmp_path / "deep" / "dir" / "f.csv", [{"x": 1}])
+    assert path.exists()

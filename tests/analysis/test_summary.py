@@ -1,0 +1,40 @@
+"""Workload summaries."""
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.analysis.summary import summarize_workload
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    cw = build_controlled_workload([1, 2], AlpsConfig(quantum_us=ms(10)), seed=0)
+    cw.engine.run_until(sec(10))
+    return cw
+
+
+def test_summary_fields(finished_run):
+    s = summarize_workload(finished_run)
+    assert s.wall_us == sec(10)
+    assert s.cycles > 50
+    assert 0 < s.error_pct < 20
+    assert 0 < s.overhead_pct < 1
+    assert s.alps_invocations > 500
+    assert len(s.rows) == 2
+
+
+def test_summary_rows_reflect_shares(finished_run):
+    s = summarize_workload(finished_run)
+    (name0, share0, t0, a0, cpu0, _), (name1, share1, t1, a1, cpu1, _) = s.rows
+    assert share0 == 1 and share1 == 2
+    assert cpu1 > cpu0
+
+
+def test_format_renders(finished_run):
+    s = summarize_workload(finished_run)
+    text = s.format()
+    assert "workload summary" in text
+    assert "invocations" in text
+    assert "context switches" in text

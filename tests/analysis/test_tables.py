@@ -1,0 +1,22 @@
+"""ASCII table formatting."""
+
+from repro.analysis.tables import format_table
+
+
+def test_basic_table():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, None]])
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "bb"]
+    assert "2.50" in out
+    assert "-" in lines[-1]  # None rendered as dash
+
+
+def test_title():
+    out = format_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_alignment_widths():
+    out = format_table(["col"], [["longvalue"]])
+    header, sep, row = out.splitlines()
+    assert len(header) == len(row)

@@ -1,0 +1,77 @@
+"""Timeline recording and rendering."""
+
+import pytest
+
+from repro.analysis.timeline import RunInterval, Timeline, attach_timeline
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+def test_add_merges_contiguous_same_pid():
+    t = Timeline()
+    t.add(1, 0, 10)
+    t.add(1, 10, 20)
+    t.add(2, 20, 30)
+    assert t.intervals == [RunInterval(1, 0, 20), RunInterval(2, 20, 30)]
+
+
+def test_add_ignores_empty():
+    t = Timeline()
+    t.add(1, 5, 5)
+    assert t.intervals == []
+
+
+def test_busy_of_windows():
+    t = Timeline()
+    t.add(1, 0, 100)
+    t.add(2, 100, 200)
+    t.add(1, 200, 300)
+    assert t.busy_of(1) == 200
+    assert t.busy_of(1, 50, 250) == 100
+    assert t.busy_of(2, 0, 150) == 50
+
+
+def test_render_shape():
+    t = Timeline()
+    t.add(1, 0, 500)
+    t.add(2, 500, 1000)
+    out = t.render(0, 1000, width=20, labels={1: "alps"})
+    lines = out.splitlines()
+    assert len(lines) == 3  # header + 2 pids
+    assert "alps" in lines[1]
+    assert "#" in lines[1] and "#" in lines[2]
+
+
+def test_render_requires_window():
+    with pytest.raises(ValueError):
+        Timeline().render(10, 10)
+
+
+def test_attached_timeline_accounts_all_cpu():
+    eng = Engine(seed=0)
+    k = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior())
+    tl = attach_timeline(k)
+    eng.run_until(sec(3))
+    k._charge_current()  # flush the in-flight interval
+    busy = tl.busy_of(a.pid) + tl.busy_of(b.pid)
+    assert busy == pytest.approx(sec(3), abs=ms(1))
+    # Timeline matches kernel accounting per process.
+    assert tl.busy_of(a.pid) == pytest.approx(k.getrusage(a.pid), abs=ms(1))
+    assert sorted(tl.pids()) == sorted([a.pid, b.pid])
+
+
+def test_attached_timeline_shows_rotation():
+    eng = Engine(seed=0)
+    k = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    k.spawn("a", spinner_behavior())
+    k.spawn("b", spinner_behavior())
+    tl = attach_timeline(k)
+    eng.run_until(sec(2))
+    # The two spinners alternate: more than one interval each.
+    per_pid = {pid: sum(1 for iv in tl.intervals if iv.pid == pid) for pid in tl.pids()}
+    assert all(count >= 2 for count in per_pid.values())

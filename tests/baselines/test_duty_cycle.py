@@ -1,0 +1,58 @@
+"""cpulimit-style duty-cycle baseline."""
+
+import pytest
+
+from repro.baselines.duty_cycle import DutyCycleAgent, spawn_duty_cycle
+from repro.errors import SchedulerConfigError
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import SIGKILL
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_env(n):
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    procs = [k.spawn(f"w{i}", spinner_behavior()) for i in range(n)]
+    return eng, k, procs
+
+
+def test_rejects_bad_config():
+    with pytest.raises(SchedulerConfigError):
+        DutyCycleAgent({1: 0.5}, period_us=0)
+    with pytest.raises(SchedulerConfigError):
+        DutyCycleAgent({1: 0.5}, sample_us=200_000, period_us=100_000)
+    with pytest.raises(SchedulerConfigError):
+        DutyCycleAgent({1: 0.8, 2: 0.8})
+    with pytest.raises(SchedulerConfigError):
+        DutyCycleAgent({1: -0.1})
+
+
+def test_enforces_caps_roughly():
+    eng, k, procs = make_env(2)
+    proc, agent = spawn_duty_cycle(k, [1, 3], [p.pid for p in procs])
+    eng.run_until(sec(20))
+    a = k.getrusage(procs[0].pid)
+    b = k.getrusage(procs[1].pid)
+    assert b / (a + b) == pytest.approx(0.75, abs=0.08)
+
+
+def test_not_work_conserving():
+    """A single capped process cannot exceed its cap even when the CPU
+    is otherwise idle — the key contrast with ALPS."""
+    eng, k, procs = make_env(1)
+    agent = DutyCycleAgent({procs[0].pid: 0.25})
+    k.spawn("cpulimit", agent)
+    eng.run_until(sec(10))
+    usage = k.getrusage(procs[0].pid)
+    assert usage < sec(10) * 0.35  # idles ~75 % of the machine
+
+
+def test_survives_process_death():
+    eng, k, procs = make_env(2)
+    proc, agent = spawn_duty_cycle(k, [1, 1], [p.pid for p in procs])
+    eng.run_until(sec(1))
+    k.kill(procs[0].pid, SIGKILL)
+    eng.run_until(sec(3))  # must not raise
+    assert k.getrusage(procs[1].pid) > 0

@@ -1,0 +1,47 @@
+"""Lottery scheduler: probabilistic proportional share."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lottery import LotteryScheduler
+from repro.baselines.stride import StrideScheduler
+from repro.errors import SchedulerConfigError
+from repro.metrics.accuracy import mean_rms_relative_error
+
+Q = 10_000
+
+
+def test_rejects_bad_config():
+    with pytest.raises(SchedulerConfigError):
+        LotteryScheduler({}, Q)
+    with pytest.raises(SchedulerConfigError):
+        LotteryScheduler({1: -1}, Q)
+
+
+def test_deterministic_given_seed():
+    a = LotteryScheduler({1: 1, 2: 2}, Q, seed=5)
+    b = LotteryScheduler({1: 1, 2: 2}, Q, seed=5)
+    assert a.run(100 * Q) == b.run(100 * Q)
+
+
+def test_long_run_proportions_converge():
+    s = LotteryScheduler({1: 1, 2: 3}, Q, seed=0)
+    consumed = s.run(20_000 * Q)
+    frac = consumed[2] / (consumed[1] + consumed[2])
+    assert frac == pytest.approx(0.75, abs=0.02)
+
+
+def test_higher_variance_than_stride():
+    shares = {1: 1, 2: 1}
+    lot_err = mean_rms_relative_error(
+        LotteryScheduler(shares, Q, seed=1).cycle_log(100)
+    )
+    stride_err = mean_rms_relative_error(StrideScheduler(shares, Q).cycle_log(100))
+    assert lot_err > stride_err
+
+
+def test_run_quantum_updates_consumption():
+    s = LotteryScheduler({7: 1}, Q, seed=0)
+    winner = s.run_quantum()
+    assert winner == 7
+    assert s.consumed_us[7] == Q

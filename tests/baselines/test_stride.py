@@ -1,0 +1,80 @@
+"""Stride scheduler: deterministic proportional share."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.stride import StrideScheduler
+from repro.errors import SchedulerConfigError
+from repro.metrics.accuracy import mean_rms_relative_error
+
+Q = 10_000
+
+
+def test_rejects_bad_config():
+    with pytest.raises(SchedulerConfigError):
+        StrideScheduler({}, Q)
+    with pytest.raises(SchedulerConfigError):
+        StrideScheduler({1: 0}, Q)
+    with pytest.raises(SchedulerConfigError):
+        StrideScheduler({1: 1}, 0)
+
+
+def test_exact_proportions_over_cycle():
+    s = StrideScheduler({1: 1, 2: 2, 3: 3}, Q)
+    s.run(6 * Q)
+    assert s.consumed_us == {1: Q, 2: 2 * Q, 3: 3 * Q}
+
+
+def test_interleaving_spreads_high_share_client():
+    s = StrideScheduler({1: 1, 2: 3}, Q)
+    order = [s.run_quantum() for _ in range(8)]
+    # Client 2 never waits more than two quanta in a row.
+    gaps = [i for i, c in enumerate(order) if c == 2]
+    assert max(b - a for a, b in zip(gaps, gaps[1:])) <= 2
+
+
+def test_cycle_log_has_zero_error():
+    s = StrideScheduler({1: 2, 2: 5, 3: 9}, Q)
+    log = s.cycle_log(10)
+    assert len(log) == 10
+    assert mean_rms_relative_error(log) == pytest.approx(0.0, abs=1e-9)
+
+
+@given(
+    shares=st.dictionaries(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=9),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_allocation_error_bounds(shares):
+    """Stride's guarantees (Waldspurger): pairwise relative error is
+    bounded by one quantum, and absolute error by O(#clients) quanta;
+    allocations are exactly proportional at cycle boundaries."""
+    s = StrideScheduler(shares, Q)
+    total_shares = sum(shares.values())
+    nclients = len(shares)
+    elapsed = 0
+    for step in range(1, 5 * total_shares + 1):
+        s.run_quantum()
+        elapsed += Q
+        for cid, share in shares.items():
+            ideal = elapsed * share / total_shares
+            # Absolute error bounded by the number of clients (loose
+            # form of Waldspurger's O(n) bound).
+            assert abs(s.consumed_us[cid] - ideal) <= nclients * Q + 1e-6
+        # Pairwise relative error <= 1 quantum (in normalised units).
+        sids = sorted(shares)
+        for i in range(len(sids)):
+            for j in range(i + 1, len(sids)):
+                a, b = sids[i], sids[j]
+                diff = abs(
+                    s.consumed_us[a] / shares[a] - s.consumed_us[b] / shares[b]
+                )
+                assert diff <= Q * (1 / shares[a] + 1 / shares[b]) + Q + 1e-6
+        if step % total_shares == 0:
+            # Exact proportionality at cycle boundaries.
+            for cid, share in shares.items():
+                assert s.consumed_us[cid] == (step // total_shares) * share * Q

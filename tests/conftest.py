@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh deterministic engine."""
+    return Engine(seed=42)
+
+
+@pytest.fixture
+def kernel(engine: Engine) -> Kernel:
+    """A kernel with default (FreeBSD-4.x-like) configuration."""
+    return Kernel(engine)
+
+
+@pytest.fixture
+def fast_kernel_config() -> KernelConfig:
+    """A kernel config with no context-switch cost, for exact-arithmetic
+    scheduling tests."""
+    return KernelConfig(ctx_switch_us=0)

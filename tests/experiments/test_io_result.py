@@ -1,0 +1,50 @@
+"""IoExperimentResult mask logic on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.io import IoExperimentResult
+
+
+def make_result():
+    # 10 cycles; I/O starts at cycle 4; B blocked on cycles 5, 7, 9.
+    idx = np.arange(10)
+    share = np.tile([20.0, 30.0, 50.0], (10, 1))
+    blocked = np.zeros(10, dtype=bool)
+    blocked[[5, 7, 9]] = True
+    return IoExperimentResult(
+        cycle_indices=idx,
+        share_pct=share,
+        blocked_b=blocked,
+        io_start_cycle=4,
+    )
+
+
+def test_masks_partition_post_io_cycles():
+    r = make_result()
+    post = r.cycle_indices >= 4
+    assert ((r.active_mask | r.blocked_mask) == post).all()
+    assert not (r.active_mask & r.blocked_mask).any()
+
+
+def test_blocked_mask_matches_flags():
+    r = make_result()
+    assert list(np.flatnonzero(r.blocked_mask)) == [5, 7, 9]
+
+
+def test_steady_mask_excludes_warmup_and_transition():
+    r = make_result()
+    # Cycles >= 10 warm-up excluded; here warm-up bound exceeds range.
+    assert not r.steady_mask.any()
+
+
+def test_mean_shares_empty_mask_is_nan():
+    r = make_result()
+    out = r.mean_shares(np.zeros(10, dtype=bool))
+    assert np.isnan(out).all()
+
+
+def test_mean_shares_values():
+    r = make_result()
+    out = r.mean_shares(r.blocked_mask)
+    assert out == pytest.approx([20.0, 30.0, 50.0])

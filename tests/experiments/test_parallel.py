@@ -1,0 +1,40 @@
+"""Parallel sweep execution."""
+
+import pytest
+
+from repro.experiments.parallel import default_workers, parallel_map
+from repro.workloads.shares import ShareDistribution
+
+
+def _square(x):
+    return x * x
+
+
+def _tiny_accuracy(args):
+    from repro.experiments.accuracy import run_accuracy_point
+
+    model, n, q = args
+    return run_accuracy_point(model, n, q, cycles=5, seeds=(0,)).mean_rms_error_pct
+
+
+def test_serial_fallback_preserves_order():
+    assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+
+def test_parallel_matches_serial():
+    items = list(range(8))
+    assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_experiment_cells_run_in_pool():
+    cells = [
+        (ShareDistribution.EQUAL, 5, 10),
+        (ShareDistribution.LINEAR, 5, 10),
+    ]
+    serial = parallel_map(_tiny_accuracy, cells, workers=1)
+    pooled = parallel_map(_tiny_accuracy, cells, workers=2)
+    assert serial == pooled  # determinism across process boundaries

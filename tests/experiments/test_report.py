@@ -1,0 +1,20 @@
+"""Markdown report generation (filtered to stay fast)."""
+
+from repro.experiments.report import generate_report
+
+
+def test_generate_report_section(tmp_path):
+    out = generate_report(
+        path=tmp_path / "report.md", only="multiple ALPSs"
+    )
+    text = out.read_text()
+    assert text.startswith("# ALPS reproduction report")
+    assert "## Figure 7 / Table 3" in text
+    assert "average relative error" in text
+    # Unselected sections are absent.
+    assert "Figure 5" not in text
+
+
+def test_generate_report_empty_filter(tmp_path):
+    out = generate_report(path=tmp_path / "r.md", only="no-such-section")
+    assert "##" not in out.read_text()

@@ -1,0 +1,57 @@
+"""Experiment runner plumbing (small configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy_point
+from repro.experiments.overhead import run_overhead_point
+from repro.experiments.scalability import analyze_breakdown, run_scalability_point
+from repro.workloads.shares import ShareDistribution
+
+
+def test_accuracy_point_runs_and_labels():
+    pt = run_accuracy_point(
+        ShareDistribution.EQUAL, 5, 10, cycles=20, seeds=(0,)
+    )
+    assert pt.label == "Equal5"
+    assert not math.isnan(pt.mean_rms_error_pct)
+    assert pt.mean_rms_error_pct < 20.0
+    assert len(pt.per_seed_errors) == 1
+
+
+def test_accuracy_multiple_seeds_averaged():
+    pt = run_accuracy_point(
+        ShareDistribution.LINEAR, 5, 20, cycles=15, seeds=(0, 1)
+    )
+    assert pt.mean_rms_error_pct == pytest.approx(
+        sum(pt.per_seed_errors) / 2
+    )
+
+
+def test_overhead_point_fields():
+    pt = run_overhead_point(ShareDistribution.EQUAL, 5, 10, cycles=20)
+    assert pt.overhead_pct > 0
+    assert pt.invocations > 0
+    assert pt.reads > 0
+    assert pt.wall_us > 0
+    assert pt.optimized
+
+
+def test_overhead_unoptimized_reads_more():
+    opt = run_overhead_point(ShareDistribution.EQUAL, 5, 10, cycles=20)
+    unopt = run_overhead_point(
+        ShareDistribution.EQUAL, 5, 10, cycles=20, optimized=False
+    )
+    assert unopt.reads > opt.reads
+    assert unopt.overhead_pct > opt.overhead_pct
+
+
+def test_scalability_point_and_analysis():
+    pts = [
+        run_scalability_point(n, 10, cycles=10, max_wall_s=60.0)
+        for n in (5, 10, 15)
+    ]
+    analyses = analyze_breakdown(pts)
+    assert len(analyses) == 1
+    assert analyses[0].fit.slope > 0

@@ -1,0 +1,30 @@
+"""Cost-scaling helpers of the sensitivity experiment."""
+
+import pytest
+
+from repro.alps.costs import CostModel
+from repro.experiments.sensitivity import run_sensitivity_point, scaled_costs
+
+
+def test_scaled_costs_multiplies_every_operation():
+    doubled = scaled_costs(2.0)
+    base = CostModel()
+    assert doubled.timer_event_us == pytest.approx(2 * base.timer_event_us)
+    assert doubled.measure_fixed_us == pytest.approx(2 * base.measure_fixed_us)
+    assert doubled.measure_per_proc_us == pytest.approx(
+        2 * base.measure_per_proc_us
+    )
+    assert doubled.signal_us == pytest.approx(2 * base.signal_us)
+
+
+def test_scaled_costs_identity():
+    assert scaled_costs(1.0) == CostModel()
+
+
+def test_sensitivity_point_small():
+    p = run_sensitivity_point(
+        1.0, sizes=(5, 10, 15), cycles=8, max_wall_s=40.0
+    )
+    assert p.fit_slope > 0
+    assert p.predicted_n > 0
+    assert len(p.points) == 3

@@ -1,0 +1,65 @@
+"""Live HostAlps controller (short runs on real processes)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos.controller import HostAlps
+from repro.hostos.procfs import proc_state
+from repro.hostos.spawn import spawn_spinner
+
+pytestmark = pytest.mark.hostos
+
+
+def test_rejects_bad_quantum():
+    with pytest.raises(HostOSError):
+        HostAlps({1: 1}, quantum_s=0)
+
+
+def test_enforces_rough_proportions_live():
+    procs = [spawn_spinner() for _ in range(2)]
+    try:
+        alps = HostAlps(
+            {procs[0].pid: 1, procs[1].pid: 3}, quantum_s=0.05
+        )
+        report = alps.run(4.0)
+        fr = report.fractions()
+        # Loose tolerance: host jitter + tick-resolution accounting.
+        assert fr[procs[1].pid] == pytest.approx(0.75, abs=0.12)
+        assert report.cycles >= 2
+        assert report.overhead_fraction < 0.10
+    finally:
+        for p in procs:
+            p.kill()
+            p.wait()
+
+
+def test_all_processes_resumed_on_exit():
+    procs = [spawn_spinner() for _ in range(2)]
+    try:
+        alps = HostAlps({procs[0].pid: 1, procs[1].pid: 9}, quantum_s=0.05)
+        alps.run(1.5)
+        time.sleep(0.1)
+        for p in procs:
+            assert proc_state(p.pid) != "T"
+    finally:
+        for p in procs:
+            p.kill()
+            p.wait()
+
+
+def test_survives_controlled_process_death():
+    procs = [spawn_spinner() for _ in range(2)]
+    try:
+        alps = HostAlps({procs[0].pid: 1, procs[1].pid: 1}, quantum_s=0.05)
+        procs[0].kill()
+        procs[0].wait()
+        report = alps.run(1.0)
+        assert report.duration_s >= 1.0
+    finally:
+        for p in procs:
+            p.kill()
+            p.wait()

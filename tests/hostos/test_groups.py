@@ -1,0 +1,71 @@
+"""Live group scheduling (HostGroupAlps)."""
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos.groups import HostGroupAlps
+from repro.hostos.spawn import spawn_spinner
+
+pytestmark = pytest.mark.hostos
+
+
+def test_config_validation():
+    with pytest.raises(HostOSError):
+        HostGroupAlps({1: 1}, {2: []})  # mismatched keys
+    with pytest.raises(HostOSError):
+        HostGroupAlps({1: 1}, {1: []}, quantum_s=0)
+
+
+def test_groups_share_one_allocation():
+    """Two pids in a 1-share group together get ~1/4 vs a 3-share pid."""
+    procs = [spawn_spinner() for _ in range(3)]
+    try:
+        alps = HostGroupAlps(
+            {0: 1, 1: 3},
+            {0: [procs[0].pid, procs[1].pid], 1: [procs[2].pid]},
+            quantum_s=0.05,
+        )
+        report = alps.run(4.0)
+        by_group = alps.group_consumed(report)
+        total = sum(by_group.values())
+        assert total > 0
+        assert by_group[1] / total == pytest.approx(0.75, abs=0.12)
+    finally:
+        for p in procs:
+            p.kill()
+            p.wait()
+
+
+def test_membership_refresh_adopts_new_pid():
+    procs = [spawn_spinner() for _ in range(2)]
+    late = []
+
+    def members(gid):
+        if gid == 0:
+            return [procs[0].pid] + [p.pid for p in late]
+        return [procs[1].pid]
+
+    try:
+        alps = HostGroupAlps(
+            {0: 1, 1: 1},
+            {0: [procs[0].pid], 1: [procs[1].pid]},
+            quantum_s=0.05,
+            refresh_s=0.3,
+            membership=members,
+        )
+        import threading, time
+
+        def add_late():
+            time.sleep(1.0)
+            late.append(spawn_spinner())
+
+        t = threading.Thread(target=add_late)
+        t.start()
+        report = alps.run(3.0)
+        t.join()
+        # The adopted pid is accounted against group 0.
+        assert late and late[0].pid in report.consumed_us
+    finally:
+        for p in procs + late:
+            p.kill()
+            p.wait()

@@ -1,0 +1,72 @@
+"""/proc parsing against the live host (own process + children)."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos import procfs
+from repro.hostos.spawn import spawn_spinner
+
+pytestmark = pytest.mark.hostos
+
+
+def test_read_own_stat():
+    stat = procfs.read_proc_stat(os.getpid())
+    assert stat.pid == os.getpid()
+    assert stat.state in ("R", "S", "D")
+    assert stat.cpu_time_us >= 0
+
+
+def test_missing_pid_raises():
+    with pytest.raises(HostOSError):
+        procfs.read_proc_stat(2**22 - 3)  # almost certainly absent
+    assert not procfs.is_alive(2**22 - 3)
+
+
+def test_cpu_time_grows_for_spinner():
+    proc = spawn_spinner()
+    try:
+        time.sleep(0.3)
+        first = procfs.cpu_time_us(proc.pid)
+        time.sleep(0.5)
+        second = procfs.cpu_time_us(proc.pid)
+        assert second > first
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def test_spinner_not_blocked_while_running():
+    proc = spawn_spinner()
+    try:
+        time.sleep(0.3)
+        # A busy spinner on this machine is R (or briefly S); a stopped
+        # one must be T and not "blocked".
+        os.kill(proc.pid, 19)  # SIGSTOP
+        time.sleep(0.05)
+        assert procfs.proc_state(proc.pid) == "T"
+        assert not procfs.is_blocked(proc.pid)
+        os.kill(proc.pid, 18)  # SIGCONT
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def test_sleeping_process_is_blocked():
+    import subprocess, sys
+
+    proc = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(5)"])
+    try:
+        time.sleep(0.3)
+        assert procfs.is_blocked(proc.pid)
+        assert procfs.proc_state(proc.pid) == "S"
+    finally:
+        proc.kill()
+        proc.wait()
+
+
+def test_comm_with_parens_parsed():
+    stat = procfs.read_proc_stat(os.getpid())
+    assert isinstance(stat.comm, str) and stat.comm

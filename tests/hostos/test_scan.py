@@ -1,0 +1,45 @@
+"""Host process-table scanning."""
+
+import os
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos.scan import children_of, iter_pids, pids_of_uid, uid_of
+from repro.hostos.spawn import spawn_spinner
+
+pytestmark = pytest.mark.hostos
+
+
+def test_iter_pids_includes_self():
+    assert os.getpid() in set(iter_pids())
+
+
+def test_uid_of_self():
+    assert uid_of(os.getpid()) == os.getuid()
+
+
+def test_uid_of_missing_raises():
+    with pytest.raises(HostOSError):
+        uid_of(2**22 - 5)
+
+
+def test_pids_of_uid_contains_self_and_children():
+    child = spawn_spinner()
+    try:
+        pids = pids_of_uid(os.getuid())
+        assert os.getpid() in pids
+        assert child.pid in pids
+    finally:
+        child.kill()
+        child.wait()
+
+
+def test_children_of_self():
+    child = spawn_spinner()
+    try:
+        kids = children_of(os.getpid())
+        assert child.pid in kids
+    finally:
+        child.kill()
+        child.wait()

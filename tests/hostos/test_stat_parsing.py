@@ -1,0 +1,52 @@
+"""Pure stat-line parsing (no live processes needed)."""
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos.procfs import _US_PER_TICK, parse_stat_line
+
+
+def make_line(pid=123, comm="python", state="R", utime=10, stime=5):
+    tail = (
+        f"{state} 1 1 1 0 -1 4194304 500 0 0 0 {utime} {stime} 0 0 20 0 "
+        "1 0 12345 100000000 200 18446744073709551615 1 1 0 0 0 0 0 0 0 "
+        "0 0 0 17 0 0 0 0 0 0"
+    )
+    return f"{pid} ({comm}) {tail}"
+
+
+def test_basic_fields():
+    stat = parse_stat_line(make_line())
+    assert stat.pid == 123
+    assert stat.comm == "python"
+    assert stat.state == "R"
+    assert stat.utime_ticks == 10
+    assert stat.stime_ticks == 5
+    assert stat.cpu_time_us == 15 * _US_PER_TICK
+
+
+def test_comm_with_spaces_and_parens():
+    line = make_line(comm="my (weird) name", state="S")
+    stat = parse_stat_line(line)
+    assert stat.comm == "my (weird) name"
+    assert stat.state == "S"
+
+
+def test_comm_with_trailing_paren():
+    stat = parse_stat_line(make_line(comm="tmux: server)"))
+    assert stat.comm == "tmux: server)"
+
+
+def test_malformed_raises():
+    with pytest.raises(HostOSError):
+        parse_stat_line("garbage")
+    with pytest.raises(HostOSError):
+        parse_stat_line("1 (x) R 2")  # too few fields
+
+
+def test_states_map_to_blocked():
+    from repro.hostos.procfs import ProcStat
+
+    for state, blocked in (("S", True), ("D", True), ("R", False), ("T", False)):
+        stat = parse_stat_line(make_line(state=state))
+        assert (stat.state in ("S", "D")) == blocked

@@ -1,0 +1,69 @@
+"""Golden regression tests: pin the calibrated reproduction numbers.
+
+These freeze the key measured values (with bands) so that future
+changes to the kernel model or the ALPS implementation that would
+*silently* drift the reproduction away from the paper fail loudly.
+Bands are deliberately tighter than the paper-shape assertions in the
+benchmarks: they guard this codebase against itself, not against the
+paper.
+"""
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.experiments.common import run_for_cycles
+from repro.metrics.accuracy import mean_rms_relative_error, per_subject_fractions
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.shares import ShareDistribution, workload_shares
+
+pytestmark = pytest.mark.slow
+
+
+def _error(model, n, q_ms, *, cycles=40, seed=0):
+    cw = build_controlled_workload(
+        workload_shares(model, n), AlpsConfig(quantum_us=ms(q_ms)), seed=seed
+    )
+    run_for_cycles(cw, cycles + 5)
+    return mean_rms_relative_error(cw.agent.cycle_log, skip=5)
+
+
+def test_golden_skewed20_q10():
+    # Calibrated value 6.08 % (seed 0, 40 cycles).
+    assert _error(ShareDistribution.SKEWED, 20, 10) == pytest.approx(6.1, abs=2.0)
+
+
+def test_golden_equal10_q10():
+    # Calibrated value ~2.3 %.
+    assert _error(ShareDistribution.EQUAL, 10, 10) == pytest.approx(2.3, abs=1.5)
+
+
+def test_golden_overhead_equal20_q10():
+    cw = build_controlled_workload(
+        workload_shares(ShareDistribution.EQUAL, 20),
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+    )
+    run_for_cycles(cw, 45)
+    # Calibrated ~0.45 % (paper's U10 line gives 1.34 % at N=20 for the
+    # 5-shares-per-process scalability config; Table 2's equal20 uses
+    # 20 shares per process, postponing reads 4x longer).
+    assert 100 * cw.overhead_fraction() == pytest.approx(0.45, abs=0.2)
+
+
+def test_golden_quickstart_fractions():
+    cw = build_controlled_workload([1, 2, 3], AlpsConfig(quantum_us=ms(10)), seed=0)
+    cw.engine.run_until(sec(30))
+    fr = per_subject_fractions(cw.agent.cycle_log, skip=5)
+    assert fr[0] == pytest.approx(1 / 6, abs=0.006)
+    assert fr[1] == pytest.approx(2 / 6, abs=0.006)
+    assert fr[2] == pytest.approx(3 / 6, abs=0.006)
+
+
+def test_golden_breakdown_knee_q10():
+    from repro.experiments.scalability import run_scalability_point
+
+    below = run_scalability_point(30, 10, cycles=20, max_wall_s=120.0)
+    above = run_scalability_point(60, 10, cycles=20, max_wall_s=120.0)
+    assert below.mean_rms_error_pct < 12.0
+    assert above.mean_rms_error_pct > 25.0

@@ -1,0 +1,58 @@
+"""End-to-end Figure 7 / Table 3: multiple concurrent ALPSs."""
+
+import pytest
+
+from repro.experiments.multi import run_multi_alps_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_multi_alps_experiment(seed=0)
+
+
+def test_every_running_phase_matches_targets(result):
+    """Paper Table 3: per-group relative errors are small (avg 0.93 %,
+    max 3.3 %)."""
+    rows = result.table3()
+    assert len(rows) == 9
+    errors = []
+    for row in rows:
+        for phase in (1, 2, 3):
+            err = row[f"phase{phase}_relerr"]
+            if err is not None:
+                errors.append(err)
+    assert errors
+    assert max(errors) < 6.0
+    assert sum(errors) / len(errors) < 3.0
+
+
+def test_groups_only_run_in_their_phases(result):
+    rows = result.table3()
+    by_group = {row["group"]: row for row in rows if row["share"] in (1, 4, 7)}
+    # Group C (started last) has no phase-1 or phase-2 data.
+    assert by_group["C"]["phase1_pct"] is None
+    assert by_group["C"]["phase2_pct"] is None
+    assert by_group["C"]["phase3_pct"] is not None
+    # Group B has no phase-1 data.
+    assert by_group["B"]["phase1_pct"] is None
+    assert by_group["B"]["phase2_pct"] is not None
+    # Group A runs in every phase.
+    assert by_group["A"]["phase1_pct"] is not None
+
+
+def test_existing_processes_slow_down_as_phases_begin(result):
+    """Figure 7: each new group reduces the absolute rate of existing
+    processes (the kernel spreads CPU over more processes)."""
+    import numpy as np
+
+    s = result.series["A2"]  # 9-share process of group A
+    def rate(window):
+        lo, hi = window
+        mask = (s.times_us >= lo) & (s.times_us <= hi)
+        t, v = s.times_us[mask], s.cumulative_us[mask]
+        return np.polyfit(t, v, 1)[0]
+
+    r1 = rate(result.phase_windows[1])
+    r2 = rate(result.phase_windows[2])
+    r3 = rate(result.phase_windows[3])
+    assert r1 > r2 > r3

@@ -1,0 +1,80 @@
+"""End-to-end: ALPS achieves the paper's headline accuracy claims."""
+
+import numpy as np
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.metrics.accuracy import mean_rms_relative_error, per_subject_fractions
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.shares import ShareDistribution, workload_shares
+
+
+def test_one_two_three_proportions():
+    cw = build_controlled_workload([1, 2, 3], AlpsConfig(quantum_us=ms(10)), seed=0)
+    cw.engine.run_until(sec(30))
+    fr = per_subject_fractions(cw.agent.cycle_log, skip=5)
+    assert fr[0] == pytest.approx(1 / 6, abs=0.01)
+    assert fr[1] == pytest.approx(2 / 6, abs=0.01)
+    assert fr[2] == pytest.approx(3 / 6, abs=0.01)
+
+
+@pytest.mark.parametrize(
+    "model", [ShareDistribution.LINEAR, ShareDistribution.EQUAL]
+)
+def test_error_under_five_percent_for_nonskewed(model):
+    """Paper §3.1: 'For most workloads, the RMS relative error is low,
+    less than 5%.'"""
+    shares = workload_shares(model, 5)
+    cw = build_controlled_workload(shares, AlpsConfig(quantum_us=ms(10)), seed=1)
+    cw.engine.run_until(sec(40))
+    err = mean_rms_relative_error(cw.agent.cycle_log, skip=5)
+    assert err < 5.0
+
+
+def test_skewed_error_highest_and_improves_with_smaller_quantum():
+    """Paper §3.1: skewed has the highest error; smaller Q minimizes it."""
+    shares = workload_shares(ShareDistribution.SKEWED, 10)
+    errs = {}
+    for q_ms in (10, 40):
+        cw = build_controlled_workload(
+            shares, AlpsConfig(quantum_us=ms(q_ms)), seed=2
+        )
+        target_cycles = 40
+        while len(cw.agent.cycle_log) < target_cycles and cw.kernel.now < sec(600):
+            cw.engine.run_until(cw.kernel.now + sec(10))
+        errs[q_ms] = mean_rms_relative_error(cw.agent.cycle_log, skip=5)
+    assert errs[10] < errs[40]
+
+    equal = build_controlled_workload(
+        workload_shares(ShareDistribution.EQUAL, 10),
+        AlpsConfig(quantum_us=ms(40)),
+        seed=2,
+    )
+    while len(equal.agent.cycle_log) < 40 and equal.kernel.now < sec(600):
+        equal.engine.run_until(equal.kernel.now + sec(10))
+    equal_err = mean_rms_relative_error(equal.agent.cycle_log, skip=5)
+    assert errs[40] > equal_err
+
+
+def test_overhead_under_one_percent():
+    """Paper abstract: 'low overhead (under 1% of CPU)'."""
+    for model in ShareDistribution:
+        shares = workload_shares(model, 10)
+        cw = build_controlled_workload(shares, AlpsConfig(quantum_us=ms(10)), seed=0)
+        cw.engine.run_until(sec(20))
+        assert cw.overhead_fraction() < 0.01
+
+
+def test_optimization_reduces_overhead_materially():
+    """Paper §3.2: optimization cuts overhead by 1.8–5.9×."""
+    shares = workload_shares(ShareDistribution.EQUAL, 10)
+    results = {}
+    for optimized in (True, False):
+        cw = build_controlled_workload(
+            shares, AlpsConfig(quantum_us=ms(10), optimized=optimized), seed=0
+        )
+        cw.engine.run_until(sec(20))
+        results[optimized] = cw.kernel.getrusage(cw.alps_proc.pid)
+    factor = results[False] / results[True]
+    assert factor > 1.5

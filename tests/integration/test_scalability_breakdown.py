@@ -1,0 +1,60 @@
+"""End-to-end Figures 8/9: ALPS loses control past a process-count
+threshold, and the threshold follows the Section 4.2 fair-share model."""
+
+import pytest
+
+from repro.experiments.scalability import (
+    analyze_breakdown,
+    run_scalability_point,
+    scalability_sweep,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return scalability_sweep(
+        sizes=(5, 10, 20, 30, 40, 60, 80),
+        quanta_ms=(10, 40),
+        cycles=25,
+        max_wall_s=150.0,
+    )
+
+
+def test_overhead_grows_linearly_before_breakdown(sweep):
+    pts = sorted(
+        (p for p in sweep if p.quantum_ms == 10 and p.n <= 30), key=lambda p: p.n
+    )
+    overheads = [p.overhead_pct for p in pts]
+    assert all(b > a for a, b in zip(overheads, overheads[1:]))
+
+
+def test_error_explodes_past_threshold(sweep):
+    by_n = {p.n: p for p in sweep if p.quantum_ms == 10}
+    assert by_n[10].mean_rms_error_pct < 10.0
+    assert by_n[60].mean_rms_error_pct > 25.0
+
+
+def test_larger_quantum_extends_threshold(sweep):
+    """Paper: thresholds 40 (Q=10 ms) < 90 (Q=40 ms)."""
+    q10 = {p.n: p.mean_rms_error_pct for p in sweep if p.quantum_ms == 10}
+    q40 = {p.n: p.mean_rms_error_pct for p in sweep if p.quantum_ms == 40}
+    # At N=60 the 10 ms configuration is broken, the 40 ms one is not.
+    assert q10[60] > 25.0
+    assert q40[60] < q10[60]
+
+
+def test_breakdown_prediction_near_observation(sweep):
+    analyses = analyze_breakdown(sweep)
+    a10 = next(a for a in analyses if a.quantum_ms == 10)
+    assert a10.fit.slope > 0
+    # Paper predicts 39 and observes 40 for Q=10 ms; accept a band.
+    assert 20 <= a10.predicted_n <= 70
+    if a10.observed_n is not None:
+        assert a10.observed_n == pytest.approx(a10.predicted_n, rel=0.6)
+
+
+def test_overhead_stays_modest_even_past_breakdown(sweep):
+    """Paper: 'the overhead of ALPS does not exceed 2.5%'."""
+    assert all(p.overhead_pct < 3.0 for p in sweep)

@@ -1,0 +1,59 @@
+"""End-to-end Section 5: web-server isolation (scaled-down run)."""
+
+import pytest
+
+from repro.experiments.webserver import run_webserver_experiment
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Reduced client count / window keeps the test fast; the CPU is
+    # still saturated, which is what the experiment requires.
+    return run_webserver_experiment(
+        n_clients=150, warmup_s=10.0, measure_s=25.0, seed=0
+    )
+
+
+def test_baseline_roughly_even(result):
+    fr = result.baseline_fractions
+    for f in fr:
+        assert f == pytest.approx(1 / 3, abs=0.07)
+
+
+def test_alps_reapportions_one_two_three(result):
+    fr = result.alps_fractions
+    assert fr[0] == pytest.approx(1 / 6, abs=0.05)
+    assert fr[1] == pytest.approx(2 / 6, abs=0.05)
+    assert fr[2] == pytest.approx(3 / 6, abs=0.05)
+
+
+def test_total_throughput_not_destroyed(result):
+    """ALPS redistributes; it must not collapse total service rate."""
+    assert sum(result.alps_rps) > 0.75 * sum(result.baseline_rps)
+
+
+def test_alps_overhead_small(result):
+    assert result.alps_overhead_pct < 2.0
+
+
+def test_db_not_the_bottleneck(result):
+    assert result.db_utilization < 0.95
+
+
+def test_latency_orders_inversely_with_share(result):
+    """More CPU share ⇒ lower median response time under saturation."""
+    p50 = result.alps_p50_ms
+    assert p50[0] > p50[1] > p50[2]
+
+
+def test_regulated_pools_preserve_isolation():
+    """Dynamic (MinSpare/MaxSpare) pools don't break the 1:2:3 split —
+    principals adopt and suspend newly forked workers correctly."""
+    r = run_webserver_experiment(
+        n_clients=120, warmup_s=10.0, measure_s=20.0, seed=1, regulated=True
+    )
+    fr = r.alps_fractions
+    assert fr[0] == pytest.approx(1 / 6, abs=0.06)
+    assert fr[2] == pytest.approx(3 / 6, abs=0.06)

@@ -1,0 +1,28 @@
+"""Action validation."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.actions import Compute, Exit, Sleep, SleepOn
+
+
+def test_compute_rejects_negative():
+    with pytest.raises(KernelError):
+        Compute(-1)
+
+
+def test_sleep_rejects_negative():
+    with pytest.raises(KernelError):
+        Sleep(-5)
+
+
+def test_sleep_default_channel():
+    assert Sleep(10).channel == "timer"
+
+
+def test_sleepon_channel():
+    assert SleepOn("disk").channel == "disk"
+
+
+def test_exit_default_status():
+    assert Exit().status == 0

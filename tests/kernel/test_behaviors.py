@@ -1,0 +1,40 @@
+"""Generator-behavior adaptation."""
+
+from repro.kernel.actions import Compute, Exit
+from repro.kernel.behaviors import GeneratorBehavior, behavior
+
+
+def test_generator_behavior_yields_then_exits():
+    def gen(proc, kapi):
+        yield Compute(10)
+        yield Compute(20)
+
+    b = GeneratorBehavior(gen)
+    assert b.next_action(None, None) == Compute(10)
+    assert b.next_action(None, None) == Compute(20)
+    assert isinstance(b.next_action(None, None), Exit)
+
+
+def test_behavior_decorator_makes_fresh_instances():
+    @behavior
+    def spin(proc, kapi):
+        yield Compute(1)
+
+    a, b = spin(), spin()
+    assert a is not b
+    assert a.next_action(None, None) == Compute(1)
+    # Advancing a must not advance b.
+    assert b.next_action(None, None) == Compute(1)
+
+
+def test_generator_receives_proc_and_kapi():
+    seen = {}
+
+    def gen(proc, kapi):
+        seen["proc"] = proc
+        seen["kapi"] = kapi
+        yield Compute(1)
+
+    b = GeneratorBehavior(gen)
+    b.next_action("PROC", "KAPI")
+    assert seen == {"proc": "PROC", "kapi": "KAPI"}

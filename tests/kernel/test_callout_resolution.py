@@ -1,0 +1,55 @@
+"""Sleep-deadline quantization (callout resolution)."""
+
+import pytest
+
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms
+
+
+def wake_times(resolution_us, sleep_us, n=4):
+    eng = Engine(seed=0)
+    k = Kernel(
+        eng,
+        KernelConfig(ctx_switch_us=0, callout_resolution_us=resolution_us),
+    )
+    wakes = []
+
+    def gen(proc, kapi):
+        for _ in range(n):
+            yield Sleep(sleep_us)
+            wakes.append(kapi.now)
+            yield Compute(1)
+
+    k.spawn("t", GeneratorBehavior(gen))
+    eng.run_until(ms(500))
+    return wakes
+
+
+def test_deadlines_round_up_to_resolution():
+    wakes = wake_times(resolution_us=1000, sleep_us=1500)
+    # 1.5 ms sleeps round to 2 ms edges (plus the 1 µs computes).
+    assert wakes[0] == 2000
+    for t in wakes:
+        assert t % 1000 == 0
+
+
+def test_exact_multiples_not_delayed():
+    wakes = wake_times(resolution_us=1000, sleep_us=3000)
+    assert wakes[0] == 3000
+
+
+def test_coarse_resolution_tick_style():
+    wakes = wake_times(resolution_us=10_000, sleep_us=ms(15))
+    # With 10 ms callouts a 15 ms sleep alternates 20/10 ms periods,
+    # exactly like setitimer on a hz=100 kernel.
+    assert wakes[0] == 20_000
+    assert all(t % 10_000 == 0 for t in wakes)
+
+
+def test_fine_resolution_is_nearly_exact():
+    wakes = wake_times(resolution_us=1, sleep_us=1234)
+    assert wakes[0] == 1234

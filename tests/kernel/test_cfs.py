@@ -1,0 +1,118 @@
+"""CFS-like kernel policy."""
+
+import numpy as np
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.cfs import CfsKernel, CfsRunQueue, nice_weight
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.process import Process
+from repro.kernel.signals import SIGCONT, SIGSTOP
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_kernel(**kw):
+    eng = Engine(seed=0)
+    return eng, CfsKernel(eng, KernelConfig(ctx_switch_us=0, **kw))
+
+
+def _proc(pid, vruntime):
+    p = Process(pid=pid, name=f"p{pid}", uid=0, nice=0, behavior=None)
+    p.vruntime = vruntime
+    return p
+
+
+def test_nice_weight_ladder():
+    assert nice_weight(0) == 1024
+    assert nice_weight(-5) / nice_weight(0) == pytest.approx(1.25**5)
+    assert nice_weight(5) < nice_weight(0)
+
+
+def test_runqueue_orders_by_vruntime():
+    rq = CfsRunQueue()
+    a, b, c = _proc(1, 30.0), _proc(2, 10.0), _proc(3, 20.0)
+    for p in (a, b, c):
+        rq.insert(p)
+    assert rq.min_vruntime() == 10.0
+    assert [rq.pop_best().pid for _ in range(3)] == [2, 3, 1]
+    assert rq.pop_best() is None
+    assert rq.min_vruntime() is None
+
+
+def test_runqueue_remove():
+    rq = CfsRunQueue()
+    a, b = _proc(1, 1.0), _proc(2, 2.0)
+    rq.insert(a)
+    rq.insert(b)
+    rq.remove(a)
+    assert len(rq) == 1
+    assert a not in rq and b in rq
+
+
+def test_equal_spinners_share_exactly():
+    eng, k = make_kernel()
+    procs = [k.spawn(f"p{i}", spinner_behavior()) for i in range(4)]
+    eng.run_until(sec(8))
+    for p in procs:
+        assert k.getrusage(p.pid) == pytest.approx(sec(2), rel=0.03)
+
+
+def test_nice_weights_shape_allocation():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior(), nice=0)
+    b = k.spawn("b", spinner_behavior(), nice=5)
+    eng.run_until(sec(20))
+    ratio = k.getrusage(a.pid) / k.getrusage(b.pid)
+    assert ratio == pytest.approx(1.25**5, rel=0.05)
+
+
+def test_sleeper_gets_bounded_credit():
+    """A long sleeper must not starve everyone when it wakes."""
+    eng, k = make_kernel()
+    spin = k.spawn("spin", spinner_behavior())
+
+    def gen(proc, kapi):
+        yield Sleep(sec(5))
+        while True:
+            yield Compute(sec(1))
+
+    sleeper = k.spawn("sleeper", GeneratorBehavior(gen))
+    eng.run_until(sec(8))
+    # After waking at t=5 s the sleeper competes fairly: it cannot have
+    # grabbed much more than half of the last 3 s.
+    assert k.getrusage(sleeper.pid) < sec(2)
+
+
+def test_sigstop_sigcont_work_on_cfs():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior())
+    eng.at(sec(1), lambda e: k.kill(a.pid, SIGSTOP))
+    eng.at(sec(2), lambda e: k.kill(a.pid, SIGCONT))
+    eng.run_until(sec(3))
+    # a missed the middle second, and does not get it back (its
+    # vruntime is re-placed on resume).
+    assert k.getrusage(a.pid) == pytest.approx(sec(1), rel=0.15)
+
+
+def test_alps_accuracy_on_cfs():
+    """Portability: the unmodified ALPS agent holds proportions on a
+    completely different kernel policy."""
+    cw = build_controlled_workload(
+        [1, 2, 3],
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        kernel_factory=CfsKernel,
+    )
+    cw.engine.run_until(sec(20))
+    from repro.metrics.accuracy import per_subject_fractions
+
+    fr = per_subject_fractions(cw.agent.cycle_log, skip=5)
+    assert fr[0] == pytest.approx(1 / 6, abs=0.02)
+    assert fr[1] == pytest.approx(2 / 6, abs=0.02)
+    assert fr[2] == pytest.approx(3 / 6, abs=0.02)

@@ -1,0 +1,78 @@
+"""Property-based tests for the CFS run queue and policy."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.cfs import CfsRunQueue, nice_weight
+from repro.kernel.process import Process
+
+
+def _proc(pid, vruntime):
+    p = Process(pid=pid, name=f"p{pid}", uid=0, nice=0, behavior=None)
+    p.vruntime = vruntime
+    return p
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pop_order_is_sorted_by_vruntime(vruntimes):
+    rq = CfsRunQueue()
+    for i, v in enumerate(vruntimes):
+        rq.insert(_proc(i, v))
+    popped = []
+    while True:
+        p = rq.pop_best()
+        if p is None:
+            break
+        popped.append(p.vruntime)
+    assert popped == sorted(popped)
+    assert len(popped) == len(vruntimes)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=40,
+    ),
+    st.data(),
+)
+def test_removal_keeps_order(vruntimes, data):
+    rq = CfsRunQueue()
+    procs = [_proc(i, v) for i, v in enumerate(vruntimes)]
+    for p in procs:
+        rq.insert(p)
+    victim = data.draw(st.sampled_from(procs))
+    rq.remove(victim)
+    assert victim not in rq
+    remaining = []
+    while True:
+        p = rq.pop_best()
+        if p is None:
+            break
+        remaining.append(p.vruntime)
+    assert remaining == sorted(remaining)
+    assert len(remaining) == len(procs) - 1
+
+
+@given(st.integers(min_value=-20, max_value=19))
+def test_nice_weight_monotone(nice):
+    assert nice_weight(nice) > nice_weight(nice + 1)
+
+
+@given(
+    st.integers(min_value=-10, max_value=10),
+    st.integers(min_value=1, max_value=1_000_000),
+)
+def test_vruntime_rate_inverse_to_weight(nice, consumed):
+    """CPU time maps to vruntime inversely to the weight, so equal
+    vruntime growth means weight-proportional CPU."""
+    from repro.kernel.cfs import NICE0_WEIGHT
+
+    delta = consumed * NICE0_WEIGHT / nice_weight(nice)
+    delta0 = consumed  # nice-0 reference
+    assert abs(delta * nice_weight(nice) / NICE0_WEIGHT - delta0) < 1e-6

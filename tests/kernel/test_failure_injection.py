@@ -1,0 +1,64 @@
+"""Failure semantics: behaviors that misbehave.
+
+The simulator's contract is fail-fast: a behavior raising an exception
+propagates out of the run loop (nothing is swallowed), and structural
+misuse (unknown action types, action storms) raises `KernelError` with
+a pointed message.
+"""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.actions import Compute
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def test_behavior_exception_propagates():
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+
+    def gen(proc, kapi):
+        yield Compute(ms(5))
+        raise Boom("workload bug")
+
+    k.spawn("bad", GeneratorBehavior(gen))
+    with pytest.raises(Boom, match="workload bug"):
+        eng.run_until(sec(1))
+
+
+def test_unknown_action_rejected():
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+
+    class WeirdBehavior:
+        def next_action(self, proc, kapi):
+            return "not-an-action"
+
+    k.spawn("weird", WeirdBehavior())
+    with pytest.raises(KernelError, match="unknown action"):
+        eng.run_until(sec(1))
+
+
+def test_other_processes_unharmed_until_failure():
+    """A deterministic failure at t=5 ms still lets earlier events run."""
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    good = k.spawn("good", spinner_behavior())
+
+    def gen(proc, kapi):
+        yield Compute(ms(5))
+        raise Boom()
+
+    k.spawn("bad", GeneratorBehavior(gen), start_delay=ms(100))
+    eng.run_until(ms(90))  # before the bad process even starts
+    assert k.getrusage(good.pid) > 0
+    with pytest.raises(Boom):
+        eng.run_until(sec(1))

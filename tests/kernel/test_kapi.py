@@ -1,0 +1,67 @@
+"""KernelAPI facade."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import SIGSTOP
+from repro.sim.engine import Engine
+from repro.units import ms
+from repro.workloads.spinner import spinner_behavior
+
+
+@pytest.fixture
+def env():
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    return eng, k, k.kapi
+
+
+def test_now_tracks_engine(env):
+    eng, k, kapi = env
+    eng.run_until(ms(5))
+    assert kapi.now == ms(5)
+
+
+def test_getrusage_and_exists(env):
+    eng, k, kapi = env
+    p = k.spawn("a", spinner_behavior())
+    eng.run_until(ms(10))
+    assert kapi.getrusage(p.pid) > 0
+    assert kapi.pid_exists(p.pid)
+    assert not kapi.pid_exists(4242)
+
+
+def test_is_blocked_matches_wait_channel(env):
+    eng, k, kapi = env
+
+    def gen(proc, kapi_):
+        yield Compute(ms(1))
+        yield Sleep(ms(100), channel="nfs")
+
+    p = k.spawn("io", GeneratorBehavior(gen))
+    eng.run_until(ms(20))
+    assert kapi.is_blocked(p.pid)
+    assert kapi.wait_channel_of(p.pid) == "nfs"
+
+
+def test_kill_via_kapi(env):
+    eng, k, kapi = env
+    p = k.spawn("a", spinner_behavior())
+    eng.run_until(ms(5))
+    kapi.kill(p.pid, SIGSTOP)
+    assert p.stopped
+
+
+def test_spawn_via_kapi(env):
+    eng, k, kapi = env
+    p = kapi.spawn("child", spinner_behavior(), uid=77)
+    assert kapi.pids_of_uid(77) == [p.pid]
+
+
+def test_getrusage_unknown_pid_raises(env):
+    _eng, _k, kapi = env
+    with pytest.raises(NoSuchProcessError):
+        kapi.getrusage(31337)

@@ -1,0 +1,131 @@
+"""Kernel dispatch, accounting, and the behavior trampoline."""
+
+import pytest
+
+from repro.errors import KernelError, NoSuchProcessError
+from repro.kernel.actions import Compute, Exit, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_kernel(**cfg_kwargs):
+    cfg = KernelConfig(**cfg_kwargs)
+    eng = Engine(seed=0)
+    return eng, Kernel(eng, cfg)
+
+
+def test_single_process_gets_all_cpu():
+    eng, k = make_kernel(ctx_switch_us=0)
+    p = k.spawn("solo", spinner_behavior())
+    eng.run_until(sec(5))
+    assert k.getrusage(p.pid) == pytest.approx(sec(5), abs=ms(1))
+
+
+def test_two_equal_processes_split_cpu():
+    eng, k = make_kernel(ctx_switch_us=0)
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior())
+    eng.run_until(sec(10))
+    ta, tb = k.getrusage(a.pid), k.getrusage(b.pid)
+    assert ta + tb == pytest.approx(sec(10), abs=ms(5))
+    assert ta == pytest.approx(tb, rel=0.05)
+
+
+def test_work_conservation_with_context_switches():
+    eng, k = make_kernel()  # default 5 µs csw
+    for i in range(4):
+        k.spawn(f"p{i}", spinner_behavior())
+    eng.run_until(sec(5))
+    total = sum(k.getrusage(p.pid) for p in k.live_processes())
+    lost = sec(5) - total
+    # Only context-switch slivers may be lost.
+    assert 0 <= lost <= k.context_switches * k.cfg.ctx_switch_us + ms(1)
+
+
+def test_getrusage_includes_inflight_time():
+    eng, k = make_kernel(ctx_switch_us=0)
+    p = k.spawn("solo", spinner_behavior())
+    eng.run_until(ms(7))  # mid-burst
+    assert k.getrusage(p.pid) == pytest.approx(ms(7), abs=10)
+
+
+def test_exit_makes_process_zombie_and_unknown():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Compute(ms(5))
+        yield Exit(3)
+
+    p = k.spawn("short", GeneratorBehavior(gen))
+    eng.run_until(ms(50))
+    assert p.state is ProcState.ZOMBIE
+    assert p.exit_status == 3
+    with pytest.raises(NoSuchProcessError):
+        k.getrusage(p.pid)
+
+
+def test_generator_return_exits_process():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Compute(ms(1))
+
+    p = k.spawn("oneshot", GeneratorBehavior(gen))
+    eng.run_until(ms(10))
+    assert p.state is ProcState.ZOMBIE
+
+
+def test_exit_hook_runs():
+    eng, k = make_kernel()
+    exited = []
+    k.add_exit_hook(lambda proc: exited.append(proc.pid))
+
+    def gen(proc, kapi):
+        yield Compute(ms(1))
+
+    p = k.spawn("hooked", GeneratorBehavior(gen))
+    eng.run_until(ms(10))
+    assert exited == [p.pid]
+
+
+def test_start_delay_defers_first_action():
+    eng, k = make_kernel(ctx_switch_us=0)
+    p = k.spawn("late", spinner_behavior(), start_delay=sec(1))
+    eng.run_until(sec(2))
+    # Only ran during the second half.
+    assert k.getrusage(p.pid) == pytest.approx(sec(1), abs=ms(5))
+
+
+def test_zero_length_action_storm_detected():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        while True:
+            yield Compute(0)
+
+    k.spawn("stuck", GeneratorBehavior(gen))
+    with pytest.raises(KernelError, match="zero-length"):
+        eng.run_until(ms(10))
+
+
+def test_runnable_count_counts_current_and_queued():
+    eng, k = make_kernel()
+    k.spawn("a", spinner_behavior())
+    k.spawn("b", spinner_behavior())
+    eng.run_until(ms(50))
+    assert k.runnable_count() == 2
+
+
+def test_pids_of_uid():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior(), uid=10)
+    b = k.spawn("b", spinner_behavior(), uid=10)
+    c = k.spawn("c", spinner_behavior(), uid=11)
+    assert sorted(k.pids_of_uid(10)) == sorted([a.pid, b.pid])
+    assert k.pids_of_uid(11) == [c.pid]
+    assert k.pids_of_uid(12) == []

@@ -1,0 +1,126 @@
+"""Property-based kernel invariants under randomized workloads.
+
+Random mixes of compute/sleep behaviours and random signal injections
+must never violate:
+
+* conservation: total CPU charged ≤ elapsed time, and equals elapsed
+  minus context-switch slivers when someone is always runnable;
+* a stopped process never accumulates CPU while stopped;
+* a sleeping process never accumulates CPU while asleep;
+* the kernel's internal structures stay consistent (exactly one
+  RUNNING process, on-runqueue set matches run queue contents).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState
+from repro.kernel.signals import SIGCONT, SIGSTOP
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+
+
+def random_behavior(pattern: list[tuple[str, int]]) -> GeneratorBehavior:
+    def run(proc, kapi):
+        while True:
+            for kind, dur in pattern:
+                if kind == "c":
+                    yield Compute(dur)
+                else:
+                    yield Sleep(dur)
+
+    return GeneratorBehavior(run)
+
+
+pattern_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["c", "s"]),
+        st.integers(min_value=ms(1), max_value=ms(150)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _consistency(kernel: Kernel) -> None:
+    running = [
+        p for p in kernel.procs.values() if p.state is ProcState.RUNNING
+    ]
+    assert len(running) <= 1
+    if running:
+        assert running[0] is kernel.current
+    for pid in kernel._on_runq:
+        proc = kernel.procs[pid]
+        assert proc.state is ProcState.RUNNABLE
+        assert not proc.stopped
+
+
+@given(
+    patterns=st.lists(pattern_strategy, min_size=1, max_size=5),
+    signal_plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),  # target index
+            st.integers(min_value=ms(5), max_value=ms(900)),  # when
+            st.booleans(),  # stop or cont
+        ),
+        max_size=8,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_conservation_and_consistency(patterns, signal_plan):
+    eng = Engine(seed=1)
+    kernel = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    procs = [
+        kernel.spawn(f"p{i}", random_behavior(pattern))
+        for i, pattern in enumerate(patterns)
+    ]
+    for idx, when, is_stop in signal_plan:
+        target = procs[idx % len(procs)]
+        signo = SIGSTOP if is_stop else SIGCONT
+        eng.at(when, lambda e, t=target, s=signo: kernel.kill(t.pid, s))
+
+    # Advance in steps, checking invariants at each.  A process stopped
+    # at two consecutive checks with no signal scheduled in between was
+    # stopped throughout, so its CPU must not have moved.
+    signal_times = sorted(when for _idx, when, _s in signal_plan)
+
+    def signals_in(lo: int, hi: int) -> bool:
+        return any(lo < t <= hi for t in signal_times)
+
+    stop_watch: dict[int, int] = {}
+    for step in range(10):
+        lo, hi = ms(100) * step, ms(100) * (step + 1)
+        eng.run_until(hi)
+        _consistency(kernel)
+        for p in procs:
+            if not p.alive:
+                continue
+            cpu = kernel.getrusage(p.pid)
+            if p.pid in stop_watch and p.stopped and not signals_in(lo, hi):
+                assert cpu == stop_watch[p.pid], "stopped process consumed CPU"
+            if p.stopped:
+                stop_watch[p.pid] = cpu
+            else:
+                stop_watch.pop(p.pid, None)
+
+    total = sum(kernel.getrusage(p.pid) for p in procs if p.alive)
+    assert total <= eng.now + 1
+
+
+@given(n=st.integers(min_value=1, max_value=8), seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_all_spinner_mix_is_work_conserving(n, seed):
+    from repro.workloads.spinner import spinner_behavior
+
+    eng = Engine(seed=seed)
+    kernel = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    procs = [kernel.spawn(f"p{i}", spinner_behavior()) for i in range(n)]
+    eng.run_until(sec(2))
+    kernel._charge_current()
+    total = sum(kernel.getrusage(p.pid) for p in procs)
+    assert abs(total - sec(2)) <= ms(1)

@@ -1,0 +1,147 @@
+"""SIGSTOP/SIGCONT/SIGKILL semantics — the mechanism ALPS relies on."""
+
+import pytest
+
+from repro.errors import KernelError, NoSuchProcessError
+from repro.kernel.actions import Compute, Sleep
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState
+from repro.kernel.signals import SIGCONT, SIGKILL, SIGSTOP, signal_name
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_kernel():
+    eng = Engine(seed=0)
+    return eng, Kernel(eng, KernelConfig(ctx_switch_us=0))
+
+
+def test_signal_names():
+    assert signal_name(SIGSTOP) == "SIGSTOP"
+    assert signal_name(SIGCONT) == "SIGCONT"
+    assert signal_name(SIGKILL) == "SIGKILL"
+    assert signal_name(1) == "SIG#1"
+
+
+def test_unsupported_signal_raises():
+    eng, k = make_kernel()
+    p = k.spawn("a", spinner_behavior())
+    with pytest.raises(KernelError):
+        k.kill(p.pid, 1)
+
+
+def test_signal_to_dead_pid_raises():
+    eng, k = make_kernel()
+    with pytest.raises(NoSuchProcessError):
+        k.kill(999, SIGSTOP)
+
+
+def test_stopped_process_stops_consuming():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior())
+    eng.at(sec(1), lambda e: k.kill(a.pid, SIGSTOP))
+    eng.run_until(sec(2))
+    usage_at_stop = k.getrusage(a.pid)
+    eng.run_until(sec(3))
+    assert k.getrusage(a.pid) == usage_at_stop
+    # b picks up the whole CPU after the stop.
+    assert k.getrusage(b.pid) == pytest.approx(sec(2), rel=0.3)
+
+
+def test_sigcont_resumes_consumption():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    eng.at(ms(100), lambda e: k.kill(a.pid, SIGSTOP))
+    eng.at(ms(300), lambda e: k.kill(a.pid, SIGCONT))
+    eng.run_until(ms(500))
+    # Ran 0-100 and 300-500 => ~300 ms.
+    assert k.getrusage(a.pid) == pytest.approx(ms(300), abs=ms(2))
+
+
+def test_stop_is_idempotent_and_cont_without_stop_is_noop():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    eng.run_until(ms(10))
+    k.kill(a.pid, SIGCONT)  # not stopped: no-op
+    k.kill(a.pid, SIGSTOP)
+    k.kill(a.pid, SIGSTOP)  # idempotent
+    assert a.stopped
+    k.kill(a.pid, SIGCONT)
+    assert not a.stopped
+    eng.run_until(ms(20))
+    assert a.state in (ProcState.RUNNING, ProcState.RUNNABLE)
+
+
+def test_stop_while_sleeping_keeps_sleeping_then_parks():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Compute(ms(5))
+        yield Sleep(ms(50), channel="io")
+        while True:
+            yield Compute(ms(60))
+
+    p = k.spawn("io", GeneratorBehavior(gen))
+    eng.at(ms(20), lambda e: k.kill(p.pid, SIGSTOP))
+    eng.run_until(ms(40))
+    assert p.state is ProcState.SLEEPING  # still blocked, also stopped
+    assert p.stopped
+    eng.run_until(ms(100))
+    # Sleep expired while stopped: parked runnable-but-stopped, no CPU.
+    assert p.state is ProcState.RUNNABLE
+    assert p.stopped
+    assert k.getrusage(p.pid) == ms(5)
+    k.kill(p.pid, SIGCONT)
+    eng.run_until(ms(160))
+    assert k.getrusage(p.pid) == pytest.approx(ms(65), abs=ms(1))
+
+
+def test_stopping_the_running_process_preempts_it():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior(), start_delay=ms(500))
+    eng.run_until(ms(100))
+    assert a.state is ProcState.RUNNING
+    k.kill(a.pid, SIGSTOP)
+    assert a.state is ProcState.RUNNABLE and a.stopped
+    eng.run_until(sec(1))
+    assert k.getrusage(a.pid) == pytest.approx(ms(100), abs=ms(1))
+
+
+def test_sigkill_terminates():
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    eng.run_until(ms(10))
+    k.kill(a.pid, SIGKILL)
+    assert a.state is ProcState.ZOMBIE
+    assert a.exit_status == -SIGKILL
+
+
+def test_sigkill_sleeping_process_cancels_timer():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Sleep(ms(100))
+        raise AssertionError("should never resume")
+
+    p = k.spawn("doomed", GeneratorBehavior(gen))
+    eng.at(ms(10), lambda e: k.kill(p.pid, SIGKILL))
+    eng.run_until(ms(500))
+    assert p.state is ProcState.ZOMBIE
+
+
+def test_resumed_process_gets_sleep_decay_priority_boost():
+    """A long-stopped process returns with decayed estcpu (updatepri)."""
+    eng, k = make_kernel()
+    a = k.spawn("a", spinner_behavior())
+    b = k.spawn("b", spinner_behavior())
+    eng.run_until(sec(5))
+    est_before = a.estcpu
+    k.kill(a.pid, SIGSTOP)
+    eng.run_until(sec(10))
+    k.kill(a.pid, SIGCONT)
+    assert a.estcpu < est_before

@@ -1,0 +1,135 @@
+"""Sleep, wakeup, and wait-channel semantics."""
+
+import pytest
+
+from repro.kernel.actions import Compute, Sleep, SleepOn
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.spinner import spinner_behavior
+
+
+def make_kernel():
+    eng = Engine(seed=0)
+    return eng, Kernel(eng, KernelConfig(ctx_switch_us=0))
+
+
+def test_sleeping_process_consumes_no_cpu():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Compute(ms(10))
+        yield Sleep(ms(100))
+        yield Compute(ms(10))
+
+    p = k.spawn("sleeper", GeneratorBehavior(gen))
+    eng.run_until(ms(50))
+    assert p.state is ProcState.SLEEPING
+    assert k.getrusage(p.pid) == ms(10)
+
+
+def test_wait_channel_visible_while_sleeping():
+    eng, k = make_kernel()
+
+    def gen(proc, kapi):
+        yield Compute(ms(1))
+        yield Sleep(ms(100), channel="biowait")
+        while True:
+            yield Compute(ms(10))
+
+    p = k.spawn("io", GeneratorBehavior(gen))
+    eng.run_until(ms(20))
+    assert k.wait_channel_of(p.pid) == "biowait"
+    eng.run_until(ms(200))
+    assert k.wait_channel_of(p.pid) is None
+
+
+def test_sleep_timeout_resumes_on_schedule():
+    eng, k = make_kernel()
+    resumed = []
+
+    def gen(proc, kapi):
+        yield Sleep(ms(30))
+        resumed.append(kapi.now)
+        yield Compute(ms(1))
+
+    k.spawn("timer", GeneratorBehavior(gen))
+    eng.run_until(ms(100))
+    assert resumed == [ms(30)]
+
+
+def test_wakeup_rouses_channel_sleepers():
+    eng, k = make_kernel()
+    woken = []
+
+    def gen(proc, kapi):
+        yield SleepOn("queue")
+        woken.append((proc.pid, kapi.now))
+        yield Compute(ms(1))
+
+    a = k.spawn("a", GeneratorBehavior(gen))
+    b = k.spawn("b", GeneratorBehavior(gen))
+    eng.at(ms(40), lambda e: k.wakeup("queue"))
+    eng.run_until(ms(100))
+    assert sorted(pid for pid, _t in woken) == sorted([a.pid, b.pid])
+    assert all(t == ms(40) for _pid, t in woken)
+
+
+def test_wakeup_one_rouses_single_sleeper_fifo():
+    eng, k = make_kernel()
+    woken = []
+
+    def gen(proc, kapi):
+        yield SleepOn("q1")
+        woken.append(proc.pid)
+        yield Compute(ms(1))
+
+    a = k.spawn("a", GeneratorBehavior(gen))
+    b = k.spawn("b", GeneratorBehavior(gen), start_delay=1)
+    eng.at(ms(40), lambda e: k.wakeup_one("q1"))
+    eng.run_until(ms(100))
+    assert woken == [a.pid]
+    assert b.state is ProcState.SLEEPING
+
+
+def test_wakeup_one_on_empty_channel_is_false():
+    eng, k = make_kernel()
+    assert k.wakeup_one("nobody") is False
+    assert k.wakeup("nobody") == 0
+
+
+def test_woken_process_preempts_spinner_immediately():
+    """The tsleep wakeup-priority boost: a waking process runs at once."""
+    eng, k = make_kernel()
+    latencies = []
+
+    def gen(proc, kapi):
+        while True:
+            yield Sleep(ms(10))
+            wake_due = kapi.now
+            yield Compute(100)
+            latencies.append(kapi.now - wake_due - 100)
+
+    k.spawn("spin", spinner_behavior())
+    k.spawn("waker", GeneratorBehavior(gen))
+    eng.run_until(sec(2))
+    assert latencies, "waker never ran"
+    assert max(latencies) <= 50  # dispatched essentially immediately
+
+
+def test_zero_length_sleep_yields_but_returns():
+    eng, k = make_kernel()
+    loops = []
+
+    def gen(proc, kapi):
+        for _ in range(3):
+            yield Compute(ms(1))
+            yield Sleep(0)
+        loops.append(kapi.now)
+
+    k.spawn("yielder", GeneratorBehavior(gen))
+    eng.run_until(ms(100))
+    assert loops  # completed all iterations

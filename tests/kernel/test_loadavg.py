@@ -1,0 +1,32 @@
+"""Load average EWMA."""
+
+import pytest
+
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.loadavg import LoadAverage
+
+
+def test_starts_at_zero():
+    assert LoadAverage(KernelConfig()).value == 0.0
+
+
+def test_converges_to_constant_input():
+    la = LoadAverage(KernelConfig())
+    for _ in range(500):
+        la.sample(8)
+    assert la.value == pytest.approx(8.0, rel=1e-3)
+
+
+def test_monotone_response():
+    la = LoadAverage(KernelConfig())
+    previous = la.value
+    for _ in range(10):
+        la.sample(4)
+        assert la.value > previous
+        previous = la.value
+
+
+def test_negative_sample_rejected():
+    la = LoadAverage(KernelConfig())
+    with pytest.raises(ValueError):
+        la.sample(-1)

@@ -1,0 +1,92 @@
+"""BSD priority/decay arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.priorities import (
+    charge_estcpu,
+    decay_estcpu,
+    decay_factor,
+    user_priority,
+    wakeup_decay,
+)
+
+CFG = KernelConfig()
+
+
+def test_base_priority_is_puser():
+    assert user_priority(CFG, 0.0, 0) == CFG.puser
+
+
+def test_priority_formula():
+    # PUSER + estcpu/4 + 2*nice
+    assert user_priority(CFG, 40.0, 0) == CFG.puser + 10
+    assert user_priority(CFG, 40.0, 5) == CFG.puser + 10 + 10
+
+
+def test_priority_clamped_to_maxpri():
+    assert user_priority(CFG, 1e9, 20) == CFG.maxpri
+
+
+def test_negative_nice_improves_priority():
+    assert user_priority(CFG, 0.0, -10) < CFG.puser
+
+
+def test_priority_never_negative():
+    assert user_priority(CFG, 0.0, -1000) == 0
+
+
+def test_decay_factor_shape():
+    assert decay_factor(0) == 0.0
+    assert decay_factor(1) == pytest.approx(2 / 3)
+    # Higher load -> slower forgetting.
+    assert decay_factor(10) > decay_factor(1)
+    assert decay_factor(1000) < 1.0
+
+
+def test_decay_factor_negative_load_raises():
+    with pytest.raises(ValueError):
+        decay_factor(-1)
+
+
+def test_decay_estcpu_applies_filter_plus_nice():
+    out = decay_estcpu(CFG, 100.0, 0, load=1.0)
+    assert out == pytest.approx(100.0 * 2 / 3)
+    out_nice = decay_estcpu(CFG, 100.0, 3, load=1.0)
+    assert out_nice == pytest.approx(100.0 * 2 / 3 + 3)
+
+
+def test_decay_estcpu_clamps():
+    assert decay_estcpu(CFG, 1e9, 0, load=100.0) == CFG.estcpu_limit
+    assert decay_estcpu(CFG, 0.0, -5, load=0.0) == 0.0
+
+
+def test_charge_estcpu_one_per_tick():
+    assert charge_estcpu(CFG, 0.0, CFG.tick_us) == pytest.approx(1.0)
+    assert charge_estcpu(CFG, 2.0, 5 * CFG.tick_us) == pytest.approx(7.0)
+
+
+def test_charge_estcpu_clamped():
+    assert charge_estcpu(CFG, CFG.estcpu_limit, CFG.tick_us) == CFG.estcpu_limit
+
+
+def test_wakeup_decay_reduces_usage():
+    after = wakeup_decay(CFG, 100.0, 0, load=1.0, slept_seconds=3)
+    assert after == pytest.approx(100.0 * (2 / 3) ** 3)
+
+
+def test_wakeup_decay_long_sleep_converges():
+    # Cap prevents pathological loops; value approaches nice-fixed-point.
+    after = wakeup_decay(CFG, 300.0, 0, load=1.0, slept_seconds=10_000)
+    assert after < 1e-3
+
+
+@given(
+    st.floats(min_value=0, max_value=300),
+    st.floats(min_value=0, max_value=200),
+)
+def test_decay_is_contraction(estcpu, load):
+    """Repeated decay with nice=0 never increases estcpu."""
+    out = decay_estcpu(CFG, estcpu, 0, load)
+    assert 0.0 <= out <= max(estcpu, 0.0) + 1e-9

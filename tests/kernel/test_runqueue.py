@@ -1,0 +1,102 @@
+"""Run-queue bucketing, FIFO order, and removal."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelError
+from repro.kernel.process import Process
+from repro.kernel.runqueue import NQS, PPQ, RunQueue
+
+
+def _proc(pid: int, priority: int) -> Process:
+    p = Process(pid=pid, name=f"p{pid}", uid=0, nice=0, behavior=None)
+    p.priority = priority
+    return p
+
+
+def test_empty():
+    rq = RunQueue()
+    assert len(rq) == 0
+    assert rq.pop_best() is None
+    assert rq.best_priority() is None
+
+
+def test_pops_lowest_priority_first():
+    rq = RunQueue()
+    rq.insert(_proc(1, 100))
+    rq.insert(_proc(2, 50))
+    rq.insert(_proc(3, 75))
+    assert rq.pop_best().pid == 2
+    assert rq.pop_best().pid == 3
+    assert rq.pop_best().pid == 1
+
+
+def test_fifo_within_bucket():
+    rq = RunQueue()
+    # Priorities 50 and 51 share a bucket (PPQ=4).
+    rq.insert(_proc(1, 51))
+    rq.insert(_proc(2, 50))
+    assert rq.pop_best().pid == 1  # FIFO, not priority, within bucket
+
+
+def test_insert_head_jumps_queue():
+    rq = RunQueue()
+    rq.insert(_proc(1, 50))
+    rq.insert_head(_proc(2, 50))
+    assert rq.pop_best().pid == 2
+
+
+def test_remove_specific():
+    rq = RunQueue()
+    a, b = _proc(1, 50), _proc(2, 50)
+    rq.insert(a)
+    rq.insert(b)
+    rq.remove(a)
+    assert len(rq) == 1
+    assert rq.pop_best() is b
+
+
+def test_remove_with_stale_priority():
+    rq = RunQueue()
+    a = _proc(1, 50)
+    rq.insert(a)
+    a.priority = 120  # changed after insertion
+    rq.remove(a)  # must still find it
+    assert len(rq) == 0
+
+
+def test_remove_absent_raises():
+    rq = RunQueue()
+    with pytest.raises(KernelError):
+        rq.remove(_proc(1, 50))
+
+
+def test_priority_out_of_range_rejected():
+    rq = RunQueue()
+    with pytest.raises(KernelError):
+        rq.insert(_proc(1, NQS * PPQ))
+    with pytest.raises(KernelError):
+        rq.insert(_proc(2, -1))
+
+
+def test_contains():
+    rq = RunQueue()
+    a = _proc(1, 10)
+    assert a not in rq
+    rq.insert(a)
+    assert a in rq
+
+
+@given(st.lists(st.integers(min_value=0, max_value=127), min_size=1, max_size=60))
+def test_pop_order_nondecreasing_buckets(priorities):
+    rq = RunQueue()
+    for i, pri in enumerate(priorities):
+        rq.insert(_proc(i, pri))
+    buckets = []
+    while True:
+        p = rq.pop_best()
+        if p is None:
+            break
+        buckets.append(p.priority >> 2)
+    assert buckets == sorted(buckets)
+    assert len(buckets) == len(priorities)

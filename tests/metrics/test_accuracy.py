@@ -1,0 +1,90 @@
+"""RMS relative error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.alps.instrumentation import CycleLog, CycleRecord
+from repro.metrics.accuracy import (
+    cycle_rms_relative_errors,
+    mean_rms_relative_error,
+    per_subject_fractions,
+)
+
+Q = 10_000
+
+
+def rec(index, consumed, shares):
+    return CycleRecord(
+        index=index,
+        end_time=index * 1000,
+        consumed=consumed,
+        blocked_quanta={k: 0 for k in consumed},
+        shares=shares,
+        quantum_us=Q,
+    )
+
+
+def test_perfect_allocation_has_zero_error():
+    log = CycleLog()
+    log.append(rec(0, {1: Q, 2: 2 * Q}, {1: 1, 2: 2}))
+    errs = cycle_rms_relative_errors(log)
+    assert errs.shape == (1,)
+    assert errs[0] == pytest.approx(0.0)
+
+
+def test_known_error_value():
+    # Shares 1:1, consumption 150/50 of total 200 -> rel errors ±0.5.
+    log = CycleLog()
+    log.append(rec(0, {1: 150, 2: 50}, {1: 1, 2: 1}))
+    errs = cycle_rms_relative_errors(log)
+    assert errs[0] == pytest.approx(50.0)
+
+
+def test_starved_subject_counts_full_negative_error():
+    log = CycleLog()
+    log.append(rec(0, {1: 200, 2: 0}, {1: 1, 2: 1}))
+    # errors: +1 and -1 -> RMS 100 %.
+    assert cycle_rms_relative_errors(log)[0] == pytest.approx(100.0)
+
+
+def test_entitlement_mode_counts_overshoot():
+    log = CycleLog()
+    # Exact proportions but 2× the nominal cycle volume.
+    log.append(rec(0, {1: 2 * Q, 2: 4 * Q}, {1: 1, 2: 2}))
+    assert cycle_rms_relative_errors(log, ideal="proportional")[0] == pytest.approx(0.0)
+    assert cycle_rms_relative_errors(log, ideal="entitlement")[0] == pytest.approx(100.0)
+
+
+def test_mean_over_cycles_and_skip():
+    log = CycleLog()
+    log.append(rec(0, {1: 200, 2: 0}, {1: 1, 2: 1}))  # 100 % (warm-up)
+    log.append(rec(1, {1: 100, 2: 100}, {1: 1, 2: 1}))  # 0 %
+    log.append(rec(2, {1: 100, 2: 100}, {1: 1, 2: 1}))  # 0 %
+    assert mean_rms_relative_error(log) == pytest.approx(100.0 / 3)
+    assert mean_rms_relative_error(log, skip=1) == pytest.approx(0.0)
+
+
+def test_empty_log_is_nan():
+    assert math.isnan(mean_rms_relative_error(CycleLog()))
+
+
+def test_unknown_ideal_mode_rejected():
+    with pytest.raises(ValueError):
+        cycle_rms_relative_errors(CycleLog(), ideal="nonsense")
+
+
+def test_per_subject_fractions():
+    log = CycleLog()
+    log.append(rec(0, {1: 100, 2: 300}, {1: 1, 2: 3}))
+    log.append(rec(1, {1: 100, 2: 300}, {1: 1, 2: 3}))
+    fr = per_subject_fractions(log)
+    assert fr[1] == pytest.approx(0.25)
+    assert fr[2] == pytest.approx(0.75)
+
+
+def test_per_subject_fractions_empty():
+    log = CycleLog()
+    log.append(rec(0, {1: 0}, {1: 1}))
+    assert per_subject_fractions(log) == {1: 0.0}

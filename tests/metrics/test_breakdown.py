@@ -1,0 +1,29 @@
+"""Breakdown-threshold model (Section 4.2)."""
+
+import pytest
+
+from repro.metrics.breakdown import predicted_threshold
+
+
+def test_paper_thresholds():
+    """The paper's own fits must reproduce its predicted thresholds."""
+    assert predicted_threshold(0.0639, 0.0604) == pytest.approx(39, abs=1)
+    assert predicted_threshold(0.0338, 0.0340) == pytest.approx(54, abs=1)
+    assert predicted_threshold(0.0172, 0.0160) == pytest.approx(75, abs=1)
+
+
+def test_threshold_satisfies_equation():
+    slope, intercept = 0.05, 0.02
+    n = predicted_threshold(slope, intercept)
+    assert slope * n + intercept == pytest.approx(100.0 / (n + 1), rel=1e-9)
+
+
+def test_steeper_slope_lower_threshold():
+    assert predicted_threshold(0.1, 0.01) < predicted_threshold(0.01, 0.01)
+
+
+def test_rejects_nonpositive_slope():
+    with pytest.raises(ValueError):
+        predicted_threshold(0.0, 0.1)
+    with pytest.raises(ValueError):
+        predicted_threshold(-0.1, 0.1)

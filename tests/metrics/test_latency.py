@@ -1,0 +1,75 @@
+"""Latency summaries."""
+
+import math
+
+import pytest
+
+from repro.metrics.latency import summarize_latencies
+
+
+def test_empty_is_nan():
+    s = summarize_latencies([])
+    assert s.count == 0
+    assert math.isnan(s.mean_us)
+
+
+def test_basic_percentiles():
+    responses = [(i, 1000 * (i + 1)) for i in range(100)]  # 1..100 ms
+    s = summarize_latencies(responses)
+    assert s.count == 100
+    assert s.p50_us == pytest.approx(50_500, rel=0.02)
+    assert s.p99_us == pytest.approx(100_000, rel=0.02)
+    assert s.mean_us == pytest.approx(50_500, rel=0.01)
+
+
+def test_window_filters():
+    responses = [(10, 1000), (20, 2000), (30, 3000)]
+    s = summarize_latencies(responses, window=(15, 25))
+    assert s.count == 1
+    assert s.mean_us == 2000
+
+
+def test_scaled_ms():
+    s = summarize_latencies([(0, 5000)])
+    assert s.scaled_ms()["mean_ms"] == pytest.approx(5.0)
+
+
+def test_latency_shifts_with_alps_shares():
+    """End-to-end: the low-share site's latency rises under ALPS."""
+    from repro.alps.agent import spawn_alps
+    from repro.alps.config import AlpsConfig
+    from repro.alps.subjects import UserSubject
+    from repro.kernel.kernel import Kernel
+    from repro.sim.engine import Engine
+    from repro.units import ms, sec
+    from repro.webserver.apache import PreforkSite
+    from repro.webserver.clients import ClosedLoopClients
+    from repro.webserver.database import DatabaseServer
+    from repro.webserver.requests import RequestFactory
+
+    engine = Engine(seed=0)
+    kernel = Kernel(engine)
+    db = DatabaseServer(engine, kernel, capacity=2)
+    drivers = []
+    for i, uid in enumerate((4001, 4002)):
+        site = PreforkSite(kernel, db, name=f"s{i}", uid=uid, max_workers=4)
+        drv = ClosedLoopClients(
+            engine,
+            site,
+            RequestFactory(rng=engine.rng.stream(f"r{i}")),
+            n_clients=40,
+            mean_think_us=200_000,
+        )
+        drv.start()
+        drivers.append(drv)
+    subjects = [
+        UserSubject(sid=0, share=1, uid=4001),
+        UserSubject(sid=1, share=5, uid=4002),
+    ]
+    spawn_alps(kernel, subjects, AlpsConfig(quantum_us=ms(50)))
+    engine.run_until(sec(25))
+    window = (sec(8), sec(25))
+    slow = summarize_latencies(drivers[0].responses, window=window)
+    fast = summarize_latencies(drivers[1].responses, window=window)
+    assert slow.count > 0 and fast.count > 0
+    assert slow.p50_us > fast.p50_us

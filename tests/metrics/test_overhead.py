@@ -1,0 +1,36 @@
+"""Overhead metrics and linear fits."""
+
+import pytest
+
+from repro.metrics.overhead import fit_overhead_line, overhead_percent
+
+
+def test_overhead_percent():
+    assert overhead_percent(5_000, 1_000_000) == pytest.approx(0.5)
+
+
+def test_overhead_percent_rejects_zero_wall():
+    with pytest.raises(ValueError):
+        overhead_percent(1, 0)
+
+
+def test_fit_recovers_exact_line():
+    ns = [5, 10, 20, 40]
+    ys = [0.0639 * n + 0.0604 for n in ns]
+    fit = fit_overhead_line(ns, ys)
+    assert fit.slope == pytest.approx(0.0639, rel=1e-6)
+    assert fit.intercept == pytest.approx(0.0604, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit(100) == pytest.approx(0.0639 * 100 + 0.0604)
+
+
+def test_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_overhead_line([1], [0.1])
+
+
+def test_fit_r_squared_degrades_with_noise():
+    ns = list(range(2, 30))
+    ys = [0.05 * n + ((-1) ** n) * 0.3 for n in ns]
+    fit = fit_overhead_line(ns, ys)
+    assert fit.r_squared < 1.0

@@ -1,0 +1,47 @@
+"""Slope fits and phase fractions."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.regression import phase_fractions, slope
+
+
+def test_slope_exact():
+    t = [0, 10, 20, 30]
+    v = [0, 5, 10, 15]
+    assert slope(t, v) == pytest.approx(0.5)
+
+
+def test_slope_requires_two_points():
+    with pytest.raises(ValueError):
+        slope([1], [1])
+
+
+def test_phase_fractions_from_slopes():
+    t = np.arange(0, 100, 10)
+    series = {
+        1: (t, 1.0 * t),
+        2: (t, 3.0 * t),
+    }
+    fr = phase_fractions(series, (0, 100))
+    assert fr[1] == pytest.approx(0.25)
+    assert fr[2] == pytest.approx(0.75)
+
+
+def test_phase_fractions_window_filters():
+    t = np.arange(0, 100, 10)
+    # Subject 2 only has samples outside the window.
+    series = {
+        1: (t, 2.0 * t),
+        2: (np.array([200, 210]), np.array([0, 10])),
+    }
+    fr = phase_fractions(series, (0, 100))
+    assert 2 not in fr
+    assert fr[1] == pytest.approx(1.0)
+
+
+def test_phase_fractions_flat_series():
+    t = np.arange(0, 100, 10)
+    series = {1: (t, np.zeros_like(t))}
+    fr = phase_fractions(series, (0, 100))
+    assert fr[1] == 0.0

@@ -1,0 +1,28 @@
+"""Clock invariants."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+def test_starts_at_zero():
+    assert Clock().now == 0
+
+
+def test_starts_at_given_time():
+    assert Clock(start=123).now == 123
+
+
+def test_advance_moves_forward():
+    c = Clock()
+    c.advance_to(10)
+    assert c.now == 10
+    c.advance_to(10)  # same time is allowed
+    assert c.now == 10
+
+
+def test_advance_backwards_raises():
+    c = Clock(start=100)
+    with pytest.raises(SimulationError):
+        c.advance_to(99)

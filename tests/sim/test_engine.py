@@ -1,0 +1,104 @@
+"""Engine run-loop semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_run_until_advances_clock_even_when_idle():
+    eng = Engine()
+    eng.run_until(1000)
+    assert eng.now == 1000
+
+
+def test_events_fire_in_order_and_clock_tracks():
+    eng = Engine()
+    seen = []
+    eng.at(50, lambda e: seen.append((eng.now, "b")))
+    eng.at(10, lambda e: seen.append((eng.now, "a")))
+    eng.run_until(100)
+    assert seen == [(10, "a"), (50, "b")]
+    assert eng.now == 100
+
+
+def test_events_beyond_horizon_do_not_fire():
+    eng = Engine()
+    seen = []
+    eng.at(200, lambda e: seen.append("late"))
+    eng.run_until(100)
+    assert seen == []
+    assert eng.now == 100
+    eng.run_until(300)
+    assert seen == ["late"]
+
+
+def test_after_is_relative():
+    eng = Engine()
+    seen = []
+    eng.at(10, lambda e: eng.after(5, lambda e2: seen.append(eng.now)))
+    eng.run_until(100)
+    assert seen == [15]
+
+
+def test_scheduling_in_past_raises():
+    eng = Engine()
+    eng.at(10, lambda e: None)
+    eng.run_until(20)
+    with pytest.raises(SimulationError):
+        eng.at(5, lambda e: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.after(-1, lambda e: None)
+
+
+def test_stop_halts_loop():
+    eng = Engine()
+    seen = []
+    eng.at(10, lambda e: (seen.append(1), eng.stop()))
+    eng.at(20, lambda e: seen.append(2))
+    eng.run_until(100)
+    assert seen == [1]
+    # Run can be resumed afterwards.
+    eng.run_until(100)
+    assert seen == [1, 2]
+
+
+def test_run_until_idle_drains_queue():
+    eng = Engine()
+    seen = []
+    def chain(e):
+        if len(seen) < 5:
+            seen.append(eng.now)
+            eng.after(10, chain)
+    eng.at(0, chain)
+    eng.run_until_idle()
+    assert seen == [0, 10, 20, 30, 40]
+
+
+def test_run_until_idle_bounds_runaway():
+    eng = Engine()
+    def forever(e):
+        eng.after(1, forever)
+    eng.at(0, forever)
+    with pytest.raises(SimulationError):
+        eng.run_until_idle(max_events=100)
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for t in (1, 2, 3):
+        eng.at(t, lambda e: None)
+    eng.run_until(10)
+    assert eng.events_processed == 3
+
+
+def test_max_events_limit():
+    eng = Engine()
+    for t in range(10):
+        eng.at(t, lambda e: None)
+    processed = eng.run_until(100, max_events=4)
+    assert processed == 4

@@ -1,0 +1,36 @@
+"""Deterministic, independent RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("x").random(5)
+    b = RngStreams(7).stream("x").random(5)
+    assert (a == b).all()
+
+
+def test_different_names_different_streams():
+    streams = RngStreams(7)
+    a = streams.stream("x").random(5)
+    b = streams.stream("y").random(5)
+    assert not (a == b).all()
+
+
+def test_different_seeds_different_draws():
+    a = RngStreams(1).stream("x").random(5)
+    b = RngStreams(2).stream("x").random(5)
+    assert not (a == b).all()
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    s1 = RngStreams(3)
+    s2 = RngStreams(3)
+    s1.stream("a")
+    a1 = s1.stream("b").random(3)
+    b1 = s2.stream("b").random(3)  # created first in s2
+    assert (a1 == b1).all()

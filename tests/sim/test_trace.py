@@ -1,0 +1,32 @@
+"""Tracer behaviour."""
+
+from repro.sim.trace import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.record(1, "x")
+    assert len(t) == 0
+
+
+def test_records_and_filters():
+    t = Tracer()
+    t.record(1, "a", "one")
+    t.record(2, "b", "two")
+    t.record(3, "a", "three")
+    assert len(t) == 3
+    assert [r.detail for r in t.of_kind("a")] == ["one", "three"]
+
+
+def test_capacity_limit():
+    t = Tracer(capacity=2)
+    for i in range(5):
+        t.record(i, "k")
+    assert len(t) == 2
+
+
+def test_clear():
+    t = Tracer()
+    t.record(1, "a")
+    t.clear()
+    assert len(t) == 0

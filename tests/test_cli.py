@@ -1,0 +1,55 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli.main import EXPERIMENTS, build_parser, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_demo_runs_and_reports(capsys):
+    assert main(["demo", "--shares", "1,3", "--seconds", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "achieved" in out
+    assert "overhead" in out
+
+
+def test_demo_rejects_bad_shares(capsys):
+    assert main(["demo", "--shares", "0,-1"]) == 2
+
+
+def test_run_fig7_outputs_table3(capsys):
+    assert main(["run", "fig7"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "average relative error" in out
+
+
+def test_run_with_csv(tmp_path, capsys):
+    csv = tmp_path / "t3.csv"
+    assert main(["run", "fig7", "--csv", str(csv)]) == 0
+    assert csv.exists()
+    assert "share" in csv.read_text().splitlines()[0]
+
+
+def test_parser_structure():
+    parser = build_parser()
+    args = parser.parse_args(["run", "fig4", "--full", "--seed", "7"])
+    assert args.experiment == "fig4"
+    assert args.full
+    assert args.seed == 7

@@ -1,0 +1,24 @@
+"""Group-spec parsing for the live CLI."""
+
+import pytest
+
+from repro.cli.commands import parse_group_spec
+
+
+def test_basic_spec():
+    assert parse_group_spec("1x2,3x1") == [(1, 2), (3, 1)]
+
+
+def test_default_size_is_one():
+    assert parse_group_spec("5") == [(5, 1)]
+    assert parse_group_spec("2,3") == [(2, 1), (3, 1)]
+
+
+def test_whitespace_tolerated():
+    assert parse_group_spec(" 1x2 , 3x1 ") == [(1, 2), (3, 1)]
+
+
+def test_invalid_specs():
+    for bad in ("", "0x2", "1x0", "-1x2", "ax2"):
+        with pytest.raises(ValueError):
+            parse_group_spec(bad)

@@ -1,0 +1,36 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    HostOSError,
+    InvalidProcessStateError,
+    KernelError,
+    NoSuchProcessError,
+    ReproError,
+    SchedulerConfigError,
+    SimulationError,
+)
+
+
+def test_hierarchy():
+    for exc in (
+        SimulationError,
+        KernelError,
+        SchedulerConfigError,
+        HostOSError,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(NoSuchProcessError, KernelError)
+    assert issubclass(InvalidProcessStateError, KernelError)
+
+
+def test_no_such_process_carries_pid():
+    err = NoSuchProcessError(42)
+    assert err.pid == 42
+    assert "42" in str(err)
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise NoSuchProcessError(1)

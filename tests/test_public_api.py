@@ -1,0 +1,37 @@
+"""Public API surface of the top-level package."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export {name}"
+
+
+def test_quickstart_path_works():
+    """The README quickstart, condensed."""
+    from repro import AlpsConfig, build_controlled_workload, ms, sec
+    from repro.metrics.accuracy import per_subject_fractions
+
+    cw = build_controlled_workload([1, 2], AlpsConfig(quantum_us=ms(10)))
+    cw.engine.run_until(sec(5))
+    fr = per_subject_fractions(cw.agent.cycle_log, skip=2)
+    assert abs(fr[1] - 2 / 3) < 0.05
+
+
+def test_subpackages_importable():
+    import repro.alps
+    import repro.analysis
+    import repro.baselines
+    import repro.cli
+    import repro.experiments
+    import repro.hostos
+    import repro.kernel
+    import repro.metrics
+    import repro.sim
+    import repro.webserver
+    import repro.workloads

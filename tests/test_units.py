@@ -1,0 +1,24 @@
+"""Time unit conversions."""
+
+import pytest
+
+from repro.units import MSEC, SEC, USEC, ms, sec, to_ms, to_sec, usec
+
+
+def test_constants():
+    assert USEC == 1
+    assert MSEC == 1_000
+    assert SEC == 1_000_000
+
+
+def test_conversions_round_trip():
+    assert ms(10) == 10_000
+    assert sec(2.5) == 2_500_000
+    assert to_ms(ms(7.5)) == pytest.approx(7.5)
+    assert to_sec(sec(3)) == pytest.approx(3.0)
+
+
+def test_fractional_rounding():
+    assert ms(0.0004) == 0
+    assert ms(0.0006) == 1
+    assert usec(2.6) == 3

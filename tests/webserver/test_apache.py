@@ -1,0 +1,67 @@
+"""Prefork site: accept queue and worker lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import ProcState
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.webserver.apache import PreforkSite
+from repro.webserver.database import DatabaseServer
+from repro.webserver.requests import RequestFactory
+
+
+def make_site(max_workers=4, seed=0):
+    eng = Engine(seed=seed)
+    k = Kernel(eng)
+    db = DatabaseServer(eng, k, capacity=2)
+    site = PreforkSite(k, db, name="s1", uid=1001, max_workers=max_workers)
+    factory = RequestFactory(rng=np.random.default_rng(seed))
+    return eng, k, db, site, factory
+
+
+def test_workers_spawned_with_uid():
+    eng, k, db, site, _ = make_site(max_workers=6)
+    assert len(site.workers) == 6
+    assert sorted(k.pids_of_uid(1001)) == sorted(w.pid for w in site.workers)
+
+
+def test_idle_workers_block_on_accept():
+    eng, k, db, site, _ = make_site()
+    eng.run_until(ms(100))
+    for w in site.workers:
+        assert w.state is ProcState.SLEEPING
+        assert k.wait_channel_of(w.pid) == site.accept_channel
+
+
+def test_request_is_served_end_to_end():
+    eng, k, db, site, factory = make_site()
+    completed = []
+    site.set_completion_callback(lambda req: completed.append(req))
+    eng.run_until(ms(10))
+    req = factory.make("s1", 0, eng.now)
+    site.enqueue(req)
+    eng.run_until(sec(2))
+    assert completed == [req]
+    assert req.completed_at is not None
+    assert site.stats.completed == 1
+    assert db.completed == factory.db_rounds
+
+
+def test_many_requests_all_complete():
+    eng, k, db, site, factory = make_site(max_workers=3)
+    eng.run_until(ms(10))
+    for i in range(20):
+        site.enqueue(factory.make("s1", i, eng.now))
+    eng.run_until(sec(10))
+    assert site.stats.completed == 20
+
+
+def test_completions_in_window():
+    eng, k, db, site, factory = make_site()
+    eng.run_until(ms(10))
+    site.enqueue(factory.make("s1", 0, eng.now))
+    eng.run_until(sec(5))
+    assert site.stats.completions_in(0, sec(5)) == 1
+    assert site.stats.completions_in(sec(5), sec(10)) == 0

@@ -1,0 +1,56 @@
+"""Closed-loop client driver."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.webserver.apache import PreforkSite
+from repro.webserver.clients import ClosedLoopClients
+from repro.webserver.database import DatabaseServer
+from repro.webserver.requests import RequestFactory
+
+
+def make_stack(n_clients=10, mean_think_us=200_000):
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    db = DatabaseServer(eng, k, capacity=2)
+    site = PreforkSite(k, db, name="s1", uid=1001, max_workers=4)
+    factory = RequestFactory(rng=eng.rng.stream("reqs"))
+    drv = ClosedLoopClients(
+        eng, site, factory, n_clients=n_clients, mean_think_us=mean_think_us
+    )
+    return eng, k, site, drv
+
+
+def test_clients_cycle_submit_think_submit():
+    eng, k, site, drv = make_stack(n_clients=3)
+    drv.start()
+    eng.run_until(sec(10))
+    # Each client issued multiple requests over 10 s.
+    assert site.stats.completed > 6
+    assert len(drv.responses) == site.stats.completed
+
+
+def test_throughput_window():
+    eng, k, site, drv = make_stack(n_clients=5)
+    drv.start()
+    eng.run_until(sec(10))
+    rps = drv.throughput(sec(2), sec(10))
+    assert rps > 0
+    assert rps == site.stats.completions_in(sec(2), sec(10)) / 8
+
+
+def test_throughput_empty_window_is_zero():
+    eng, k, site, drv = make_stack()
+    assert drv.throughput(10, 10) == 0.0
+
+
+def test_closed_loop_respects_population():
+    """Completed requests never exceed what n clients could have issued."""
+    eng, k, site, drv = make_stack(n_clients=2, mean_think_us=100_000)
+    drv.start()
+    eng.run_until(sec(5))
+    # Each client has at most one request in flight at a time.
+    assert site.stats.completed <= 2 * 5_000_000 // 100_000

@@ -1,0 +1,101 @@
+"""Database server queueing model."""
+
+import pytest
+
+from repro.kernel.actions import Compute, SleepOn
+from repro.kernel.behaviors import GeneratorBehavior
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.webserver.database import DatabaseServer
+
+
+def make_env(capacity=2):
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    db = DatabaseServer(eng, k, capacity=capacity)
+    return eng, k, db
+
+
+def test_rejects_zero_capacity():
+    eng = Engine(seed=0)
+    k = Kernel(eng)
+    with pytest.raises(ValueError):
+        DatabaseServer(eng, k, capacity=0)
+
+
+def test_single_query_wakes_sleeper_after_service():
+    eng, k, db = make_env()
+    done = []
+
+    def gen(proc, kapi):
+        db.submit(ms(30), "dbwait")
+        yield SleepOn("dbwait")
+        done.append(kapi.now)
+        yield Compute(ms(1))
+
+    k.spawn("worker", GeneratorBehavior(gen))
+    eng.run_until(sec(1))
+    assert done == [ms(30)]
+    assert db.completed == 1
+
+
+def test_queueing_beyond_capacity():
+    eng, k, db = make_env(capacity=1)
+    done = []
+
+    def gen(proc, kapi):
+        db.submit(ms(50), f"db{proc.pid}")
+        yield SleepOn(f"db{proc.pid}")
+        done.append((proc.pid, kapi.now))
+        yield Compute(ms(1))
+
+    a = k.spawn("a", GeneratorBehavior(gen))
+    b = k.spawn("b", GeneratorBehavior(gen))
+    eng.run_until(sec(1))
+    times = dict(done)
+    # With capacity 1, the second query waits for the first.
+    assert sorted(times.values()) == [ms(50), ms(100)]
+
+
+def test_parallel_service_within_capacity():
+    eng, k, db = make_env(capacity=2)
+    done = []
+
+    def gen(proc, kapi):
+        db.submit(ms(50), f"db{proc.pid}")
+        yield SleepOn(f"db{proc.pid}")
+        done.append(kapi.now)
+        yield Compute(ms(1))
+
+    k.spawn("a", GeneratorBehavior(gen))
+    k.spawn("b", GeneratorBehavior(gen))
+    eng.run_until(sec(1))
+    assert done == [ms(50), ms(50)]
+
+
+def test_utilization():
+    eng, k, db = make_env(capacity=2)
+
+    def gen(proc, kapi):
+        db.submit(ms(100), f"db{proc.pid}")
+        yield SleepOn(f"db{proc.pid}")
+        yield Compute(ms(1))
+
+    k.spawn("a", GeneratorBehavior(gen))
+    eng.run_until(sec(1))
+    # 100 ms of one server over 1 s of two servers = 5 %.
+    assert db.utilization(sec(1)) == pytest.approx(0.05)
+
+
+def test_min_service_time_clamped():
+    eng, k, db = make_env()
+
+    def gen(proc, kapi):
+        db.submit(0, f"db{proc.pid}")
+        yield SleepOn(f"db{proc.pid}")
+        yield Compute(ms(1))
+
+    k.spawn("a", GeneratorBehavior(gen))
+    eng.run_until(ms(10))
+    assert db.completed == 1

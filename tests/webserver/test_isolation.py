@@ -1,0 +1,72 @@
+"""Web-server behaviour under explicit ALPS control (unit scale)."""
+
+import pytest
+
+from repro.alps.agent import spawn_alps
+from repro.alps.config import AlpsConfig
+from repro.alps.subjects import UserSubject
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.webserver.apache import PreforkSite
+from repro.webserver.clients import ClosedLoopClients
+from repro.webserver.database import DatabaseServer
+from repro.webserver.requests import RequestFactory
+
+
+def build(n_sites=2, workers=4, clients=40):
+    engine = Engine(seed=0)
+    kernel = Kernel(engine)
+    db = DatabaseServer(engine, kernel, capacity=2)
+    sites, drivers = [], []
+    for i in range(n_sites):
+        site = PreforkSite(
+            kernel, db, name=f"s{i}", uid=2000 + i, max_workers=workers
+        )
+        drv = ClosedLoopClients(
+            engine,
+            site,
+            RequestFactory(rng=engine.rng.stream(f"r{i}")),
+            n_clients=clients,
+            mean_think_us=200_000,
+        )
+        drv.start()
+        sites.append(site)
+        drivers.append(drv)
+    return engine, kernel, db, sites, drivers
+
+
+def test_sites_saturate_cpu_without_alps():
+    engine, kernel, db, sites, drivers = build()
+    engine.run_until(sec(20))
+    busy_frac = kernel.total_busy_us / kernel.now
+    assert busy_frac > 0.9
+
+
+def test_alps_biases_throughput():
+    engine, kernel, db, sites, drivers = build()
+    subjects = [
+        UserSubject(sid=0, share=1, uid=2000),
+        UserSubject(sid=1, share=4, uid=2001),
+    ]
+    spawn_alps(kernel, subjects, AlpsConfig(quantum_us=ms(50)))
+    engine.run_until(sec(30))
+    t0 = drivers[0].throughput(sec(10), sec(30))
+    t1 = drivers[1].throughput(sec(10), sec(30))
+    assert t1 > 2.5 * t0
+
+
+def test_stopped_workers_leave_db_queries_pending_not_lost():
+    """Suspension mid-request must not lose requests: they complete
+    after resume."""
+    engine, kernel, db, sites, drivers = build(n_sites=2)
+    subjects = [
+        UserSubject(sid=0, share=1, uid=2000),
+        UserSubject(sid=1, share=9, uid=2001),
+    ]
+    spawn_alps(kernel, subjects, AlpsConfig(quantum_us=ms(20)))
+    engine.run_until(sec(30))
+    # The throttled site still completes requests (slowly).
+    assert sites[0].stats.completed > 0
+    # And every completed request has a completion timestamp.
+    assert len(sites[0].stats.completion_times) == sites[0].stats.completed

@@ -1,0 +1,64 @@
+"""Worker-pool auto-regulation."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import sec
+from repro.webserver.clients import ClosedLoopClients
+from repro.webserver.database import DatabaseServer
+from repro.webserver.regulation import RegulationPolicy, regulated_site
+from repro.webserver.requests import RequestFactory
+
+
+def build(n_clients, policy=None):
+    engine = Engine(seed=0)
+    kernel = Kernel(engine)
+    db = DatabaseServer(engine, kernel, capacity=2)
+    site, master, master_proc = regulated_site(
+        kernel, db, name="s1", uid=3001, policy=policy
+    )
+    drv = ClosedLoopClients(
+        engine,
+        site,
+        RequestFactory(rng=engine.rng.stream("reqs")),
+        n_clients=n_clients,
+        mean_think_us=300_000,
+    )
+    drv.start()
+    return engine, kernel, site, master, drv
+
+
+def test_pool_grows_under_load():
+    policy = RegulationPolicy(start_workers=2, max_workers=16)
+    engine, kernel, site, master, drv = build(n_clients=60, policy=policy)
+    engine.run_until(sec(20))
+    live = [w for w in site.workers if w.alive]
+    assert master.forked > 0
+    assert len(live) > policy.start_workers
+    assert len(live) <= policy.max_workers
+    assert site.stats.completed > 0
+
+
+def test_pool_shrinks_when_idle():
+    policy = RegulationPolicy(start_workers=2, max_workers=16, max_spare=3)
+    engine, kernel, site, master, drv = build(n_clients=60, policy=policy)
+    engine.run_until(sec(15))
+    grew = len([w for w in site.workers if w.alive])
+    # Load vanishes: clients stop resubmitting.
+    drv._on_complete = lambda req: None  # type: ignore[assignment]
+    site.set_completion_callback(lambda req: None)
+    engine.run_until(sec(40))
+    shrunk = len([w for w in site.workers if w.alive])
+    assert master.reaped > 0
+    assert shrunk < grew
+
+
+def test_dynamic_workers_inherit_uid():
+    policy = RegulationPolicy(start_workers=1, max_workers=8)
+    engine, kernel, site, master, drv = build(n_clients=40, policy=policy)
+    engine.run_until(sec(10))
+    pids = set(kernel.pids_of_uid(3001))
+    for w in site.workers:
+        if w.alive:
+            assert w.pid in pids

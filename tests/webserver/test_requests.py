@@ -1,0 +1,56 @@
+"""Request factory distributions."""
+
+import numpy as np
+
+from repro.webserver.requests import PageRequest, RequestFactory
+
+
+def make_factory(seed=0, **kw):
+    return RequestFactory(rng=np.random.default_rng(seed), **kw)
+
+
+def test_request_structure():
+    f = make_factory()
+    req = f.make("site1", 7, now=123)
+    assert req.site == "site1"
+    assert req.client_id == 7
+    assert req.submitted_at == 123
+    assert len(req.rounds) == f.db_rounds
+    assert req.completed_at is None
+
+
+def test_total_cpu_sums_parts():
+    req = PageRequest(
+        site="s",
+        client_id=0,
+        submitted_at=0,
+        parse_cpu_us=100,
+        rounds=[(5000, 200), (5000, 300)],
+        render_cpu_us=400,
+    )
+    assert req.total_cpu_us == 1000
+
+
+def test_mean_cpu_matches_configuration():
+    f = make_factory(seed=1)
+    total = sum(f.make("s", 0, 0).total_cpu_us for _ in range(4000)) / 4000
+    expected = (
+        f.mean_parse_cpu_us
+        + f.db_rounds * f.mean_php_cpu_us
+        + f.mean_render_cpu_us
+    )
+    assert abs(total - expected) / expected < 0.1
+
+
+def test_draws_always_positive():
+    f = make_factory(seed=2, mean_parse_cpu_us=1, mean_php_cpu_us=1)
+    for _ in range(200):
+        req = f.make("s", 0, 0)
+        assert req.parse_cpu_us >= 1
+        assert all(db >= 1 and php >= 1 for db, php in req.rounds)
+
+
+def test_deterministic_given_seed():
+    a = make_factory(seed=9).make("s", 0, 0)
+    b = make_factory(seed=9).make("s", 0, 0)
+    assert a.rounds == b.rounds and a.parse_cpu_us == b.parse_cpu_us

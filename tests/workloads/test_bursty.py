@@ -1,0 +1,56 @@
+"""Bursty workload behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerConfigError
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.bursty import bursty_behavior
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(SchedulerConfigError):
+        bursty_behavior(rng, mean_burst_us=0, mean_idle_us=10)
+    with pytest.raises(SchedulerConfigError):
+        bursty_behavior(rng, mean_burst_us=10, mean_idle_us=-1)
+
+
+def test_duty_fraction_approximates_demand():
+    eng = Engine(seed=0)
+    k = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    rng = eng.rng.stream("bursty")
+    p = k.spawn(
+        "b",
+        bursty_behavior(rng, mean_burst_us=ms(30), mean_idle_us=ms(70)),
+    )
+    eng.run_until(sec(60))
+    # Alone on the machine, achieved usage tracks the 30 % demand.
+    frac = k.getrusage(p.pid) / sec(60)
+    assert frac == pytest.approx(0.30, abs=0.06)
+
+
+def test_pure_burst_without_idle_is_spinner():
+    eng = Engine(seed=0)
+    k = Kernel(eng, KernelConfig(ctx_switch_us=0))
+    rng = eng.rng.stream("bursty")
+    p = k.spawn("b", bursty_behavior(rng, mean_burst_us=ms(5), mean_idle_us=0))
+    eng.run_until(sec(2))
+    assert k.getrusage(p.pid) == pytest.approx(sec(2), abs=ms(2))
+
+
+def test_deterministic_given_stream():
+    def run():
+        eng = Engine(seed=7)
+        k = Kernel(eng)
+        rng = eng.rng.stream("bursty")
+        p = k.spawn(
+            "b", bursty_behavior(rng, mean_burst_us=ms(10), mean_idle_us=ms(10))
+        )
+        eng.run_until(sec(5))
+        return k.getrusage(p.pid)
+
+    assert run() == run()

@@ -1,0 +1,51 @@
+"""Scenario builders."""
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.units import ms, sec
+from repro.workloads.io_pattern import compute_sleep_behavior
+from repro.workloads.scenarios import (
+    build_controlled_workload,
+    build_multi_alps_scenario,
+)
+
+
+def test_controlled_workload_wiring():
+    cw = build_controlled_workload([1, 2, 3], AlpsConfig(quantum_us=ms(10)))
+    assert len(cw.workers) == 3
+    assert cw.shares == [1, 2, 3]
+    assert cw.total_shares == 6
+    assert cw.alps_proc.name == "alps"
+
+
+def test_custom_behaviors_override_spinners():
+    behaviors = [
+        compute_sleep_behavior(ms(10), ms(10)),
+        compute_sleep_behavior(ms(10), ms(10)),
+    ]
+    cw = build_controlled_workload(
+        [1, 1], AlpsConfig(quantum_us=ms(10)), behaviors=behaviors
+    )
+    cw.engine.run_until(sec(1))
+    # Both workers block periodically, so total CPU < elapsed.
+    total = sum(cw.kernel.getrusage(w.pid) for w in cw.workers)
+    assert total < sec(1) * 0.9
+
+
+def test_overhead_fraction_positive_after_run():
+    cw = build_controlled_workload([1, 1], AlpsConfig(quantum_us=ms(10)))
+    cw.engine.run_until(sec(2))
+    assert 0 < cw.overhead_fraction() < 0.02
+
+
+def test_multi_alps_scenario_phased_starts():
+    groups = [("A", (1, 2), 0), ("B", (3, 4), sec(1))]
+    sc = build_multi_alps_scenario(groups, AlpsConfig(quantum_us=ms(10)))
+    assert [g.label for g in sc.groups] == ["A", "B"]
+    sc.engine.run_until(ms(500))
+    # B hasn't started yet.
+    b_usage = sum(sc.kernel.getrusage(w.pid) for w in sc.groups[1].workers)
+    assert b_usage == 0
+    a_usage = sum(sc.kernel.getrusage(w.pid) for w in sc.groups[0].workers)
+    assert a_usage > 0

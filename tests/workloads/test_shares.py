@@ -1,0 +1,60 @@
+"""Table 2 share distributions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulerConfigError
+from repro.workloads.shares import (
+    ShareDistribution,
+    equal_shares,
+    linear_shares,
+    skewed_shares,
+    workload_shares,
+)
+
+
+def test_table2_linear():
+    assert linear_shares(5) == [1, 3, 5, 7, 9]
+    assert linear_shares(10) == [1, 3, 5, 7, 9, 11, 13, 15, 17, 19]
+    assert linear_shares(20)[-3:] == [35, 37, 39]
+
+
+def test_table2_equal():
+    assert equal_shares(5) == [5] * 5
+    assert equal_shares(10) == [10] * 10
+    assert equal_shares(20) == [20] * 20
+
+
+def test_table2_skewed():
+    assert skewed_shares(5) == [1, 1, 1, 1, 21]
+    assert skewed_shares(10) == [1] * 9 + [91]
+    assert skewed_shares(20) == [1] * 19 + [381]
+
+
+def test_table2_totals_are_n_squared():
+    for n in (5, 10, 20):
+        for model in ShareDistribution:
+            assert sum(workload_shares(model, n)) == n * n
+
+
+def test_equal_with_custom_per_process():
+    assert equal_shares(7, 5) == [5] * 7
+
+
+def test_invalid_inputs():
+    with pytest.raises(SchedulerConfigError):
+        linear_shares(0)
+    with pytest.raises(SchedulerConfigError):
+        equal_shares(3, 0)
+
+
+def test_skewed_single_process():
+    assert skewed_shares(1) == [1]
+
+
+@given(st.integers(min_value=1, max_value=500))
+def test_totals_property(n):
+    assert sum(linear_shares(n)) == n * n
+    assert sum(equal_shares(n)) == n * n
+    assert sum(skewed_shares(n)) == n * n
+    assert all(s >= 1 for s in skewed_shares(n))
