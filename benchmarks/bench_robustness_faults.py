@@ -1,0 +1,166 @@
+"""Robustness — allocation accuracy degradation vs fault rate.
+
+Sweeps the standard fault mix (signal loss/delay, transient read
+failures, agent stalls, agent crash-with-restart at the higher rates)
+and reports the accuracy-degradation curve against the fault-free
+baseline.  Reproduction targets: the rate-0 point is *exactly* the
+clean path (fault injection is free when idle), degradation grows with
+the fault rate without cliffing into loss of control, and no run ends
+with a live controlled process wedged in SIGSTOP.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.ascii_plot import ascii_series_plot
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_for_cycles
+from repro.experiments.robustness import robustness_sweep
+from repro.faults.plan import default_fault_plan
+from repro.units import ms
+from repro.workloads.scenarios import build_controlled_workload
+
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+CYCLES = 60
+SEEDS = (0, 1)
+
+
+def _sweep():
+    return robustness_sweep(
+        rates=RATES, cycles=CYCLES, seeds=SEEDS
+    )
+
+
+def _clean_reference_error():
+    """The same workload with *no injector at all* (not even a null
+    plan), for the fault-rate-0 equivalence claim."""
+    from repro.experiments.robustness import DEFAULT_SHARES
+    from repro.metrics.accuracy import mean_rms_relative_error
+
+    errors = []
+    for seed in SEEDS:
+        cw = build_controlled_workload(
+            list(DEFAULT_SHARES), AlpsConfig(quantum_us=ms(10)), seed=seed
+        )
+        run_for_cycles(cw, CYCLES + 5)
+        errors.append(mean_rms_relative_error(cw.agent.cycle_log, skip=5))
+    return sum(errors) / len(errors)
+
+
+def test_robustness_fault_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            p.fault_rate,
+            round(p.mean_rms_error_pct, 2),
+            round(p.degradation_pct, 2),
+            p.signals_dropped,
+            p.signals_delayed,
+            p.reads_failed,
+            p.stalls_injected,
+            p.agent_crashes,
+            p.agent_restarts,
+            p.heals,
+            p.wedged_at_end,
+        ]
+        for p in points
+    ]
+    emit(
+        "ROBUSTNESS — accuracy degradation vs fault rate",
+        format_table(
+            [
+                "rate",
+                "err %",
+                "degr %",
+                "sig drop",
+                "sig delay",
+                "rd fail",
+                "stalls",
+                "crashes",
+                "restarts",
+                "heals",
+                "wedged",
+            ],
+            rows,
+        )
+        + "\n\n"
+        + ascii_series_plot(
+            {
+                "error %": (
+                    [p.fault_rate for p in points],
+                    [p.mean_rms_error_pct for p in points],
+                )
+            },
+            title="mean RMS error % vs fault rate",
+            xlabel="rate",
+            ylabel="err %",
+        ),
+    )
+    write_csv(
+        results_dir / "robustness_faults.csv",
+        [
+            {
+                "fault_rate": p.fault_rate,
+                "mean_rms_error_pct": p.mean_rms_error_pct,
+                "degradation_pct": p.degradation_pct,
+                "cycles": p.cycles,
+                "signals_dropped": p.signals_dropped,
+                "signals_delayed": p.signals_delayed,
+                "reads_failed": p.reads_failed,
+                "stalls_injected": p.stalls_injected,
+                "agent_crashes": p.agent_crashes,
+                "agent_restarts": p.agent_restarts,
+                "rebaselines": p.rebaselines,
+                "heals": p.heals,
+                "signal_retries": p.signal_retries,
+                "read_retries": p.read_retries,
+                "wedged_at_end": p.wedged_at_end,
+            }
+            for p in points
+        ],
+    )
+
+    # The reproduction claims.
+    by_rate = {p.fault_rate: p for p in points}
+    # 1. Fault rate 0 is byte-equivalent to running without an injector.
+    assert by_rate[0.0].degradation_pct == 0.0
+    assert by_rate[0.0].mean_rms_error_pct == pytest.approx(
+        _clean_reference_error(), abs=1e-9
+    )
+    # 2. Graceful degradation, not loss of control: errors stay finite
+    #    and the heaviest fault rate hurts more than the clean path.
+    for p in points:
+        assert math.isfinite(p.mean_rms_error_pct)
+    assert (
+        by_rate[max(RATES)].mean_rms_error_pct
+        > by_rate[0.0].mean_rms_error_pct
+    )
+    # 3. Faults were actually injected and recovered from.
+    heavy = by_rate[max(RATES)]
+    assert heavy.signals_dropped > 0
+    assert heavy.reads_failed > 0
+    assert heavy.agent_restarts == heavy.agent_crashes > 0
+    # 4. The no-wedged-subject guarantee.
+    assert all(p.wedged_at_end == 0 for p in points)
+
+
+def test_fault_schedule_replays_identically(results_dir):
+    """Same plan seed ⇒ byte-identical fault trace (determinism)."""
+
+    def trace(seed: int) -> list[str]:
+        plan = default_fault_plan(0.15, seed=seed, horizon_us=4_000_000)
+        cw = build_controlled_workload(
+            [1, 2, 3], AlpsConfig(quantum_us=ms(10)), seed=3, fault_plan=plan
+        )
+        cw.engine.run_until(3_000_000)
+        return cw.injector.trace_lines()
+
+    first, second = trace(7), trace(7)
+    assert first == second
+    assert len(first) > 0
+    assert trace(8) != first

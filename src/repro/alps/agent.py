@@ -12,6 +12,17 @@ the paper observes about user-level scheduling — sampling jitter,
 overhead, and the loss of control when the agent's work exceeds its
 fair share (Section 4.2) — emerges from the simulation rather than
 being asserted.
+
+Robustness (docs/fault_model.md): the agent survives subject death at
+any point of the measurement cycle, transient accounting-read failures
+(bounded retries), lost or delayed signal delivery (post-delivery
+verification against kernel process state, bounded re-sends, and
+wedge healing on later measurements), its own stalls (missed quantum
+boundaries are detected and the read baselines re-established instead
+of issuing a burst of catch-up decisions), and crash-with-restart
+(:meth:`AlpsAgent.restart` wipes volatile state; the next activation
+reconciles the stop-set against kernel truth so no subject is left
+wedged in SIGSTOP).
 """
 
 from __future__ import annotations
@@ -24,11 +35,13 @@ from repro.alps.config import AlpsConfig
 from repro.alps.costs import CostAccumulator
 from repro.alps.instrumentation import CycleLog
 from repro.alps.subjects import ProcessSubject, Subject
-from repro.errors import NoSuchProcessError
+from repro.errors import NoSuchProcessError, TransientReadError
 from repro.kernel.actions import Action, Compute, Sleep
 from repro.kernel.signals import SIGCONT, SIGSTOP
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
+    from repro.kernel.behaviors import Behavior
     from repro.kernel.kapi import KernelAPI
     from repro.kernel.kernel import Kernel
     from repro.kernel.process import Process
@@ -39,6 +52,7 @@ class _Phase(enum.Enum):
     SLEEPING = "sleeping"
     MEASURING = "measuring"
     SIGNALING = "signaling"
+    RECONCILING = "reconciling"
 
 
 class AlpsAgent:
@@ -65,6 +79,11 @@ class AlpsAgent:
         self._last_read: dict[int, int] = {}
         self._stopped_pids: set[int] = set()
         self._cumulative: dict[int, int] = {}
+        #: The boundary the agent intended to wake at (stall detection).
+        self._sleep_target = 0
+        #: Fractional CPU owed for recovery work (retries), folded into
+        #: the next quantum's charge.
+        self._deferred_cost_us = 0.0
         #: Number of algorithm invocations performed (timer events serviced).
         self.invocations = 0
         #: Total progress reads performed (for overhead statistics).
@@ -76,6 +95,24 @@ class AlpsAgent:
         #: distribution whose growth is the §4.2 breakdown.
         self.sampling_delays_us: list[int] = []
         self._wake_boundary = 0
+        # -- robustness statistics (docs/fault_model.md) ---------------
+        #: Quantum boundaries the agent slept through (stalls).
+        self.missed_boundaries = 0
+        #: Times the agent re-established its read baselines after a stall.
+        self.rebaselines = 0
+        #: Accounting reads retried after a transient failure.
+        self.read_retries = 0
+        #: Measurements skipped because the retry budget was exhausted.
+        self.read_failures = 0
+        #: Signals re-sent because delivery was not observed.
+        self.signal_retries = 0
+        #: Wedged subjects resumed outside a normal eligibility transition.
+        self.heals = 0
+        #: Crash-with-restart recoveries performed.
+        self.restarts = 0
+        #: Impossible observations tolerated (e.g. CPU counters running
+        #: backwards); nonzero values indicate substrate misbehavior.
+        self.anomalies = 0
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -101,6 +138,50 @@ class AlpsAgent:
         return self._cumulative.get(sid, 0)
 
     # ------------------------------------------------------------------
+    # Crash / shutdown recovery surface
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Simulate a crash-with-restart: wipe all volatile state.
+
+        Only the algorithm core (shares/allowances — the part a real
+        deployment would checkpoint) survives.  Read baselines, the
+        stop-set, and in-flight work are gone; the next activation runs
+        a reconciliation pass that rebuilds them from kernel truth.
+        """
+        self._phase = _Phase.RECONCILING
+        self._due = []
+        self._pending_signals = []
+        self._last_read = {}
+        self._stopped_pids = set()
+        self._acc = CostAccumulator()
+        self._deferred_cost_us = 0.0
+        self.restarts += 1
+
+    def shutdown(self, kapi: "KernelAPI") -> int:
+        """Resume every controlled process left stopped; returns the
+        number resumed.  Mirrors ``HostAlps._resume_all``: consults
+        kernel truth, not just the agent's own stop-set, so a wedged
+        subject (lost bookkeeping, delayed SIGSTOP) is released too.
+        """
+        to_resume = set(self._stopped_pids)
+        for subj in self.subjects.values():
+            for pid in subj.pids(kapi):
+                try:
+                    if kapi.is_stopped(pid):
+                        to_resume.add(pid)
+                except NoSuchProcessError:
+                    continue
+        resumed = 0
+        for pid in to_resume:
+            try:
+                kapi.kill(pid, SIGCONT)
+                resumed += 1
+            except NoSuchProcessError:
+                pass
+        self._stopped_pids = set()
+        return resumed
+
+    # ------------------------------------------------------------------
     # Behavior protocol
     # ------------------------------------------------------------------
     def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
@@ -112,24 +193,28 @@ class AlpsAgent:
             return self._do_apply(kapi)
         if self._phase is _Phase.SIGNALING:
             return self._do_deliver(kapi)
+        if self._phase is _Phase.RECONCILING:
+            return self._do_reconcile(kapi)
         raise AssertionError(f"unknown phase {self._phase}")  # pragma: no cover
 
     # -- phase bodies ----------------------------------------------------
     def _do_init(self, kapi: "KernelAPI") -> Action:
         self._epoch = kapi.now
         self.core._now_fn = lambda: kapi.now
-        self._cumulative: dict[int, int] = {s: 0 for s in self.subjects}
+        self._cumulative = {s: 0 for s in self.subjects}
         for subj in self.subjects.values():
             subj.refresh(kapi)
             for pid in subj.pids(kapi):
-                self._last_read[pid] = self._safe_rusage(kapi, pid)
+                self._set_baseline(kapi, pid)
         self._next_refresh = kapi.now + self.cfg.principal_refresh_us
         self._phase = _Phase.SLEEPING
-        return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+        return self._sleep_until_boundary(kapi.now)
 
     def _do_wake(self, kapi: "KernelAPI") -> Action:
         """Timer fired: select who to measure and pay for the work."""
-        cost = self.cfg.costs.timer_event_us
+        cost = self.cfg.costs.timer_event_us + self._deferred_cost_us
+        self._deferred_cost_us = 0.0
+        cost += self._absorb_stall(kapi)
         if kapi.now >= self._next_refresh:
             cost += self._refresh_principals(kapi)
             self._next_refresh = kapi.now + self.cfg.principal_refresh_us
@@ -140,7 +225,12 @@ class AlpsAgent:
         self._due = []
         npids = 0
         for sid in due_sids:
-            pids = self.subjects[sid].pids(kapi)
+            subj = self.subjects.get(sid)
+            if subj is None:
+                # The subject died after the core selected it (e.g. the
+                # whole group is gone); measure nothing for it.
+                continue
+            pids = subj.pids(kapi)
             self._due.append((sid, pids))
             npids += len(pids)
         cost += self.cfg.costs.measure_cost(npids)
@@ -159,14 +249,17 @@ class AlpsAgent:
             blocked_votes: list[bool] = []
             live = 0
             for pid in pids:
-                try:
-                    usage = kapi.getrusage(pid)
-                except NoSuchProcessError:
-                    self._last_read.pop(pid, None)
-                    self._stopped_pids.discard(pid)
+                usage = self._read_usage(kapi, pid)
+                if usage is None:
                     continue
                 live += 1
-                consumed += usage - self._last_read.get(pid, usage)
+                delta = usage - self._last_read.get(pid, usage)
+                if delta < 0:
+                    # Accounting ran backwards; tolerate, don't corrupt
+                    # allowances with negative charges.
+                    self.anomalies += 1
+                    delta = 0
+                consumed += delta
                 self._last_read[pid] = usage
                 blocked_votes.append(kapi.is_blocked(pid))
             blocked = (
@@ -175,30 +268,56 @@ class AlpsAgent:
             measurements[sid] = Measurement(consumed_us=consumed, blocked=blocked)
             self._cumulative[sid] = self._cumulative.get(sid, 0) + consumed
         decisions = self.core.complete_quantum(measurements)
+        if self.cfg.enforce_invariants:
+            self.core.check_runtime_invariants()
         self._pending_signals = self._signals_for(kapi, decisions)
         if not self._pending_signals:
             self._phase = _Phase.SLEEPING
-            return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+            return self._sleep_until_boundary(kapi.now)
         self._phase = _Phase.SIGNALING
         cost = self.cfg.costs.signal_us * len(self._pending_signals)
         return Compute(self._acc.charge(cost))
 
     def _do_deliver(self, kapi: "KernelAPI") -> Action:
-        """Signal CPU spent: actually deliver the queued signals."""
+        """Signal CPU spent: deliver the queued signals, verify, retry."""
         for pid, signo in self._pending_signals:
-            try:
-                kapi.kill(pid, signo)
-            except NoSuchProcessError:
-                self._stopped_pids.discard(pid)
-                continue
-            self.signals_sent += 1
-            if signo == SIGSTOP:
-                self._stopped_pids.add(pid)
-            else:
-                self._stopped_pids.discard(pid)
+            self._deliver_signal(kapi, pid, signo)
         self._pending_signals = []
         self._phase = _Phase.SLEEPING
-        return Sleep(self._until_next_boundary(kapi.now), channel="alpstimer")
+        return self._sleep_until_boundary(kapi.now)
+
+    def _do_reconcile(self, kapi: "KernelAPI") -> Action:
+        """First activation after a restart: rebuild state from kernel truth.
+
+        Never trust state a crash may have invalidated: re-enumerate
+        membership, re-baseline every progress read, and resume any
+        controlled process found stopped (the algorithm re-suspends the
+        truly ineligible on the next quantum — one quantum of lost
+        proportions beats a subject wedged in SIGSTOP forever).
+        """
+        npids = 0
+        resume: list[tuple[int, int]] = []
+        for subj in self.subjects.values():
+            subj.refresh(kapi)
+            for pid in subj.pids(kapi):
+                npids += 1
+                self._set_baseline(kapi, pid)
+                try:
+                    stopped = kapi.is_stopped(pid)
+                except NoSuchProcessError:
+                    self._forget_pid(pid)
+                    continue
+                if stopped:
+                    self._stopped_pids.add(pid)
+                    resume.append((pid, SIGCONT))
+        self._reap_dead_subjects(kapi)
+        self._next_refresh = kapi.now + self.cfg.principal_refresh_us
+        self._pending_signals = resume
+        cost = self.cfg.costs.measure_cost(npids)
+        self.reads += npids
+        cost += self.cfg.costs.signal_us * len(resume)
+        self._phase = _Phase.SIGNALING
+        return Compute(self._acc.charge(cost))
 
     # -- helpers ----------------------------------------------------------
     def _until_next_boundary(self, now: int) -> int:
@@ -206,10 +325,69 @@ class AlpsAgent:
         k = (now - self._epoch) // q + 1
         return self._epoch + k * q - now
 
+    def _sleep_until_boundary(self, now: int) -> Sleep:
+        duration = self._until_next_boundary(now)
+        self._sleep_target = now + duration
+        return Sleep(duration, channel="alpstimer")
+
+    def _absorb_stall(self, kapi: "KernelAPI") -> float:
+        """Detect missed quantum boundaries and re-baseline if needed.
+
+        An agent that overslept N quanta (preemption storm, injected
+        stall, paging) must not charge the whole outage as one quantum's
+        consumption — that floods allowances and triggers a burst of
+        catch-up suspensions.  Past ``stall_tolerance_quanta`` the read
+        baselines are re-established at current values, forgiving the
+        unobserved interval.  Returns the CPU cost of the extra reads.
+        """
+        q = self.cfg.quantum_us
+        missed = (kapi.now - self._sleep_target) // q
+        if missed <= 0:
+            return 0.0
+        self.missed_boundaries += missed
+        if missed <= self.cfg.stall_tolerance_quanta:
+            return 0.0
+        npids = 0
+        for subj in self.subjects.values():
+            for pid in subj.pids(kapi):
+                npids += 1
+                self._set_baseline(kapi, pid)
+        self.rebaselines += 1
+        self.reads += npids
+        return self.cfg.costs.measure_cost(npids)
+
+    def _deliver_signal(self, kapi: "KernelAPI", pid: int, signo: int) -> None:
+        """Send one signal, verify its effect, re-send within budget."""
+        want_stopped = signo == SIGSTOP
+        for attempt in range(self.cfg.signal_retry_budget + 1):
+            try:
+                kapi.kill(pid, signo)
+            except NoSuchProcessError:
+                self._forget_pid(pid)
+                return
+            self.signals_sent += 1
+            if attempt > 0:
+                self.signal_retries += 1
+                self._deferred_cost_us += self.cfg.costs.signal_us
+            if want_stopped:
+                self._stopped_pids.add(pid)
+            else:
+                self._stopped_pids.discard(pid)
+            try:
+                if kapi.is_stopped(pid) == want_stopped:
+                    return
+            except NoSuchProcessError:
+                self._forget_pid(pid)
+                return
+        # Budget exhausted: bookkeeping above reflects the *intended*
+        # state; a later measurement's wedge-healing or the next
+        # eligibility transition gets another chance.
+
     def _signals_for(
         self, kapi: "KernelAPI", decisions: QuantumDecisions
     ) -> list[tuple[int, int]]:
         signals: list[tuple[int, int]] = []
+        suspend = set(decisions.to_suspend)
         for sid in decisions.to_suspend:
             subj = self.subjects.get(sid)
             if subj is None:
@@ -224,6 +402,22 @@ class AlpsAgent:
             for pid in subj.pids(kapi):
                 if pid in self._stopped_pids:
                     signals.append((pid, SIGCONT))
+        # Wedge healing: a subject measured this quantum that is (and
+        # stays) eligible must not have stopped processes.  A pid found
+        # stopped here lost a SIGCONT (or caught a delayed SIGSTOP); the
+        # agent's bookkeeping can't be trusted, kernel state is.
+        for sid, pids in self._due:
+            st = self.core.subjects.get(sid)
+            if st is None or not st.eligible or sid in suspend:
+                continue
+            for pid in pids:
+                try:
+                    if kapi.is_stopped(pid):
+                        signals.append((pid, SIGCONT))
+                        self._stopped_pids.add(pid)  # make delivery resume it
+                        self.heals += 1
+                except NoSuchProcessError:
+                    self._forget_pid(pid)
         return signals
 
     def _refresh_principals(self, kapi: "KernelAPI") -> float:
@@ -231,9 +425,12 @@ class AlpsAgent:
 
         Newly discovered pids inherit the principal's current
         eligibility (a new worker of a suspended user is stopped at
-        discovery).  Returns the CPU cost to charge.
+        discovery).  Returns the CPU cost to charge, including the
+        discovery-time signals — they are real kill(2) calls and must
+        show up in the §4 overhead accounting like any other signal.
         """
         cost = 0.0
+        discovery_stops: list[int] = []
         for sid, subj in self.subjects.items():
             before = set(subj.pids(kapi))
             if not subj.refresh(kapi):
@@ -241,27 +438,30 @@ class AlpsAgent:
             cost += self.cfg.costs.principal_refresh_us
             after = set(subj.pids(kapi))
             for pid in after - before:
-                self._last_read[pid] = self._safe_rusage(kapi, pid)
+                self._set_baseline(kapi, pid)
                 if sid in self.core.subjects and not self.core.subjects[sid].eligible:
-                    self._pending_signals.append((pid, SIGSTOP))
+                    discovery_stops.append(pid)
             for pid in before - after:
-                self._last_read.pop(pid, None)
-                self._stopped_pids.discard(pid)
-        # Deliver discovery-time stops immediately (they are few).
-        if self._pending_signals:
-            for pid, signo in self._pending_signals:
-                try:
-                    kapi.kill(pid, signo)
-                    self.signals_sent += 1
-                    if signo == SIGSTOP:
-                        self._stopped_pids.add(pid)
-                except NoSuchProcessError:
-                    pass
-            self._pending_signals = []
+                self._forget_pid(pid)
+        # Deliver discovery-time stops immediately (they are few), and
+        # charge them: signals are never free.
+        for pid in discovery_stops:
+            try:
+                kapi.kill(pid, SIGSTOP)
+                self.signals_sent += 1
+                self._stopped_pids.add(pid)
+            except NoSuchProcessError:
+                self._forget_pid(pid)
+            cost += self.cfg.costs.signal_us
         return cost
 
     def _reap_dead_subjects(self, kapi: "KernelAPI") -> None:
-        """Drop single-process subjects whose process exited."""
+        """Drop single-process subjects whose process exited.
+
+        The dead subject leaves *all* agent maps — its core entry, its
+        read baseline, and its stop-set entry — so long churny runs do
+        not leak state (and a recycled pid can never inherit it).
+        """
         for sid in list(self.subjects):
             subj = self.subjects[sid]
             if not isinstance(subj, ProcessSubject):
@@ -269,15 +469,50 @@ class AlpsAgent:
             subj.refresh(kapi)
             if subj.pids(kapi):
                 continue
-            if sid in self.core.subjects and len(self.core.subjects) > 1:
+            if sid in self.core.subjects:
                 self.core.remove_subject(sid)
+            self._forget_pid(subj.pid)
             del self.subjects[sid]
 
-    def _safe_rusage(self, kapi: "KernelAPI", pid: int) -> int:
+    def _forget_pid(self, pid: int) -> None:
+        """Remove every per-pid record (death or departure cleanup)."""
+        self._last_read.pop(pid, None)
+        self._stopped_pids.discard(pid)
+
+    def _read_usage(self, kapi: "KernelAPI", pid: int) -> Optional[int]:
+        """getrusage with death cleanup and bounded transient retries.
+
+        Returns None when the pid is gone or the retry budget is
+        exhausted; in the latter case the baseline is left untouched so
+        the next successful read charges the full elapsed consumption —
+        a skipped measurement defers accounting, it never loses it.
+        """
+        for attempt in range(self.cfg.read_retry_budget + 1):
+            try:
+                return kapi.getrusage(pid)
+            except NoSuchProcessError:
+                self._forget_pid(pid)
+                return None
+            except TransientReadError:
+                if attempt < self.cfg.read_retry_budget:
+                    self.read_retries += 1
+                    self._deferred_cost_us += self.cfg.costs.measure_per_proc_us
+        self.read_failures += 1
+        return None
+
+    def _set_baseline(self, kapi: "KernelAPI", pid: int) -> None:
+        """(Re)set a pid's progress baseline to its current reading.
+
+        On a transient failure the stale baseline is dropped instead:
+        the next successful read then starts a fresh interval (delta 0),
+        which can only under-charge — safe for a recovery path.
+        """
         try:
-            return kapi.getrusage(pid)
+            self._last_read[pid] = kapi.getrusage(pid)
         except NoSuchProcessError:
-            return 0
+            self._forget_pid(pid)
+        except TransientReadError:
+            self._last_read.pop(pid, None)
 
 
 def spawn_alps(
@@ -289,12 +524,21 @@ def spawn_alps(
     uid: int = 0,
     nice: int = 0,
     start_delay: int = 0,
+    injector: Optional["FaultInjector"] = None,
 ) -> tuple["Process", AlpsAgent]:
     """Spawn an ALPS scheduler process in the simulated kernel.
 
     Returns the agent's process (for overhead accounting via
-    ``proc.cpu_time``) and the agent object (for its cycle log).
+    ``proc.cpu_time``) and the agent object (for its cycle log).  When a
+    :class:`~repro.faults.injector.FaultInjector` is supplied, the agent
+    runs behind its behavior wrapper and sees the injector's faulty
+    system-call surface.
     """
     agent = AlpsAgent(subjects, config)
-    proc = kernel.spawn(name, agent, uid=uid, nice=nice, start_delay=start_delay)
+    behavior: "Behavior" = agent
+    if injector is not None:
+        from repro.faults.injector import FaultableAlpsBehavior
+
+        behavior = FaultableAlpsBehavior(agent, injector)
+    proc = kernel.spawn(name, behavior, uid=uid, nice=nice, start_delay=start_delay)
     return proc, agent

@@ -37,7 +37,7 @@ from typing import Callable, Mapping, Optional
 
 from repro.alps.instrumentation import CycleLog, CycleRecord
 from repro.alps.state import Eligibility, SubjectState
-from repro.errors import SchedulerConfigError
+from repro.errors import SchedulerConfigError, SimulationError
 
 
 @dataclass(slots=True, frozen=True)
@@ -225,7 +225,7 @@ class AlpsCore:
 
         decisions = QuantumDecisions()
         cycles = 0
-        if self.tc <= 0:
+        if self.tc <= 0 and self.subjects:
             cycles = 1
             self.tc += self.cycle_length_us
             decisions.cycle_completed = True
@@ -276,6 +276,40 @@ class AlpsCore:
     def allowance(self, sid: int) -> float:
         """Current allowance (quanta) of a subject."""
         return self.subjects[sid].allowance
+
+    def check_runtime_invariants(self) -> None:
+        """Raise :class:`SimulationError` if scheduler state is corrupt.
+
+        Meant to run after each :meth:`complete_quantum` (drivers gate
+        it on ``AlpsConfig.enforce_invariants``).  Checks:
+
+        * every allowance is finite (fault-corrupted accounting shows
+          up as NaN/inf long before results are visibly wrong);
+        * eligibility matches the allowance sign (Figure 3's partition
+          is the ground truth, and complete_quantum just recomputed it);
+        * no livelock: with subjects present and no cycle completion
+          pending (``tc > 0``), at least one subject must be eligible —
+          an all-ineligible state with a positive cycle remainder can
+          never measure progress and would idle the group forever.
+        """
+        any_eligible = False
+        for sid, st in self.subjects.items():
+            if not math.isfinite(st.allowance):
+                raise SimulationError(
+                    f"subject {sid} allowance is not finite: {st.allowance}"
+                )
+            eligible = st.state is Eligibility.ELIGIBLE
+            if eligible != (st.allowance > 0):
+                raise SimulationError(
+                    f"subject {sid} eligibility {st.state} inconsistent "
+                    f"with allowance {st.allowance}"
+                )
+            any_eligible = any_eligible or eligible
+        if self.subjects and self.tc > 0 and not any_eligible:
+            raise SimulationError(
+                "livelock: all subjects ineligible with cycle remainder "
+                f"tc={self.tc} > 0"
+            )
 
     def invariant_check(self) -> None:
         """Sanity checks used by tests: eligibility matches allowance sign.

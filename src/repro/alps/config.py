@@ -23,6 +23,16 @@ class AlpsConfig:
         costs: the Table 1 cost model charged to the agent's own CPU.
         principal_refresh_us: how often multi-process principals
             re-enumerate their membership (Section 5 uses 1 s).
+        read_retry_budget: extra attempts after a transient accounting
+            read failure before the measurement is skipped this quantum.
+        signal_retry_budget: extra deliveries after a SIGSTOP/SIGCONT
+            whose effect is not observed in kernel process state.
+        stall_tolerance_quanta: missed quantum boundaries tolerated
+            before the agent re-baselines its progress reads instead of
+            charging the whole outage as one burst of consumption.
+        enforce_invariants: check scheduler-state invariants every
+            quantum and raise SimulationError on corruption (see
+            docs/fault_model.md).
     """
 
     quantum_us: int = 10 * MSEC
@@ -30,6 +40,10 @@ class AlpsConfig:
     track_io: bool = True
     costs: CostModel = field(default_factory=CostModel)
     principal_refresh_us: int = 1 * SEC
+    read_retry_budget: int = 2
+    signal_retry_budget: int = 1
+    stall_tolerance_quanta: int = 2
+    enforce_invariants: bool = True
 
     def __post_init__(self) -> None:
         if self.quantum_us <= 0:
@@ -39,4 +53,17 @@ class AlpsConfig:
         if self.principal_refresh_us <= 0:
             raise SchedulerConfigError(
                 f"principal_refresh_us must be positive, got {self.principal_refresh_us}"
+            )
+        if self.read_retry_budget < 0:
+            raise SchedulerConfigError(
+                f"read_retry_budget must be >= 0, got {self.read_retry_budget}"
+            )
+        if self.signal_retry_budget < 0:
+            raise SchedulerConfigError(
+                f"signal_retry_budget must be >= 0, got {self.signal_retry_budget}"
+            )
+        if self.stall_tolerance_quanta < 1:
+            raise SchedulerConfigError(
+                "stall_tolerance_quanta must be >= 1, got "
+                f"{self.stall_tolerance_quanta}"
             )

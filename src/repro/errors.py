@@ -27,6 +27,19 @@ class InvalidProcessStateError(KernelError):
     """Raised when an operation is illegal in the process's current state."""
 
 
+class TransientReadError(KernelError):
+    """Raised when a process-accounting read fails transiently.
+
+    Unlike :class:`NoSuchProcessError` the target is still alive; the
+    caller may retry.  Fault injection uses this to model EAGAIN-style
+    procfs/kvm read failures.
+    """
+
+    def __init__(self, pid: int) -> None:
+        super().__init__(f"transient accounting read failure: pid {pid}")
+        self.pid = pid
+
+
 class SchedulerConfigError(ReproError):
     """Raised for invalid ALPS or kernel scheduler configuration."""
 

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the ALPS reproduction.
+
+The seed reproduction exercised only the happy path; a production
+resource manager must absorb process churn, lost signals, failed
+accounting reads, and its own stalls and crashes.  This package makes
+those failures a first-class, *reproducible* input: a seeded
+:class:`FaultPlan` describes what goes wrong, a :class:`FaultInjector`
+enacts it against the simulated kernel, and the agent's recovery paths
+(:mod:`repro.alps.agent`) turn graceful degradation into a measurable
+curve (:mod:`repro.experiments.robustness`).
+
+See ``docs/fault_model.md`` for the fault taxonomy and the determinism
+contract.
+"""
+
+from repro.faults.injector import (
+    FaultableAlpsBehavior,
+    FaultInjector,
+    FaultyKernelAPI,
+)
+from repro.faults.plan import (
+    AgentCrash,
+    AgentStall,
+    FaultPlan,
+    FaultRecord,
+    ForkStorm,
+    ProcessCrash,
+    default_fault_plan,
+)
+
+__all__ = [
+    "AgentCrash",
+    "AgentStall",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultableAlpsBehavior",
+    "FaultyKernelAPI",
+    "ForkStorm",
+    "ProcessCrash",
+    "default_fault_plan",
+]

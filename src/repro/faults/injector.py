@@ -1,0 +1,310 @@
+"""Deterministic fault injection against the simulated kernel.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into runtime misbehavior along three seams:
+
+* **engine events** — scheduled/Poisson process crashes and fork storms
+  are materialised at :meth:`arm` time and fired by the event loop;
+* **the system-call surface** — :meth:`wrap` returns a
+  :class:`FaultyKernelAPI` that transparently drops/delays signals and
+  fails accounting reads with the plan's probabilities;
+* **the agent's own execution** — :class:`FaultableAlpsBehavior`
+  interposes on the agent's action stream to stretch its sleeps past
+  quantum boundaries (stalls) and to crash-and-restart it.
+
+Every injected fault is appended to :attr:`FaultInjector.trace`;
+:meth:`trace_lines` renders it as a stable text form so tests can assert
+byte-identical replay for equal seeds.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import NoSuchProcessError, TransientReadError
+from repro.faults.plan import AgentCrash, FaultPlan, FaultRecord
+from repro.kernel.actions import Action, Sleep
+from repro.kernel.signals import SIGKILL, signal_name
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.alps.agent import AlpsAgent
+    from repro.kernel.behaviors import Behavior
+    from repro.kernel.kapi import KernelAPI
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.sim.engine import Engine
+
+
+class FaultInjector:
+    """Runtime state of one fault plan over one simulation."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        engine: "Engine",
+        kernel: "Kernel",
+        *,
+        behavior_factory: Optional[Callable[[], "Behavior"]] = None,
+    ) -> None:
+        self.plan = plan
+        self.engine = engine
+        self.kernel = kernel
+        self._behavior_factory = behavior_factory
+        self.rng = RngStreams(plan.seed)
+        self.trace: list[FaultRecord] = []
+        self._armed = False
+        self._victims: list[int] = []
+        # Agent-fault schedules, consumed in time order by the wrapper.
+        self._stalls = sorted(plan.agent_stalls, key=lambda s: s.time_us)
+        self._agent_crashes = sorted(plan.agent_crashes, key=lambda c: c.time_us)
+        # Counters (exported by the robustness experiment).
+        self.crashes_injected = 0
+        self.forks_spawned = 0
+        self.signals_dropped = 0
+        self.signals_delayed = 0
+        self.reads_failed = 0
+        self.stalls_injected = 0
+        self.agent_crashes_injected = 0
+
+    # ------------------------------------------------------------------
+    # Trace
+    # ------------------------------------------------------------------
+    def record(self, kind: str, detail: str) -> None:
+        """Append one fault occurrence to the replay trace."""
+        self.trace.append(FaultRecord(self.engine.now, kind, detail))
+
+    def trace_lines(self) -> list[str]:
+        """Stable textual trace (equal seeds must replay it verbatim)."""
+        return [rec.line() for rec in self.trace]
+
+    # ------------------------------------------------------------------
+    # Arming: materialise the time-triggered schedule
+    # ------------------------------------------------------------------
+    def arm(self, victim_pids: list[int]) -> None:
+        """Schedule the plan's time-triggered faults.
+
+        ``victim_pids`` are the controlled worker pids, in spawn order;
+        crash victim indexes resolve against this list, so the mapping
+        is stable across runs.
+        """
+        if self._armed:
+            raise RuntimeError("FaultInjector.arm() called twice")
+        self._armed = True
+        self._victims = list(victim_pids)
+        crash_times: list[tuple[int, int]] = [
+            (c.time_us, c.victim_index) for c in self.plan.crashes
+        ]
+        if self.plan.crash_rate_per_sec > 0 and self._victims:
+            stream = self.rng.stream("crash")
+            t = 0.0
+            scale = 1_000_000 / self.plan.crash_rate_per_sec
+            while True:
+                t += float(stream.exponential(scale))
+                if t >= self.plan.horizon_us:
+                    break
+                victim = int(stream.integers(0, len(self._victims)))
+                crash_times.append((int(t), victim))
+        for when, victim_index in sorted(crash_times):
+            self.engine.at(
+                max(when, self.engine.now),
+                self._fire_crash,
+                payload=victim_index,
+                tag="fault:crash",
+            )
+        for storm in self.plan.fork_storms:
+            self.engine.at(
+                max(storm.time_us, self.engine.now),
+                self._fire_fork_storm,
+                payload=storm,
+                tag="fault:forkstorm",
+            )
+
+    def _fire_crash(self, event) -> None:
+        if not self._victims:
+            return
+        pid = self._victims[event.payload % len(self._victims)]
+        try:
+            self.kernel.kill(pid, SIGKILL)
+        except NoSuchProcessError:
+            self.record("crash-noop", f"pid={pid}")
+            return
+        self.crashes_injected += 1
+        self.record("crash", f"pid={pid}")
+
+    def _fire_fork_storm(self, event) -> None:
+        storm = event.payload
+        if self._behavior_factory is None:
+            from repro.workloads.spinner import spinner_behavior
+
+            factory: Callable[[], "Behavior"] = spinner_behavior
+        else:
+            factory = self._behavior_factory
+        for i in range(storm.count):
+            self.kernel.spawn(
+                f"storm-u{storm.uid}-{i}", factory(), uid=storm.uid
+            )
+        self.forks_spawned += storm.count
+        self.record("forkstorm", f"uid={storm.uid} count={storm.count}")
+
+    # ------------------------------------------------------------------
+    # Per-operation faults (called by FaultyKernelAPI)
+    # ------------------------------------------------------------------
+    def fault_getrusage(self, kapi: "KernelAPI", pid: int) -> int:
+        plan = self.plan
+        if plan.rusage_fail_prob > 0 and (
+            float(self.rng.stream("read").random()) < plan.rusage_fail_prob
+        ):
+            self.reads_failed += 1
+            self.record("read-fail", f"pid={pid}")
+            raise TransientReadError(pid)
+        return kapi.getrusage(pid)
+
+    def fault_kill(self, kapi: "KernelAPI", pid: int, signo: int) -> None:
+        plan = self.plan
+        if plan.signal_drop_prob > 0 or plan.signal_delay_prob > 0:
+            draw = float(self.rng.stream("signal").random())
+            if draw < plan.signal_drop_prob:
+                self.signals_dropped += 1
+                self.record("signal-drop", f"pid={pid} sig={signal_name(signo)}")
+                return
+            if draw < plan.signal_drop_prob + plan.signal_delay_prob:
+                self.signals_delayed += 1
+                self.record("signal-delay", f"pid={pid} sig={signal_name(signo)}")
+                self.engine.after(
+                    plan.signal_delay_us,
+                    self._fire_delayed_signal,
+                    payload=(pid, signo),
+                    tag="fault:sigdelay",
+                )
+                return
+        kapi.kill(pid, signo)
+
+    def _fire_delayed_signal(self, event) -> None:
+        pid, signo = event.payload
+        try:
+            self.kernel.kill(pid, signo)
+        except NoSuchProcessError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Agent faults (called by FaultableAlpsBehavior)
+    # ------------------------------------------------------------------
+    def stall_quanta(self, now: int) -> int:
+        """Quanta the agent must oversleep right now (0 = no stall)."""
+        total = 0
+        while self._stalls and self._stalls[0].time_us <= now:
+            stall = self._stalls.pop(0)
+            total += stall.skipped_quanta
+            self.stalls_injected += 1
+            self.record("stall", f"quanta={stall.skipped_quanta}")
+        if self.plan.agent_stall_prob > 0 and (
+            float(self.rng.stream("stall").random()) < self.plan.agent_stall_prob
+        ):
+            total += self.plan.agent_stall_quanta
+            self.stalls_injected += 1
+            self.record("stall", f"quanta={self.plan.agent_stall_quanta}")
+        return total
+
+    def agent_crash_due(self, now: int) -> Optional[AgentCrash]:
+        """The agent crash scheduled at or before ``now``, if any."""
+        if self._agent_crashes and self._agent_crashes[0].time_us <= now:
+            crash = self._agent_crashes.pop(0)
+            self.agent_crashes_injected += 1
+            self.record("agent-crash", f"downtime_us={crash.downtime_us}")
+            return crash
+        return None
+
+    # ------------------------------------------------------------------
+    # KernelAPI wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, kapi: "KernelAPI") -> "FaultyKernelAPI":
+        """A KernelAPI view of ``kapi`` with this plan's faults applied."""
+        return FaultyKernelAPI(kapi, self)
+
+
+class FaultyKernelAPI:
+    """KernelAPI-compatible proxy that injects signal/read faults.
+
+    Only the operations the plan can perturb are intercepted; everything
+    else delegates verbatim, so a null plan is an exact pass-through.
+    """
+
+    __slots__ = ("_inner", "_injector")
+
+    def __init__(self, inner: "KernelAPI", injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    @property
+    def now(self) -> int:
+        return self._inner.now
+
+    def getrusage(self, pid: int) -> int:
+        return self._injector.fault_getrusage(self._inner, pid)
+
+    def kill(self, pid: int, signo: int) -> None:
+        self._injector.fault_kill(self._inner, pid, signo)
+
+    def wait_channel_of(self, pid: int):
+        return self._inner.wait_channel_of(pid)
+
+    def is_blocked(self, pid: int) -> bool:
+        return self._inner.is_blocked(pid)
+
+    def is_stopped(self, pid: int) -> bool:
+        return self._inner.is_stopped(pid)
+
+    def spawn(self, name, behavior, *, uid=0, nice=0, start_delay=0):
+        return self._inner.spawn(
+            name, behavior, uid=uid, nice=nice, start_delay=start_delay
+        )
+
+    def pids_of_uid(self, uid: int) -> list[int]:
+        return self._inner.pids_of_uid(uid)
+
+    def pid_exists(self, pid: int) -> bool:
+        return self._inner.pid_exists(pid)
+
+    def wakeup(self, channel: str) -> int:
+        return self._inner.wakeup(channel)
+
+    def wakeup_one(self, channel: str) -> bool:
+        return self._inner.wakeup_one(channel)
+
+
+class FaultableAlpsBehavior:
+    """Behavior wrapper hosting an ALPS agent under fault injection.
+
+    The wrapped agent sees the world through the injector's faulty
+    KernelAPI; on top of that the wrapper stretches the agent's sleeps
+    (stall faults) and simulates crash-with-restart by wiping the
+    agent's volatile state and idling it for the crash's downtime.
+    """
+
+    __slots__ = ("agent", "injector", "_fkapi")
+
+    def __init__(self, agent: "AlpsAgent", injector: FaultInjector) -> None:
+        self.agent = agent
+        self.injector = injector
+        self._fkapi: Optional[FaultyKernelAPI] = None
+
+    def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
+        if self._fkapi is None:
+            self._fkapi = self.injector.wrap(kapi)
+        crash = self.injector.agent_crash_due(kapi.now)
+        if crash is not None:
+            self.agent.restart()
+            return Sleep(crash.downtime_us, channel="alpsrestart")
+        action = self.agent.next_action(proc, self._fkapi)
+        if isinstance(action, Sleep) and action.channel == "alpstimer":
+            extra = self.injector.stall_quanta(kapi.now)
+            if extra:
+                action = Sleep(
+                    action.duration_us + extra * self.agent.cfg.quantum_us,
+                    channel=action.channel,
+                )
+        return action
+
+
+__all__ = ["FaultInjector", "FaultyKernelAPI", "FaultableAlpsBehavior"]

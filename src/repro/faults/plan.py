@@ -1,0 +1,197 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong and when* for one run:
+process crashes (scheduled or Poisson-random), fork storms against a
+multi-process principal, lost or delayed SIGSTOP/SIGCONT delivery,
+transient accounting-read failures, agent oversleeps that skip quantum
+boundaries, and agent crash-with-restart.
+
+Determinism contract
+--------------------
+All randomness is drawn from :class:`~repro.sim.rng.RngStreams` seeded
+with ``plan.seed`` — *not* from the simulation engine's streams — so a
+plan replays the identical fault schedule regardless of unrelated code
+changes.  Time-triggered faults (crash schedule, fork storms, agent
+crashes) are fully materialised up front by the injector; per-operation
+faults (signal loss, read failures) are drawn at operation time, which
+is still deterministic because the simulation itself is.  A plan with
+every rate at zero and every schedule empty injects nothing and must
+leave results byte-identical to a run without an injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerConfigError
+from repro.units import MSEC, SEC
+
+
+@dataclass(slots=True, frozen=True)
+class ProcessCrash:
+    """Kill one controlled process at a scheduled simulation time."""
+
+    time_us: int
+    #: Index into the injector's armed victim list (stable across runs).
+    victim_index: int
+
+
+@dataclass(slots=True, frozen=True)
+class ForkStorm:
+    """Spawn ``count`` extra processes owned by ``uid`` at ``time_us``.
+
+    Exercises the Section 5 principal-refresh path: a suspended user's
+    fork storm must be discovered and stopped, and must not let the
+    user free-ride past its share.
+    """
+
+    time_us: int
+    uid: int
+    count: int
+
+
+@dataclass(slots=True, frozen=True)
+class AgentStall:
+    """Force the agent to oversleep, skipping quantum boundaries."""
+
+    time_us: int
+    skipped_quanta: int = 4
+
+
+@dataclass(slots=True, frozen=True)
+class AgentCrash:
+    """Crash the agent at ``time_us``; it restarts after ``downtime_us``
+    with its volatile state (stop-set, read baselines) wiped."""
+
+    time_us: int
+    downtime_us: int = 50 * MSEC
+
+
+@dataclass(slots=True, frozen=True)
+class FaultPlan:
+    """One run's complete fault description (see module docstring).
+
+    Rates are per-operation probabilities in [0, 1]; ``crash_rate_per_sec``
+    is a Poisson rate materialised over ``horizon_us`` at arm time.
+    The default plan injects nothing.
+    """
+
+    seed: int = 0
+
+    # -- process-population faults ----------------------------------
+    crashes: tuple[ProcessCrash, ...] = ()
+    crash_rate_per_sec: float = 0.0
+    fork_storms: tuple[ForkStorm, ...] = ()
+
+    # -- signal-delivery faults -------------------------------------
+    signal_drop_prob: float = 0.0
+    signal_delay_prob: float = 0.0
+    signal_delay_us: int = 2 * MSEC
+
+    # -- accounting-read faults -------------------------------------
+    rusage_fail_prob: float = 0.0
+
+    # -- agent faults -----------------------------------------------
+    agent_stalls: tuple[AgentStall, ...] = ()
+    agent_stall_prob: float = 0.0
+    agent_stall_quanta: int = 4
+    agent_crashes: tuple[AgentCrash, ...] = ()
+
+    #: Horizon over which Poisson crash times are materialised.
+    horizon_us: int = 60 * SEC
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_rate_per_sec",
+            "signal_drop_prob",
+            "signal_delay_prob",
+            "rusage_fail_prob",
+            "agent_stall_prob",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise SchedulerConfigError(f"{name} must be >= 0, got {value}")
+        for name in (
+            "signal_drop_prob",
+            "signal_delay_prob",
+            "rusage_fail_prob",
+            "agent_stall_prob",
+        ):
+            if getattr(self, name) > 1:
+                raise SchedulerConfigError(f"{name} must be <= 1")
+        if self.signal_delay_us <= 0:
+            raise SchedulerConfigError("signal_delay_us must be positive")
+        if self.agent_stall_quanta < 1:
+            raise SchedulerConfigError("agent_stall_quanta must be >= 1")
+        if self.horizon_us <= 0:
+            raise SchedulerConfigError("horizon_us must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject a fault (clean path)."""
+        return (
+            not self.crashes
+            and self.crash_rate_per_sec == 0.0
+            and not self.fork_storms
+            and self.signal_drop_prob == 0.0
+            and self.signal_delay_prob == 0.0
+            and self.rusage_fail_prob == 0.0
+            and not self.agent_stalls
+            and self.agent_stall_prob == 0.0
+            and not self.agent_crashes
+        )
+
+
+def default_fault_plan(
+    rate: float,
+    *,
+    seed: int = 0,
+    horizon_us: int = 60 * SEC,
+    agent_crash: bool = True,
+) -> FaultPlan:
+    """The robustness sweep's standard mapping from one scalar fault
+    rate to a mixed plan (signal loss, delayed delivery, read failures,
+    agent stalls, and — at higher rates — one agent crash mid-horizon).
+
+    ``rate == 0`` returns a null plan (clean path).
+    """
+    if rate < 0 or rate > 1:
+        raise SchedulerConfigError(f"fault rate must be in [0, 1], got {rate}")
+    if rate == 0:
+        return FaultPlan(seed=seed, horizon_us=horizon_us)
+    crashes: tuple[AgentCrash, ...] = ()
+    if agent_crash and rate >= 0.1:
+        crashes = (AgentCrash(time_us=horizon_us // 2),)
+    return FaultPlan(
+        seed=seed,
+        signal_drop_prob=rate,
+        signal_delay_prob=rate / 2,
+        rusage_fail_prob=rate,
+        agent_stall_prob=rate / 4,
+        agent_crashes=crashes,
+        horizon_us=horizon_us,
+    )
+
+
+@dataclass(slots=True, frozen=True)
+class FaultRecord:
+    """One injected fault, as recorded in the injector's trace."""
+
+    time_us: int
+    kind: str
+    detail: str
+
+    def line(self) -> str:
+        """Stable one-line rendering (the byte-identical replay unit)."""
+        return f"{self.time_us} {self.kind} {self.detail}"
+
+
+__all__ = [
+    "AgentCrash",
+    "AgentStall",
+    "FaultPlan",
+    "FaultRecord",
+    "ForkStorm",
+    "ProcessCrash",
+    "default_fault_plan",
+]

@@ -53,6 +53,15 @@ class HostAlps:
     Note: quanta below ~20 ms are dominated by Python/sleep jitter and
     by the tick resolution of /proc CPU accounting; the simulator is
     the instrument for quantitative claims (see package docstring).
+
+    Robustness (docs/fault_model.md): transient procfs read errors are
+    retried within ``read_retry_budget`` before a pid is declared dead;
+    ``_signal`` discriminates a vanished process (ESRCH — forget it)
+    from one we may not signal (EPERM — stop scheduling it, it cannot
+    be controlled); and exit always runs :meth:`_resume_all`, which
+    resumes by *kernel truth* (any controlled pid in procfs state
+    ``T``), not just the controller's own stop-set, so a crash between
+    a SIGSTOP and its bookkeeping cannot wedge a process.
     """
 
     def __init__(
@@ -62,11 +71,17 @@ class HostAlps:
         quantum_s: float = 0.05,
         optimized: bool = True,
         track_io: bool = True,
+        read_retry_budget: int = 2,
     ) -> None:
         if quantum_s <= 0:
             raise HostOSError(f"quantum must be positive, got {quantum_s}")
+        if read_retry_budget < 0:
+            raise HostOSError(
+                f"read_retry_budget must be >= 0, got {read_retry_budget}"
+            )
         self.quantum_us = int(quantum_s * 1_000_000)
         self.track_io = track_io
+        self.read_retry_budget = read_retry_budget
         self.core = AlpsCore(
             dict(shares),
             self.quantum_us,
@@ -76,6 +91,10 @@ class HostAlps:
         self._last_read: dict[int, int] = {}
         self._stopped: set[int] = set()
         self._initial: dict[int, int] = {}
+        #: pids dropped because the controller may not signal them (EPERM).
+        self.uncontrollable: set[int] = set()
+        #: Transient procfs reads that needed a retry (statistics).
+        self.read_retries = 0
 
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> HostAlpsReport:
@@ -115,11 +134,12 @@ class HostAlps:
         own_cpu_us = int((time.process_time() - own_cpu_start) * 1_000_000)
         consumed = {}
         for pid, start in self._initial.items():
-            final = self._last_read.get(pid, start)
             try:
                 final = procfs.cpu_time_us(pid)
             except HostOSError:
-                pass
+                # Process died mid-run: its last successful reading is
+                # the best (and an under-) estimate of what it consumed.
+                final = self._last_read.get(pid, start)
             consumed[pid] = final - start
         return HostAlpsReport(
             duration_s=t_end - t_start,
@@ -134,16 +154,15 @@ class HostAlps:
         due = self.core.begin_quantum()
         measurements: dict[int, Measurement] = {}
         for pid in due:
-            try:
-                stat = procfs.read_proc_stat(pid)
-            except HostOSError:
+            stat = self._read_stat_with_retry(pid)
+            if stat is None:
                 # Process died: remove it from scheduling.
-                if pid in self.core.subjects and len(self.core.subjects) > 1:
-                    self.core.remove_subject(pid)
-                self._stopped.discard(pid)
+                self._drop_subject(pid)
                 continue
             usage = stat.cpu_time_us
             consumed = usage - self._last_read.get(pid, usage)
+            if consumed < 0:
+                consumed = 0  # never charge a backwards-running counter
             self._last_read[pid] = usage
             blocked = self.track_io and stat.state in ("S", "D")
             measurements[pid] = Measurement(consumed_us=consumed, blocked=blocked)
@@ -153,11 +172,38 @@ class HostAlps:
         for pid in decisions.to_resume:
             self._signal(pid, signal.SIGCONT)
 
+    def _read_stat_with_retry(self, pid: int):
+        """Read ``/proc/<pid>/stat``, retrying transient failures.
+
+        A read that fails while the pid still exists (EAGAIN-style
+        glitch, torn read) is retried up to ``read_retry_budget``
+        times; only a pid that is actually gone returns None.
+        """
+        for attempt in range(self.read_retry_budget + 1):
+            try:
+                return procfs.read_proc_stat(pid)
+            except HostOSError:
+                if not procfs.is_alive(pid):
+                    return None
+                if attempt < self.read_retry_budget:
+                    self.read_retries += 1
+        return None
+
+    def _drop_subject(self, pid: int) -> None:
+        """Stop scheduling ``pid`` (death or EPERM)."""
+        if pid in self.core.subjects:
+            self.core.remove_subject(pid)
+        self._stopped.discard(pid)
+
     def _signal(self, pid: int, signo: int) -> None:
         try:
             os.kill(pid, signo)
-        except ProcessLookupError:
+        except ProcessLookupError:  # ESRCH: gone — forget it
             self._stopped.discard(pid)
+            return
+        except PermissionError:  # EPERM: alive but not ours to control
+            self.uncontrollable.add(pid)
+            self._drop_subject(pid)
             return
         if signo == signal.SIGSTOP:
             self._stopped.add(pid)
@@ -165,9 +211,24 @@ class HostAlps:
             self._stopped.discard(pid)
 
     def _resume_all(self) -> None:
-        for pid in list(self._stopped):
+        """Resume every process this controller may have stopped.
+
+        Consults kernel truth in addition to the stop-set: any pid the
+        controller ever scheduled that sits in procfs state ``T`` gets
+        a SIGCONT, covering pids stopped right before an exception (or
+        under bookkeeping lost to a crash).
+        """
+        candidates = set(self._stopped) | set(self._initial)
+        candidates.update(self.core.subjects)
+        for pid in candidates:
+            if pid not in self._stopped:
+                try:
+                    if procfs.proc_state(pid) != "T":
+                        continue
+                except HostOSError:
+                    continue
             try:
                 os.kill(pid, signal.SIGCONT)
-            except ProcessLookupError:
+            except (ProcessLookupError, PermissionError):
                 pass
             self._stopped.discard(pid)

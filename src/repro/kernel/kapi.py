@@ -42,6 +42,15 @@ class KernelAPI:
         """True if ``pid`` is currently sleeping on some channel."""
         return self._kernel.wait_channel_of(pid) is not None
 
+    def is_stopped(self, pid: int) -> bool:
+        """True if ``pid`` is job-control stopped (``T`` in ps/kvm).
+
+        An unprivileged scheduler uses this to audit its own
+        SIGSTOP/SIGCONT bookkeeping against kernel truth (e.g. after a
+        crash-restart invalidated its internal state).
+        """
+        return self._kernel.is_stopped(pid)
+
     def kill(self, pid: int, signo: int) -> None:
         """Send a signal — kill(2)."""
         self._kernel.kill(pid, signo)

@@ -159,6 +159,11 @@ class Kernel:
             return proc.wait_channel
         return None
 
+    def is_stopped(self, pid: int) -> bool:
+        """True if ``pid`` is job-control stopped (the ``T`` state a
+        ``ps``/kvm scan would report)."""
+        return self.lookup(pid).stopped
+
     def pids_of_uid(self, uid: int) -> list[int]:
         """All live pids owned by ``uid`` (kvm_getprocs equivalent)."""
         return [

@@ -14,6 +14,8 @@ from typing import Callable, Optional, Sequence
 from repro.alps.agent import AlpsAgent, spawn_alps
 from repro.alps.config import AlpsConfig
 from repro.alps.subjects import ProcessSubject
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.kernel.behaviors import Behavior
 from repro.kernel.kconfig import DEFAULT_CONFIG, KernelConfig
 from repro.kernel.kernel import Kernel
@@ -32,6 +34,8 @@ class ControlledWorkload:
     agent: AlpsAgent
     workers: list[Process]
     shares: list[int]
+    #: Present when the workload runs under a fault plan.
+    injector: Optional[FaultInjector] = None
 
     @property
     def total_shares(self) -> int:
@@ -58,6 +62,7 @@ def build_controlled_workload(
     behaviors: Optional[Sequence[Behavior]] = None,
     alps_start_delay: int = 0,
     kernel_factory: KernelFactory = Kernel,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -65,6 +70,9 @@ def build_controlled_workload(
     the I/O experiment to make one process block periodically);
     ``kernel_factory`` selects the kernel policy (e.g.
     :class:`~repro.kernel.cfs.CfsKernel` for the portability study).
+    ``fault_plan`` runs the whole workload under deterministic fault
+    injection (docs/fault_model.md); a null/omitted plan is the exact
+    clean path.
     """
     engine = Engine(seed=seed)
     kernel = kernel_factory(engine, kernel_config)
@@ -76,8 +84,16 @@ def build_controlled_workload(
         ProcessSubject(sid=i, share=share, pid=workers[i].pid)
         for i, share in enumerate(shares)
     ]
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None:
+        injector = FaultInjector(fault_plan, engine, kernel)
+        injector.arm([w.pid for w in workers])
     alps_proc, agent = spawn_alps(
-        kernel, subjects, alps_config, start_delay=alps_start_delay
+        kernel,
+        subjects,
+        alps_config,
+        start_delay=alps_start_delay,
+        injector=injector,
     )
     return ControlledWorkload(
         engine=engine,
@@ -86,6 +102,7 @@ def build_controlled_workload(
         agent=agent,
         workers=workers,
         shares=list(shares),
+        injector=injector,
     )
 
 

@@ -31,6 +31,7 @@ class FakeKapi:
         self.blocked: dict[int, bool] = {}
         self.alive: dict[int, bool] = {}
         self.kills: list[tuple[int, int]] = []
+        self.stopped: set[int] = set()
 
     def getrusage(self, pid: int) -> int:
         if not self.alive.get(pid, True):
@@ -40,10 +41,19 @@ class FakeKapi:
     def is_blocked(self, pid: int) -> bool:
         return self.blocked.get(pid, False)
 
+    def is_stopped(self, pid: int) -> bool:
+        if not self.alive.get(pid, True):
+            raise NoSuchProcessError(pid)
+        return pid in self.stopped
+
     def kill(self, pid: int, signo: int) -> None:
         if not self.alive.get(pid, True):
             raise NoSuchProcessError(pid)
         self.kills.append((pid, signo))
+        if signo == SIGSTOP:
+            self.stopped.add(pid)
+        elif signo == SIGCONT:
+            self.stopped.discard(pid)
 
     def pid_exists(self, pid: int) -> bool:
         return self.alive.get(pid, True)

@@ -1,0 +1,114 @@
+"""FaultPlan validation, the null-plan contract, and trace records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.errors import SchedulerConfigError
+from repro.faults.plan import (
+    AgentCrash,
+    AgentStall,
+    FaultPlan,
+    FaultRecord,
+    ForkStorm,
+    ProcessCrash,
+    default_fault_plan,
+)
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def test_default_plan_is_null():
+    assert FaultPlan().is_null
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"crashes": (ProcessCrash(time_us=1, victim_index=0),)},
+        {"crash_rate_per_sec": 0.5},
+        {"fork_storms": (ForkStorm(time_us=1, uid=7, count=2),)},
+        {"signal_drop_prob": 0.1},
+        {"signal_delay_prob": 0.1},
+        {"rusage_fail_prob": 0.1},
+        {"agent_stalls": (AgentStall(time_us=1),)},
+        {"agent_stall_prob": 0.1},
+        {"agent_crashes": (AgentCrash(time_us=1),)},
+    ],
+)
+def test_any_fault_makes_plan_non_null(kwargs):
+    assert not FaultPlan(**kwargs).is_null
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"signal_drop_prob": -0.1},
+        {"signal_drop_prob": 1.5},
+        {"signal_delay_prob": 2.0},
+        {"rusage_fail_prob": -1},
+        {"agent_stall_prob": 1.01},
+        {"crash_rate_per_sec": -3},
+        {"signal_delay_us": 0},
+        {"agent_stall_quanta": 0},
+        {"horizon_us": 0},
+    ],
+)
+def test_invalid_plans_rejected(kwargs):
+    with pytest.raises(SchedulerConfigError):
+        FaultPlan(**kwargs)
+
+
+def test_default_fault_plan_mapping():
+    plan = default_fault_plan(0.2, seed=9, horizon_us=sec(10))
+    assert plan.seed == 9
+    assert plan.signal_drop_prob == 0.2
+    assert plan.signal_delay_prob == 0.1
+    assert plan.rusage_fail_prob == 0.2
+    assert plan.agent_stall_prob == 0.05
+    assert plan.agent_crashes == (AgentCrash(time_us=sec(10) // 2),)
+    assert default_fault_plan(0.2, agent_crash=False).agent_crashes == ()
+    # Below the crash threshold: no agent crash.
+    assert default_fault_plan(0.05).agent_crashes == ()
+
+
+def test_default_fault_plan_zero_rate_is_null():
+    assert default_fault_plan(0.0, seed=4).is_null
+
+
+def test_default_fault_plan_rejects_out_of_range():
+    with pytest.raises(SchedulerConfigError):
+        default_fault_plan(-0.1)
+    with pytest.raises(SchedulerConfigError):
+        default_fault_plan(1.5)
+
+
+def test_fault_record_line_is_stable():
+    rec = FaultRecord(time_us=1234, kind="signal-drop", detail="pid=5 sig=SIGSTOP")
+    assert rec.line() == "1234 signal-drop pid=5 sig=SIGSTOP"
+
+
+def test_null_plan_run_identical_to_no_injector():
+    """The acceptance contract: fault rate 0 leaves every result
+    byte-identical to the clean path (injector or no injector)."""
+    cfg = AlpsConfig(quantum_us=ms(10))
+
+    def run(fault_plan):
+        cw = build_controlled_workload(
+            [1, 2, 3], cfg, seed=11, fault_plan=fault_plan
+        )
+        cw.engine.run_until(sec(3))
+        return cw
+
+    clean = run(None)
+    nulled = run(FaultPlan(seed=99))  # even the plan seed must not matter
+
+    assert nulled.injector is not None
+    assert nulled.injector.trace_lines() == []
+    assert clean.agent.cycle_log.records == nulled.agent.cycle_log.records
+    assert clean.agent.signals_sent == nulled.agent.signals_sent
+    assert clean.agent.invocations == nulled.agent.invocations
+    assert clean.kernel.now == nulled.kernel.now
+    for a, b in zip(clean.workers, nulled.workers):
+        assert clean.kernel.getrusage(a.pid) == nulled.kernel.getrusage(b.pid)

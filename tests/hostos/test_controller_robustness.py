@@ -1,0 +1,150 @@
+"""HostAlps failure handling, with procfs and os.kill monkeypatched.
+
+Unlike tests/hostos/test_controller.py these never touch real
+processes, so they run in the default (non-hostos) suite.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import HostOSError
+from repro.hostos import procfs
+from repro.hostos.controller import HostAlps
+
+
+@dataclass(frozen=True)
+class FakeStat:
+    cpu_time_us: int
+    state: str = "R"
+
+
+def test_transient_read_is_retried_then_succeeds(monkeypatch):
+    alps = HostAlps({888: 1}, quantum_s=0.05, read_retry_budget=3)
+    calls = {"n": 0}
+
+    def flaky(pid):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise HostOSError("torn read")
+        return FakeStat(cpu_time_us=1234)
+
+    monkeypatch.setattr(procfs, "read_proc_stat", flaky)
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: True)
+    stat = alps._read_stat_with_retry(888)
+    assert stat.cpu_time_us == 1234
+    assert alps.read_retries == 2
+
+
+def test_exhausted_read_budget_returns_none(monkeypatch):
+    alps = HostAlps({888: 1}, quantum_s=0.05, read_retry_budget=1)
+    monkeypatch.setattr(
+        procfs, "read_proc_stat", lambda pid: (_ for _ in ()).throw(HostOSError("x"))
+    )
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: True)
+    assert alps._read_stat_with_retry(888) is None
+    assert alps.read_retries == 1
+
+
+def test_dead_pid_read_returns_none_without_retrying(monkeypatch):
+    alps = HostAlps({888: 1}, quantum_s=0.05, read_retry_budget=5)
+
+    def gone(pid):
+        raise HostOSError("no such process")
+
+    monkeypatch.setattr(procfs, "read_proc_stat", gone)
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: False)
+    assert alps._read_stat_with_retry(888) is None
+    assert alps.read_retries == 0
+
+
+def test_rejects_negative_retry_budget():
+    with pytest.raises(HostOSError):
+        HostAlps({1: 1}, quantum_s=0.05, read_retry_budget=-1)
+
+
+def test_signal_eperm_marks_uncontrollable_and_drops(monkeypatch):
+    alps = HostAlps({555: 1, 556: 1}, quantum_s=0.05)
+
+    def deny(pid, signo):
+        raise PermissionError("EPERM")
+
+    monkeypatch.setattr(os, "kill", deny)
+    alps._signal(555, signal.SIGSTOP)
+    assert 555 in alps.uncontrollable
+    assert 555 not in alps.core.subjects
+    assert 555 not in alps._stopped
+    assert 556 in alps.core.subjects  # others unaffected
+
+
+def test_signal_esrch_forgets_stop_state_but_keeps_subject(monkeypatch):
+    """A vanished pid (ESRCH) is not an EPERM: the stop-set entry goes,
+    and the next measurement's death path removes the subject."""
+    alps = HostAlps({555: 1}, quantum_s=0.05)
+    alps._stopped.add(555)
+
+    def gone(pid, signo):
+        raise ProcessLookupError("ESRCH")
+
+    monkeypatch.setattr(os, "kill", gone)
+    alps._signal(555, signal.SIGCONT)
+    assert 555 not in alps._stopped
+    assert 555 not in alps.uncontrollable
+
+
+def test_resume_all_consults_kernel_truth(monkeypatch):
+    """A pid stopped without bookkeeping (crash between SIGSTOP and the
+    stop-set update) must still get its SIGCONT on exit."""
+    alps = HostAlps({777: 1}, quantum_s=0.05)
+    alps._initial[777] = 0
+    monkeypatch.setattr(procfs, "proc_state", lambda pid: "T")
+    sent = []
+    monkeypatch.setattr(os, "kill", lambda pid, signo: sent.append((pid, signo)))
+    alps._resume_all()
+    assert (777, signal.SIGCONT) in sent
+    assert alps._stopped == set()
+
+
+def test_resume_all_skips_running_processes(monkeypatch):
+    alps = HostAlps({777: 1}, quantum_s=0.05)
+    alps._initial[777] = 0
+    monkeypatch.setattr(procfs, "proc_state", lambda pid: "R")
+    sent = []
+    monkeypatch.setattr(os, "kill", lambda pid, signo: sent.append((pid, signo)))
+    alps._resume_all()
+    assert sent == []
+
+
+def test_run_reports_last_read_for_died_process(monkeypatch):
+    """The died-mid-run fallback: consumption is reported from the last
+    successful reading, never raising and never inventing CPU time."""
+    reads = {"n": 0}
+
+    def cpu_time(pid):
+        reads["n"] += 1
+        if reads["n"] == 1:
+            return 100  # the initial baseline read
+        raise HostOSError("no such process")  # died immediately after
+
+    monkeypatch.setattr(procfs, "cpu_time_us", cpu_time)
+    monkeypatch.setattr(
+        procfs, "read_proc_stat", lambda pid: (_ for _ in ()).throw(HostOSError("x"))
+    )
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: False)
+    monkeypatch.setattr(
+        procfs, "proc_state", lambda pid: (_ for _ in ()).throw(HostOSError("x"))
+    )
+    killed = []
+    monkeypatch.setattr(os, "kill", lambda pid, signo: killed.append((pid, signo)))
+
+    alps = HostAlps({12345: 1}, quantum_s=0.01)
+    report = alps.run(0.03)
+    assert report.consumed_us == {12345: 0}  # last read == baseline
+    assert 12345 not in alps.core.subjects  # dropped, not wedged
+    # It may get the initial everyone-eligible SIGCONT, but once dead it
+    # is never suspended again.
+    assert all(signo == signal.SIGCONT for _, signo in killed)
