@@ -3,10 +3,31 @@
 Not a paper artifact — these keep an eye on the simulator itself
 (events/second, ALPS steps/second), which bounds how large the paper's
 sweeps can run.  Regressions here make the figure benchmarks slow.
+
+Two layers:
+
+* pytest-benchmark timings of individual hot paths (below), for
+  profiling and local comparison;
+* a throughput *series* over the fixed substrate cells, gated against
+  the committed baseline CSV.  Event counts must match the baseline
+  exactly (any optimization must stay schedule-invisible), and
+  events/sec must clear ``REPRO_PERF_MIN_RATIO`` × baseline
+  (default 0.3 — a loose floor that survives noisy shared runners).
+  ``alps_cell_20`` additionally carries the fast-path acceptance
+  target: ``REPRO_PERF_TARGET_RATIO`` × baseline (default 2.0).
 """
 
-import pytest
+import csv
+import os
+from pathlib import Path
 
+from benchmarks.conftest import emit
+from benchmarks.substrate_cells import (
+    SWEEP_CELLS,
+    load_baseline,
+    run_all,
+    run_cell,
+)
 from repro.alps.algorithm import AlpsCore, Measurement
 from repro.alps.config import AlpsConfig
 from repro.kernel.kconfig import KernelConfig
@@ -15,6 +36,14 @@ from repro.sim.engine import Engine
 from repro.units import ms, sec
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.spinner import spinner_behavior
+
+BASELINE_CSV = Path(__file__).parent / "results" / "substrate_baseline.csv"
+
+#: Loose regression floor: current/baseline events-per-sec must exceed
+#: this on every cell.  Overridable for slow CI runners.
+MIN_RATIO = float(os.environ.get("REPRO_PERF_MIN_RATIO", "0.3"))
+#: Fast-path acceptance target on the flagship cell (alps_cell_20).
+TARGET_RATIO = float(os.environ.get("REPRO_PERF_TARGET_RATIO", "2.0"))
 
 
 def test_bench_engine_event_dispatch(benchmark):
@@ -76,3 +105,92 @@ def test_bench_alps_core_quantum(benchmark):
         )
 
     benchmark(step)
+
+
+# ---------------------------------------------------------------------------
+# Throughput series vs the committed baseline
+# ---------------------------------------------------------------------------
+
+
+def test_substrate_throughput_series(results_dir):
+    """Run every cell, gate against the baseline, and publish the series.
+
+    The exact-event-count assertion is the differential backstop: a
+    fast path that changes the schedule shifts the event count and
+    fails loudly here even before the trace-level golden tests run.
+    """
+    baseline = load_baseline(BASELINE_CSV)
+    results = run_all(repeats=3)
+    rows = []
+    lines = [
+        f"{'cell':<20} {'events':>8} {'ev/s':>12} {'base ev/s':>12} {'ratio':>7}"
+    ]
+    for r in results:
+        base = baseline[r.name]
+        assert r.events == base["events"], (
+            f"{r.name}: event count {r.events} != baseline {base['events']} "
+            "— the substrate changed the schedule (or the cell workload "
+            "changed without a baseline refresh)"
+        )
+        ratio = r.events_per_sec / base["events_per_sec"]
+        rows.append(
+            (r.name, r.events, r.events_per_sec, base["events_per_sec"], ratio)
+        )
+        lines.append(
+            f"{r.name:<20} {r.events:>8} {r.events_per_sec:>12,.1f} "
+            f"{base['events_per_sec']:>12,.1f} {ratio:>6.2f}x"
+        )
+        assert ratio >= MIN_RATIO, (
+            f"{r.name}: throughput fell to {ratio:.2f}x of baseline "
+            f"(floor {MIN_RATIO}x)"
+        )
+    emit("Substrate throughput series (vs committed baseline)", "\n".join(lines))
+    out = results_dir / "substrate_series.csv"
+    with open(out, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(
+            ["cell", "events", "events_per_sec", "baseline_events_per_sec", "ratio"]
+        )
+        for name, events, evs, base_evs, ratio in rows:
+            writer.writerow(
+                [name, events, f"{evs:.1f}", f"{base_evs:.1f}", f"{ratio:.3f}"]
+            )
+
+
+def test_alps_cell_20_meets_speedup_target():
+    """Fast-path acceptance: alps_cell_20 ≥ TARGET_RATIO × baseline."""
+    baseline = load_baseline(BASELINE_CSV)["alps_cell_20"]
+    result = run_cell("alps_cell_20", repeats=5)
+    assert result.events == baseline["events"]
+    ratio = result.events_per_sec / baseline["events_per_sec"]
+    emit(
+        "alps_cell_20 speedup",
+        f"{result.events_per_sec:,.1f} ev/s vs baseline "
+        f"{baseline['events_per_sec']:,.1f} ev/s = {ratio:.2f}x "
+        f"(target {TARGET_RATIO}x)",
+    )
+    assert ratio >= TARGET_RATIO, (
+        f"alps_cell_20 at {ratio:.2f}x baseline, below the "
+        f"{TARGET_RATIO}x fast-path target"
+    )
+
+
+def test_sweep_wall_clock_series(results_dir):
+    """Wall-clock growth across the ALPS cell sizes (5..40 workers).
+
+    Publishes the series the scalability sweeps care about: how fast a
+    fixed 10-simulated-second run slows down as the controlled group
+    grows.
+    """
+    series = [run_cell(name, repeats=2) for name in SWEEP_CELLS]
+    lines = [f"{'cell':<20} {'wall s':>10} {'events':>8}"]
+    for r in series:
+        assert r.best_wall_s > 0.0
+        lines.append(f"{r.name:<20} {r.best_wall_s:>10.4f} {r.events:>8}")
+    emit("ALPS cell wall-clock sweep", "\n".join(lines))
+    out = results_dir / "substrate_sweep.csv"
+    with open(out, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["cell", "best_wall_s", "events"])
+        for r in series:
+            writer.writerow([r.name, f"{r.best_wall_s:.6f}", r.events])

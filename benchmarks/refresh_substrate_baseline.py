@@ -1,0 +1,40 @@
+"""Regenerate benchmarks/results/substrate_baseline.csv.
+
+Run this ONLY when the cell workloads themselves change or when
+retiring an old baseline after a verified, intentional substrate
+change (docs/performance.md).  Refreshing to hide a regression defeats
+the perf gate.
+
+Usage:
+    PYTHONPATH=src:benchmarks python benchmarks/refresh_substrate_baseline.py
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from substrate_cells import run_all  # noqa: E402
+
+OUT = pathlib.Path(__file__).parent / "results" / "substrate_baseline.csv"
+
+
+def main() -> None:
+    results = run_all(repeats=5)
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    with open(OUT, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["cell", "events", "events_per_sec", "best_wall_s"])
+        for r in results:
+            writer.writerow(
+                [r.name, r.events, f"{r.events_per_sec:.1f}", f"{r.best_wall_s:.6f}"]
+            )
+            print(f"{r.name}: {r.events} events, {r.events_per_sec:,.1f} ev/s")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

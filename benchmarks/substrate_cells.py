@@ -1,0 +1,122 @@
+"""Shared harness for the substrate throughput cells.
+
+Each *cell* is a fixed, deterministic simulation workload whose
+events/second throughput tracks the health of the simulation substrate
+(engine + kernel + agent hot paths).  The same cell definitions are
+used by:
+
+* ``bench_substrate_micro.py`` — pytest checks comparing current
+  throughput against the committed baseline CSV;
+* ``refresh_substrate_baseline.py`` — regenerates the baseline CSV
+  (see docs/performance.md for when that is legitimate).
+
+Cell workloads must never change without refreshing the baseline: the
+event *count* of a cell is asserted exactly, so a schedule-visible
+change shows up as a count mismatch rather than a misleading ratio.
+"""
+
+from __future__ import annotations
+
+import csv
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.alps.config import AlpsConfig
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.spinner import spinner_behavior
+
+
+@dataclass(frozen=True)
+class CellResult:
+    name: str
+    events: int
+    best_wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.best_wall_s
+
+
+def _engine_chain() -> int:
+    eng = Engine(seed=0)
+
+    def chain(event):
+        if eng.now < 1_000_000:
+            eng.after(10, chain)
+
+    eng.at(0, chain)
+    eng.run_until(2_000_000)
+    return eng.events_processed
+
+
+def _kernel_spinners_8() -> int:
+    eng = Engine(seed=0)
+    k = Kernel(eng, KernelConfig())
+    for i in range(8):
+        k.spawn(f"p{i}", spinner_behavior())
+    eng.run_until(sec(100))
+    return eng.events_processed
+
+
+def _alps_cell(n: int) -> Callable[[], int]:
+    def run() -> int:
+        cw = build_controlled_workload(
+            [5] * n, AlpsConfig(quantum_us=ms(10)), seed=0
+        )
+        cw.engine.run_until(sec(10))
+        return cw.engine.events_processed
+
+    return run
+
+
+#: name -> zero-arg callable returning the number of events processed.
+CELLS: dict[str, Callable[[], int]] = {
+    "engine_chain": _engine_chain,
+    "kernel_spinners_8": _kernel_spinners_8,
+    "alps_cell_5": _alps_cell(5),
+    "alps_cell_10": _alps_cell(10),
+    "alps_cell_20": _alps_cell(20),
+    "alps_cell_40": _alps_cell(40),
+}
+
+#: The cells forming the Fig. 8/9-style scalability sweep (wall-clock
+#: series over process count).
+SWEEP_CELLS = ("alps_cell_5", "alps_cell_10", "alps_cell_20", "alps_cell_40")
+
+
+def run_cell(name: str, *, repeats: int = 3) -> CellResult:
+    """Run one cell ``repeats`` times; keep the best wall time."""
+    fn = CELLS[name]
+    fn()  # warm-up (imports, allocator, caches)
+    events = 0
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - t0
+        if wall < best:
+            best = wall
+    return CellResult(name=name, events=events, best_wall_s=best)
+
+
+def run_all(*, repeats: int = 3) -> list[CellResult]:
+    return [run_cell(name, repeats=repeats) for name in CELLS]
+
+
+def load_baseline(path) -> dict[str, dict[str, float]]:
+    """Parse the committed baseline CSV into {cell: row} (see
+    ``refresh_substrate_baseline.py`` for the writer)."""
+    out: dict[str, dict[str, float]] = {}
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            out[row["cell"]] = {
+                "events": int(row["events"]),
+                "events_per_sec": float(row["events_per_sec"]),
+                "best_wall_s": float(row["best_wall_s"]),
+            }
+    return out

@@ -30,10 +30,11 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.alps.algorithm import AlpsCore, Measurement, QuantumDecisions
+from repro.alps.algorithm import AlpsCore, QuantumDecisions
 from repro.alps.config import AlpsConfig
 from repro.alps.costs import CostAccumulator
 from repro.alps.instrumentation import CycleLog
+from repro.alps.state import Eligibility
 from repro.alps.subjects import ProcessSubject, Subject
 from repro.errors import NoSuchProcessError, TransientReadError
 from repro.kernel.actions import Action, Compute, Sleep
@@ -45,6 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kapi import KernelAPI
     from repro.kernel.kernel import Kernel
     from repro.kernel.process import Process
+
+
+_EMPTY_SET: frozenset[int] = frozenset()
 
 
 class _Phase(enum.Enum):
@@ -65,12 +69,26 @@ class AlpsAgent:
         self.subjects: dict[int, Subject] = {s.sid: s for s in subjects}
         if len(self.subjects) != len(subjects):
             raise ValueError("subject ids must be unique")
+        # Single-process subjects, cached for the per-quantum liveness
+        # sweep (subjects are only ever removed, in _reap_dead_subjects,
+        # which also maintains this list).
+        self._proc_subjects: list[ProcessSubject] = [
+            s for s in self.subjects.values() if isinstance(s, ProcessSubject)
+        ]
         self.core = AlpsCore(
             {s.sid: s.share for s in subjects},
             config.quantum_us,
             optimized=config.optimized,
         )
         self._acc = CostAccumulator()
+        # Hoisted scalars for the per-quantum charge arithmetic (the
+        # cost model is a frozen dataclass; these cannot drift).
+        costs = config.costs
+        self._quantum_us = config.quantum_us
+        self._cost_timer_us = costs.timer_event_us
+        self._cost_measure_fixed = costs.measure_fixed_us
+        self._cost_measure_per = costs.measure_per_proc_us
+        self._cost_signal_us = costs.signal_us
         self._phase = _Phase.INIT
         self._epoch = 0
         self._next_refresh = 0
@@ -78,6 +96,9 @@ class AlpsAgent:
         self._pending_signals: list[tuple[int, int]] = []  # (pid, signo)
         self._last_read: dict[int, int] = {}
         self._stopped_pids: set[int] = set()
+        #: Kernel exit counter at the last liveness sweep; -1 forces the
+        #: next sweep (initial state, and after a crash-restart).
+        self._seen_exit_count = -1
         self._cumulative: dict[int, int] = {}
         #: The boundary the agent intended to wake at (stall detection).
         self._sleep_target = 0
@@ -153,6 +174,7 @@ class AlpsAgent:
         self._pending_signals = []
         self._last_read = {}
         self._stopped_pids = set()
+        self._seen_exit_count = -1
         self._acc = CostAccumulator()
         self._deferred_cost_us = 0.0
         self.restarts += 1
@@ -185,17 +207,19 @@ class AlpsAgent:
     # Behavior protocol
     # ------------------------------------------------------------------
     def next_action(self, proc: "Process", kapi: "KernelAPI") -> Action:
-        if self._phase is _Phase.INIT:
-            return self._do_init(kapi)
-        if self._phase is _Phase.SLEEPING:
+        # Steady-state phases first (INIT/RECONCILING fire once each).
+        phase = self._phase
+        if phase is _Phase.SLEEPING:
             return self._do_wake(kapi)
-        if self._phase is _Phase.MEASURING:
+        if phase is _Phase.MEASURING:
             return self._do_apply(kapi)
-        if self._phase is _Phase.SIGNALING:
+        if phase is _Phase.SIGNALING:
             return self._do_deliver(kapi)
-        if self._phase is _Phase.RECONCILING:
+        if phase is _Phase.INIT:
+            return self._do_init(kapi)
+        if phase is _Phase.RECONCILING:
             return self._do_reconcile(kapi)
-        raise AssertionError(f"unknown phase {self._phase}")  # pragma: no cover
+        raise AssertionError(f"unknown phase {phase}")  # pragma: no cover
 
     # -- phase bodies ----------------------------------------------------
     def _do_init(self, kapi: "KernelAPI") -> Action:
@@ -212,70 +236,100 @@ class AlpsAgent:
 
     def _do_wake(self, kapi: "KernelAPI") -> Action:
         """Timer fired: select who to measure and pay for the work."""
-        cost = self.cfg.costs.timer_event_us + self._deferred_cost_us
+        now = kapi.now
+        cost = self._cost_timer_us + self._deferred_cost_us
         self._deferred_cost_us = 0.0
-        cost += self._absorb_stall(kapi)
-        if kapi.now >= self._next_refresh:
+        if now - self._sleep_target >= self._quantum_us:
+            # At least one whole quantum overslept (the guard mirrors
+            # _absorb_stall's own missed <= 0 early-out).
+            cost += self._absorb_stall(kapi, now)
+        if now >= self._next_refresh:
             cost += self._refresh_principals(kapi)
-            self._next_refresh = kapi.now + self.cfg.principal_refresh_us
+            self._next_refresh = now + self.cfg.principal_refresh_us
         self._reap_dead_subjects(kapi)
         due_sids = self.core.begin_quantum()
         self.invocations += 1
-        self._wake_boundary = kapi.now
-        self._due = []
+        self._wake_boundary = now
+        due: list[tuple[int, list[int]]] = []
+        subjects_get = self.subjects.get
         npids = 0
         for sid in due_sids:
-            subj = self.subjects.get(sid)
+            subj = subjects_get(sid)
             if subj is None:
                 # The subject died after the core selected it (e.g. the
                 # whole group is gone); measure nothing for it.
                 continue
             pids = subj.pids(kapi)
-            self._due.append((sid, pids))
+            due.append((sid, pids))
             npids += len(pids)
-        cost += self.cfg.costs.measure_cost(npids)
-        self.reads += npids
+        self._due = due
+        if npids:
+            cost += self._cost_measure_fixed + self._cost_measure_per * npids
+            self.reads += npids
         self._phase = _Phase.MEASURING
         return Compute(self._acc.charge(cost))
 
     def _do_apply(self, kapi: "KernelAPI") -> Action:
-        """Measurement CPU spent: read progress now and run the algorithm."""
-        self.sampling_delays_us.append(kapi.now - self._wake_boundary)
-        measurements: dict[int, Measurement] = {}
+        """Measurement CPU spent: read progress now and run the algorithm.
+
+        This is the agent's hottest loop (one read per controlled pid
+        per quantum): the first getrusage attempt is inlined and the
+        rare transient-failure path lives in :meth:`_retry_read`; the
+        blocked vote short-circuits once any pid is found runnable
+        (``is_blocked`` is a side-effect-free, fault-transparent
+        inspection, so skipping calls is schedule-invisible).
+        """
+        now = kapi.now  # no events fire inside next_action: read once
+        self.sampling_delays_us.append(now - self._wake_boundary)
+        measurements: dict[int, tuple[int, bool]] = {}
+        core_subjects = self.core.subjects
+        last_read = self._last_read
+        cumulative = self._cumulative
+        getrusage = kapi.getrusage
+        is_blocked = kapi.is_blocked
+        track_io = self.cfg.track_io
         for sid, pids in self._due:
-            if sid not in self.core.subjects:
+            if sid not in core_subjects:
                 continue
             consumed = 0
-            blocked_votes: list[bool] = []
             live = 0
+            blocked = track_io
             for pid in pids:
-                usage = self._read_usage(kapi, pid)
-                if usage is None:
+                try:
+                    usage = getrusage(pid)
+                except NoSuchProcessError:
+                    self._forget_pid(pid)
                     continue
+                except TransientReadError:
+                    usage = self._retry_read(kapi, pid)
+                    if usage is None:
+                        continue
                 live += 1
-                delta = usage - self._last_read.get(pid, usage)
+                delta = usage - last_read.get(pid, usage)
                 if delta < 0:
                     # Accounting ran backwards; tolerate, don't corrupt
                     # allowances with negative charges.
                     self.anomalies += 1
                     delta = 0
                 consumed += delta
-                self._last_read[pid] = usage
-                blocked_votes.append(kapi.is_blocked(pid))
-            blocked = (
-                self.cfg.track_io and live > 0 and all(blocked_votes)
-            )
-            measurements[sid] = Measurement(consumed_us=consumed, blocked=blocked)
-            self._cumulative[sid] = self._cumulative.get(sid, 0) + consumed
+                last_read[pid] = usage
+                if blocked and not is_blocked(pid):
+                    blocked = False
+            blocked = blocked and live > 0
+            # A bare tuple, not Measurement: the NamedTuple constructor
+            # costs several times a tuple display, and complete_quantum
+            # unpacks positionally so both are accepted.
+            measurements[sid] = (consumed, blocked)
+            cumulative[sid] = cumulative.get(sid, 0) + consumed
         decisions = self.core.complete_quantum(measurements)
         if self.cfg.enforce_invariants:
             self.core.check_runtime_invariants()
         self._pending_signals = self._signals_for(kapi, decisions)
         if not self._pending_signals:
             self._phase = _Phase.SLEEPING
-            return self._sleep_until_boundary(kapi.now)
+            return self._sleep_until_boundary(now)
         self._phase = _Phase.SIGNALING
-        cost = self.cfg.costs.signal_us * len(self._pending_signals)
+        cost = self._cost_signal_us * len(self._pending_signals)
         return Compute(self._acc.charge(cost))
 
     def _do_deliver(self, kapi: "KernelAPI") -> Action:
@@ -321,16 +375,16 @@ class AlpsAgent:
 
     # -- helpers ----------------------------------------------------------
     def _until_next_boundary(self, now: int) -> int:
-        q = self.cfg.quantum_us
+        q = self._quantum_us
         k = (now - self._epoch) // q + 1
         return self._epoch + k * q - now
 
     def _sleep_until_boundary(self, now: int) -> Sleep:
         duration = self._until_next_boundary(now)
         self._sleep_target = now + duration
-        return Sleep(duration, channel="alpstimer")
+        return Sleep(duration, "alpstimer")
 
-    def _absorb_stall(self, kapi: "KernelAPI") -> float:
+    def _absorb_stall(self, kapi: "KernelAPI", now: int) -> float:
         """Detect missed quantum boundaries and re-baseline if needed.
 
         An agent that overslept N quanta (preemption storm, injected
@@ -340,8 +394,8 @@ class AlpsAgent:
         baselines are re-established at current values, forgiving the
         unobserved interval.  Returns the CPU cost of the extra reads.
         """
-        q = self.cfg.quantum_us
-        missed = (kapi.now - self._sleep_target) // q
+        q = self._quantum_us
+        missed = (now - self._sleep_target) // q
         if missed <= 0:
             return 0.0
         self.missed_boundaries += missed
@@ -387,7 +441,8 @@ class AlpsAgent:
         self, kapi: "KernelAPI", decisions: QuantumDecisions
     ) -> list[tuple[int, int]]:
         signals: list[tuple[int, int]] = []
-        suspend = set(decisions.to_suspend)
+        to_suspend = decisions.to_suspend
+        suspend = set(to_suspend) if to_suspend else _EMPTY_SET
         for sid in decisions.to_suspend:
             subj = self.subjects.get(sid)
             if subj is None:
@@ -406,13 +461,16 @@ class AlpsAgent:
         # stays) eligible must not have stopped processes.  A pid found
         # stopped here lost a SIGCONT (or caught a delayed SIGSTOP); the
         # agent's bookkeeping can't be trusted, kernel state is.
+        core_get = self.core.subjects.get
+        is_stopped = kapi.is_stopped
+        eligible = Eligibility.ELIGIBLE
         for sid, pids in self._due:
-            st = self.core.subjects.get(sid)
-            if st is None or not st.eligible or sid in suspend:
+            st = core_get(sid)
+            if st is None or st.state is not eligible or sid in suspend:
                 continue
             for pid in pids:
                 try:
-                    if kapi.is_stopped(pid):
+                    if is_stopped(pid):
                         signals.append((pid, SIGCONT))
                         self._stopped_pids.add(pid)  # make delivery resume it
                         self.heals += 1
@@ -461,42 +519,61 @@ class AlpsAgent:
         The dead subject leaves *all* agent maps — its core entry, its
         read baseline, and its stop-set entry — so long churny runs do
         not leak state (and a recycled pid can never inherit it).
+
+        Runs every quantum, but the per-pid sweep is skipped outright
+        when the kernel's global exit counter has not moved since the
+        last sweep — no exit anywhere means no subject can have died.
+        The counter read and ``pid_exists`` are free, fault-transparent
+        inspections, so the skip is schedule-invisible.
         """
-        for sid in list(self.subjects):
-            subj = self.subjects[sid]
-            if not isinstance(subj, ProcessSubject):
-                continue
-            subj.refresh(kapi)
-            if subj.pids(kapi):
-                continue
+        exits = kapi.exit_count()
+        if exits == self._seen_exit_count:
+            return
+        self._seen_exit_count = exits
+        dead: Optional[list[ProcessSubject]] = None
+        pid_exists = kapi.pid_exists
+        for subj in self._proc_subjects:
+            if pid_exists(subj.pid):
+                continue  # pids are never recycled, so alive stays True
+            subj._alive = False
+            if dead is None:
+                dead = []
+            dead.append(subj)
+        if dead is None:
+            return
+        for subj in dead:
+            sid = subj.sid
             if sid in self.core.subjects:
                 self.core.remove_subject(sid)
             self._forget_pid(subj.pid)
             del self.subjects[sid]
+        self._proc_subjects = [s for s in self._proc_subjects if s._alive]
 
     def _forget_pid(self, pid: int) -> None:
         """Remove every per-pid record (death or departure cleanup)."""
         self._last_read.pop(pid, None)
         self._stopped_pids.discard(pid)
 
-    def _read_usage(self, kapi: "KernelAPI", pid: int) -> Optional[int]:
-        """getrusage with death cleanup and bounded transient retries.
+    def _retry_read(self, kapi: "KernelAPI", pid: int) -> Optional[int]:
+        """Continue a getrusage whose first attempt failed transiently.
 
-        Returns None when the pid is gone or the retry budget is
-        exhausted; in the latter case the baseline is left untouched so
-        the next successful read charges the full elapsed consumption —
-        a skipped measurement defers accounting, it never loses it.
+        Performs up to ``read_retry_budget`` further attempts, charging
+        each retry's CPU into the next quantum.  Returns None when the
+        pid is gone or the budget is exhausted; in the latter case the
+        baseline is left untouched so the next successful read charges
+        the full elapsed consumption — a skipped measurement defers
+        accounting, it never loses it.
         """
-        for attempt in range(self.cfg.read_retry_budget + 1):
+        for _ in range(self.cfg.read_retry_budget):
+            self.read_retries += 1
+            self._deferred_cost_us += self.cfg.costs.measure_per_proc_us
             try:
                 return kapi.getrusage(pid)
             except NoSuchProcessError:
                 self._forget_pid(pid)
                 return None
             except TransientReadError:
-                if attempt < self.cfg.read_retry_budget:
-                    self.read_retries += 1
-                    self._deferred_cost_us += self.cfg.costs.measure_per_proc_us
+                continue
         self.read_failures += 1
         return None
 

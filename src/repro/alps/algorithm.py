@@ -33,16 +33,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping, NamedTuple, Optional
 
 from repro.alps.instrumentation import CycleLog, CycleRecord
 from repro.alps.state import Eligibility, SubjectState
 from repro.errors import SchedulerConfigError, SimulationError
 
 
-@dataclass(slots=True, frozen=True)
-class Measurement:
+class Measurement(NamedTuple):
     """Result of READ-PROGRESS for one subject.
+
+    A NamedTuple rather than a frozen dataclass: drivers build one per
+    measured subject per quantum, and the tuple constructor is several
+    times cheaper while keeping immutability, equality, and hashing.
 
     Attributes:
         consumed_us: CPU time consumed since the previous measurement.
@@ -101,6 +104,14 @@ class AlpsCore:
         self.total_shares = 0
         #: Remaining CPU time (µs) in the current cycle (tc in Figure 3).
         self.tc = 0
+        #: Set when the next partition must sweep *all* subjects: after
+        #: construction and any membership/share change, a subject's
+        #: eligibility can change without it having been measured.
+        self._dirty = True
+        #: Subject ids returned by the latest begin_quantum (the only
+        #: subjects, besides measured ones, whose update bookkeeping the
+        #: matching complete_quantum can owe a write to).
+        self._last_due: list[int] = []
         for sid, share in shares.items():
             self._insert_subject(sid, share)
         self.tc = self.cycle_length_us
@@ -117,6 +128,7 @@ class AlpsCore:
             raise SchedulerConfigError(f"duplicate subject id {sid}")
         self.subjects[sid] = SubjectState(share=share, allowance=float(share))
         self.total_shares += share
+        self._dirty = True
 
     @property
     def cycle_length_us(self) -> int:
@@ -157,6 +169,7 @@ class AlpsCore:
         self.tc += delta * self.quantum_us
         st.allowance += delta
         st.share = share
+        self._dirty = True
         # Eligibility is deliberately left as-is: the next invocation's
         # partition loop recomputes it and reports the transition, so
         # the driver sends the matching SIGSTOP/SIGCONT.
@@ -176,6 +189,7 @@ class AlpsCore:
             raise SchedulerConfigError("total shares went negative")
         remaining_entitlement = max(0.0, state.allowance) * self.quantum_us
         self.tc -= int(remaining_entitlement)
+        self._dirty = True
         return state
 
     # ------------------------------------------------------------------
@@ -188,64 +202,113 @@ class AlpsCore:
         (eligible, and due per the postponement optimization).  The
         driver then calls :meth:`complete_quantum` with the readings.
         """
-        self.count += 1
+        count = self.count + 1
+        self.count = count
         due: list[int] = []
+        append = due.append
+        eligible = Eligibility.ELIGIBLE
+        optimized = self.optimized
         for sid, st in self.subjects.items():
-            if st.state is not Eligibility.ELIGIBLE:
+            if st.state is not eligible:
                 continue
-            if self.optimized and st.update > self.count:
+            if optimized and st.update > count:
                 continue
-            due.append(sid)
+            append(sid)
+        self._last_due = due
         return due
 
     def complete_quantum(
-        self, measurements: Mapping[int, Measurement]
+        self, measurements: Mapping[int, tuple[int, bool]]
     ) -> QuantumDecisions:
         """Apply one invocation's measurements (Figure 3 body).
 
         ``measurements`` must cover exactly the ids returned by the
         matching :meth:`begin_quantum` call (missing ids are treated as
-        unmeasured, which preserves liveness if a read failed).
+        unmeasured, which preserves liveness if a read failed).  Values
+        are :class:`Measurement` instances or plain
+        ``(consumed_us, blocked)`` tuples — hot drivers pass the latter
+        to skip the NamedTuple constructor.
         """
         q = self.quantum_us
-        measured: list[int] = []
-        for sid, m in measurements.items():
-            st = self.subjects.get(sid)
+        subjects = self.subjects
+        subjects_get = subjects.get
+        measured_set: set[int] = set()
+        tc = self.tc
+        # Measurement is a NamedTuple: unpack it instead of two
+        # attribute reads per entry.
+        for sid, (consumed, was_blocked) in measurements.items():
+            st = subjects_get(sid)
             if st is None:
                 continue  # subject removed between begin and complete
-            st.allowance -= m.consumed_us / q
-            self.tc -= m.consumed_us
-            st.consumed_this_cycle += m.consumed_us
+            st.allowance -= consumed / q
+            tc -= consumed
+            st.consumed_this_cycle += consumed
             st.measurements += 1
-            if m.blocked:
+            if was_blocked:
                 st.allowance -= 1.0
-                self.tc -= q
+                tc -= q
                 st.blocked_quanta_this_cycle += 1
-            measured.append(sid)
+            measured_set.add(sid)
+        self.tc = tc
 
         decisions = QuantumDecisions()
         cycles = 0
-        if self.tc <= 0 and self.subjects:
+        if tc <= 0 and subjects:
             cycles = 1
             self.tc += self.cycle_length_us
             decisions.cycle_completed = True
             decisions.cycle_record = self._finish_cycle()
 
-        measured_set = set(measured)
-        for sid, st in self.subjects.items():
-            if cycles:
-                st.allowance += st.share * cycles
-            new_state = (
-                Eligibility.ELIGIBLE if st.allowance > 0 else Eligibility.INELIGIBLE
-            )
-            if new_state is not st.state:
-                if new_state is Eligibility.ELIGIBLE:
-                    decisions.to_resume.append(sid)
-                else:
-                    decisions.to_suspend.append(sid)
-                st.state = new_state
-            if st.update <= self.count or sid in measured_set:
-                st.update = self.count + max(1, math.ceil(st.allowance))
+        count = self.count
+        eligible = Eligibility.ELIGIBLE
+        ineligible = Eligibility.INELIGIBLE
+        ceil = math.ceil
+        if cycles or self._dirty:
+            # Full partition sweep: a cycle credit (or a membership /
+            # share change since the last sweep) can flip any subject.
+            for sid, st in subjects.items():
+                allowance = st.allowance
+                if cycles:
+                    allowance = st.allowance = allowance + st.share
+                new_state = eligible if allowance > 0 else ineligible
+                if new_state is not st.state:
+                    if new_state is eligible:
+                        decisions.to_resume.append(sid)
+                    else:
+                        decisions.to_suspend.append(sid)
+                    st.state = new_state
+                if st.update <= count or sid in measured_set:
+                    up = ceil(allowance)
+                    st.update = count + (up if up > 1 else 1)
+            self._dirty = False
+        else:
+            # No credit and no external change: only subjects whose
+            # allowance this call touched (measured) or that were due
+            # can transition, and only due/measured subjects are owed an
+            # ``update`` write.  Skipped ineligible subjects keep a
+            # stale ``update <= count``, which begin_quantum never reads
+            # while they are ineligible and which the next full sweep
+            # recomputes from the same inputs — so the skip is
+            # unobservable (the oracle differential test pins this).
+            visit = self._last_due
+            extras = [sid for sid in measured_set if sid not in visit]
+            if extras:
+                visit = visit + extras
+            for sid in visit:
+                st = subjects_get(sid)
+                if st is None:
+                    continue
+                allowance = st.allowance
+                new_state = eligible if allowance > 0 else ineligible
+                if new_state is not st.state:
+                    if new_state is eligible:
+                        decisions.to_resume.append(sid)
+                    else:
+                        decisions.to_suspend.append(sid)
+                    st.state = new_state
+                if st.update <= count or sid in measured_set:
+                    up = ceil(allowance)
+                    st.update = count + (up if up > 1 else 1)
         return decisions
 
     def _finish_cycle(self) -> CycleRecord:
@@ -292,24 +355,39 @@ class AlpsCore:
           an all-ineligible state with a positive cycle remainder can
           never measure progress and would idle the group forever.
         """
+        isfinite = math.isfinite
+        eligible_state = Eligibility.ELIGIBLE
         any_eligible = False
-        for sid, st in self.subjects.items():
-            if not math.isfinite(st.allowance):
+        # Iterate values() — the sid is only needed for error messages,
+        # and the failure path recovers it with a cold scan.
+        for st in self.subjects.values():
+            allowance = st.allowance
+            if not isfinite(allowance):
+                sid = self._sid_of(st)
                 raise SimulationError(
-                    f"subject {sid} allowance is not finite: {st.allowance}"
+                    f"subject {sid} allowance is not finite: {allowance}"
                 )
-            eligible = st.state is Eligibility.ELIGIBLE
-            if eligible != (st.allowance > 0):
+            eligible = st.state is eligible_state
+            if eligible != (allowance > 0):
+                sid = self._sid_of(st)
                 raise SimulationError(
                     f"subject {sid} eligibility {st.state} inconsistent "
-                    f"with allowance {st.allowance}"
+                    f"with allowance {allowance}"
                 )
-            any_eligible = any_eligible or eligible
+            if eligible:
+                any_eligible = True
         if self.subjects and self.tc > 0 and not any_eligible:
             raise SimulationError(
                 "livelock: all subjects ineligible with cycle remainder "
                 f"tc={self.tc} > 0"
             )
+
+    def _sid_of(self, state: SubjectState) -> int:
+        """Recover a subject's id from its state object (error paths)."""
+        for sid, st in self.subjects.items():
+            if st is state:
+                return sid
+        return -1  # pragma: no cover - state not in the table
 
     def invariant_check(self) -> None:
         """Sanity checks used by tests: eligibility matches allowance sign.

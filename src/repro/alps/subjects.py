@@ -35,16 +35,19 @@ class Subject(Protocol):
 class ProcessSubject:
     """A principal that is a single process (the paper's base case)."""
 
-    __slots__ = ("sid", "share", "pid", "_alive")
+    __slots__ = ("sid", "share", "pid", "_alive", "_pids")
 
     def __init__(self, sid: int, share: int, pid: int) -> None:
         self.sid = sid
         self.share = share
         self.pid = pid
         self._alive = True
+        # Membership never changes while alive (pids are not recycled),
+        # so the singleton list is cached; callers must not mutate it.
+        self._pids = [pid]
 
     def pids(self, kapi: "KernelAPI") -> list[int]:
-        return [self.pid] if self._alive else []
+        return self._pids if self._alive else []
 
     def refresh(self, kapi: "KernelAPI") -> bool:
         alive = kapi.pid_exists(self.pid)

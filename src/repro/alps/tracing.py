@@ -82,7 +82,9 @@ def attach_alps_trace(agent: "AlpsAgent") -> AlpsTrace:
         trace.records.append(
             QuantumTraceRecord(
                 count=core.count,
-                measured=dict(measurements),
+                # Hot drivers pass bare (consumed_us, blocked) tuples;
+                # normalize so record consumers get Measurement fields.
+                measured={s: Measurement(*m) for s, m in measurements.items()},
                 suspended=tuple(decisions.to_suspend),
                 resumed=tuple(decisions.to_resume),
                 cycle_completed=decisions.cycle_completed,

@@ -397,3 +397,71 @@ def cmd_demo(*, shares: str, quantum_ms: float, seconds: float, seed: int) -> in
 
     print(summarize_workload(cw).format())
     return 0
+
+
+def cmd_perf_report(
+    *, shares: str, quantum_ms: float, seconds: float, seed: int, profile: bool
+) -> int:
+    """Run a controlled workload with counters attached and report them."""
+    from repro.alps.config import AlpsConfig
+    from repro.perf.counters import PerfCounters
+    from repro.perf.profiler import profile_call
+    from repro.perf.report import collect_workload_counters, render_report
+    from repro.units import ms, sec
+    from repro.workloads.scenarios import build_controlled_workload
+
+    share_list = [int(s) for s in shares.split(",") if s.strip()]
+    if not share_list or any(s <= 0 for s in share_list):
+        print("shares must be positive integers, e.g. --shares 1,2,3")
+        return 2
+    counters = PerfCounters()
+    cw = build_controlled_workload(
+        share_list,
+        AlpsConfig(quantum_us=ms(quantum_ms)),
+        seed=seed,
+        counters=counters,
+    )
+    if profile:
+        profiled = profile_call(cw.engine.run_until, sec(seconds))
+        print(profiled.report)
+    else:
+        cw.engine.run_until(sec(seconds))
+    collect_workload_counters(cw, into=counters)
+    print(render_report(counters))
+    return 0
+
+
+def cmd_perf_diff(
+    *, sizes: str, seeds: str, quantum_ms: float, seconds: float
+) -> int:
+    """Run the strict-vs-optimized differential sweep and report results."""
+    from repro.perf.differential import differential_check
+    from repro.units import ms, sec
+
+    size_list = [int(s) for s in sizes.split(",") if s.strip()]
+    seed_list = [int(s) for s in seeds.split(",") if s.strip()]
+    if not size_list or not seed_list:
+        print("need at least one size and one seed")
+        return 2
+    results = differential_check(
+        sizes=size_list,
+        seeds=seed_list,
+        quantum_us=ms(quantum_ms),
+        horizon_us=sec(seconds),
+    )
+    mismatches = 0
+    for cell in results:
+        status = "ok" if cell.matches else "MISMATCH"
+        line = (
+            f"{cell.model.value:<8} n={cell.n:<3} seed={cell.seed}  "
+            f"{cell.strict_digest}  {status}"
+        )
+        if not cell.matches:
+            mismatches += 1
+            line += f"\n    {cell.detail}"
+        print(line)
+    print(
+        f"\n{len(results)} cells, {mismatches} mismatches"
+        + ("" if mismatches else " — strict and optimized paths agree")
+    )
+    return 1 if mismatches else 0

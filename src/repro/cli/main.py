@@ -110,6 +110,31 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--quantum-ms", type=float, default=10.0)
     demo.add_argument("--seconds", type=float, default=30.0)
     demo.add_argument("--seed", type=int, default=0)
+
+    perf = sub.add_parser(
+        "perf", help="performance tooling for the simulation substrate"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command")
+    perf_report = perf_sub.add_parser(
+        "report", help="run a workload and print its perf counter report"
+    )
+    perf_report.add_argument("--shares", default="5,5,5,5,5")
+    perf_report.add_argument("--quantum-ms", type=float, default=10.0)
+    perf_report.add_argument("--seconds", type=float, default=10.0)
+    perf_report.add_argument("--seed", type=int, default=0)
+    perf_report.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run the simulation under cProfile and print the top rows",
+    )
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="strict-vs-optimized differential equivalence sweep (Table 2)",
+    )
+    perf_diff.add_argument("--sizes", default="5,10,20")
+    perf_diff.add_argument("--seeds", default="0,1,2")
+    perf_diff.add_argument("--quantum-ms", type=float, default=10.0)
+    perf_diff.add_argument("--seconds", type=float, default=5.0)
     return parser
 
 
@@ -147,5 +172,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seconds=args.seconds,
             seed=args.seed,
         )
+    if args.command == "perf":
+        if args.perf_command == "report":
+            return commands.cmd_perf_report(
+                shares=args.shares,
+                quantum_ms=args.quantum_ms,
+                seconds=args.seconds,
+                seed=args.seed,
+                profile=args.profile,
+            )
+        if args.perf_command == "diff":
+            return commands.cmd_perf_diff(
+                sizes=args.sizes,
+                seeds=args.seeds,
+                quantum_ms=args.quantum_ms,
+                seconds=args.seconds,
+            )
+        parser.parse_args(["perf", "--help"])
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

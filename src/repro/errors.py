@@ -11,6 +11,20 @@ class SimulationError(ReproError):
     """Raised for inconsistencies detected inside the simulation engine."""
 
 
+class SimulationTruncatedError(SimulationError):
+    """Raised when a bounded run ends before reaching its goal.
+
+    Carries how far the run got so callers that can tolerate partial
+    results (e.g. past-breakdown scalability sweeps) can still consume
+    them after catching — or opt out with ``on_incomplete="ignore"``.
+    """
+
+    def __init__(self, goal: str, reached: str) -> None:
+        super().__init__(f"simulation truncated: wanted {goal}, reached {reached}")
+        self.goal = goal
+        self.reached = reached
+
+
 class KernelError(ReproError):
     """Raised for invalid operations against the simulated kernel."""
 

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import warnings
+from typing import Literal
+
+from repro.errors import SimulationTruncatedError
 from repro.units import SEC
 from repro.workloads.scenarios import ControlledWorkload
 
@@ -12,13 +16,40 @@ def run_for_cycles(
     *,
     max_sim_us: int = 4 * 3600 * SEC,
     chunk_us: int = 5 * SEC,
-) -> None:
+    on_incomplete: Literal["raise", "warn", "ignore"] = "raise",
+) -> int:
     """Advance the simulation until the ALPS has completed ``cycles``.
 
     ``max_sim_us`` bounds runaway runs (e.g. past the scalability
-    breakdown, where cycles stretch enormously).
+    breakdown, where cycles stretch enormously).  Hitting that bound
+    with cycles still missing is a *truncated* run; it used to pass
+    silently and poison downstream statistics with however many cycles
+    happened to exist.  ``on_incomplete`` decides what happens instead:
+
+    * ``"raise"`` (default) — raise :class:`SimulationTruncatedError`;
+    * ``"warn"`` — emit a ``RuntimeWarning`` and return normally,
+      for experiments where partial data is still a result (e.g.
+      robustness runs under heavy fault plans);
+    * ``"ignore"`` — return silently, for experiments that probe the
+      breakdown region on purpose and handle short logs themselves.
+
+    Returns the number of completed cycles at exit.
     """
+    if on_incomplete not in ("raise", "warn", "ignore"):
+        raise ValueError(f"invalid on_incomplete: {on_incomplete!r}")
     engine = workload.engine
     log = workload.agent.cycle_log
     while len(log) < cycles and engine.now < max_sim_us:
         engine.run_until(engine.now + chunk_us)
+    completed = len(log)
+    if completed < cycles and on_incomplete != "ignore":
+        goal = f"{cycles} cycles"
+        reached = f"{completed} cycles in {engine.now} simulated us"
+        if on_incomplete == "raise":
+            raise SimulationTruncatedError(goal, reached)
+        warnings.warn(
+            f"run_for_cycles truncated: wanted {goal}, reached {reached}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return completed

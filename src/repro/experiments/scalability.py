@@ -65,7 +65,12 @@ def run_scalability_point(
         AlpsConfig(quantum_us=ms(quantum_ms)),
         seed=seed,
     )
-    run_for_cycles(cw, cycles, max_sim_us=int(max_wall_s * SEC))
+    # Past the breakdown threshold cycles stretch enormously and the
+    # wall bound cuts the run short on purpose; short logs are the
+    # signal this experiment exists to measure.
+    run_for_cycles(
+        cw, cycles, max_sim_us=int(max_wall_s * SEC), on_incomplete="ignore"
+    )
     wall = cw.kernel.now
     overhead = 100.0 * cw.kernel.getrusage(cw.alps_proc.pid) / wall
     err = mean_rms_relative_error(cw.agent.cycle_log, skip=3)

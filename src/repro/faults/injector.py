@@ -266,6 +266,9 @@ class FaultyKernelAPI:
     def pid_exists(self, pid: int) -> bool:
         return self._inner.pid_exists(pid)
 
+    def exit_count(self) -> int:
+        return self._inner.exit_count()
+
     def wakeup(self, channel: str) -> int:
         return self._inner.wakeup(channel)
 

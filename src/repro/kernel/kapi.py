@@ -12,27 +12,52 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.errors import NoSuchProcessError
+from repro.kernel.process import ProcState
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.behaviors import Behavior
     from repro.kernel.process import Process
 
+_ZOMBIE = ProcState.ZOMBIE
+_RUNNING = ProcState.RUNNING
+_SLEEPING = ProcState.SLEEPING
+
 
 class KernelAPI:
-    """Unprivileged system-call surface of a :class:`~repro.kernel.kernel.Kernel`."""
+    """Unprivileged system-call surface of a :class:`~repro.kernel.kernel.Kernel`.
 
-    __slots__ = ("_kernel",)
+    The read-only inspection calls (``getrusage``, ``is_blocked``,
+    ``is_stopped``, ``pid_exists``) are inlined copies of the matching
+    :class:`Kernel` methods rather than delegations: an ALPS agent makes
+    one of these per controlled pid per quantum, and the extra call
+    frame is the single largest cost of the facade.  They must stay
+    behaviorally identical to the kernel-side originals.
+    """
+
+    __slots__ = ("_kernel", "_clock", "_procs")
 
     def __init__(self, kernel) -> None:
         self._kernel = kernel
+        self._clock = kernel.engine.clock
+        self._procs = kernel.procs
 
     @property
     def now(self) -> int:
         """Current time (µs) — gettimeofday."""
-        return self._kernel.now
+        return self._clock._now
 
     def getrusage(self, pid: int) -> int:
         """CPU time consumed by ``pid`` (µs) — getrusage/kvm_getprocs."""
-        return self._kernel.getrusage(pid)
+        proc = self._procs.get(pid)
+        if proc is None or proc.state is _ZOMBIE:
+            raise NoSuchProcessError(pid)
+        cpu = proc.cpu_time
+        if proc.state is _RUNNING:
+            now = self._clock._now
+            if now > proc.run_start:
+                cpu += now - proc.run_start
+        return cpu
 
     def wait_channel_of(self, pid: int) -> Optional[str]:
         """Wait channel if ``pid`` is blocked, else None — kvm inspection."""
@@ -40,7 +65,10 @@ class KernelAPI:
 
     def is_blocked(self, pid: int) -> bool:
         """True if ``pid`` is currently sleeping on some channel."""
-        return self._kernel.wait_channel_of(pid) is not None
+        proc = self._procs.get(pid)
+        if proc is None or proc.state is _ZOMBIE:
+            raise NoSuchProcessError(pid)
+        return proc.state is _SLEEPING and proc.wait_channel is not None
 
     def is_stopped(self, pid: int) -> bool:
         """True if ``pid`` is job-control stopped (``T`` in ps/kvm).
@@ -49,7 +77,10 @@ class KernelAPI:
         SIGSTOP/SIGCONT bookkeeping against kernel truth (e.g. after a
         crash-restart invalidated its internal state).
         """
-        return self._kernel.is_stopped(pid)
+        proc = self._procs.get(pid)
+        if proc is None or proc.state is _ZOMBIE:
+            raise NoSuchProcessError(pid)
+        return proc.stopped
 
     def kill(self, pid: int, signo: int) -> None:
         """Send a signal — kill(2)."""
@@ -75,11 +106,15 @@ class KernelAPI:
 
     def pid_exists(self, pid: int) -> bool:
         """True if ``pid`` names a live process."""
-        try:
-            self._kernel.lookup(pid)
-            return True
-        except Exception:
-            return False
+        proc = self._procs.get(pid)
+        return proc is not None and proc.state is not _ZOMBIE
+
+    def exit_count(self) -> int:
+        """Total processes exited since boot — a sysctl-style global
+        accounting counter.  Monotone; an unchanged value guarantees no
+        process died since the previous read, letting a user-level
+        scheduler skip its per-quantum liveness sweep."""
+        return self._kernel.exit_count
 
     def wakeup(self, channel: str) -> int:
         """Wake sleepers on ``channel`` (e.g. producer/consumer handoff)."""

@@ -57,6 +57,12 @@ class KernelConfig:
     nice_weight: int = 2
     loadavg_interval_us: int = 5 * SEC
     loadavg_tau_us: int = 60 * SEC
+    #: Disable the schedule-invisible fast paths (lazy estcpu decay for
+    #: sleepers, idle housekeeping skip) and run the original eager
+    #: per-second loop instead.  The differential test harness runs both
+    #: paths and asserts byte-identical schedules; production runs leave
+    #: this False.
+    strict: bool = False
 
     @property
     def estcpu_limit(self) -> float:

@@ -72,6 +72,9 @@ class Kernel:
         config: KernelConfig = DEFAULT_CONFIG,
     ) -> None:
         self.engine = engine
+        #: Direct clock reference: ``self._clock._now`` is the hot-path
+        #: spelling of ``self.now`` (two property hops fewer).
+        self._clock = engine.clock
         self.cfg = config
         self.procs: dict[int, Process] = {}
         self.runq = RunQueue()
@@ -88,7 +91,42 @@ class Kernel:
         self._resched_pending = False
         self.total_busy_us = 0
         self.context_switches = 0
+        #: Total processes that have exited since boot (monotone).  The
+        #: moral equivalent of a sysctl/procfs global accounting counter:
+        #: user-level schedulers poll it to skip liveness sweeps when no
+        #: process can possibly have died since the last look.
+        self.exit_count = 0
         self._exit_hooks: list[Callable[[Process], None]] = []
+        # -- fast-path state (see docs/performance.md) -----------------
+        #: Lazy estcpu decay for sleepers (4.4BSD ``updatepri`` style).
+        #: ``config.strict`` re-enables the original eager per-second
+        #: loop; subclasses with their own aging (CFS) opt out too.
+        self._lazy = not config.strict
+        #: Number of completed ``schedcpu`` passes.
+        self._schedcpu_epoch = 0
+        #: Load average used at each pass (``[k-1]`` = load at pass k),
+        #: so deferred first-pass decay replays the exact eager inputs.
+        self._load_history: list[float] = []
+        #: Count of occupied CPUs (O(1) ``runnable_count``).
+        self._oncpu = 0
+        # Hoisted config scalars for the inlined charge/priority math.
+        self._tick_us = config.tick_us
+        self._estcpu_limit = config.estcpu_limit
+        self._puser = config.puser
+        self._estcpu_weight = config.estcpu_weight
+        self._nice_weight = config.nice_weight
+        self._maxpri = config.maxpri
+        self._ctx_switch_us = config.ctx_switch_us
+        self._callout_res_us = config.callout_resolution_us
+        #: Direct queue insertion for kernel-internal events whose times
+        #: are provably >= now (burst completions, sleep timeouts) — the
+        #: past-scheduling guard in ``Engine.at`` can never fire for
+        #: them, so it is skipped.
+        self._equeue_schedule = engine.queue.schedule
+        # Perf counters (cheap ints; snapshotted by repro.perf).
+        self.perf_schedcpu_passes = 0
+        self.perf_schedcpu_idle_skips = 0
+        self.perf_lazy_materializations = 0
         self._start_housekeeping()
 
     # ------------------------------------------------------------------
@@ -125,7 +163,10 @@ class Kernel:
         proc.priority = user_priority(self.cfg, 0.0, nice)
         proc.state = ProcState.SLEEPING  # embryonic until started
         proc.wait_channel = "fork"
+        proc.tag_burst = f"burst:{name}"
+        proc.tag_wake = f"wake:{name}"
         self.procs[pid] = proc
+        self._park(proc)
         self.engine.after(
             start_delay,
             self._on_start,
@@ -145,16 +186,22 @@ class Kernel:
     def getrusage(self, pid: int) -> int:
         """Total CPU time consumed by ``pid`` in µs, including any
         in-flight run interval (like reading kernel accounting live)."""
-        proc = self.lookup(pid)
+        proc = self.procs.get(pid)
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
         cpu = proc.cpu_time
-        if proc.state is ProcState.RUNNING and self.now > proc.run_start:
-            cpu += self.now - proc.run_start
+        if proc.state is ProcState.RUNNING:
+            now = self._clock._now
+            if now > proc.run_start:
+                cpu += now - proc.run_start
         return cpu
 
     def wait_channel_of(self, pid: int) -> Optional[str]:
         """The wait channel of ``pid`` (None unless sleeping) — the
         kvm-style introspection ALPS uses to detect blocked processes."""
-        proc = self.lookup(pid)
+        proc = self.procs.get(pid)
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
         if proc.state is ProcState.SLEEPING:
             return proc.wait_channel
         return None
@@ -162,7 +209,10 @@ class Kernel:
     def is_stopped(self, pid: int) -> bool:
         """True if ``pid`` is job-control stopped (the ``T`` state a
         ``ps``/kvm scan would report)."""
-        return self.lookup(pid).stopped
+        proc = self.procs.get(pid)
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
+        return proc.stopped
 
     def pids_of_uid(self, uid: int) -> list[int]:
         """All live pids owned by ``uid`` (kvm_getprocs equivalent)."""
@@ -182,7 +232,9 @@ class Kernel:
 
     def kill(self, pid: int, signo: int) -> None:
         """Deliver a signal.  Only SIGSTOP/SIGCONT/SIGKILL are modelled."""
-        proc = self.lookup(pid)
+        proc = self.procs.get(pid)  # inlined lookup() — hot via the agent
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
         if signo == SIGSTOP:
             self._do_stop(proc)
         elif signo == SIGCONT:
@@ -225,7 +277,78 @@ class Kernel:
 
     def runnable_count(self) -> int:
         """Instantaneous count of runnable + running processes."""
-        return len(self.runq) + sum(1 for p in self.cpus if p is not None)
+        return len(self.runq) + self._oncpu
+
+    def slptime_of(self, pid: int) -> int:
+        """Seconds ``pid`` has spent sleeping/stopped, materialising any
+        lazily-deferred accrual first (the value the eager path would
+        hold right now)."""
+        proc = self.procs.get(pid)
+        if proc is None:
+            raise NoSuchProcessError(pid)
+        self._materialize_slptime(proc)
+        return proc.slptime
+
+    def flush_lazy_decay(self) -> None:
+        """Materialise deferred slptime/decay for every parked process.
+
+        Idempotent and schedule-invisible: after this call the full
+        per-process scheduler state (estcpu, slptime, priority) matches
+        what the strict/eager path would hold at this instant.  Used by
+        the equivalence tests and state-dump tooling.
+        """
+        for proc in self.procs.values():
+            self._materialize_slptime(proc)
+
+    def perf_snapshot(self) -> dict[str, int]:
+        """Cheap scheduler-internal perf counters (see repro.perf)."""
+        return {
+            "kernel.schedcpu_passes": self.perf_schedcpu_passes,
+            "kernel.schedcpu_idle_skips": self.perf_schedcpu_idle_skips,
+            "kernel.lazy_materializations": self.perf_lazy_materializations,
+            "kernel.context_switches": self.context_switches,
+        }
+
+    # ------------------------------------------------------------------
+    # Lazy slptime/decay bookkeeping (fast path)
+    # ------------------------------------------------------------------
+    # A process that is sleeping or stopped ("parked") cannot influence
+    # scheduling until it next becomes runnable, so the eager per-second
+    # work on it — slptime aging plus the single first-pass decay that
+    # 4.4BSD's schedcpu applies before updatepri takes over — is
+    # deferred and replayed, with the recorded pass-time load, the
+    # moment the process re-enters the scheduled world.
+    def _park(self, proc: Process) -> None:
+        if self._lazy and proc.park_epoch is None:
+            proc.park_epoch = self._schedcpu_epoch
+
+    def _materialize_slptime(self, proc: Process) -> None:
+        epoch = proc.park_epoch
+        if epoch is None:
+            return
+        elapsed = self._schedcpu_epoch - epoch
+        if elapsed <= 0:
+            return
+        if proc.slptime == 0:
+            # Replay the one eager decay applied at the first pass after
+            # parking (pass epoch+1, whose load is _load_history[epoch]).
+            new_est = decay_estcpu(
+                self.cfg, proc.estcpu, proc.nice, self._load_history[epoch]
+            )
+            if new_est != proc.estcpu:
+                proc.estcpu = new_est
+                new_pri = user_priority(self.cfg, new_est, proc.nice)
+                if proc.boost_priority is not None:
+                    new_pri = min(new_pri, proc.boost_priority)
+                proc.priority = new_pri  # parked, never on the run queue
+        proc.slptime += elapsed
+        proc.park_epoch = self._schedcpu_epoch
+        self.perf_lazy_materializations += 1
+
+    def _unpark(self, proc: Process) -> None:
+        if proc.park_epoch is not None:
+            self._materialize_slptime(proc)
+            proc.park_epoch = None
 
     # ------------------------------------------------------------------
     # Process start / trampoline
@@ -236,7 +359,7 @@ class Kernel:
             return
         proc.wait_channel = None
         proc.state = ProcState.RUNNABLE
-        self._with_dispatch_guard(self._advance, proc, False)
+        self._advance_guarded(proc, False)
 
     def _advance(self, proc: Process, on_cpu: bool) -> None:
         """Ask the behavior for actions until one takes time.
@@ -276,15 +399,14 @@ class Kernel:
     # ------------------------------------------------------------------
     def _schedule_burst(self, proc: Process, *, restart: bool) -> None:
         """(Re)arm the burst-completion event for the running ``proc``."""
+        now = self._clock._now
         if restart:
-            proc.run_start = self.now
+            proc.run_start = now
         done_at = proc.run_start + proc.pending_burst_us
-        proc.burst_handle = self.engine.at(
-            max(done_at, self.now),
-            self._on_burst_complete,
-            priority=_EVPRI_BURST,
-            payload=proc,
-            tag=f"burst:{proc.name}",
+        if done_at < now:
+            done_at = now
+        proc.burst_handle = self._equeue_schedule(
+            done_at, self._on_burst_complete, _EVPRI_BURST, proc, proc.tag_burst
         )
 
     def _on_burst_complete(self, event) -> None:
@@ -297,18 +419,38 @@ class Kernel:
             return  # stale event (should have been cancelled)
         proc.burst_handle = None
         self._charge_proc(proc)
-        self._with_dispatch_guard(self._advance, proc, True)
+        self._advance_guarded(proc, True)
 
     def _charge_proc(self, proc: Process) -> None:
-        """Account one running process's in-flight CPU consumption."""
-        consumed = self.now - proc.run_start
+        """Account one running process's in-flight CPU consumption.
+
+        The estcpu charge and priority recomputation are inlined copies
+        of :func:`charge_estcpu` / :func:`user_priority` over config
+        scalars hoisted at construction — this runs on every burst
+        completion, preemption, and schedclock tick, and the expressions
+        must stay operation-for-operation identical to the module
+        functions (the strict path and the property tests compare them).
+        """
+        now = self._clock._now
+        consumed = now - proc.run_start
         if consumed <= 0:
             return
         proc.cpu_time += consumed
-        proc.pending_burst_us = max(0, proc.pending_burst_us - consumed)
-        proc.estcpu = charge_estcpu(self.cfg, proc.estcpu, consumed)
-        proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
-        proc.run_start = self.now
+        pending = proc.pending_burst_us - consumed
+        proc.pending_burst_us = pending if pending > 0 else 0
+        est = proc.estcpu + consumed / self._tick_us
+        limit = self._estcpu_limit
+        if est > limit:
+            est = limit
+        proc.estcpu = est
+        pri = self._puser + est / self._estcpu_weight + self._nice_weight * proc.nice
+        if pri < 0:
+            proc.priority = 0
+        elif pri > self._maxpri:
+            proc.priority = self._maxpri
+        else:
+            proc.priority = int(pri)
+        proc.run_start = now
         self.total_busy_us += consumed
 
     def _charge_current(self) -> None:
@@ -319,7 +461,10 @@ class Kernel:
 
     def _dispatch(self) -> None:
         """Fill idle CPUs with the best runnable processes."""
-        for i, occupant in enumerate(self.cpus):
+        cpus = self.cpus
+        if len(cpus) == 1 and cpus[0] is not None:
+            return  # uniprocessor, busy: nothing to fill
+        for i, occupant in enumerate(cpus):
             if occupant is not None:
                 continue
             proc = self.runq.pop_best()
@@ -329,13 +474,25 @@ class Kernel:
             if proc.boost_priority is not None:
                 # The wakeup boost is consumed at dispatch; user-mode
                 # work proceeds at the ordinary decay-usage priority.
+                # (Inlined user_priority, see _charge_proc.)
                 proc.boost_priority = None
-                proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
+                pri = (
+                    self._puser
+                    + proc.estcpu / self._estcpu_weight
+                    + self._nice_weight * proc.nice
+                )
+                if pri < 0:
+                    proc.priority = 0
+                elif pri > self._maxpri:
+                    proc.priority = self._maxpri
+                else:
+                    proc.priority = int(pri)
             proc.state = ProcState.RUNNING
             proc.cpu_index = i
             self.cpus[i] = proc
+            self._oncpu += 1
             self.context_switches += 1
-            proc.run_start = self.now + self.cfg.ctx_switch_us
+            proc.run_start = self._clock._now + self._ctx_switch_us
             self._schedule_burst(proc, restart=False)
 
     def _preempt_cpu(self, index: int) -> None:
@@ -351,6 +508,7 @@ class Kernel:
         proc.preemptions += 1
         proc.cpu_index = None
         self.cpus[index] = None
+        self._oncpu -= 1
         if not proc.stopped:
             self.runq.insert(proc)
             self._on_runq.add(proc.pid)
@@ -360,24 +518,51 @@ class Kernel:
         proc.state = ProcState.RUNNABLE
         if proc.stopped:
             return  # parked until SIGCONT
+        self._unpark(proc)
         if proc.slptime >= 1:
             proc.estcpu = wakeup_decay(
                 self.cfg, proc.estcpu, proc.nice, self.loadavg.value, proc.slptime
             )
             proc.slptime = 0
-        proc.priority = user_priority(self.cfg, proc.estcpu, proc.nice)
-        if proc.boost_priority is not None:
-            proc.priority = min(proc.priority, proc.boost_priority)
+        # Inlined user_priority (see _charge_proc).
+        pri = (
+            self._puser
+            + proc.estcpu / self._estcpu_weight
+            + self._nice_weight * proc.nice
+        )
+        if pri < 0:
+            pri = 0
+        elif pri > self._maxpri:
+            pri = self._maxpri
+        else:
+            pri = int(pri)
+        boost = proc.boost_priority
+        if boost is not None and boost < pri:
+            pri = boost
+        proc.priority = pri
         if proc.pid not in self._on_runq:
             self.runq.insert(proc)
             self._on_runq.add(proc.pid)
         self._request_resched()
 
     def _inst_priority(self, proc: Process) -> int:
-        """A running process's priority including in-flight CPU usage."""
-        inflight = max(0, self.now - proc.run_start)
-        est = charge_estcpu(self.cfg, proc.estcpu, inflight)
-        return user_priority(self.cfg, est, proc.nice)
+        """A running process's priority including in-flight CPU usage.
+
+        Inlined charge_estcpu/user_priority (see _charge_proc).
+        """
+        inflight = self._clock._now - proc.run_start
+        if inflight < 0:
+            inflight = 0
+        est = proc.estcpu + inflight / self._tick_us
+        limit = self._estcpu_limit
+        if est > limit:
+            est = limit
+        pri = self._puser + est / self._estcpu_weight + self._nice_weight * proc.nice
+        if pri < 0:
+            return 0
+        if pri > self._maxpri:
+            return self._maxpri
+        return int(pri)
 
     def _worst_cpu(self) -> Optional[tuple[int, int]]:
         """(index, instantaneous priority) of the worst-priority running
@@ -394,10 +579,17 @@ class Kernel:
     # ------------------------------------------------------------------
     # Deferred rescheduling
     # ------------------------------------------------------------------
-    def _with_dispatch_guard(self, fn, *args) -> None:
+    def _advance_guarded(self, proc: Process, on_cpu: bool) -> None:
+        """Run :meth:`_advance` under the dispatch-depth guard.
+
+        Rescheduling requested from inside the behavior callback is
+        deferred until the guard unwinds, so kernel state is consistent
+        when the context switch happens.  (Specialised for ``_advance``
+        — its only caller — to avoid ``*args`` packing on every event.)
+        """
         self._dispatch_depth += 1
         try:
-            fn(*args)
+            self._advance(proc, on_cpu)
         finally:
             self._dispatch_depth -= 1
         if self._dispatch_depth == 0 and self._resched_pending:
@@ -411,6 +603,19 @@ class Kernel:
             self._resched_now()
 
     def _resched_now(self) -> None:
+        cpus = self.cpus
+        if len(cpus) == 1:
+            # Uniprocessor fast path (the paper's testbed): the only CPU
+            # is also the worst, so skip the _worst_cpu scan/tuple.
+            proc = cpus[0]
+            if proc is None:
+                self._dispatch()
+                return
+            best = self.runq.best_priority()
+            if best is not None and best < self._inst_priority(proc):
+                self._preempt_cpu(0)
+                self._dispatch()
+            return
         worst = self._worst_cpu()
         if worst is None:  # at least one idle CPU
             self._dispatch()
@@ -433,6 +638,7 @@ class Kernel:
                 )
             proc.voluntary_switches += 1
             self.cpus[proc.cpu_index] = None
+            self._oncpu -= 1
             proc.cpu_index = None
         if timeout == 0:
             # Zero-length sleep: yield the CPU but wake immediately.
@@ -442,21 +648,22 @@ class Kernel:
             return
         proc.state = ProcState.SLEEPING
         proc.wait_channel = channel
-        self._channels.setdefault(channel, []).append(proc)
+        self._park(proc)
+        waiters = self._channels.get(channel)
+        if waiters is None:
+            self._channels[channel] = [proc]
+        else:
+            waiters.append(proc)
         if timeout is not None:
             # Timeout expiries are quantized to the callout resolution,
             # as tsleep/nanosleep/setitimer are on real kernels: the
             # callout fires at the first timer edge at or after the
             # nominal deadline.
-            deadline = self.now + timeout
-            res = self.cfg.callout_resolution_us
+            deadline = self._clock._now + timeout
+            res = self._callout_res_us
             deadline = ((deadline + res - 1) // res) * res
-            proc.sleep_handle = self.engine.at(
-                deadline,
-                self._on_sleep_timeout,
-                priority=_EVPRI_SLEEP,
-                payload=proc,
-                tag=f"wake:{proc.name}",
+            proc.sleep_handle = self._equeue_schedule(
+                deadline, self._on_sleep_timeout, _EVPRI_SLEEP, proc, proc.tag_wake
             )
         self._request_resched()
 
@@ -483,7 +690,7 @@ class Kernel:
         proc.wait_channel = None
         proc.state = ProcState.RUNNABLE
         proc.boost_priority = self.cfg.sleep_priority
-        self._with_dispatch_guard(self._advance, proc, False)
+        self._advance_guarded(proc, False)
 
     # ------------------------------------------------------------------
     # Signals
@@ -500,6 +707,7 @@ class Kernel:
             self.runq.remove(proc)
             self._on_runq.discard(proc.pid)
         # SLEEPING: stays asleep; slptime keeps accruing while stopped.
+        self._park(proc)
 
     def _do_cont(self, proc: Process) -> None:
         if not proc.stopped:
@@ -518,6 +726,7 @@ class Kernel:
                 proc.burst_handle = None
             self._charge_proc(proc)
             self.cpus[proc.cpu_index] = None
+            self._oncpu -= 1
             proc.cpu_index = None
             self._request_resched()
         if proc.pid in self._on_runq:
@@ -531,8 +740,10 @@ class Kernel:
             if waiters and proc in waiters:
                 waiters.remove(proc)
             proc.wait_channel = None
+        self._unpark(proc)  # zombie keeps the eager-path slptime/estcpu
         proc.state = ProcState.ZOMBIE
         proc.exit_status = status
+        self.exit_count += 1
         for hook in self._exit_hooks:
             hook(proc)
         self._request_resched()
@@ -571,8 +782,9 @@ class Kernel:
         # instant (e.g. a wakeup coinciding with the housekeeping grid):
         # on real hardware the wakeup and the clock tick resolve in one
         # dispatch decision, not two.
+        now = self._clock._now
         for i, proc in enumerate(self.cpus):
-            if proc is None or self.now <= proc.run_start:
+            if proc is None or now <= proc.run_start:
                 continue
             self._charge_proc(proc)
             best = self.runq.best_priority()
@@ -587,8 +799,9 @@ class Kernel:
         )
 
     def _on_roundrobin(self, event) -> None:
+        now = self._clock._now
         for i, proc in enumerate(self.cpus):
-            if proc is None or not self.runq or self.now <= proc.run_start:
+            if proc is None or not self.runq or now <= proc.run_start:
                 continue
             self._charge_proc(proc)
             best = self.runq.best_priority()
@@ -607,26 +820,40 @@ class Kernel:
     def _on_schedcpu(self, event) -> None:
         self._charge_current()
         load = self.loadavg.value
-        for proc in self.procs.values():
-            if proc.state is ProcState.ZOMBIE:
-                continue
-            if proc.state is ProcState.SLEEPING or proc.stopped:
-                proc.slptime += 1
-                if proc.slptime > 1:
-                    continue  # updatepri handles long sleepers on wakeup
-            new_est = decay_estcpu(self.cfg, proc.estcpu, proc.nice, load)
-            if new_est != proc.estcpu:
-                proc.estcpu = new_est
-                new_pri = user_priority(self.cfg, proc.estcpu, proc.nice)
-                if proc.boost_priority is not None:
-                    new_pri = min(new_pri, proc.boost_priority)
-                if new_pri != proc.priority:
-                    if proc.pid in self._on_runq:
-                        self.runq.remove(proc)
-                        proc.priority = new_pri
-                        self.runq.insert(proc)
-                    else:
-                        proc.priority = new_pri
+        lazy = self._lazy
+        self.perf_schedcpu_passes += 1
+        if lazy:
+            self._schedcpu_epoch += 1
+            self._load_history.append(load)
+        if lazy and self._oncpu == 0 and not self.runq:
+            # Every non-zombie process is parked (sleeping/stopped), so
+            # the pass would only age sleepers — deferred to wakeup.
+            self.perf_schedcpu_idle_skips += 1
+        else:
+            for proc in self.procs.values():
+                if proc.state is ProcState.ZOMBIE:
+                    continue
+                if proc.state is ProcState.SLEEPING or proc.stopped:
+                    if lazy:
+                        # Deferred: slptime aging and the single
+                        # first-pass decay replay at _materialize_slptime.
+                        continue
+                    proc.slptime += 1
+                    if proc.slptime > 1:
+                        continue  # updatepri handles long sleepers on wakeup
+                new_est = decay_estcpu(self.cfg, proc.estcpu, proc.nice, load)
+                if new_est != proc.estcpu:
+                    proc.estcpu = new_est
+                    new_pri = user_priority(self.cfg, proc.estcpu, proc.nice)
+                    if proc.boost_priority is not None:
+                        new_pri = min(new_pri, proc.boost_priority)
+                    if new_pri != proc.priority:
+                        if proc.pid in self._on_runq:
+                            self.runq.remove(proc)
+                            proc.priority = new_pri
+                            self.runq.insert(proc)
+                        else:
+                            proc.priority = new_pri
         self._request_resched()
         self.engine.after(
             self.cfg.schedcpu_us,

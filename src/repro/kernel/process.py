@@ -53,8 +53,14 @@ class Process:
     #: Kernel wakeup-priority boost; set when waking from a voluntary
     #: sleep, consumed at first dispatch (4.4BSD tsleep priority).
     boost_priority: Optional[int] = None
-    #: Seconds spent sleeping/stopped (drives wakeup decay).
+    #: Seconds spent sleeping/stopped (drives wakeup decay).  Under the
+    #: lazy-decay fast path this is materialised on demand from
+    #: :attr:`park_epoch`; read it through ``Kernel.slptime_of``.
     slptime: int = 0
+    #: ``schedcpu`` epoch at which this process entered the
+    #: sleeping-or-stopped set (lazy-decay bookkeeping; None while the
+    #: process is directly scheduled or the kernel runs strict/eager).
+    park_epoch: Optional[int] = None
     #: Virtual runtime (used by the CFS-like policy only).
     vruntime: float = 0.0
 
@@ -79,6 +85,10 @@ class Process:
     sleep_handle: Optional["EventHandle"] = field(default=None, repr=False)
     #: Pending burst-completion event while RUNNING.
     burst_handle: Optional["EventHandle"] = field(default=None, repr=False)
+    #: Precomputed trace tags (avoids per-event f-string allocation on
+    #: the dispatch hot path; set once at spawn).
+    tag_burst: str = ""
+    tag_wake: str = ""
     #: Exit status (valid once ZOMBIE).
     exit_status: int = 0
 

@@ -41,7 +41,10 @@ class RunQueue:
 
     def insert(self, proc: Process) -> None:
         """Append ``proc`` to the tail of its priority bucket."""
-        qi = self._qindex(proc.priority)
+        priority = proc.priority  # inlined _qindex: insert is hot
+        if priority < 0 or priority >= NQS * PPQ:
+            raise KernelError(f"priority {priority} out of range 0..{NQS * PPQ - 1}")
+        qi = priority >> 2
         self._queues[qi].append(proc)
         self._nonempty |= 1 << qi
         self._count += 1

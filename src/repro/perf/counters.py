@@ -1,0 +1,73 @@
+"""Named performance counters and timers.
+
+A :class:`PerfCounters` instance is a passive sink: components that
+were handed one add to it, components that were not pay nothing.  The
+engine accounts per *run call* (wall time + events processed), never
+per event, so attaching counters does not perturb the hot loop being
+measured.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+
+class PerfCounters:
+    """Accumulates named event counts and named wall-time totals.
+
+    Counts and times live in separate namespaces: ``incr("x")`` and
+    ``add_time("x", dt)`` do not collide.
+    """
+
+    __slots__ = ("counts", "times")
+
+    def __init__(self) -> None:
+        #: name -> accumulated integer count.
+        self.counts: dict[str, int] = {}
+        #: name -> accumulated wall seconds.
+        self.times: dict[str, float] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (creating it at 0)."""
+        self.counts[name] = self.counts.get(name, 0) + n
+
+    def add_time(self, name: str, dt: float) -> None:
+        """Add ``dt`` wall seconds to the timer ``name``."""
+        self.times[name] = self.times.get(name, 0.0) + dt
+
+    @contextmanager
+    def time_block(self, name: str) -> Iterator[None]:
+        """Context manager accounting the enclosed block's wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another instance's totals into this one."""
+        for name, n in other.counts.items():
+            self.incr(name, n)
+        for name, dt in other.times.items():
+            self.add_time(name, dt)
+
+    def snapshot(self) -> dict[str, Mapping[str, float]]:
+        """Immutable-ish copy: ``{"counts": {...}, "times": {...}}``."""
+        return {"counts": dict(self.counts), "times": dict(self.times)}
+
+    def rate(self, count_name: str, time_name: str) -> float:
+        """``counts[count_name] / times[time_name]`` or 0.0 if unmeasured."""
+        dt = self.times.get(time_name, 0.0)
+        if dt <= 0.0:
+            return 0.0
+        return self.counts.get(count_name, 0) / dt
+
+    def clear(self) -> None:
+        """Reset all counters and timers."""
+        self.counts.clear()
+        self.times.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfCounters(counts={self.counts!r}, times={self.times!r})"

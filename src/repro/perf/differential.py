@@ -1,0 +1,218 @@
+"""Strict-vs-optimized differential equivalence harness.
+
+Every fast path added to the simulation substrate must be *schedule
+invisible*: for equal seeds, a workload must produce exactly the same
+schedule whether the kernel runs its original eager bookkeeping
+(``KernelConfig(strict=True)``) or the optimized lazy path (the
+default).  This module makes that claim executable:
+
+* :func:`fingerprint_run` runs one Table 2 workload to a horizon with
+  full event tracing on and serializes everything observable — the
+  per-cycle consumption log, the event trace, the event count and the
+  final clock — into one byte string;
+* :func:`differential_check` sweeps the Table 2 workload matrix times
+  a seed set and compares the strict and optimized fingerprints
+  byte-for-byte.
+
+A mismatch fails loudly with the first differing workload cell; the
+golden tests in ``tests/perf/test_differential_goldens.py`` keep the
+sweep in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.alps.config import AlpsConfig
+from repro.alps.instrumentation import CycleLog
+from repro.kernel.kconfig import KernelConfig
+from repro.sim.trace import Tracer
+from repro.units import ms, sec
+from repro.workloads.shares import DISTRIBUTIONS, ShareDistribution, workload_shares
+from repro.workloads.scenarios import build_controlled_workload
+
+#: Workload sizes of the Table 2 matrix.
+TABLE2_SIZES = (5, 10, 20)
+
+#: Default simulated horizon of one differential cell.
+DEFAULT_HORIZON_US = sec(5)
+
+
+def serialize_cycle_log(log: CycleLog) -> bytes:
+    """Stable byte serialization of a cycle log.
+
+    One line per cycle; mappings are emitted in sorted key order so the
+    bytes do not depend on dict insertion history.
+    """
+    lines = []
+    for rec in log:
+        consumed = ",".join(f"{k}:{v}" for k, v in sorted(rec.consumed.items()))
+        blocked = ",".join(
+            f"{k}:{v}" for k, v in sorted(rec.blocked_quanta.items())
+        )
+        shares = ",".join(f"{k}:{v}" for k, v in sorted(rec.shares.items()))
+        lines.append(
+            f"{rec.index} {rec.end_time} q={rec.quantum_us} "
+            f"consumed[{consumed}] blocked[{blocked}] shares[{shares}]"
+        )
+    return "\n".join(lines).encode()
+
+
+@dataclass(frozen=True)
+class RunFingerprint:
+    """Everything observable about one simulated run."""
+
+    cycle_log: bytes
+    trace: bytes
+    events: int
+    final_now: int
+
+    def digest(self) -> str:
+        """Short hex digest over the whole fingerprint (for reporting)."""
+        h = hashlib.sha256()
+        h.update(self.cycle_log)
+        h.update(b"\x00")
+        h.update(self.trace)
+        h.update(f"\x00{self.events}\x00{self.final_now}".encode())
+        return h.hexdigest()[:16]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunFingerprint):
+            return NotImplemented
+        return (
+            self.cycle_log == other.cycle_log
+            and self.trace == other.trace
+            and self.events == other.events
+            and self.final_now == other.final_now
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.cycle_log, self.trace, self.events, self.final_now))
+
+
+def fingerprint_run(
+    shares: Sequence[int],
+    *,
+    seed: int = 0,
+    strict: bool = False,
+    quantum_us: int = ms(10),
+    horizon_us: int = DEFAULT_HORIZON_US,
+) -> RunFingerprint:
+    """Run one controlled workload and fingerprint its schedule.
+
+    ``strict=True`` selects the kernel's original eager bookkeeping;
+    ``strict=False`` the optimized lazy path.  Everything else is held
+    identical, so any fingerprint difference is a fast-path bug.
+    """
+    tracer = Tracer(enabled=True)
+    cw = build_controlled_workload(
+        shares,
+        AlpsConfig(quantum_us=quantum_us),
+        seed=seed,
+        kernel_config=KernelConfig(strict=strict),
+        tracer=tracer,
+    )
+    cw.engine.run_until(horizon_us)
+    return RunFingerprint(
+        cycle_log=serialize_cycle_log(cw.agent.cycle_log),
+        trace="\n".join(tracer.lines()).encode(),
+        events=cw.engine.events_processed,
+        final_now=cw.engine.now,
+    )
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """Strict-vs-optimized outcome for one (model, n, seed) cell."""
+
+    model: ShareDistribution
+    n: int
+    seed: int
+    matches: bool
+    strict_digest: str
+    optimized_digest: str
+    #: Human-oriented description of the first observed difference.
+    detail: str = ""
+
+
+def compare_cell(
+    model: ShareDistribution,
+    n: int,
+    seed: int,
+    *,
+    quantum_us: int = ms(10),
+    horizon_us: int = DEFAULT_HORIZON_US,
+) -> CellComparison:
+    """Fingerprint one workload cell under both paths and diff them."""
+    shares = workload_shares(model, n)
+    strict = fingerprint_run(
+        shares,
+        seed=seed,
+        strict=True,
+        quantum_us=quantum_us,
+        horizon_us=horizon_us,
+    )
+    fast = fingerprint_run(
+        shares,
+        seed=seed,
+        strict=False,
+        quantum_us=quantum_us,
+        horizon_us=horizon_us,
+    )
+    detail = ""
+    if strict != fast:
+        detail = _first_difference(strict, fast)
+    return CellComparison(
+        model=model,
+        n=n,
+        seed=seed,
+        matches=strict == fast,
+        strict_digest=strict.digest(),
+        optimized_digest=fast.digest(),
+        detail=detail,
+    )
+
+
+def differential_check(
+    *,
+    models: Iterable[ShareDistribution] = DISTRIBUTIONS,
+    sizes: Iterable[int] = TABLE2_SIZES,
+    seeds: Iterable[int] = (0, 1, 2),
+    quantum_us: int = ms(10),
+    horizon_us: int = DEFAULT_HORIZON_US,
+) -> list[CellComparison]:
+    """Sweep the Table 2 matrix × seeds; return one comparison per cell."""
+    return [
+        compare_cell(
+            model, n, seed, quantum_us=quantum_us, horizon_us=horizon_us
+        )
+        for model in models
+        for n in sizes
+        for seed in seeds
+    ]
+
+
+def _first_difference(a: RunFingerprint, b: RunFingerprint) -> str:
+    """Locate the first diverging line between two fingerprints."""
+    if a.events != b.events:
+        return f"event counts differ: strict={a.events} optimized={b.events}"
+    if a.final_now != b.final_now:
+        return f"final clocks differ: strict={a.final_now} optimized={b.final_now}"
+    for name, left, right in (
+        ("cycle_log", a.cycle_log, b.cycle_log),
+        ("trace", a.trace, b.trace),
+    ):
+        if left == right:
+            continue
+        for i, (la, lb) in enumerate(
+            zip(left.splitlines(), right.splitlines())
+        ):
+            if la != lb:
+                return (
+                    f"{name} line {i}: strict={la.decode()!r} "
+                    f"optimized={lb.decode()!r}"
+                )
+        return f"{name} lengths differ: {len(left)} vs {len(right)} bytes"
+    return "fingerprints differ"  # pragma: no cover - covered above

@@ -1,0 +1,77 @@
+"""cProfile and wall-clock helpers for hot-path investigation.
+
+These wrap the stdlib so experiments and the CLI can profile a run
+without each call site repeating the Profile/Stats boilerplate.  They
+are tooling, not instrumentation: nothing here belongs on a hot path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Outcome of :func:`profile_call`."""
+
+    #: Whatever the profiled callable returned.
+    result: Any
+    #: Rendered ``pstats`` table (sorted, truncated).
+    report: str
+    #: Total profiled wall time in seconds.
+    total_seconds: float
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    sort: str = "tottime",
+    top: int = 25,
+    **kwargs: Any,
+) -> ProfileResult:
+    """Run ``fn(*args, **kwargs)`` under cProfile and render the stats.
+
+    ``sort`` is any ``pstats`` sort key (``tottime``, ``cumulative``,
+    ``calls``, ...); ``top`` bounds the rendered rows.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profile.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    stats.sort_stats(sort).print_stats(top)
+    return ProfileResult(
+        result=result,
+        report=buf.getvalue(),
+        total_seconds=stats.total_tt,
+    )
+
+
+class WallTimer:
+    """Minimal wall-clock stopwatch (context manager).
+
+    >>> with WallTimer() as t:
+    ...     work()
+    >>> t.elapsed  # seconds
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self.start

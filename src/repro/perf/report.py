@@ -1,0 +1,75 @@
+"""Collect and render a run's performance counters.
+
+``collect_workload_counters`` folds the substrate's own statistics —
+engine run-loop accounting, kernel scheduler activity, agent overhead
+counters — into one :class:`PerfCounters`, and ``render_report`` turns
+a counter snapshot into the aligned text the ``repro perf report`` CLI
+subcommand prints.  Collection reads statistics the components already
+keep; it adds no hot-path cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.perf.counters import PerfCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.scenarios import ControlledWorkload
+
+
+def collect_workload_counters(
+    workload: "ControlledWorkload",
+    *,
+    into: PerfCounters | None = None,
+) -> PerfCounters:
+    """Snapshot a finished workload's substrate statistics.
+
+    When the workload's engine was built with counters attached (see
+    ``build_controlled_workload(counters=...)``), pass them as ``into``
+    so the engine's wall-time accounting and the component statistics
+    land in one place.
+    """
+    counters = into if into is not None else PerfCounters()
+    engine = workload.engine
+    kernel = workload.kernel
+    agent = workload.agent
+    counters.incr("engine.events_total", engine.events_processed)
+    counters.incr("engine.final_now_us", engine.now)
+    for name, value in kernel.perf_snapshot().items():
+        counters.incr(name, value)
+    counters.incr("kernel.exits", kernel.exit_count)
+    counters.incr("agent.invocations", agent.invocations)
+    counters.incr("agent.reads", agent.reads)
+    counters.incr("agent.signals_sent", agent.signals_sent)
+    counters.incr("agent.signal_retries", agent.signal_retries)
+    counters.incr("agent.heals", agent.heals)
+    counters.incr("agent.missed_boundaries", agent.missed_boundaries)
+    counters.incr("agent.cycles", len(agent.cycle_log))
+    return counters
+
+
+def render_report(counters: PerfCounters) -> str:
+    """Aligned text rendering of a counter snapshot.
+
+    Counts first, then timers with derived events/sec when both the
+    engine event count and run_until wall time are present.
+    """
+    lines: list[str] = []
+    snap = counters.snapshot()
+    counts = snap["counts"]
+    times = snap["times"]
+    if counts:
+        width = max(len(k) for k in counts)
+        lines.append("counters:")
+        for name in sorted(counts):
+            lines.append(f"  {name.ljust(width)}  {counts[name]:>14,}")
+    if times:
+        width = max(len(k) for k in times)
+        lines.append("wall time:")
+        for name in sorted(times):
+            lines.append(f"  {name.ljust(width)}  {times[name]:>12.6f} s")
+    rate = counters.rate("engine.events", "engine.run_until")
+    if rate > 0:
+        lines.append(f"throughput: {rate:,.0f} events/sec (run_until)")
+    return "\n".join(lines)

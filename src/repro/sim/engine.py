@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
 from repro.sim.event_queue import Event, EventCallback, EventHandle, EventQueue
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.counters import PerfCounters
 
 
 class Engine:
@@ -18,13 +21,31 @@ class Engine:
     that schedule events (the simulated kernel, ALPS agents, workload
     drivers).  Determinism comes from the stable event ordering plus the
     named, seeded RNG streams in :class:`RngStreams`.
+
+    The run loop is the simulation's innermost hot path.  It pops ready
+    events through :meth:`EventQueue.pop_ready` (one heap pass instead of
+    a peek/pop pair), advances the clock by direct assignment (heap order
+    guarantees monotonicity; events cannot be scheduled in the past), and
+    short-circuits the tracer with a single attribute read per event.
+
+    When ``counters`` (a :class:`~repro.perf.counters.PerfCounters`) is
+    attached, each ``run_until``/``run_until_idle`` call accounts its
+    wall time and event count there — per-call granularity, so the
+    per-event path stays instrumentation-free.
     """
 
-    def __init__(self, *, seed: int = 0, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        tracer: Optional[Tracer] = None,
+        counters: Optional["PerfCounters"] = None,
+    ) -> None:
         self.clock = Clock()
         self.queue = EventQueue()
         self.rng = RngStreams(seed)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.counters = counters
         self._events_processed = 0
         self._stop_requested = False
 
@@ -34,11 +55,15 @@ class Engine:
     @property
     def now(self) -> int:
         """Current virtual time (µs)."""
-        return self.clock.now
+        return self.clock._now
 
     @property
     def events_processed(self) -> int:
-        """Total number of events dispatched so far."""
+        """Total number of events dispatched so far.
+
+        Updated when a run call returns (not per event), so a callback
+        reading it mid-run sees the value as of the run's start.
+        """
         return self._events_processed
 
     def at(
@@ -51,13 +76,11 @@ class Engine:
         tag: str = "",
     ) -> EventHandle:
         """Schedule an event at absolute virtual time ``when`` (µs)."""
-        if when < self.clock.now:
+        if when < self.clock._now:
             raise SimulationError(
-                f"cannot schedule event in the past: now={self.clock.now} when={when}"
+                f"cannot schedule event in the past: now={self.clock._now} when={when}"
             )
-        return self.queue.schedule(
-            when, callback, priority=priority, payload=payload, tag=tag
-        )
+        return self.queue.schedule(when, callback, priority, payload, tag)
 
     def after(
         self,
@@ -72,7 +95,7 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.at(
-            self.clock.now + delay,
+            self.clock._now + delay,
             callback,
             priority=priority,
             payload=payload,
@@ -93,45 +116,87 @@ class Engine:
         left at ``until`` even if the queue drained earlier, so callers can
         take end-of-run measurements at a well-defined instant.
         """
+        timer = _start_timer(self.counters)
         processed = 0
         self._stop_requested = False
-        while True:
-            if self._stop_requested:
-                break
-            if max_events is not None and processed >= max_events:
-                break
-            next_time = self.queue.peek_time()
-            if next_time is None or next_time > until:
-                break
-            event = self.queue.pop()
-            assert event is not None  # peek said there was one
-            self.clock.advance_to(event.time)
-            if self.tracer.enabled:
-                self.tracer.record(event.time, "event", event.tag)
-            event.callback(event)
-            processed += 1
-            self._events_processed += 1
-        if not self._stop_requested and self.clock.now < until:
-            self.clock.advance_to(until)
+        clock = self.clock
+        tracer = self.tracer
+        pop_ready = self.queue.pop_ready
+        # Two loop bodies so the common unbounded run pays no per-event
+        # max_events check.
+        if max_events is None:
+            while not self._stop_requested:
+                event = pop_ready(until)
+                if event is None:
+                    break
+                # Direct assignment: pops are time-ordered and events
+                # cannot be scheduled before `now`, so monotonicity holds.
+                clock._now = event.time
+                if tracer.enabled:
+                    tracer.record(event.time, "event", event.tag)
+                event.callback(event)
+                processed += 1
+        else:
+            while not self._stop_requested and processed < max_events:
+                event = pop_ready(until)
+                if event is None:
+                    break
+                clock._now = event.time
+                if tracer.enabled:
+                    tracer.record(event.time, "event", event.tag)
+                event.callback(event)
+                processed += 1
+        self._events_processed += processed
+        if not self._stop_requested and clock._now < until:
+            clock.advance_to(until)
+        _stop_timer(self.counters, timer, "engine.run_until", processed)
         return processed
 
     def run_until_idle(self, *, max_events: int = 10_000_000) -> int:
         """Run until the event queue is empty (bounded by ``max_events``)."""
+        timer = _start_timer(self.counters)
         processed = 0
         self._stop_requested = False
+        clock = self.clock
+        tracer = self.tracer
+        pop = self.queue.pop
         while not self._stop_requested:
-            event = self.queue.pop()
+            event = pop()
             if event is None:
                 break
             if processed >= max_events:
+                self._events_processed += processed
                 raise SimulationError(
                     f"run_until_idle exceeded {max_events} events; "
                     "likely a self-rescheduling event loop"
                 )
-            self.clock.advance_to(event.time)
-            if self.tracer.enabled:
-                self.tracer.record(event.time, "event", event.tag)
+            clock._now = event.time
+            if tracer.enabled:
+                tracer.record(event.time, "event", event.tag)
             event.callback(event)
             processed += 1
-            self._events_processed += 1
+        self._events_processed += processed
+        _stop_timer(self.counters, timer, "engine.run_until_idle", processed)
         return processed
+
+
+def _start_timer(counters: Optional["PerfCounters"]) -> Optional[float]:
+    if counters is None:
+        return None
+    import time
+
+    return time.perf_counter()
+
+
+def _stop_timer(
+    counters: Optional["PerfCounters"],
+    started: Optional[float],
+    name: str,
+    events: int,
+) -> None:
+    if counters is None or started is None:
+        return
+    import time
+
+    counters.add_time(name, time.perf_counter() - started)
+    counters.incr("engine.events", events)

@@ -6,6 +6,15 @@ priority fire in the order they were scheduled, which keeps the simulation
 deterministic.  Cancellation is lazy — cancelled entries stay in the heap
 and are skipped on pop — which is the standard O(log n) approach and, per
 the HPC guides, is both the simple and the fast choice here.
+
+Performance notes
+-----------------
+Heap entries are plain ``(time, priority, seq, event)`` tuples rather
+than wrapper objects: ``seq`` is unique, so tuple comparison resolves in
+C without ever comparing the trailing :class:`Event`, and every sift
+during push/pop avoids a Python-level ``__lt__`` call.  The engine's hot
+loop uses :meth:`EventQueue.pop_ready`, which fuses the peek + pop pair
+into a single pass over the cancelled prefix.
 """
 
 from __future__ import annotations
@@ -77,24 +86,15 @@ class EventHandle:
             self._queue._live -= 1
 
 
-class _HeapEntry:
-    """Heap wrapper ordering events by their sort key."""
-
-    __slots__ = ("key", "event")
-
-    def __init__(self, event: Event) -> None:
-        self.key = event.sort_key()
-        self.event = event
-
-    def __lt__(self, other: "_HeapEntry") -> bool:
-        return self.key < other.key
-
-
 class EventQueue:
     """Binary-heap event calendar with stable ordering and lazy deletion."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[_HeapEntry] = []
+        # Entries are (time, priority, seq, event); seq is unique so
+        # comparisons never reach the Event object.
+        self._heap: list[tuple[int, int, int, Event]] = []
         self._seq = 0
         self._live = 0
 
@@ -106,48 +106,62 @@ class EventQueue:
         self,
         time: int,
         callback: EventCallback,
-        *,
         priority: int = 0,
         payload: Any = None,
         tag: str = "",
     ) -> EventHandle:
-        """Insert an event and return a cancellable handle."""
+        """Insert an event and return a cancellable handle.
+
+        ``priority``/``payload``/``tag`` accept positional calls too:
+        the kernel's burst/callout arming is hot enough that keyword
+        binding shows up in profiles.
+        """
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
         self._seq += 1
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=self._seq,
-            callback=callback,
-            payload=payload,
-            tag=tag,
-        )
-        heapq.heappush(self._heap, _HeapEntry(event))
+        seq = self._seq
+        event = Event(time, priority, seq, callback, payload, tag)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return EventHandle(event, self)
 
     def peek_time(self) -> Optional[int]:
         """Firing time of the next pending event, or None if empty."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].event.time
+        return heap[0][0]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next pending event, or None if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        entry = heapq.heappop(self._heap)
-        self._live -= 1
-        entry.event.fired = True
-        return entry.event
-
-    def _drop_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0].event.cancelled:
+        while heap and heap[0][3].cancelled:
             heapq.heappop(heap)
+        if not heap:
+            return None
+        event = heapq.heappop(heap)[3]
+        self._live -= 1
+        event.fired = True
+        return event
+
+    def pop_ready(self, until: int) -> Optional[Event]:
+        """Pop the next pending event if it fires at or before ``until``.
+
+        Fuses ``peek_time`` + ``pop`` into one cancelled-prefix scan —
+        the engine run loop's fast path.  Returns None when the queue is
+        empty or the next event fires after ``until``.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap or heap[0][0] > until:
+            return None
+        event = heapq.heappop(heap)[3]
+        self._live -= 1
+        event.fired = True
+        return event
 
     def clear(self) -> None:
         """Drop all pending events."""

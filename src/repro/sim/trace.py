@@ -46,6 +46,12 @@ class Tracer:
         """All records of a given category."""
         return [r for r in self._records if r.kind == kind]
 
+    def lines(self) -> list[str]:
+        """Stable text serialization, one ``time kind detail`` line per
+        record.  Used by the differential harness to compare traces
+        byte-for-byte between kernel fast paths."""
+        return [f"{r.time} {r.kind} {r.detail}" for r in self._records]
+
     def clear(self) -> None:
         """Drop all records."""
         self._records.clear()

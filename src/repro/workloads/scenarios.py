@@ -9,7 +9,7 @@ the Section 4.1 three-application phased experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.alps.agent import AlpsAgent, spawn_alps
 from repro.alps.config import AlpsConfig
@@ -21,7 +21,11 @@ from repro.kernel.kconfig import DEFAULT_CONFIG, KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
 from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
 from repro.workloads.spinner import spinner_behavior
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.counters import PerfCounters
 
 
 @dataclass(slots=True)
@@ -63,6 +67,8 @@ def build_controlled_workload(
     alps_start_delay: int = 0,
     kernel_factory: KernelFactory = Kernel,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
+    counters: Optional["PerfCounters"] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -72,9 +78,11 @@ def build_controlled_workload(
     :class:`~repro.kernel.cfs.CfsKernel` for the portability study).
     ``fault_plan`` runs the whole workload under deterministic fault
     injection (docs/fault_model.md); a null/omitted plan is the exact
-    clean path.
+    clean path.  ``tracer`` attaches an event tracer to the engine (the
+    differential equivalence harness compares its output byte-for-byte
+    between kernel fast paths); ``counters`` attaches perf counters.
     """
-    engine = Engine(seed=seed)
+    engine = Engine(seed=seed, tracer=tracer, counters=counters)
     kernel = kernel_factory(engine, kernel_config)
     workers: list[Process] = []
     for i, share in enumerate(shares):

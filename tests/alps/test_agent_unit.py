@@ -58,6 +58,11 @@ class FakeKapi:
     def pid_exists(self, pid: int) -> bool:
         return self.alive.get(pid, True)
 
+    def exit_count(self) -> int:
+        # Derived from the scripted deaths: monotone as long as tests
+        # never resurrect a pid (they don't — pids are not recycled).
+        return sum(1 for alive in self.alive.values() if not alive)
+
     def pids_of_uid(self, uid: int) -> list[int]:
         return []
 

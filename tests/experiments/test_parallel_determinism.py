@@ -1,0 +1,59 @@
+"""parallel_map must be a deterministic drop-in for the serial map.
+
+Experiment sweeps are fanned out across worker processes; results must
+be identical (content and order) regardless of worker count, and
+worker exceptions must surface in the parent rather than vanish.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import default_workers, parallel_map
+
+
+def _square(x: int) -> int:  # module-level: must be picklable
+    return x * x
+
+
+def _simulate_cell(seed: int) -> tuple[int, int]:
+    """A tiny seed-keyed 'simulation': pure function of its input."""
+    import random
+
+    rng = random.Random(seed)
+    return seed, rng.randrange(10**9)
+
+
+def _boom(x: int) -> int:
+    if x == 3:
+        raise ValueError("injected failure")
+    return x
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_results_match_serial_map_in_order(workers):
+    items = list(range(12))
+    assert parallel_map(_square, items, workers=workers) == [
+        _square(i) for i in items
+    ]
+
+
+def test_worker_count_does_not_change_results():
+    seeds = list(range(8))
+    runs = {w: parallel_map(_simulate_cell, seeds, workers=w) for w in (1, 2, 4)}
+    assert runs[1] == runs[2] == runs[4]
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_exceptions_propagate(workers):
+    with pytest.raises(ValueError, match="injected failure"):
+        parallel_map(_boom, list(range(6)), workers=workers)
+
+
+def test_degenerate_inputs():
+    assert parallel_map(_square, [], workers=4) == []
+    assert parallel_map(_square, [7], workers=4) == [49]
+
+
+def test_default_workers_is_positive():
+    assert default_workers() >= 1

@@ -1,0 +1,64 @@
+"""run_for_cycles truncation semantics.
+
+Experiments that hit ``max_sim_us`` before reaching their cycle goal
+used to return silently with a short log; results downstream then
+looked like a small-but-valid sample.  Truncation is now an explicit
+policy: raise (default), warn, or ignore.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.errors import SimulationTruncatedError
+from repro.experiments.common import run_for_cycles
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _workload():
+    return build_controlled_workload([1, 1], AlpsConfig(quantum_us=ms(10)), seed=0)
+
+
+def test_completion_returns_cycle_count():
+    cw = _workload()
+    got = run_for_cycles(cw, 5)
+    assert got >= 5
+    assert len(cw.agent.cycle_log) == got
+
+
+def test_truncation_raises_by_default():
+    cw = _workload()
+    with pytest.raises(SimulationTruncatedError) as exc:
+        run_for_cycles(cw, 1000, max_sim_us=sec(1), chunk_us=sec(1))
+    assert exc.value.goal == "1000 cycles"
+    assert "cycle" in exc.value.reached
+    assert "truncated" in str(exc.value)
+
+
+def test_truncation_warns_when_requested():
+    cw = _workload()
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        got = run_for_cycles(
+            cw, 1000, max_sim_us=sec(1), chunk_us=sec(1), on_incomplete="warn"
+        )
+    assert 0 < got < 1000
+
+
+def test_truncation_silent_when_ignored():
+    cw = _workload()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        got = run_for_cycles(
+            cw, 1000, max_sim_us=sec(1), chunk_us=sec(1), on_incomplete="ignore"
+        )
+    assert 0 < got < 1000
+
+
+def test_invalid_policy_rejected_up_front():
+    cw = _workload()
+    with pytest.raises(ValueError, match="on_incomplete"):
+        run_for_cycles(cw, 1, on_incomplete="explode")

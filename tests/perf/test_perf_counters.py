@@ -1,0 +1,99 @@
+"""PerfCounters, the engine's per-run accounting, and the report path."""
+
+from __future__ import annotations
+
+from repro.alps.config import AlpsConfig
+from repro.perf.counters import PerfCounters
+from repro.perf.profiler import WallTimer, profile_call
+from repro.perf.report import collect_workload_counters, render_report
+from repro.sim.engine import Engine
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def test_incr_and_add_time_accumulate():
+    c = PerfCounters()
+    c.incr("a")
+    c.incr("a", 4)
+    c.add_time("t", 0.25)
+    c.add_time("t", 0.5)
+    assert c.counts["a"] == 5
+    assert c.times["t"] == 0.75
+
+
+def test_counts_and_times_are_separate_namespaces():
+    c = PerfCounters()
+    c.incr("x", 3)
+    c.add_time("x", 1.0)
+    assert c.counts["x"] == 3
+    assert c.times["x"] == 1.0
+
+
+def test_time_block_and_merge_and_snapshot():
+    a, b = PerfCounters(), PerfCounters()
+    with a.time_block("blk"):
+        pass
+    a.incr("n", 2)
+    b.incr("n", 3)
+    b.add_time("blk", 1.0)
+    a.merge(b)
+    snap = a.snapshot()
+    assert snap["counts"]["n"] == 5
+    assert snap["times"]["blk"] >= 1.0
+    a.clear()
+    assert a.counts == {} and a.times == {}
+    assert snap["counts"]["n"] == 5  # snapshot detached from clear()
+
+
+def test_rate_handles_missing_and_zero_time():
+    c = PerfCounters()
+    assert c.rate("e", "t") == 0.0
+    c.incr("e", 10)
+    c.add_time("t", 2.0)
+    assert c.rate("e", "t") == 5.0
+
+
+def test_engine_accounts_runs_into_attached_counters():
+    counters = PerfCounters()
+    engine = Engine(seed=0, counters=counters)
+    fired = []
+    engine.at(10, lambda e: fired.append(e.time))
+    engine.run_until(100)
+    assert fired == [10]
+    assert counters.counts["engine.events"] == 1
+    assert counters.times["engine.run_until"] > 0.0
+
+
+def test_engine_without_counters_keeps_none_attached():
+    engine = Engine(seed=0)
+    engine.run_until(100)
+    assert engine.counters is None
+
+
+def test_collect_and_render_workload_report():
+    counters = PerfCounters()
+    cw = build_controlled_workload(
+        [1, 2], AlpsConfig(quantum_us=ms(10)), seed=0, counters=counters
+    )
+    cw.engine.run_until(sec(2))
+    collect_workload_counters(cw, into=counters)
+    assert counters.counts["agent.invocations"] > 0
+    assert counters.counts["kernel.context_switches"] > 0
+    assert counters.counts["engine.events_total"] == cw.engine.events_processed
+    text = render_report(counters)
+    assert "agent.invocations" in text
+    assert "engine.run_until" in text
+    assert "events/sec" in text
+
+
+def test_profile_call_returns_result_and_report():
+    out = profile_call(sum, [1, 2, 3])
+    assert out.result == 6
+    assert "function calls" in out.report
+    assert out.total_seconds >= 0.0
+
+
+def test_wall_timer_measures_elapsed():
+    with WallTimer() as t:
+        sum(range(1000))
+    assert t.elapsed > 0.0

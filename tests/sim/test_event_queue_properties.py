@@ -1,0 +1,134 @@
+"""Property tests for the event calendar.
+
+The engine's determinism rests on two EventQueue guarantees that the
+fused fast-path pops must never erode:
+
+* ordering is exactly ``(time, priority, sequence)`` — in particular,
+  events sharing a time and priority fire in scheduling (FIFO) order;
+* lazy cancellation is safe: cancelled events never fire, never
+  reorder their neighbours, and re-scheduling after a cancel behaves
+  like a fresh schedule.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.event_queue import EventQueue
+
+#: (time, priority) pairs; small domains force heavy collisions so the
+#: stable tie break actually gets exercised.
+schedules = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 2)),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _drain(queue: EventQueue) -> list:
+    out = []
+    while True:
+        ev = queue.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+@given(pairs=schedules)
+@settings(max_examples=200, deadline=None)
+def test_pop_order_is_time_priority_fifo(pairs):
+    queue = EventQueue()
+    for i, (t, pri) in enumerate(pairs):
+        queue.schedule(t, lambda e: None, pri, i)
+    popped = [(e.time, e.priority, e.seq) for e in _drain(queue)]
+    # Global order is (time, priority, seq); since seq increases with
+    # scheduling order, equal (time, priority) groups come out FIFO.
+    assert popped == sorted(popped)
+    assert len(popped) == len(pairs)
+    assert len(queue) == 0
+
+
+@given(
+    pairs=schedules,
+    cancel_mask=st.lists(st.booleans(), min_size=60, max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_cancellation_never_fires_and_never_reorders(pairs, cancel_mask):
+    queue = EventQueue()
+    handles = [
+        queue.schedule(t, lambda e: None, pri, i)
+        for i, (t, pri) in enumerate(pairs)
+    ]
+    cancelled = set()
+    for i, handle in enumerate(handles):
+        if cancel_mask[i]:
+            handle.cancel()
+            handle.cancel()  # double-cancel must be harmless
+            cancelled.add(i)
+    assert len(queue) == len(pairs) - len(cancelled)
+    popped = _drain(queue)
+    assert {e.payload for e in popped} == set(range(len(pairs))) - cancelled
+    keys = [(e.time, e.priority, e.seq) for e in popped]
+    assert keys == sorted(keys)  # survivors keep their relative order
+    for handle in handles:
+        assert not handle.active  # fired or cancelled by now
+
+
+@given(
+    pairs=schedules,
+    new_time=st.integers(0, 16),
+)
+@settings(max_examples=200, deadline=None)
+def test_cancel_then_reschedule_behaves_like_fresh_schedule(pairs, new_time):
+    """The kernel's callout pattern: cancel a pending timer, arm a new
+    one.  The replacement must order as a brand-new event (later seq)
+    and the cancelled original must never surface."""
+    queue = EventQueue()
+    victim = queue.schedule(pairs[0][0], lambda e: None, pairs[0][1], "victim")
+    for i, (t, pri) in enumerate(pairs[1:]):
+        queue.schedule(t, lambda e: None, pri, i)
+    victim.cancel()
+    replacement = queue.schedule(new_time, lambda e: None, 0, "replacement")
+    popped = _drain(queue)
+    payloads = [e.payload for e in popped]
+    assert "victim" not in payloads
+    assert payloads.count("replacement") == 1
+    # The replacement fires after every earlier event with the same
+    # (time, priority) — it is the newest entry of its class.
+    rep_index = payloads.index("replacement")
+    rep_event = popped[rep_index]
+    for earlier in popped[:rep_index]:
+        assert (earlier.time, earlier.priority, earlier.seq) < (
+            rep_event.time,
+            rep_event.priority,
+            rep_event.seq,
+        )
+    assert not replacement.active
+
+
+@given(pairs=schedules, until=st.integers(0, 8))
+@settings(max_examples=200, deadline=None)
+def test_pop_ready_agrees_with_peek_then_pop(pairs, until):
+    """The fused fast-path pop must be observationally identical to the
+    peek_time/pop pair it replaced."""
+    fused = EventQueue()
+    plain = EventQueue()
+    for i, (t, pri) in enumerate(pairs):
+        fused.schedule(t, lambda e: None, pri, i)
+        plain.schedule(t, lambda e: None, pri, i)
+    while True:
+        got = fused.pop_ready(until)
+        nxt = plain.peek_time()
+        expected = None
+        if nxt is not None and nxt <= until:
+            expected = plain.pop()
+        if got is None:
+            assert expected is None
+            break
+        assert expected is not None
+        assert (got.time, got.priority, got.payload) == (
+            expected.time,
+            expected.priority,
+            expected.payload,
+        )
+    assert len(fused) == len(plain)
