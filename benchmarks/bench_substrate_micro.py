@@ -194,3 +194,57 @@ def test_sweep_wall_clock_series(results_dir):
         writer.writerow(["cell", "best_wall_s", "events"])
         for r in series:
             writer.writerow([r.name, f"{r.best_wall_s:.6f}", r.events])
+
+
+# ---------------------------------------------------------------------------
+# Observability no-op overhead gate
+# ---------------------------------------------------------------------------
+
+#: Ceiling on the cost of carrying a *disabled* observer through the
+#: alps_cell_20 hot path (the docs/observability.md contract: off-path
+#: instrumentation is one attribute read).  Overridable for noisy CI.
+OBS_MAX_OVERHEAD = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "0.05"))
+
+
+def test_disabled_observer_overhead_is_negligible():
+    """alps_cell_20 with a disabled observer within OBS_MAX_OVERHEAD."""
+    import time
+
+    from repro.obs import Observer
+
+    def run(observer):
+        cw = build_controlled_workload(
+            [5] * 20, AlpsConfig(quantum_us=ms(10)), seed=0, observer=observer
+        )
+        cw.engine.run_until(sec(10))
+        return cw.engine.events_processed
+
+    def best_of(observer_factory, repeats=5):
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            obs = observer_factory()
+            t0 = time.perf_counter()
+            events = run(obs)
+            wall = time.perf_counter() - t0
+            if wall < best:
+                best = wall
+        return events, best
+
+    best_of(lambda: None, repeats=1)  # warm-up
+    base_events, base = best_of(lambda: None)
+    obs_events, observed = best_of(Observer.disabled)
+    assert obs_events == base_events, (
+        "observer changed the schedule: "
+        f"{obs_events} events vs {base_events} without"
+    )
+    overhead = observed / base - 1.0
+    emit(
+        "Disabled-observer overhead (alps_cell_20)",
+        f"bare {base:.4f}s vs observed {observed:.4f}s = "
+        f"{overhead:+.2%} (ceiling {OBS_MAX_OVERHEAD:.0%})",
+    )
+    assert overhead <= OBS_MAX_OVERHEAD, (
+        f"disabled observer costs {overhead:+.2%} on alps_cell_20, "
+        f"above the {OBS_MAX_OVERHEAD:.0%} no-op ceiling"
+    )

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Documentation linter: intra-repo links, anchors, and doctests.
+
+Checks, over ``README.md`` and every markdown file under ``docs/``:
+
+* every relative markdown link resolves to a real file or directory
+  (external ``http(s)``/``mailto`` links are not fetched);
+* every fragment (``file.md#section``) matches a heading anchor in the
+  target file, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces → dashes);
+* fenced ``>>>`` examples in ``docs/using_the_library.md`` pass under
+  :mod:`doctest` (run with ``PYTHONPATH=src``).
+
+Exit status is non-zero on any failure, so CI can gate on it:
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Files swept for links: the top-level README plus all of docs/.
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+#: Markdown files whose ``>>>`` examples must pass under doctest.
+DOCTEST_FILES = [REPO / "docs" / "using_the_library.md"]
+
+# Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks so example links aren't linted."""
+    return re.sub(r"```.*?```", "", text, flags=re.S)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading."""
+    # Inline code/emphasis markers render to nothing in the anchor.
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for m in _HEADING_RE.finditer(_strip_code_blocks(path.read_text())):
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links() -> list[str]:
+    errors: list[str] = []
+    for doc in DOC_FILES:
+        text = _strip_code_blocks(doc.read_text())
+        for m in _LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: broken link {target!r}"
+                    )
+                    continue
+            else:
+                resolved = doc
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors only checked in markdown
+                if fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{doc.relative_to(REPO)}: link {target!r} names a "
+                        f"missing anchor #{fragment}"
+                    )
+    return errors
+
+
+def check_doctests() -> list[str]:
+    errors: list[str] = []
+    for doc in DOCTEST_FILES:
+        failures, attempted = doctest.testfile(
+            str(doc), module_relative=False, verbose=False
+        )
+        if attempted == 0:
+            errors.append(f"{doc.relative_to(REPO)}: no doctest examples found")
+        elif failures:
+            errors.append(
+                f"{doc.relative_to(REPO)}: {failures}/{attempted} "
+                "doctest examples failed (run `python -m doctest` on it)"
+            )
+    return errors
+
+
+def main() -> int:
+    missing = [str(p) for p in DOC_FILES + DOCTEST_FILES if not p.exists()]
+    if missing:
+        print("missing documentation files:", *missing, sep="\n  ")
+        return 1
+    errors = check_links() + check_doctests()
+    for err in errors:
+        print(f"ERROR: {err}")
+    n_links = sum(
+        1 for doc in DOC_FILES
+        for _ in _LINK_RE.finditer(_strip_code_blocks(doc.read_text()))
+    )
+    print(
+        f"checked {len(DOC_FILES)} files, {n_links} links, "
+        f"{len(DOCTEST_FILES)} doctest files: "
+        + ("FAIL" if errors else "ok")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

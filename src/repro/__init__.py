@@ -42,6 +42,7 @@ from repro.alps import (
 )
 from repro.alps.agent import spawn_alps
 from repro.kernel import Kernel, KernelConfig
+from repro.obs import Observer
 from repro.sim import Engine
 from repro.units import MSEC, SEC, USEC, ms, sec, usec
 from repro.workloads import (
@@ -64,6 +65,7 @@ __all__ = [
     "Kernel",
     "KernelConfig",
     "MSEC",
+    "Observer",
     "ProcessSubject",
     "SEC",
     "ShareDistribution",

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kapi import KernelAPI
     from repro.kernel.kernel import Kernel
     from repro.kernel.process import Process
+    from repro.obs.observer import Observer
 
 
 _EMPTY_SET: frozenset[int] = frozenset()
@@ -134,6 +135,11 @@ class AlpsAgent:
         #: Impossible observations tolerated (e.g. CPU counters running
         #: backwards); nonzero values indicate substrate misbehavior.
         self.anomalies = 0
+        #: Observability handle (repro.obs), inherited from the kernel's
+        #: attached observer at first activation.  ``None`` keeps every
+        #: instrumentation point at a single attribute read; observation
+        #: is read-only and schedule-invisible either way.
+        self._obs: Optional["Observer"] = None
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -224,6 +230,9 @@ class AlpsAgent:
     # -- phase bodies ----------------------------------------------------
     def _do_init(self, kapi: "KernelAPI") -> Action:
         self._epoch = kapi.now
+        # Duck-typed kapi surfaces (unit-test fakes, alternative hosts)
+        # may not expose an observability handle; absence means None.
+        self._obs = getattr(kapi, "observer", None)
         self.core._now_fn = lambda: kapi.now
         self._cumulative = {s: 0 for s in self.subjects}
         for subj in self.subjects.values():
@@ -266,6 +275,19 @@ class AlpsAgent:
         if npids:
             cost += self._cost_measure_fixed + self._cost_measure_per * npids
             self.reads += npids
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                now, "quantum.tick",
+                count=self.core.count, due=len(due), pids=npids,
+            )
+            obs.spans.record("timer_event", self._cost_timer_us, start_us=now)
+            if npids:
+                obs.spans.record(
+                    "measure",
+                    self._cost_measure_fixed + self._cost_measure_per * npids,
+                    start_us=now,
+                )
         self._phase = _Phase.MEASURING
         return Compute(self._acc.charge(cost))
 
@@ -325,6 +347,26 @@ class AlpsAgent:
         if self.cfg.enforce_invariants:
             self.core.check_runtime_invariants()
         self._pending_signals = self._signals_for(kapi, decisions)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            events = obs.events
+            for sid in decisions.to_suspend:
+                events.emit(now, "eligibility.stop", sid=sid)
+            for sid in decisions.to_resume:
+                events.emit(now, "eligibility.cont", sid=sid)
+            if decisions.cycle_completed:
+                rec = decisions.cycle_record
+                events.emit(
+                    now, "cycle.complete",
+                    index=rec.index if rec is not None else -1,
+                    consumed_us=rec.total_consumed if rec is not None else 0,
+                )
+            if self._pending_signals:
+                obs.spans.record(
+                    "signal",
+                    self._cost_signal_us * len(self._pending_signals),
+                    start_us=now,
+                )
         if not self._pending_signals:
             self._phase = _Phase.SLEEPING
             return self._sleep_until_boundary(now)
@@ -399,6 +441,9 @@ class AlpsAgent:
         if missed <= 0:
             return 0.0
         self.missed_boundaries += missed
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.events.emit(now, "agent.stall", missed=missed)
         if missed <= self.cfg.stall_tolerance_quanta:
             return 0.0
         npids = 0

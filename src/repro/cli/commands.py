@@ -465,3 +465,170 @@ def cmd_perf_diff(
         + ("" if mismatches else " — strict and optimized paths agree")
     )
     return 1 if mismatches else 0
+
+
+# ---------------------------------------------------------------------------
+def _observed_workload(shares: str, quantum_ms: float, seed: int):
+    """Build a controlled workload with a fresh Observer attached."""
+    from repro.alps.config import AlpsConfig
+    from repro.obs import Observer
+    from repro.units import ms
+    from repro.workloads.scenarios import build_controlled_workload
+
+    share_list = [int(s) for s in shares.split(",") if s.strip()]
+    if not share_list or any(s <= 0 for s in share_list):
+        print("shares must be positive integers, e.g. --shares 1,2,3")
+        return None
+    return build_controlled_workload(
+        share_list,
+        AlpsConfig(quantum_us=ms(quantum_ms)),
+        seed=seed,
+        observer=Observer(),
+    )
+
+
+def cmd_top(
+    *,
+    shares: str,
+    quantum_ms: float,
+    seed: int,
+    frame_ms: float,
+    frames: Optional[int],
+    interval: float,
+    skip_cycles: int,
+) -> int:
+    """Live share-vs-attained view over a simulated workload."""
+    from repro.obs.top import run_top
+    from repro.units import ms
+
+    cw = _observed_workload(shares, quantum_ms, seed)
+    if cw is None:
+        return 2
+    run_top(
+        cw,
+        frame_us=ms(frame_ms),
+        frames=frames,
+        interval_s=interval,
+        skip_cycles=skip_cycles,
+    )
+    return 0
+
+
+def cmd_obs_tail(
+    *,
+    shares: str,
+    quantum_ms: float,
+    seconds: float,
+    seed: int,
+    count: int,
+    kind: Optional[str],
+) -> int:
+    """Run an observed workload and print its last events as JSONL."""
+    from repro.units import sec
+
+    cw = _observed_workload(shares, quantum_ms, seed)
+    if cw is None:
+        return 2
+    cw.engine.run_until(sec(seconds))
+    log = cw.observer.events
+    events = log.of_kind(kind) if kind else list(log.tail(len(log)))
+    for ev in events[-count:]:
+        print(ev.to_json())
+    print(
+        f"# {log.emitted} events emitted, {log.dropped} dropped "
+        f"(ring capacity {log.capacity})"
+    )
+    return 0
+
+
+def cmd_obs_export(
+    *,
+    shares: str,
+    quantum_ms: float,
+    seconds: float,
+    seed: int,
+    fmt: str,
+    out: Optional[str],
+    events_out: Optional[str],
+) -> int:
+    """Run an observed workload and export its metrics (and events)."""
+    from repro.obs.bridge import collect_workload
+    from repro.obs.export import (
+        events_to_jsonl,
+        metrics_to_csv,
+        metrics_to_jsonl,
+        metrics_to_prometheus,
+    )
+    from repro.units import sec
+
+    cw = _observed_workload(shares, quantum_ms, seed)
+    if cw is None:
+        return 2
+    cw.engine.run_until(sec(seconds))
+    obs = collect_workload(cw)
+    renderers = {
+        "jsonl": metrics_to_jsonl,
+        "csv": metrics_to_csv,
+        "prometheus": metrics_to_prometheus,
+    }
+    text = renderers[fmt](obs.metrics)
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[metrics written to {out}]")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if events_out:
+        log = obs.events
+        with open(events_out, "w", encoding="utf-8") as fh:
+            fh.write(events_to_jsonl(log.tail(len(log))))
+        print(
+            f"[{len(log)} events written to {events_out}; "
+            f"{log.dropped} dropped from ring]"
+        )
+    return 0
+
+
+def cmd_obs_snapshot(*, full: bool, seed: int, csv: Optional[str]) -> int:
+    """Canonical observed run: entitlement table + Table 1 cost spans.
+
+    The report's observability section — everything below is produced
+    by the ``repro.obs`` exporters from one observed workload, so the
+    numbers are exactly reproducible from the seed.
+    """
+    from repro.obs.bridge import collect_workload
+    from repro.obs.export import rows_to_markdown
+    from repro.units import sec
+
+    cw = _observed_workload("1,2,4", 10.0, seed)
+    assert cw is not None
+    cw.engine.run_until(sec(30 if full else 10))
+    obs = collect_workload(cw, skip_cycles=5)
+    reg = obs.metrics
+    rows = []
+    for sid in range(len(cw.shares)):
+        lbl = {"sid": str(sid)}
+        target = reg.get("alps_subject_target_fraction", lbl).value
+        got = reg.get("alps_subject_attained_fraction", lbl).value
+        rows.append(
+            [sid, int(reg.get("alps_subject_share", lbl).value),
+             f"{target:.1%}", f"{got:.1%}", f"{got - target:+.2%}"]
+        )
+    print("Shares 1:2:4, Q = 10 ms, skip 5 warm-up cycles "
+          f"(seed {seed}, `python -m repro obs export`):\n")
+    print(rows_to_markdown(
+        ["sid", "share", "target", "attained", "drift"], rows
+    ))
+    print(
+        f"\nRMS error {reg.get('alps_rms_error_pct').value:.2f}%, "
+        f"overhead {reg.get('alps_overhead_fraction').value:.2%}, "
+        f"{int(reg.get('alps_cycles_completed').value)} cycles, "
+        f"{obs.events.emitted} structured events.\n"
+    )
+    print("Agent cost breakdown (virtual µs, Table 1 cost model):\n")
+    print(obs.spans.format_breakdown())
+    _maybe_csv(csv, [
+        {"sid": r[0], "share": r[1], "target": r[2],
+         "attained": r[3], "drift": r[4]} for r in rows
+    ])
+    return 0

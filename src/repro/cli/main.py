@@ -135,6 +135,82 @@ def build_parser() -> argparse.ArgumentParser:
     perf_diff.add_argument("--seeds", default="0,1,2")
     perf_diff.add_argument("--quantum-ms", type=float, default=10.0)
     perf_diff.add_argument("--seconds", type=float, default=5.0)
+
+    top = sub.add_parser(
+        "top", help="live share-vs-attained view of a simulated workload"
+    )
+    top.add_argument("--shares", default="1,2,4")
+    top.add_argument("--quantum-ms", type=float, default=10.0)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--frame-ms",
+        type=float,
+        default=500.0,
+        help="virtual time advanced per rendered frame",
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="wall-clock seconds between frames",
+    )
+    top.add_argument(
+        "--skip-cycles",
+        type=int,
+        default=0,
+        help="warm-up cycles excluded from attained fractions",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="observability tooling (structured events and metrics)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="run an observed workload, print its last events as JSONL"
+    )
+    obs_tail.add_argument("--shares", default="1,2,4")
+    obs_tail.add_argument("--quantum-ms", type=float, default=10.0)
+    obs_tail.add_argument("--seconds", type=float, default=5.0)
+    obs_tail.add_argument("--seed", type=int, default=0)
+    obs_tail.add_argument(
+        "-n", "--count", type=int, default=20, help="events to print"
+    )
+    obs_tail.add_argument(
+        "--kind",
+        default=None,
+        help="filter by event kind; 'prefix.*' matches a family "
+        "(e.g. --kind 'fault.*')",
+    )
+    obs_export = obs_sub.add_parser(
+        "export", help="run an observed workload and export its metrics"
+    )
+    obs_export.add_argument("--shares", default="1,2,4")
+    obs_export.add_argument("--quantum-ms", type=float, default=10.0)
+    obs_export.add_argument("--seconds", type=float, default=5.0)
+    obs_export.add_argument("--seed", type=int, default=0)
+    obs_export.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("jsonl", "csv", "prometheus"),
+        default="prometheus",
+        help="metrics exposition format",
+    )
+    obs_export.add_argument(
+        "--out", default=None, metavar="PATH", help="write metrics to a file"
+    )
+    obs_export.add_argument(
+        "--events",
+        dest="events_out",
+        default=None,
+        metavar="PATH",
+        help="also write the buffered event stream as JSONL",
+    )
     return parser
 
 
@@ -189,6 +265,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seconds=args.seconds,
             )
         parser.parse_args(["perf", "--help"])
+        return 2
+    if args.command == "top":
+        return commands.cmd_top(
+            shares=args.shares,
+            quantum_ms=args.quantum_ms,
+            seed=args.seed,
+            frame_ms=args.frame_ms,
+            frames=args.frames,
+            interval=args.interval,
+            skip_cycles=args.skip_cycles,
+        )
+    if args.command == "obs":
+        if args.obs_command == "tail":
+            return commands.cmd_obs_tail(
+                shares=args.shares,
+                quantum_ms=args.quantum_ms,
+                seconds=args.seconds,
+                seed=args.seed,
+                count=args.count,
+                kind=args.kind,
+            )
+        if args.obs_command == "export":
+            return commands.cmd_obs_export(
+                shares=args.shares,
+                quantum_ms=args.quantum_ms,
+                seconds=args.seconds,
+                seed=args.seed,
+                fmt=args.fmt,
+                out=args.out,
+                events_out=args.events_out,
+            )
+        parser.parse_args(["obs", "--help"])
         return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -39,8 +39,17 @@ def run_for_cycles(
         raise ValueError(f"invalid on_incomplete: {on_incomplete!r}")
     engine = workload.engine
     log = workload.agent.cycle_log
+    obs = workload.observer
+    observing = obs is not None and obs.enabled
     while len(log) < cycles and engine.now < max_sim_us:
         engine.run_until(engine.now + chunk_us)
+        if observing:
+            obs.events.emit(
+                engine.now,
+                "experiment.progress",
+                cycles_done=len(log),
+                cycles_goal=cycles,
+            )
     completed = len(log)
     if completed < cycles and on_incomplete != "ignore":
         goal = f"{cycles} cycles"

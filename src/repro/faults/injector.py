@@ -71,8 +71,17 @@ class FaultInjector:
     # Trace
     # ------------------------------------------------------------------
     def record(self, kind: str, detail: str) -> None:
-        """Append one fault occurrence to the replay trace."""
+        """Append one fault occurrence to the replay trace.
+
+        Mirrored into the attached observer's event log (kind
+        ``fault.<kind>``) when the engine carries one, so exported
+        JSONL streams interleave injected misbehavior with the
+        scheduler's own events.
+        """
         self.trace.append(FaultRecord(self.engine.now, kind, detail))
+        obs = self.engine.observer
+        if obs is not None and obs.enabled:
+            obs.events.emit(self.engine.now, "fault." + kind, detail=detail)
 
     def trace_lines(self) -> list[str]:
         """Stable textual trace (equal seeds must replay it verbatim)."""
@@ -239,6 +248,10 @@ class FaultyKernelAPI:
     @property
     def now(self) -> int:
         return self._inner.now
+
+    @property
+    def observer(self):
+        return self._inner.observer
 
     def getrusage(self, pid: int) -> int:
         return self._injector.fault_getrusage(self._inner, pid)

@@ -47,6 +47,16 @@ class KernelAPI:
         """Current time (µs) — gettimeofday."""
         return self._clock._now
 
+    @property
+    def observer(self):
+        """The kernel's attached :class:`repro.obs.Observer` (or None).
+
+        User-level schedulers pick their observability handle up here —
+        the moral equivalent of a tracing fd inherited from the
+        environment — so agent construction needs no extra plumbing.
+        """
+        return self._kernel._obs
+
     def getrusage(self, pid: int) -> int:
         """CPU time consumed by ``pid`` (µs) — getrusage/kvm_getprocs."""
         proc = self._procs.get(pid)

@@ -97,6 +97,10 @@ class Kernel:
         #: process can possibly have died since the last look.
         self.exit_count = 0
         self._exit_hooks: list[Callable[[Process], None]] = []
+        #: Optional observability handle (repro.obs).  ``None`` keeps
+        #: every instrumentation point at one attribute read, the same
+        #: off-path discipline as the engine's tracer short-circuit.
+        self._obs = None
         # -- fast-path state (see docs/performance.md) -----------------
         #: Lazy estcpu decay for sleepers (4.4BSD ``updatepri`` style).
         #: ``config.strict`` re-enables the original eager per-second
@@ -235,6 +239,12 @@ class Kernel:
         proc = self.procs.get(pid)  # inlined lookup() — hot via the agent
         if proc is None or proc.state is ProcState.ZOMBIE:
             raise NoSuchProcessError(pid)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                self._clock._now, "signal.sent",
+                pid=pid, signo=signal_name(signo),
+            )
         if signo == SIGSTOP:
             self._do_stop(proc)
         elif signo == SIGCONT:
@@ -299,6 +309,16 @@ class Kernel:
         """
         for proc in self.procs.values():
             self._materialize_slptime(proc)
+
+    def attach_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` to kernel + syscall layer.
+
+        Observation is read-only: events record context switches and
+        delivered signals, but nothing about dispatch changes, so an
+        attached observer is schedule-invisible (pinned by
+        tests/obs/test_observer_differential.py).
+        """
+        self._obs = observer
 
     def perf_snapshot(self) -> dict[str, int]:
         """Cheap scheduler-internal perf counters (see repro.perf)."""
@@ -492,6 +512,11 @@ class Kernel:
             self.cpus[i] = proc
             self._oncpu += 1
             self.context_switches += 1
+            obs = self._obs
+            if obs is not None and obs.enabled:
+                obs.events.emit(
+                    self._clock._now, "kernel.ctxsw", pid=proc.pid, cpu=i
+                )
             proc.run_start = self._clock._now + self._ctx_switch_us
             self._schedule_burst(proc, restart=False)
 

@@ -1,0 +1,88 @@
+"""Unified observability: structured events, metrics, spans, exporters.
+
+One substrate replaces the scattered instrumentation that grew across
+``repro.perf.counters``, ``repro.alps.tracing``, and ad-hoc CSV writers
+(Gunther's resource-manager operations papers make the case: a
+proportional-share controller is only trustworthy when its
+entitlement-vs-consumption telemetry is first-class).  Three surfaces,
+bound together by :class:`Observer`:
+
+* :mod:`repro.obs.events` — a seed-deterministic, schema-versioned
+  JSONL event log (quantum ticks, eligibility transitions, cycle
+  boundaries, fault injections, kernel context switches) with a bounded
+  ring buffer and streaming sinks;
+* :mod:`repro.obs.registry` — counters, gauges, and fixed-bucket
+  histograms, absorbing :class:`~repro.perf.counters.PerfCounters` and
+  the :mod:`repro.metrics` aggregations;
+* :mod:`repro.obs.spans` — hot-path cost spans for Table 1-style
+  breakdowns.
+
+Attach via ``build_controlled_workload(..., observer=Observer())``,
+inspect live with ``python -m repro top``, and export with
+``python -m repro obs export --format prometheus|jsonl|csv`` (see
+docs/observability.md).  Observation is schedule-invisible: equal seeds
+produce byte-identical schedules with or without an observer attached.
+"""
+
+from repro.obs.bridge import collect_workload
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    CallbackSink,
+    EventLog,
+    JsonlSink,
+    NullSink,
+    ObsEvent,
+    Sink,
+)
+from repro.obs.export import (
+    events_to_jsonl,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    parse_events_jsonl,
+    parse_metrics_csv,
+    parse_metrics_jsonl,
+    parse_prometheus_text,
+    rows_to_markdown,
+)
+from repro.obs.observer import Observer
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    restore_snapshot,
+)
+from repro.obs.spans import Span, SpanRecorder, SpanStats
+from repro.obs.top import render_top_frame, run_top
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CallbackSink",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "ObsEvent",
+    "Observer",
+    "Sink",
+    "Span",
+    "SpanRecorder",
+    "SpanStats",
+    "collect_workload",
+    "events_to_jsonl",
+    "metrics_to_csv",
+    "metrics_to_jsonl",
+    "metrics_to_prometheus",
+    "parse_events_jsonl",
+    "parse_metrics_csv",
+    "parse_metrics_jsonl",
+    "parse_prometheus_text",
+    "render_top_frame",
+    "restore_snapshot",
+    "rows_to_markdown",
+    "run_top",
+]

@@ -1,0 +1,104 @@
+"""Glue between the observability layer and the scheduling substrate.
+
+:func:`collect_workload` is the post-run half of observation: it loads
+everything a finished :class:`ControlledWorkload` knows — substrate
+perf counters, kernel scheduler statistics, the agent's robustness
+counters, and the :mod:`repro.metrics` accuracy/overhead aggregations —
+into the observer's metrics registry, so one export carries the whole
+entitlement-vs-consumption story (share, target fraction, attained
+fraction, and drift per subject).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.accuracy import (
+    mean_rms_relative_error,
+    per_subject_fractions,
+)
+from repro.obs.observer import Observer
+from repro.perf.report import collect_workload_counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.scenarios import ControlledWorkload
+
+#: Sampling-delay histogram bounds (µs): sub-quantum resolution up to
+#: several quanta of drift (the §4.2 breakdown makes the tail grow).
+SAMPLING_DELAY_BOUNDS = (
+    100.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+    25_000.0, 50_000.0, 100_000.0,
+)
+
+
+def collect_workload(
+    workload: "ControlledWorkload",
+    observer: Optional[Observer] = None,
+    *,
+    skip_cycles: int = 0,
+) -> Observer:
+    """Load a finished workload's state into an observer's registry.
+
+    Uses the workload's attached observer when none is given (creating
+    a fresh one for un-observed runs, so post-hoc export always works).
+    ``skip_cycles`` drops warm-up cycles from the accuracy aggregates,
+    mirroring the experiments' convention.
+    """
+    obs = observer if observer is not None else workload.observer
+    if obs is None:
+        obs = Observer()
+    reg = obs.metrics
+    agent = workload.agent
+
+    # Substrate statistics (engine/kernel/agent counters).
+    collect_workload_counters(workload, into=obs.perf)
+
+    # Per-subject entitlement vs. consumption (the paper's core claim).
+    log = agent.cycle_log
+    attained = per_subject_fractions(log, skip=skip_cycles)
+    total_shares = sum(s.share for s in agent.subjects.values()) or 1
+    for sid, subj in sorted(agent.subjects.items()):
+        lbl = str(sid)
+        target = subj.share / total_shares
+        reg.gauge("alps_subject_share", sid=lbl).set(subj.share)
+        reg.gauge("alps_subject_target_fraction", sid=lbl).set(target)
+        got = attained.get(sid, 0.0)
+        reg.gauge("alps_subject_attained_fraction", sid=lbl).set(got)
+        reg.gauge("alps_subject_drift_fraction", sid=lbl).set(got - target)
+        reg.gauge("alps_subject_cpu_us", sid=lbl).set(
+            agent.cumulative_cpu_of(sid)
+        )
+        reg.gauge("alps_subject_allowance_quanta", sid=lbl).set(
+            agent.core.allowance(sid)
+        )
+
+    # Whole-run accuracy / overhead aggregates (repro.metrics).
+    err = mean_rms_relative_error(log, skip=skip_cycles)
+    if not math.isnan(err):
+        reg.gauge("alps_rms_error_pct").set(err)
+    reg.gauge("alps_overhead_fraction").set(workload.overhead_fraction())
+    reg.counter("alps_cycles_completed").inc(len(log))
+
+    # Sampling latency distribution (quantum boundary → read execution).
+    hist = reg.histogram(
+        "alps_sampling_delay_us", bounds=SAMPLING_DELAY_BOUNDS
+    )
+    for delay in agent.sampling_delays_us:
+        hist.observe(delay)
+
+    # Fault-injection tallies, when the run carried an injector.
+    injector = workload.injector
+    if injector is not None:
+        reg.counter("faults_crashes").inc(injector.crashes_injected)
+        reg.counter("faults_forks").inc(injector.forks_spawned)
+        reg.counter("faults_signals_dropped").inc(injector.signals_dropped)
+        reg.counter("faults_signals_delayed").inc(injector.signals_delayed)
+        reg.counter("faults_reads_failed").inc(injector.reads_failed)
+        reg.counter("faults_agent_stalls").inc(injector.stalls_injected)
+        reg.counter("faults_agent_crashes").inc(
+            injector.agent_crashes_injected
+        )
+
+    obs.finalize_metrics()
+    return obs

@@ -1,0 +1,246 @@
+"""Exporters (and their parse-back inverses) for observability data.
+
+Three wire formats, one source of truth (a
+:class:`~repro.obs.registry.MetricsRegistry` snapshot or an
+:class:`~repro.obs.events.EventLog`):
+
+* **JSONL** — one JSON object per metric or event line; lossless
+  (``parse_metrics_jsonl`` / ``parse_events_jsonl`` invert exactly).
+* **CSV** — flat rows for spreadsheet/pandas consumption; lossless for
+  scalar metrics, histograms are flattened one bucket per row.
+* **Prometheus text exposition** — ``# TYPE`` headers plus
+  ``name{labels} value`` samples; histograms use the standard
+  cumulative ``_bucket``/``_sum``/``_count`` triple.
+
+Every exporter is a pure function of its input, so round-trip tests
+(tests/obs/test_export.py) pin the formats.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.obs.events import EventLog, ObsEvent
+from repro.obs.registry import MetricsRegistry, restore_snapshot
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def events_to_jsonl(log: EventLog | Iterable[ObsEvent]) -> str:
+    """Serialize events, one JSON line each (oldest first)."""
+    return "\n".join(e.to_json() for e in log)
+
+
+def parse_events_jsonl(text: str) -> list[ObsEvent]:
+    """Inverse of :func:`events_to_jsonl`."""
+    return [
+        ObsEvent.from_json(line)
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def metrics_to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialize a registry snapshot, one JSON line per instrument."""
+    return "\n".join(
+        json.dumps(rec, sort_keys=True, separators=(",", ":"))
+        for rec in registry.snapshot()
+    )
+
+
+def parse_metrics_jsonl(text: str) -> MetricsRegistry:
+    """Inverse of :func:`metrics_to_jsonl`."""
+    return restore_snapshot(
+        json.loads(line) for line in text.splitlines() if line.strip()
+    )
+
+
+# ---------------------------------------------------------------------------
+# CSV
+# ---------------------------------------------------------------------------
+
+_CSV_FIELDS = ("name", "type", "labels", "field", "le", "value")
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Flat CSV rows: one per scalar, one per histogram bucket/sum/count.
+
+    ``labels`` is a ``k=v;k=v`` string; histogram rows carry ``field``
+    (``bucket``/``sum``/``count``) and, for buckets, the ``le`` bound.
+    """
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=_CSV_FIELDS)
+    writer.writeheader()
+    for rec in registry.snapshot():
+        labels = ";".join(f"{k}={v}" for k, v in sorted(rec["labels"].items()))
+        base = {"name": rec["name"], "type": rec["type"], "labels": labels}
+        if rec["type"] == "histogram":
+            for bound, n in zip(rec["bounds"], rec["bucket_counts"]):
+                writer.writerow(
+                    {**base, "field": "bucket", "le": repr(bound), "value": n}
+                )
+            writer.writerow(
+                {**base, "field": "bucket", "le": "+Inf",
+                 "value": rec["bucket_counts"][-1]}
+            )
+            writer.writerow({**base, "field": "sum", "value": rec["sum"]})
+            writer.writerow({**base, "field": "count", "value": rec["count"]})
+        else:
+            writer.writerow({**base, "field": "value", "value": rec["value"]})
+    return out.getvalue()
+
+
+def parse_metrics_csv(text: str) -> MetricsRegistry:
+    """Inverse of :func:`metrics_to_csv`."""
+    records: dict[tuple[str, str], dict[str, Any]] = {}
+    for row in csv.DictReader(io.StringIO(text)):
+        key = (row["name"], row["labels"])
+        rec = records.get(key)
+        if rec is None:
+            labels = {}
+            if row["labels"]:
+                for item in row["labels"].split(";"):
+                    k, _, v = item.partition("=")
+                    labels[k] = v
+            rec = records[key] = {
+                "name": row["name"], "type": row["type"], "labels": labels
+            }
+            if row["type"] == "histogram":
+                rec["bounds"] = []
+                rec["bucket_counts"] = []
+                rec["sum"] = 0.0
+                rec["count"] = 0
+        if row["type"] == "histogram":
+            if row["field"] == "bucket":
+                if row["le"] != "+Inf":
+                    rec["bounds"].append(float(row["le"]))
+                rec["bucket_counts"].append(int(row["value"]))
+            elif row["field"] == "sum":
+                rec["sum"] = float(row["value"])
+            elif row["field"] == "count":
+                rec["count"] = int(row["value"])
+        else:
+            value = float(row["value"])
+            rec["value"] = int(value) if value.is_integer() else value
+    return restore_snapshot(records.values())
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    return _NAME_SANITIZE.sub("_", name)
+
+
+def _prom_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    items = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        items.append(extra)
+    return "{" + ",".join(items) + "}" if items else ""
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for rec in registry.snapshot():
+        name = prom_name(rec["name"])
+        if name not in typed:
+            lines.append(f"# TYPE {name} {rec['type']}")
+            typed.add(name)
+        labels = rec["labels"]
+        if rec["type"] == "histogram":
+            running = 0
+            for bound, n in zip(rec["bounds"], rec["bucket_counts"]):
+                running += n
+                le = 'le="' + _prom_value(bound) + '"'
+                lines.append(
+                    f"{name}_bucket{_prom_labels(labels, le)} {running}"
+                )
+            inf_le = 'le="+Inf"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(labels, inf_le)} {rec['count']}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} {_prom_value(rec['sum'])}"
+            )
+            lines.append(f"{name}_count{_prom_labels(labels)} {rec['count']}")
+        else:
+            lines.append(
+                f"{name}{_prom_labels(labels)} {_prom_value(rec['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Handles ``# TYPE``/``# HELP`` comments and histogram series (the
+    ``_bucket``/``_sum``/``_count`` samples appear under their sample
+    names).  Used by the round-trip tests and usable against any
+    Prometheus endpoint dump.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(
+            sorted(
+                (lm.group("k"), lm.group("v"))
+                for lm in _LABEL_RE.finditer(m.group("labels") or "")
+            )
+        )
+        raw = m.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        out[(m.group("name"), labels)] = value
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Markdown (documentation tables)
+# ---------------------------------------------------------------------------
+
+
+def rows_to_markdown(
+    header: Iterable[str], rows: Iterable[Iterable[Any]]
+) -> str:
+    """Render a GitHub-flavored markdown table (doc regeneration)."""
+    head = [str(h) for h in header]
+    lines = [
+        "| " + " | ".join(head) + " |",
+        "|" + "|".join("---" for _ in head) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""The :class:`Observer`: one handle binding events, metrics, and spans.
+
+Components never construct observability state themselves — they hold
+an optional ``Observer`` (``None`` by default) and guard every
+instrumentation point with ``if obs is not None`` plus the observer's
+``enabled`` flag.  That keeps the off path at a single attribute read,
+the same discipline the engine's tracer short-circuit uses, and the
+differential harness (tests/obs/test_observer_differential.py) proves
+the *on* path is schedule-invisible too: observation reads simulation
+state, it never advances clocks, draws randomness, or charges CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.events import EventLog, Sink
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.perf.counters import PerfCounters
+
+
+class Observer:
+    """Aggregate of one run's observability surfaces.
+
+    Attributes:
+        events: bounded ring buffer + streaming sinks (JSONL records).
+        metrics: the metrics registry exporters read.
+        spans: hot-path cost spans (Table 1-style breakdowns).
+        perf: the run's :class:`PerfCounters`; the engine accounts into
+            it when the observer is attached, and
+            :meth:`finalize_metrics` folds it into ``metrics`` so the
+            registry stays the single exported source of truth.
+        enabled: master switch; a disabled observer records nothing but
+            keeps its identity (useful for cost measurements).
+    """
+
+    __slots__ = ("events", "metrics", "spans", "perf", "enabled")
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 65536,
+        sinks: Iterable[Sink] = (),
+        enabled: bool = True,
+    ) -> None:
+        self.events = EventLog(capacity=capacity, sinks=sinks)
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self.perf = PerfCounters()
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Observer":
+        """An attached-but-inert observer (off-path cost measurement)."""
+        return cls(capacity=1, enabled=False)
+
+    def emit(self, time_us: int, kind: str, **fields) -> None:
+        """Record one structured event (no-op while disabled)."""
+        if self.enabled:
+            self.events.emit(time_us, kind, **fields)
+
+    def finalize_metrics(self) -> MetricsRegistry:
+        """Fold perf counters and span aggregates into the registry.
+
+        Idempotence is the caller's concern (counters accumulate);
+        call once, after the run, before exporting.
+        """
+        self.metrics.absorb_perf_counters(self.perf)
+        self.spans.to_registry(self.metrics)
+        self.metrics.counter("obs_events_emitted").inc(self.events.emitted)
+        self.metrics.counter("obs_events_dropped").inc(self.events.dropped)
+        return self.metrics

@@ -1,0 +1,255 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` is the single place a run's quantitative
+state lands: substrate statistics (events/sec, context switches),
+scheduler health (per-subject share vs. attained CPU, RMS error), and
+span aggregates.  Instruments are identified by ``(name, labels)`` and
+created on first use; exporters (:mod:`repro.obs.export`) render a
+registry snapshot as JSONL, CSV, or Prometheus text.
+
+The registry also *absorbs* the older measurement surfaces so there is
+one source of truth: :meth:`MetricsRegistry.absorb_perf_counters` folds
+a :class:`~repro.perf.counters.PerfCounters` in (counts become
+counters, wall-time totals become ``*_seconds`` gauges), and
+:func:`repro.obs.bridge.collect_workload` loads the
+:mod:`repro.metrics` aggregations (accuracy, overhead) for a finished
+workload.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.counters import PerfCounters
+
+#: Label sets are stored canonically as sorted (key, value) tuples.
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+#: Default histogram buckets (µs scale — sampling delays, span costs).
+DEFAULT_US_BUCKETS: tuple[float, ...] = (
+    10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be non-negative: counters never go down)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (≤) semantics.
+
+    ``bounds`` are the finite upper bounds, strictly increasing; an
+    implicit +Inf bucket catches everything above the last bound.  An
+    observation equal to a bound lands in that bound's bucket
+    (cumulative ``le`` convention), so bucket *i* counts observations in
+    ``(bounds[i-1], bounds[i]]``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_US_BUCKETS,
+        labels: LabelItems = (),
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name} bounds must be strictly increasing: {bounds}"
+            )
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # the +Inf bucket is implicit
+            if not bounds:
+                raise ValueError(f"histogram {name} needs a finite bound")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; index len(bounds) is +Inf.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        # bisect_left gives the first bound >= value, which is exactly
+        # the ``le`` bucket; values above every bound fall through to
+        # the +Inf slot at index len(bounds).
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of named, optionally labelled instruments."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], Instrument] = {}
+
+    # -- get-or-create accessors --------------------------------------
+    def _get(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, labels=key[1], **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"not {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter ``name`` with these labels (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge ``name`` with these labels (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_US_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram ``name`` (``bounds`` only applies at creation)."""
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        """Instruments in stable (name, labels) order."""
+        return iter(
+            self._instruments[k] for k in sorted(self._instruments.keys())
+        )
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[Instrument]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get((name, _label_key(labels or {})))
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-safe dump of every instrument, in stable order.
+
+        Counters/gauges carry ``value``; histograms carry non-cumulative
+        ``buckets`` (pairs of ``[le, count]``, +Inf spelled ``"+Inf"``),
+        ``sum`` and ``count``.  :func:`restore_snapshot` is the inverse.
+        """
+        out: list[dict[str, Any]] = []
+        for inst in self:
+            rec: dict[str, Any] = {
+                "name": inst.name,
+                "type": inst.kind,
+                "labels": dict(inst.labels),
+            }
+            if isinstance(inst, Histogram):
+                rec["bounds"] = list(inst.bounds)
+                rec["bucket_counts"] = list(inst.bucket_counts)
+                rec["sum"] = inst.sum
+                rec["count"] = inst.count
+            else:
+                rec["value"] = inst.value
+            out.append(rec)
+        return out
+
+    # -- absorption of the older measurement surfaces -------------------
+    def absorb_perf_counters(
+        self, perf: "PerfCounters", *, prefix: str = ""
+    ) -> None:
+        """Fold a :class:`PerfCounters` into the registry.
+
+        Event counts become counters under their existing dotted names;
+        wall-time totals become ``<name>_seconds`` gauges.  Safe to call
+        repeatedly with the same instance only if it was cleared in
+        between (counters are cumulative).
+        """
+        for name, n in sorted(perf.counts.items()):
+            self.counter(prefix + name).inc(n)
+        for name, dt in sorted(perf.times.items()):
+            self.gauge(prefix + name + "_seconds").set(dt)
+
+
+def restore_snapshot(records: Iterable[Mapping[str, Any]]) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.snapshot` output."""
+    reg = MetricsRegistry()
+    for rec in records:
+        name = rec["name"]
+        labels = {str(k): str(v) for k, v in dict(rec.get("labels", {})).items()}
+        kind = rec["type"]
+        if kind == "counter":
+            reg.counter(name, **labels).inc(rec["value"])
+        elif kind == "gauge":
+            reg.gauge(name, **labels).set(rec["value"])
+        elif kind == "histogram":
+            h = reg.histogram(name, bounds=rec["bounds"], **labels)
+            h.bucket_counts = [int(n) for n in rec["bucket_counts"]]
+            h.sum = float(rec["sum"])
+            h.count = int(rec["count"])
+        else:
+            raise ValueError(f"unknown metric type {kind!r}")
+    return reg

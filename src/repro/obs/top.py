@@ -1,0 +1,114 @@
+"""``repro top`` — a curses-free live view of share vs. attained CPU.
+
+Renders a frame per refresh: one row per controlled subject showing its
+share, target fraction, the fraction it actually attained so far, the
+drift between the two, its allowance and eligibility, plus a run header
+(virtual time, cycles, overhead, event throughput).  Frames are plain
+text; interactive terminals get an ANSI home+clear prefix instead of
+curses, so the view works over ssh, in pipes (``--frames N`` then
+exits), and in tests (render is a pure function of the workload).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TYPE_CHECKING, Optional, TextIO
+
+from repro.alps.state import Eligibility
+from repro.metrics.accuracy import per_subject_fractions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.scenarios import ControlledWorkload
+
+#: ANSI: cursor home + clear-to-end (avoids full-screen flicker).
+_ANSI_HOME_CLEAR = "\x1b[H\x1b[J"
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top_frame(
+    workload: "ControlledWorkload", *, skip_cycles: int = 0
+) -> str:
+    """One ``top`` frame for the workload's current state (pure)."""
+    agent = workload.agent
+    kernel = workload.kernel
+    now_s = workload.engine.now / 1_000_000
+    attained = per_subject_fractions(agent.cycle_log, skip=skip_cycles)
+    total_shares = sum(s.share for s in agent.subjects.values()) or 1
+    header = (
+        f"repro top — t={now_s:9.3f}s  cycles={len(agent.cycle_log):<6}"
+        f"quanta={agent.invocations:<7}ctxsw={kernel.context_switches:<8}"
+        f"overhead={workload.overhead_fraction():6.2%}"
+    )
+    cols = (
+        f"{'SID':>4} {'SHARE':>5} {'TARGET':>7} {'ATTAIN':>7} {'DRIFT':>7} "
+        f"{'ALLOW':>7} {'STATE':<6} {'':<{_BAR_WIDTH}}"
+    )
+    lines = [header, "", cols]
+    for sid, subj in sorted(agent.subjects.items()):
+        target = subj.share / total_shares
+        got = attained.get(sid, 0.0)
+        st = agent.core.subjects.get(sid)
+        if st is None:
+            allow, state = 0.0, "gone"
+        else:
+            allow = st.allowance
+            state = "elig" if st.state is Eligibility.ELIGIBLE else "inelg"
+        lines.append(
+            f"{sid:>4} {subj.share:>5} {target:>7.1%} {got:>7.1%} "
+            f"{got - target:>+7.1%} {allow:>7.2f} {state:<6} {_bar(got)}"
+        )
+    lines.append("")
+    lines.append(
+        f"agent: reads={agent.reads} signals={agent.signals_sent} "
+        f"retries={agent.signal_retries + agent.read_retries} "
+        f"heals={agent.heals} stalls={agent.missed_boundaries}"
+    )
+    return "\n".join(lines)
+
+
+def run_top(
+    workload: "ControlledWorkload",
+    *,
+    frame_us: int,
+    frames: Optional[int] = None,
+    interval_s: float = 0.5,
+    stream: Optional[TextIO] = None,
+    clear: Optional[bool] = None,
+    skip_cycles: int = 0,
+) -> int:
+    """Drive the workload forward, rendering a frame per ``frame_us``.
+
+    ``frames=None`` runs until interrupted (Ctrl-C returns cleanly).
+    ``clear=None`` auto-detects a tty; non-tty output separates frames
+    with a blank line instead of ANSI clears.  Returns frames rendered.
+    """
+    out = stream if stream is not None else sys.stdout
+    if clear is None:
+        clear = hasattr(out, "isatty") and out.isatty()
+    engine = workload.engine
+    rendered = 0
+    try:
+        while frames is None or rendered < frames:
+            engine.run_until(engine.now + frame_us)
+            frame = render_top_frame(workload, skip_cycles=skip_cycles)
+            if clear:
+                out.write(_ANSI_HOME_CLEAR + frame + "\n")
+            else:
+                if rendered:
+                    out.write("\n")
+                out.write(frame + "\n")
+            out.flush()
+            rendered += 1
+            if interval_s > 0 and (frames is None or rendered < frames):
+                time.sleep(interval_s)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return rendered

@@ -11,6 +11,7 @@ from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
     from repro.perf.counters import PerfCounters
 
 
@@ -32,6 +33,14 @@ class Engine:
     attached, each ``run_until``/``run_until_idle`` call accounts its
     wall time and event count there — per-call granularity, so the
     per-event path stays instrumentation-free.
+
+    When an ``observer`` (:class:`~repro.obs.observer.Observer`) is
+    attached, its perf counters back the engine's run accounting (unless
+    an explicit ``counters`` was also given), so one registry export
+    carries engine throughput alongside the event log.  The run loop
+    itself reads nothing from the observer — observation points live in
+    the components (kernel, agent, injector), keeping this path exactly
+    as instrumentation-free as the tracer short-circuit.
     """
 
     def __init__(
@@ -40,11 +49,15 @@ class Engine:
         seed: int = 0,
         tracer: Optional[Tracer] = None,
         counters: Optional["PerfCounters"] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         self.clock = Clock()
         self.queue = EventQueue()
         self.rng = RngStreams(seed)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.observer = observer
+        if counters is None and observer is not None and observer.enabled:
+            counters = observer.perf
         self.counters = counters
         self._events_processed = 0
         self._stop_requested = False

@@ -25,6 +25,7 @@ from repro.sim.trace import Tracer
 from repro.workloads.spinner import spinner_behavior
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
     from repro.perf.counters import PerfCounters
 
 
@@ -40,6 +41,9 @@ class ControlledWorkload:
     shares: list[int]
     #: Present when the workload runs under a fault plan.
     injector: Optional[FaultInjector] = None
+    #: Present when the workload was built with an observability handle
+    #: (``build_controlled_workload(observer=...)``).
+    observer: Optional["Observer"] = None
 
     @property
     def total_shares(self) -> int:
@@ -69,6 +73,7 @@ def build_controlled_workload(
     fault_plan: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
     counters: Optional["PerfCounters"] = None,
+    observer: Optional["Observer"] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -81,9 +86,15 @@ def build_controlled_workload(
     clean path.  ``tracer`` attaches an event tracer to the engine (the
     differential equivalence harness compares its output byte-for-byte
     between kernel fast paths); ``counters`` attaches perf counters.
+    ``observer`` attaches a :class:`repro.obs.Observer` to every layer —
+    engine run accounting, kernel context-switch/signal events, and the
+    agent's quantum/eligibility/cycle events and cost spans — without
+    perturbing the schedule (docs/observability.md).
     """
-    engine = Engine(seed=seed, tracer=tracer, counters=counters)
+    engine = Engine(seed=seed, tracer=tracer, counters=counters, observer=observer)
     kernel = kernel_factory(engine, kernel_config)
+    if observer is not None:
+        kernel.attach_observer(observer)
     workers: list[Process] = []
     for i, share in enumerate(shares):
         beh = behaviors[i] if behaviors is not None else spinner_behavior()
@@ -111,6 +122,7 @@ def build_controlled_workload(
         workers=workers,
         shares=list(shares),
         injector=injector,
+        observer=observer,
     )
 
 

@@ -1,0 +1,125 @@
+"""Exporter round-trips: JSONL, CSV, and Prometheus text formats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.export import (
+    events_to_jsonl,
+    metrics_to_csv,
+    metrics_to_jsonl,
+    metrics_to_prometheus,
+    parse_events_jsonl,
+    parse_metrics_csv,
+    parse_metrics_jsonl,
+    parse_prometheus_text,
+    prom_name,
+    rows_to_markdown,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("agent.reads").inc(391)
+    reg.counter("span_count", span="measure").inc(356)
+    reg.gauge("alps_overhead_fraction").set(0.0024)
+    reg.gauge("alps_subject_share", sid="0").set(1)
+    h = reg.histogram("alps_sampling_delay_us", bounds=(100.0, 1000.0))
+    for v in (50, 100, 900, 5000):
+        h.observe(v)
+    return reg
+
+
+def test_events_jsonl_round_trip():
+    log = EventLog()
+    log.emit(100, "quantum.tick", count=1, due=3)
+    log.emit(200, "fault.crash", detail="pid=4")
+    log.emit(300, "agent.stall")
+    text = events_to_jsonl(log)
+    back = parse_events_jsonl(text)
+    assert [(e.time_us, e.kind, dict(e.fields)) for e in back] == [
+        (100, "quantum.tick", {"count": 1, "due": 3}),
+        (200, "fault.crash", {"detail": "pid=4"}),
+        (300, "agent.stall", {}),
+    ]
+    # Serialization is its own inverse's inverse.
+    assert events_to_jsonl(back) == text
+
+
+def test_metrics_jsonl_round_trip():
+    reg = _registry()
+    text = metrics_to_jsonl(reg)
+    back = parse_metrics_jsonl(text)
+    assert back.snapshot() == reg.snapshot()
+    assert metrics_to_jsonl(back) == text
+
+
+def test_metrics_csv_round_trip():
+    reg = _registry()
+    text = metrics_to_csv(reg)
+    back = parse_metrics_csv(text)
+    assert back.snapshot() == reg.snapshot()
+    assert metrics_to_csv(back) == text
+
+
+def test_csv_histogram_rows_have_bucket_sum_count():
+    text = metrics_to_csv(_registry())
+    lines = text.splitlines()
+    assert lines[0] == "name,type,labels,field,le,value"
+    hist_rows = [l for l in lines if l.startswith("alps_sampling_delay_us")]
+    fields = [row.split(",")[3] for row in hist_rows]
+    assert fields == ["bucket", "bucket", "bucket", "sum", "count"]
+    assert any(",+Inf," in row for row in hist_rows)
+
+
+def test_prometheus_exposition_parses_back():
+    reg = _registry()
+    text = metrics_to_prometheus(reg)
+    samples = parse_prometheus_text(text)
+    assert samples[("agent_reads", ())] == 391
+    assert samples[("span_count", (("span", "measure"),))] == 356
+    assert samples[("alps_overhead_fraction", ())] == pytest.approx(0.0024)
+    # Histogram: cumulative buckets, +Inf equals _count.
+    assert samples[("alps_sampling_delay_us_bucket", (("le", "100"),))] == 2
+    assert samples[("alps_sampling_delay_us_bucket", (("le", "1000"),))] == 3
+    assert samples[("alps_sampling_delay_us_bucket", (("le", "+Inf"),))] == 4
+    assert samples[("alps_sampling_delay_us_count", ())] == 4
+    assert samples[("alps_sampling_delay_us_sum", ())] == pytest.approx(6050)
+
+
+def test_prometheus_type_headers_and_name_sanitization():
+    text = metrics_to_prometheus(_registry())
+    assert "# TYPE agent_reads counter" in text
+    assert "# TYPE alps_overhead_fraction gauge" in text
+    assert "# TYPE alps_sampling_delay_us histogram" in text
+    assert "agent.reads" not in text  # dots sanitized
+    assert prom_name("a.b-c/d") == "a_b_c_d"
+
+
+def test_prometheus_parser_rejects_garbage():
+    with pytest.raises(ValueError, match="unparseable"):
+        parse_prometheus_text("}{ not a sample")
+    assert parse_prometheus_text("# HELP x y\n\n") == {}
+    assert parse_prometheus_text('x{le="+Inf"} 3')[("x", (("le", "+Inf"),))] == 3
+    assert math.isinf(parse_prometheus_text("x +Inf")[("x", ())])
+
+
+def test_empty_registry_exports_are_empty_but_parseable():
+    reg = MetricsRegistry()
+    assert parse_metrics_jsonl(metrics_to_jsonl(reg)).snapshot() == []
+    assert parse_metrics_csv(metrics_to_csv(reg)).snapshot() == []
+    assert parse_prometheus_text(metrics_to_prometheus(reg)) == {}
+
+
+def test_rows_to_markdown():
+    table = rows_to_markdown(["a", "b"], [[1, 2], ["x", "y"]])
+    assert table.splitlines() == [
+        "| a | b |",
+        "|---|---|",
+        "| 1 | 2 |",
+        "| x | y |",
+    ]

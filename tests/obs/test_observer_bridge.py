@@ -1,0 +1,95 @@
+"""Observer facade and the workload → metrics bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.faults.plan import FaultPlan, ProcessCrash
+from repro.obs import Observer, collect_workload
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _run(observer=None, fault_plan=None, horizon=sec(2)):
+    cw = build_controlled_workload(
+        [1, 2, 4],
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        observer=observer,
+        fault_plan=fault_plan,
+    )
+    cw.engine.run_until(horizon)
+    return cw
+
+
+def test_observer_emit_respects_enabled_flag():
+    obs = Observer()
+    obs.emit(0, "k")
+    obs.enabled = False
+    obs.emit(1, "k")
+    assert obs.events.emitted == 1
+
+
+def test_finalize_metrics_folds_perf_and_spans():
+    obs = Observer()
+    obs.perf.incr("engine.events", 10)
+    obs.spans.record("measure", 5.0)
+    obs.events.emit(0, "k")
+    reg = obs.finalize_metrics()
+    assert reg is obs.metrics
+    assert reg.get("engine.events").value == 10
+    assert reg.get("span_count", {"span": "measure"}).value == 1
+    assert reg.get("obs_events_emitted").value == 1
+
+
+def test_engine_routes_run_accounting_into_observer_perf():
+    obs = Observer()
+    cw = _run(observer=obs)
+    assert obs.perf.counts.get("engine.events", 0) > 0
+    assert cw.engine.counters is obs.perf
+
+
+def test_agent_records_hot_path_spans():
+    obs = Observer()
+    _run(observer=obs)
+    names = {s.name for s in obs.spans.breakdown()}
+    assert {"timer_event", "measure", "signal"} <= names
+    # Virtual-cost spans follow the Table 1 model: every timer_event
+    # span costs exactly the configured receive-timer cost.
+    stats = obs.spans.stats("timer_event")
+    assert stats.min_us == stats.max_us
+
+
+def test_collect_workload_publishes_share_vs_attained():
+    cw = _run(observer=Observer())
+    obs = collect_workload(cw)
+    assert obs is cw.observer
+    reg = obs.metrics
+    total = 1 + 2 + 4
+    for sid, share in enumerate([1, 2, 4]):
+        lbl = {"sid": str(sid)}
+        assert reg.get("alps_subject_share", lbl).value == share
+        assert reg.get("alps_subject_target_fraction", lbl).value == (
+            pytest.approx(share / total)
+        )
+        attained = reg.get("alps_subject_attained_fraction", lbl).value
+        assert attained == pytest.approx(share / total, abs=0.05)
+    assert reg.get("alps_cycles_completed").value > 0
+    assert reg.get("alps_rms_error_pct") is not None
+    assert reg.get("alps_sampling_delay_us").count > 0
+
+
+def test_collect_workload_without_observer_creates_one():
+    cw = _run()  # unobserved run
+    obs = collect_workload(cw)
+    assert cw.observer is None
+    assert obs.metrics.get("alps_cycles_completed").value > 0
+
+
+def test_collect_workload_publishes_fault_tallies():
+    plan = FaultPlan(seed=1, crashes=(ProcessCrash(500_000, 0),))
+    cw = _run(observer=Observer(), fault_plan=plan)
+    reg = collect_workload(cw).metrics
+    assert reg.get("faults_crashes").value == cw.injector.crashes_injected
+    assert reg.get("faults_crashes").value >= 1

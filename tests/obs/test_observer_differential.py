@@ -1,0 +1,116 @@
+"""Observation must be schedule-invisible and seed-deterministic.
+
+The same acceptance bar the kernel fast paths clear (PR 2's
+differential harness): for equal seeds, a run with a live observer
+attached must produce byte-identical cycle logs, traces, and final
+clocks to an unobserved run — observation reads state, it never
+advances clocks, draws randomness, or charges CPU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.experiments.common import run_for_cycles
+from repro.faults.plan import FaultPlan, ProcessCrash
+from repro.obs import Observer
+from repro.obs.export import events_to_jsonl
+from repro.perf.differential import serialize_cycle_log
+from repro.sim.trace import Tracer
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+SHARES = [1, 2, 4]
+HORIZON = sec(3)
+
+
+def _fingerprint(observer, fault_plan=None, seed=7):
+    tracer = Tracer()
+    cw = build_controlled_workload(
+        SHARES,
+        AlpsConfig(quantum_us=ms(10)),
+        seed=seed,
+        observer=observer,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    cw.engine.run_until(HORIZON)
+    return (
+        serialize_cycle_log(cw.agent.cycle_log),
+        "\n".join(tracer.lines()).encode(),
+        cw.engine.events_processed,
+        cw.engine.now,
+        cw.kernel.context_switches,
+        tuple(cw.injector.trace_lines()) if cw.injector else (),
+    ), cw
+
+
+def _fault_plan():
+    return FaultPlan(
+        seed=3,
+        crashes=(ProcessCrash(1_500_000, 1),),
+        signal_drop_prob=0.05,
+        rusage_fail_prob=0.02,
+    )
+
+
+@pytest.mark.parametrize("faulty", (False, True), ids=("clean", "faulted"))
+def test_observed_run_is_byte_identical_to_unobserved(faulty):
+    plan = _fault_plan() if faulty else None
+    base, _ = _fingerprint(None, plan)
+    observed, cw = _fingerprint(Observer(), plan)
+    disabled, _ = _fingerprint(Observer.disabled(), plan)
+    assert observed == base, "live observer perturbed the schedule"
+    assert disabled == base, "disabled observer perturbed the schedule"
+    # And the observer actually saw the run.
+    assert cw.observer.events.emitted > 0
+
+
+def test_event_stream_is_seed_deterministic():
+    streams = []
+    for _ in range(2):
+        _, cw = _fingerprint(Observer(), _fault_plan())
+        streams.append(events_to_jsonl(cw.observer.events))
+    assert streams[0] == streams[1]
+    assert len(streams[0]) > 0
+
+
+def test_different_fault_seeds_give_different_event_streams():
+    # Clean spinner runs are deterministic irrespective of seed; the
+    # plan seed is what drives divergence, and the stream must show it.
+    plan_a = FaultPlan(seed=3, signal_drop_prob=0.2)
+    plan_b = FaultPlan(seed=4, signal_drop_prob=0.2)
+    _, a = _fingerprint(Observer(), plan_a)
+    _, b = _fingerprint(Observer(), plan_b)
+    assert events_to_jsonl(a.observer.events) != events_to_jsonl(b.observer.events)
+
+
+def test_disabled_observer_records_nothing():
+    _, cw = _fingerprint(Observer.disabled())
+    obs = cw.observer
+    assert obs.events.emitted == 0
+    assert len(obs.spans) == 0
+
+
+def test_fault_events_mirror_the_injector_trace():
+    _, cw = _fingerprint(Observer(), _fault_plan())
+    fault_events = cw.observer.events.of_kind("fault.*")
+    assert len(fault_events) == len(cw.injector.trace)
+    for ev, rec in zip(fault_events, cw.injector.trace):
+        assert ev.time_us == rec.time_us
+        assert ev.kind == "fault." + rec.kind
+        assert ev.fields["detail"] == rec.detail
+
+
+def test_run_for_cycles_emits_progress_events():
+    obs = Observer()
+    cw = build_controlled_workload(
+        SHARES, AlpsConfig(quantum_us=ms(10)), seed=0, observer=obs
+    )
+    run_for_cycles(cw, 3)
+    progress = obs.events.of_kind("experiment.progress")
+    assert progress, "no experiment.progress events emitted"
+    last = progress[-1].fields
+    assert last["cycles_goal"] == 3
+    assert last["cycles_done"] >= 3

@@ -1,0 +1,149 @@
+"""Metrics registry: instruments, bucket edges, and absorption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_US_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    restore_snapshot,
+)
+from repro.perf.counters import PerfCounters
+
+
+def test_counter_is_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("hits")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = MetricsRegistry().gauge("depth")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12.0
+
+
+def test_get_or_create_is_keyed_by_name_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("reads", sid="0")
+    b = reg.counter("reads", sid="1")
+    assert a is not b
+    assert reg.counter("reads", sid="0") is a  # same labels -> same object
+    assert reg.get("reads", {"sid": "1"}) is b
+    assert reg.get("reads") is None  # unlabelled variant never created
+
+
+def test_kind_clash_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.gauge("x")
+
+
+# ---------------------------------------------------------------------------
+# Histogram bucket-edge semantics
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_value_on_bound_lands_in_that_bucket():
+    h = Histogram("h", bounds=(10.0, 20.0, 30.0))
+    h.observe(10.0)  # == first bound -> le=10 bucket
+    h.observe(10.1)  # just above -> le=20 bucket
+    h.observe(20.0)  # == second bound -> le=20 bucket
+    h.observe(30.0)  # == last bound -> le=30 bucket
+    assert h.bucket_counts == [1, 2, 1, 0]
+
+
+def test_histogram_overflow_goes_to_inf_bucket():
+    h = Histogram("h", bounds=(10.0,))
+    h.observe(10.000001)
+    h.observe(1e12)
+    assert h.bucket_counts == [0, 2]
+    assert h.cumulative_buckets() == [(10.0, 0), (float("inf"), 2)]
+
+
+def test_histogram_cumulative_view_and_sum_count():
+    h = Histogram("h", bounds=(1.0, 2.0))
+    for v in (0.5, 1.0, 1.5, 2.0, 5.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(10.0)
+    assert h.cumulative_buckets() == [(1.0, 2), (2.0, 4), (float("inf"), 5)]
+
+
+def test_histogram_explicit_inf_bound_is_collapsed():
+    h = Histogram("h", bounds=(5.0, float("inf")))
+    assert h.bounds == (5.0,)
+    assert len(h.bucket_counts) == 2
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(float("inf"),))
+
+
+def test_histogram_bounds_fixed_at_creation():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", bounds=(1.0, 2.0))
+    assert reg.histogram("lat", bounds=(9.0,)) is h  # later bounds ignored
+    assert h.bounds == (1.0, 2.0)
+    assert reg.histogram("other").bounds == DEFAULT_US_BUCKETS
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore and PerfCounters absorption
+# ---------------------------------------------------------------------------
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("reads", sid="0").inc(7)
+    reg.gauge("overhead").set(0.0024)
+    h = reg.histogram("delay_us", bounds=(10.0, 100.0))
+    for v in (5, 10, 99, 1000):
+        h.observe(v)
+    return reg
+
+
+def test_snapshot_restore_round_trip():
+    reg = _populated_registry()
+    back = restore_snapshot(reg.snapshot())
+    assert back.snapshot() == reg.snapshot()
+
+
+def test_snapshot_order_is_stable():
+    a = MetricsRegistry()
+    a.counter("b")
+    a.counter("a")
+    names = [rec["name"] for rec in a.snapshot()]
+    assert names == sorted(names)
+
+
+def test_restore_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown metric type"):
+        restore_snapshot([{"name": "x", "type": "summary", "value": 1}])
+
+
+def test_absorb_perf_counters():
+    perf = PerfCounters()
+    perf.incr("engine.events", 42)
+    perf.add_time("engine.run", 1.25)
+    reg = MetricsRegistry()
+    reg.absorb_perf_counters(perf)
+    assert reg.get("engine.events").value == 42
+    assert reg.get("engine.run_seconds").value == pytest.approx(1.25)
+    reg2 = MetricsRegistry()
+    reg2.absorb_perf_counters(perf, prefix="sub_")
+    assert reg2.get("sub_engine.events").value == 42

@@ -1,0 +1,57 @@
+"""The curses-free ``repro top`` renderer."""
+
+from __future__ import annotations
+
+import io
+
+from repro.alps.config import AlpsConfig
+from repro.obs import Observer
+from repro.obs.top import render_top_frame, run_top
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _workload():
+    return build_controlled_workload(
+        [1, 2, 4], AlpsConfig(quantum_us=ms(10)), seed=0, observer=Observer()
+    )
+
+
+def test_render_frame_shows_every_subject_and_header():
+    cw = _workload()
+    cw.engine.run_until(sec(2))
+    frame = render_top_frame(cw)
+    assert "repro top" in frame and "cycles=" in frame
+    for sid in range(3):
+        assert any(
+            line.strip().startswith(str(sid)) for line in frame.splitlines()
+        )
+    assert "SHARE" in frame and "ATTAIN" in frame and "DRIFT" in frame
+    assert "agent: reads=" in frame
+    assert "#" in frame  # attained bars
+
+
+def test_render_is_a_pure_function_of_state():
+    cw = _workload()
+    cw.engine.run_until(sec(1))
+    assert render_top_frame(cw) == render_top_frame(cw)
+
+
+def test_run_top_advances_time_and_counts_frames():
+    cw = _workload()
+    out = io.StringIO()
+    rendered = run_top(
+        cw, frame_us=ms(500), frames=3, interval_s=0, stream=out
+    )
+    assert rendered == 3
+    assert cw.engine.now == 3 * ms(500)
+    text = out.getvalue()
+    assert text.count("repro top") == 3
+    assert "\x1b[" not in text  # non-tty: no ANSI clears
+
+
+def test_run_top_ansi_mode_when_forced():
+    cw = _workload()
+    out = io.StringIO()
+    run_top(cw, frame_us=ms(100), frames=1, interval_s=0, stream=out, clear=True)
+    assert out.getvalue().startswith("\x1b[H\x1b[J")
