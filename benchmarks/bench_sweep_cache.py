@@ -1,0 +1,87 @@
+"""Sweep cache — cold vs warm wall-clock on a small Figure 4 matrix.
+
+Runs the same benchmark-sized Figure 4 sub-matrix twice through the
+content-addressed sweep cache: the cold pass computes and stores every
+cell, the warm pass must be served entirely from the cache.  The
+measured speedup is the claim behind incremental ``repro report``
+runs; the gate (default ≥ 5×, override with ``REPRO_SWEEP_MIN_SPEEDUP``)
+fails the benchmark if cache lookups ever become comparable to the
+simulations they replace.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.accuracy import accuracy_cell, run_accuracy_cell
+from repro.sweep import SweepCache, SweepSpec, run_sweep
+from repro.workloads.shares import DISTRIBUTIONS
+
+QUANTA_MS = (10, 40)
+SIZES = (5, 10)
+CYCLES = {5: 60, 10: 40}
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        worker=run_accuracy_cell,
+        cells=[
+            accuracy_cell(model, n, q, cycles=CYCLES[n], seeds=(0,))
+            for model in DISTRIBUTIONS
+            for n in SIZES
+            for q in QUANTA_MS
+        ],
+    )
+
+
+def test_sweep_cache_cold_vs_warm(benchmark, results_dir, tmp_path):
+    root = tmp_path / "sweep-cache"
+
+    t0 = time.perf_counter()
+    cold = run_sweep(_spec(), workers=1, cache=SweepCache(root))
+    cold_s = time.perf_counter() - t0
+    assert cold.stats.misses == len(cold.results)
+
+    def _warm():
+        return run_sweep(_spec(), workers=1, cache=SweepCache(root))
+
+    warm = benchmark.pedantic(_warm, rounds=3, iterations=1)
+    t0 = time.perf_counter()
+    _warm()
+    warm_s = time.perf_counter() - t0
+    assert warm.stats.hits == len(warm.results)
+    assert warm.stats.misses == 0
+    assert warm.values == cold.values
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    rows = [
+        ["cold (compute + store)", f"{cold_s:.3f}", cold.stats.misses, 0],
+        ["warm (all cache hits)", f"{warm_s:.3f}", 0, warm.stats.hits],
+        ["speedup", f"{speedup:.1f}x", "", ""],
+    ]
+    emit(
+        "SWEEP CACHE — cold vs warm Figure 4 sub-matrix "
+        f"({len(cold.results)} cells)",
+        format_table(["pass", "seconds", "misses", "hits"], rows),
+    )
+    write_csv(
+        results_dir / "sweep_cache.csv",
+        [
+            {
+                "cells": len(cold.results),
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": speedup,
+            }
+        ],
+    )
+
+    min_speedup = float(os.environ.get("REPRO_SWEEP_MIN_SPEEDUP", "5"))
+    assert speedup >= min_speedup, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"(gate: {min_speedup}x; cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )

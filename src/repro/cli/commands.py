@@ -22,11 +22,48 @@ def _maybe_csv(csv: Optional[str], rows) -> None:
         print(f"\n[csv written to {path}]")
 
 
-# ---------------------------------------------------------------------------
-def cmd_table1(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.table1_ops import Table1Result, run_table1
+def _sweep_cache(no_cache: bool):
+    """The experiment commands' result cache (``--no-cache`` disables)."""
+    if no_cache:
+        return None
+    from repro.sweep.cache import SweepCache
 
-    result = run_table1(quick=not full)
+    return SweepCache()
+
+
+def _sweep_workers(workers: Optional[int], full: bool) -> Optional[int]:
+    """Worker count policy: parallel by default only for ``--full``
+    runs (pool startup dominates the benchmark-sized sweeps)."""
+    if workers is not None:
+        return workers
+    return None if full else 1
+
+
+def _sweep_footer(outcome) -> None:
+    print(f"\n{outcome.footer()}")
+
+
+# ---------------------------------------------------------------------------
+def cmd_table1(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.table1_ops import (
+        Table1Result,
+        table1_result_from_payload,
+        table1_sweep_spec,
+    )
+    from repro.sweep.scheduler import run_sweep
+
+    # Live host measurement: dispatched through the scheduler for the
+    # uniform footer/error handling, but never cached and never pooled
+    # (a worker process would time a different address space).
+    outcome = run_sweep(table1_sweep_spec(quick=not full), workers=1)
+    result = table1_result_from_payload(outcome.values[0])
     rows = [
         ["Receive a timer event", f"{result.timer_event_us:.2f}",
          f"{Table1Result.PAPER_TIMER_US:.2f}"],
@@ -41,31 +78,44 @@ def cmd_table1(*, full: bool, seed: int, csv: Optional[str]) -> int:
         title="Table 1 — Primary ALPS operation times",
     ))
     _maybe_csv(csv, [{"operation": r[0], "host": r[1], "paper": r[2]} for r in rows])
+    _sweep_footer(outcome)
     return 0
 
 
-def _fig4_cell(args):
-    """Module-level worker for process-parallel Figure 4 sweeps."""
-    from repro.experiments.accuracy import run_accuracy_point
-
-    model, n, q, cycles, seeds = args
-    return run_accuracy_point(model, n, q, cycles=cycles, seeds=seeds)
-
-
-def cmd_fig4(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.parallel import parallel_map
+def cmd_fig4(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.accuracy import (
+        accuracy_cell,
+        accuracy_point_from_payload,
+        run_accuracy_cell,
+    )
+    from repro.sweep.scheduler import SweepSpec, run_sweep
     from repro.workloads.shares import DISTRIBUTIONS
 
     quanta = (10, 15, 20, 25, 30, 35, 40) if full else (10, 20, 30, 40)
     seeds = (seed, seed + 1, seed + 2) if full else (seed,)
     cycles = {5: 200, 10: 200, 20: 200} if full else {5: 120, 10: 70, 20: 40}
-    cells = [
-        (model, n, q, cycles[n], seeds)
-        for model in DISTRIBUTIONS
-        for n in (5, 10, 20)
-        for q in quanta
-    ]
-    points = parallel_map(_fig4_cell, cells, workers=None if full else 1)
+    spec = SweepSpec(
+        worker=run_accuracy_cell,
+        cells=[
+            accuracy_cell(model, n, q, cycles=cycles[n], seeds=seeds)
+            for model in DISTRIBUTIONS
+            for n in (5, 10, 20)
+            for q in quanta
+        ],
+    )
+    outcome = run_sweep(
+        spec,
+        workers=_sweep_workers(workers, full),
+        cache=_sweep_cache(no_cache),
+    )
+    points = [accuracy_point_from_payload(v) for v in outcome.values]
     rows = [
         [p.label, p.quantum_ms, round(p.mean_rms_error_pct, 2)] for p in points
     ]
@@ -88,13 +138,31 @@ def cmd_fig4(*, full: bool, seed: int, csv: Optional[str]) -> int:
             for p in points
         ],
     )
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_fig5(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.overhead import overhead_sweep
+def cmd_fig5(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.overhead import (
+        overhead_point_from_payload,
+        overhead_sweep_spec,
+    )
+    from repro.sweep.scheduler import run_sweep
 
-    points = overhead_sweep(cycles=100 if full else 40, seed=seed)
+    spec = overhead_sweep_spec(cycles=100 if full else 40, seed=seed)
+    outcome = run_sweep(
+        spec,
+        workers=_sweep_workers(workers, full),
+        cache=_sweep_cache(no_cache),
+    )
+    points = [overhead_point_from_payload(v) for v in outcome.values]
     rows = [
         [p.model.value, p.n, p.quantum_ms, round(p.overhead_pct, 3)]
         for p in points
@@ -111,15 +179,33 @@ def cmd_fig5(*, full: bool, seed: int, csv: Optional[str]) -> int:
             for p in points
         ],
     )
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_fig6(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.io import run_io_experiment
+def cmd_fig6(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.io import io_cell, io_result_from_payload, run_io_cell
+    from repro.sweep.scheduler import SweepSpec, run_sweep
 
-    result = run_io_experiment(
-        total_cycles=1200 if full else 800, warmup_cpu_s=8.0, seed=seed
+    spec = SweepSpec(
+        worker=run_io_cell,
+        cells=[
+            io_cell(
+                total_cycles=1200 if full else 800, warmup_cpu_s=8.0, seed=seed
+            )
+        ],
     )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    result = io_result_from_payload(outcome.values[0])
     steady = result.mean_shares(result.steady_mask)
     active = result.mean_shares(result.active_mask)
     blocked = result.mean_shares(result.blocked_mask)
@@ -143,13 +229,30 @@ def cmd_fig6(*, full: bool, seed: int, csv: Optional[str]) -> int:
             for i in range(len(result.cycle_indices))
         ],
     )
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_fig7(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.multi import run_multi_alps_experiment
+def cmd_fig7(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.multi import (
+        multi_cell,
+        multi_result_from_payload,
+        run_multi_cell,
+    )
+    from repro.sweep.scheduler import SweepSpec, run_sweep
 
-    result = run_multi_alps_experiment(seed=seed)
+    spec = SweepSpec(worker=run_multi_cell, cells=[multi_cell(seed=seed)])
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    result = multi_result_from_payload(outcome.values[0])
     table = result.table3()
     rows = [
         [r["share"], r["group"], round(r["target_pct"], 1),
@@ -169,18 +272,35 @@ def cmd_fig7(*, full: bool, seed: int, csv: Optional[str]) -> int:
     ]
     print(f"\naverage relative error: {np.mean(errs):.2f}%  (paper: 0.93%)")
     _maybe_csv(csv, table)
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_fig8(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.scalability import analyze_breakdown, scalability_sweep
+def cmd_fig8(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.scalability import (
+        analyze_breakdown,
+        scalability_point_from_payload,
+        scalability_sweep_spec,
+    )
+    from repro.sweep.scheduler import run_sweep
 
     sizes = (5, 10, 20, 30, 40, 50, 60, 80, 100, 120) if full else (
         5, 10, 20, 30, 40, 60, 80
     )
-    points = scalability_sweep(
+    spec = scalability_sweep_spec(
         sizes=sizes, cycles=40 if full else 25, seed=seed
     )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    points = [scalability_point_from_payload(v) for v in outcome.values]
     rows = [
         [p.n, p.quantum_ms, round(p.overhead_pct, 3),
          round(p.mean_rms_error_pct, 1)]
@@ -211,17 +331,39 @@ def cmd_fig8(*, full: bool, seed: int, csv: Optional[str]) -> int:
             for p in points
         ],
     )
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_sec5(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.webserver import run_webserver_experiment
-
-    result = run_webserver_experiment(
-        warmup_s=20.0 if full else 15.0,
-        measure_s=60.0 if full else 45.0,
-        seed=seed,
+def cmd_sec5(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.webserver import (
+        run_webserver_cell,
+        webserver_cell,
+        webserver_result_from_payload,
     )
+    from repro.sweep.scheduler import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        worker=run_webserver_cell,
+        cells=[
+            webserver_cell(
+                warmup_s=20.0 if full else 15.0,
+                measure_s=60.0 if full else 45.0,
+                seed=seed,
+            )
+        ],
+    )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    result = webserver_result_from_payload(outcome.values[0])
     rows = [
         [i + 1, result.shares[i], round(result.baseline_rps[i], 1),
          round(result.alps_rps[i], 1)]
@@ -242,37 +384,61 @@ def cmd_sec5(*, full: bool, seed: int, csv: Optional[str]) -> int:
             for i in range(3)
         ],
     )
+    _sweep_footer(outcome)
     return 0
 
 
-def cmd_ablation(*, full: bool, seed: int, csv: Optional[str]) -> int:
-    from repro.experiments.overhead import run_overhead_point
+def cmd_ablation(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    from repro.experiments.overhead import (
+        overhead_cell,
+        overhead_point_from_payload,
+        run_overhead_cell,
+    )
+    from repro.sweep.scheduler import SweepSpec, run_sweep
     from repro.workloads.shares import DISTRIBUTIONS
 
+    combos = [(model, n) for model in DISTRIBUTIONS for n in (5, 10, 20)]
+    cycles = 100 if full else 40
+    spec = SweepSpec(
+        worker=run_overhead_cell,
+        cells=[
+            overhead_cell(
+                model, n, 10, cycles=cycles, seed=seed, optimized=optimized
+            )
+            for model, n in combos
+            for optimized in (True, False)
+        ],
+    )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    points = [overhead_point_from_payload(v) for v in outcome.values]
     rows = []
     data = []
-    for model in DISTRIBUTIONS:
-        for n in (5, 10, 20):
-            cycles = 100 if full else 40
-            opt = run_overhead_point(model, n, 10, cycles=cycles, seed=seed)
-            unopt = run_overhead_point(
-                model, n, 10, cycles=cycles, seed=seed, optimized=False
-            )
-            factor = unopt.overhead_pct / opt.overhead_pct
-            rows.append(
-                [f"{model.value}{n}", round(unopt.overhead_pct, 3),
-                 round(opt.overhead_pct, 3), round(factor, 2)]
-            )
-            data.append(
-                {"workload": f"{model.value}{n}",
-                 "unoptimized_pct": unopt.overhead_pct,
-                 "optimized_pct": opt.overhead_pct, "factor": factor}
-            )
+    for (model, n), opt, unopt in zip(combos, points[0::2], points[1::2]):
+        factor = unopt.overhead_pct / opt.overhead_pct
+        rows.append(
+            [f"{model.value}{n}", round(unopt.overhead_pct, 3),
+             round(opt.overhead_pct, 3), round(factor, 2)]
+        )
+        data.append(
+            {"workload": f"{model.value}{n}",
+             "unoptimized_pct": unopt.overhead_pct,
+             "optimized_pct": opt.overhead_pct, "factor": factor}
+        )
     print(format_table(
         ["workload", "unoptimized %", "optimized %", "factor"], rows,
         title="Ablation — measurement postponement (paper: 1.8×–5.9×)",
     ))
     _maybe_csv(csv, data)
+    _sweep_footer(outcome)
     return 0
 
 
@@ -566,6 +732,11 @@ def cmd_obs_export(
         return 2
     cw.engine.run_until(sec(seconds))
     obs = collect_workload(cw)
+    # Fold the sweep cache's counters (this process + lifetime totals
+    # from the cache root's stats.json) into the exported registry.
+    from repro.sweep.cache import attach_sweep_metrics
+
+    attach_sweep_metrics(obs.metrics)
     renderers = {
         "jsonl": metrics_to_jsonl,
         "csv": metrics_to_csv,
@@ -589,7 +760,14 @@ def cmd_obs_export(
     return 0
 
 
-def cmd_obs_snapshot(*, full: bool, seed: int, csv: Optional[str]) -> int:
+def cmd_obs_snapshot(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
     """Canonical observed run: entitlement table + Table 1 cost spans.
 
     The report's observability section — everything below is produced

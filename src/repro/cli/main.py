@@ -68,6 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--csv", metavar="PATH", default=None, help="also write results to CSV"
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep process-pool size (default: serial for quick runs, "
+        "$REPRO_SWEEP_WORKERS or CPUs-1 for --full)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the content-addressed sweep result cache "
+        "($REPRO_SWEEP_CACHE) and recompute every cell",
+    )
 
     live = sub.add_parser(
         "live", help="run ALPS over real processes on this Linux host"
@@ -101,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument(
         "--full", action="store_true", help="use the paper's full protocol"
+    )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep process-pool size for the experiment sections",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep cell instead of reusing cached results",
     )
 
     demo = sub.add_parser(
@@ -227,11 +253,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         fn = EXPERIMENTS[args.experiment][0]
-        return fn(full=args.full, seed=args.seed, csv=args.csv)
+        return fn(
+            full=args.full,
+            seed=args.seed,
+            csv=args.csv,
+            workers=args.workers,
+            no_cache=args.no_cache,
+        )
     if args.command == "report":
         from repro.experiments.report import generate_report
 
-        out = generate_report(seed=args.seed, quick=not args.full, path=args.out)
+        out = generate_report(
+            seed=args.seed,
+            quick=not args.full,
+            path=args.out,
+            workers=args.workers,
+            no_cache=args.no_cache,
+        )
         print(f"report written to {out}")
         return 0
     if args.command == "live":

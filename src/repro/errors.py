@@ -58,5 +58,34 @@ class SchedulerConfigError(ReproError):
     """Raised for invalid ALPS or kernel scheduler configuration."""
 
 
+class SweepError(ReproError):
+    """Raised for failures in the sweep scheduler or result cache."""
+
+
+class SweepCellError(SweepError):
+    """A sweep cell failed (worker exception, exhausted retries).
+
+    Carries the failing cell's configuration so a mid-sweep crash names
+    the exact (experiment, params) that died instead of losing it in a
+    pool traceback.
+    """
+
+    def __init__(
+        self, experiment: str, params, reason: str, *, attempts: int = 1
+    ) -> None:
+        super().__init__(
+            f"sweep cell failed after {attempts} attempt(s): "
+            f"experiment={experiment!r} params={params!r}: {reason}"
+        )
+        self.experiment = experiment
+        self.params = params
+        self.reason = reason
+        self.attempts = attempts
+
+
+class SweepCellTimeoutError(SweepCellError):
+    """A sweep cell exceeded its per-cell timeout (after retries)."""
+
+
 class HostOSError(ReproError):
     """Raised by the real-OS backend for host-level failures."""

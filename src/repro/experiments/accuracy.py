@@ -8,16 +8,21 @@ over the cycles, and average over 3 runs (seeds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.alps.config import AlpsConfig
 from repro.experiments.common import run_for_cycles
 from repro.metrics.accuracy import mean_rms_relative_error
+from repro.sweep.cache import SweepCache
+from repro.sweep.scheduler import SweepCell, SweepSpec, run_sweep
 from repro.units import ms
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.shares import DISTRIBUTIONS, ShareDistribution, workload_shares
+
+#: Sweep-cache experiment id of one Figure 4 cell.
+ACCURACY_EXPERIMENT = "fig4.accuracy"
 
 #: Quantum lengths (ms) on Figure 4's x-axis.
 FIGURE4_QUANTA_MS = (10, 15, 20, 25, 30, 35, 40)
@@ -72,6 +77,89 @@ def run_accuracy_point(
     )
 
 
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration: cell params, worker, payload codec
+# ---------------------------------------------------------------------------
+def accuracy_cell(
+    model: ShareDistribution,
+    n: int,
+    quantum_ms: float,
+    *,
+    cycles: int = 200,
+    seeds: Sequence[int] = (0, 1, 2),
+    warmup_cycles: int = 5,
+) -> SweepCell:
+    """Declarative form of one Figure 4 cell (the cache identity)."""
+    return SweepCell(
+        ACCURACY_EXPERIMENT,
+        {
+            "model": model.value,
+            "n": n,
+            "quantum_ms": quantum_ms,
+            "cycles": cycles,
+            "seeds": list(seeds),
+            "warmup_cycles": warmup_cycles,
+        },
+    )
+
+
+def run_accuracy_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker: one cell in, a JSON-safe payload out."""
+    point = run_accuracy_point(
+        ShareDistribution(params["model"]),
+        params["n"],
+        params["quantum_ms"],
+        cycles=params["cycles"],
+        seeds=tuple(params["seeds"]),
+        warmup_cycles=params["warmup_cycles"],
+    )
+    return accuracy_point_payload(point)
+
+
+def accuracy_point_payload(point: AccuracyPoint) -> dict:
+    """JSON-safe encoding of an :class:`AccuracyPoint` (cache blob)."""
+    return {
+        "model": point.model.value,
+        "n": point.n,
+        "quantum_ms": point.quantum_ms,
+        "mean_rms_error_pct": point.mean_rms_error_pct,
+        "per_seed_errors": list(point.per_seed_errors),
+        "cycles": point.cycles,
+    }
+
+
+def accuracy_point_from_payload(payload: Mapping[str, Any]) -> AccuracyPoint:
+    """Inverse of :func:`accuracy_point_payload` (exact round-trip)."""
+    return AccuracyPoint(
+        model=ShareDistribution(payload["model"]),
+        n=payload["n"],
+        quantum_ms=payload["quantum_ms"],
+        mean_rms_error_pct=payload["mean_rms_error_pct"],
+        per_seed_errors=tuple(payload["per_seed_errors"]),
+        cycles=payload["cycles"],
+    )
+
+
+def accuracy_sweep_spec(
+    *,
+    models: Sequence[ShareDistribution] = DISTRIBUTIONS,
+    sizes: Sequence[int] = FIGURE4_SIZES,
+    quanta_ms: Sequence[float] = FIGURE4_QUANTA_MS,
+    cycles: int = 200,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> SweepSpec:
+    """The full Figure 4 matrix as a :class:`SweepSpec`."""
+    return SweepSpec(
+        worker=run_accuracy_cell,
+        cells=[
+            accuracy_cell(model, n, q, cycles=cycles, seeds=seeds)
+            for model in models
+            for n in sizes
+            for q in quanta_ms
+        ],
+    )
+
+
 def accuracy_sweep(
     *,
     models: Sequence[ShareDistribution] = DISTRIBUTIONS,
@@ -79,15 +167,18 @@ def accuracy_sweep(
     quanta_ms: Sequence[float] = FIGURE4_QUANTA_MS,
     cycles: int = 200,
     seeds: Sequence[int] = (0, 1, 2),
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
 ) -> list[AccuracyPoint]:
-    """The full Figure 4 sweep (9 workloads × quantum lengths)."""
-    points: list[AccuracyPoint] = []
-    for model in models:
-        for n in sizes:
-            for q in quanta_ms:
-                points.append(
-                    run_accuracy_point(
-                        model, n, q, cycles=cycles, seeds=seeds
-                    )
-                )
-    return points
+    """The full Figure 4 sweep (9 workloads × quantum lengths).
+
+    Dispatches through :func:`repro.sweep.run_sweep`: pass ``workers``
+    to fan out over a process pool and ``cache`` to reuse (and store)
+    content-addressed cell results.
+    """
+    spec = accuracy_sweep_spec(
+        models=models, sizes=sizes, quanta_ms=quanta_ms,
+        cycles=cycles, seeds=seeds,
+    )
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return [accuracy_point_from_payload(v) for v in outcome.values]

@@ -8,17 +8,22 @@ reports the optimization cuts overhead by 1.8–5.9×).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.alps.config import AlpsConfig
 from repro.experiments.common import run_for_cycles
+from repro.sweep.cache import SweepCache
+from repro.sweep.scheduler import SweepCell, SweepSpec, run_sweep
 from repro.units import ms
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.shares import DISTRIBUTIONS, ShareDistribution, workload_shares
 
 #: Quantum lengths (ms) plotted in Figure 5.
 FIGURE5_QUANTA_MS = (10, 20, 40)
+
+#: Sweep-cache experiment id of one Figure 5 / ablation cell.
+OVERHEAD_EXPERIMENT = "fig5.overhead"
 
 
 @dataclass(slots=True, frozen=True)
@@ -69,6 +74,85 @@ def run_overhead_point(
     )
 
 
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration: cell params, worker, payload codec
+# ---------------------------------------------------------------------------
+def overhead_cell(
+    model: ShareDistribution,
+    n: int,
+    quantum_ms: float,
+    *,
+    cycles: int = 60,
+    seed: int = 0,
+    optimized: bool = True,
+    warmup_cycles: int = 3,
+) -> SweepCell:
+    """Declarative form of one Figure 5 / ablation cell."""
+    return SweepCell(
+        OVERHEAD_EXPERIMENT,
+        {
+            "model": model.value,
+            "n": n,
+            "quantum_ms": quantum_ms,
+            "cycles": cycles,
+            "seed": seed,
+            "optimized": optimized,
+            "warmup_cycles": warmup_cycles,
+        },
+    )
+
+
+def run_overhead_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker for one overhead cell."""
+    point = run_overhead_point(
+        ShareDistribution(params["model"]),
+        params["n"],
+        params["quantum_ms"],
+        cycles=params["cycles"],
+        seed=params["seed"],
+        optimized=params["optimized"],
+        warmup_cycles=params["warmup_cycles"],
+    )
+    return overhead_point_payload(point)
+
+
+def overhead_point_payload(point: OverheadPoint) -> dict:
+    """JSON-safe encoding of an :class:`OverheadPoint`."""
+    payload = asdict(point)
+    payload["model"] = point.model.value
+    return payload
+
+
+def overhead_point_from_payload(payload: Mapping[str, Any]) -> OverheadPoint:
+    """Inverse of :func:`overhead_point_payload` (exact round-trip)."""
+    data = dict(payload)
+    data["model"] = ShareDistribution(data["model"])
+    return OverheadPoint(**data)
+
+
+def overhead_sweep_spec(
+    *,
+    models: Sequence[ShareDistribution] = DISTRIBUTIONS,
+    sizes: Sequence[int] = (5, 10, 15, 20),
+    quanta_ms: Sequence[float] = FIGURE5_QUANTA_MS,
+    cycles: int = 60,
+    seed: int = 0,
+    optimized: bool = True,
+) -> SweepSpec:
+    """The Figure 5 matrix as a :class:`SweepSpec`."""
+    return SweepSpec(
+        worker=run_overhead_cell,
+        cells=[
+            overhead_cell(
+                model, n, q, cycles=cycles, seed=seed, optimized=optimized
+            )
+            for model in models
+            for q in quanta_ms
+            for n in sizes
+        ],
+    )
+
+
 def overhead_sweep(
     *,
     models: Sequence[ShareDistribution] = DISTRIBUTIONS,
@@ -77,15 +161,17 @@ def overhead_sweep(
     cycles: int = 60,
     seed: int = 0,
     optimized: bool = True,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
 ) -> list[OverheadPoint]:
-    """The Figure 5 sweep: overhead vs N for each model and quantum."""
-    points: list[OverheadPoint] = []
-    for model in models:
-        for q in quanta_ms:
-            for n in sizes:
-                points.append(
-                    run_overhead_point(
-                        model, n, q, cycles=cycles, seed=seed, optimized=optimized
-                    )
-                )
-    return points
+    """The Figure 5 sweep: overhead vs N for each model and quantum.
+
+    Dispatches through :func:`repro.sweep.run_sweep` (pooled and
+    cache-aware when ``workers``/``cache`` are given).
+    """
+    spec = overhead_sweep_spec(
+        models=models, sizes=sizes, quanta_ms=quanta_ms,
+        cycles=cycles, seed=seed, optimized=optimized,
+    )
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return [overhead_point_from_payload(v) for v in outcome.values]

@@ -4,14 +4,27 @@ Simulation runs are single-threaded and independent across sweep cells,
 so they scale across cores with process pools.  ``parallel_map`` is a
 thin, picklable-friendly wrapper used by the CLI's ``--full`` sweeps;
 it degrades gracefully to serial execution when only one worker is
-available (or when the platform lacks working multiprocessing).
+available, when ``fn`` or the items cannot cross a process boundary,
+or when the pool itself breaks mid-sweep — always preserving the
+serial semantics.  Worker exceptions are re-raised as
+:class:`~repro.errors.SweepCellError` carrying the failing item, so a
+mid-sweep crash names the cell that died.
+
+The cache-aware, retrying generalisation of this helper lives in
+:mod:`repro.sweep.scheduler`; ``parallel_map`` remains the primitive
+for plain fan-out with no caching or retry policy.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import SweepCellError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -22,6 +35,30 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 1) - 1)
 
 
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+    out: list[R] = []
+    for item in items:
+        try:
+            out.append(fn(item))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except SweepCellError:
+            raise
+        except Exception as exc:
+            raise SweepCellError(
+                getattr(fn, "__name__", repr(fn)), item, repr(exc)
+            ) from exc
+    return out
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -30,12 +67,47 @@ def parallel_map(
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
-    ``fn`` and the items must be picklable (module-level functions and
-    plain data).  With ``workers <= 1`` the map runs serially in this
-    process — same semantics, no pool overhead.
+    ``fn`` and the items should be picklable (module-level functions
+    and plain data); if they are not, the map falls back to serial
+    execution with a ``RuntimeWarning`` instead of dying inside the
+    pool's feeder thread.  With ``workers <= 1`` the map runs serially
+    in this process — same semantics, no pool overhead.  A worker
+    exception is re-raised as :class:`~repro.errors.SweepCellError`
+    naming the failing item; a broken pool (a worker killed hard)
+    falls back to recomputing serially with a warning.
     """
     nworkers = default_workers() if workers is None else workers
     if nworkers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(nworkers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        return _serial_map(fn, items)
+    if not _picklable(fn) or not all(_picklable(item) for item in items):
+        warnings.warn(
+            "parallel_map: fn or items are not picklable; "
+            "falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_map(fn, items)
+    try:
+        with ProcessPoolExecutor(max_workers=min(nworkers, len(items))) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            out: list[R] = []
+            for item, fut in zip(items, futures):
+                try:
+                    out.append(fut.result())
+                except BrokenProcessPool:
+                    raise
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    raise SweepCellError(
+                        getattr(fn, "__name__", repr(fn)), item, repr(exc)
+                    ) from exc
+            return out
+    except BrokenProcessPool:
+        warnings.warn(
+            "parallel_map: process pool broke mid-sweep; "
+            "recomputing serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_map(fn, items)

@@ -9,17 +9,22 @@ observed knee in the error curve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.alps.config import AlpsConfig
 from repro.experiments.common import run_for_cycles
 from repro.metrics.accuracy import mean_rms_relative_error
 from repro.metrics.breakdown import predicted_threshold
 from repro.metrics.overhead import OverheadFit, fit_overhead_line
+from repro.sweep.cache import SweepCache
+from repro.sweep.scheduler import SweepCell, SweepSpec, run_sweep
 from repro.units import SEC, ms
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.shares import equal_shares
+
+#: Sweep-cache experiment id of one Figures 8/9 cell.
+SCALABILITY_EXPERIMENT = "fig8.scalability"
 
 #: Quantum lengths of Figures 8/9.
 SCALABILITY_QUANTA_MS = (10, 20, 40)
@@ -84,6 +89,70 @@ def run_scalability_point(
     )
 
 
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration: cell params, worker, payload codec
+# ---------------------------------------------------------------------------
+def scalability_cell(
+    n: int,
+    quantum_ms: float,
+    *,
+    cycles: int = 40,
+    seed: int = 0,
+    max_wall_s: float = 600.0,
+) -> SweepCell:
+    """Declarative form of one Figures 8/9 cell."""
+    return SweepCell(
+        SCALABILITY_EXPERIMENT,
+        {
+            "n": n,
+            "quantum_ms": quantum_ms,
+            "cycles": cycles,
+            "seed": seed,
+            "max_wall_s": max_wall_s,
+        },
+    )
+
+
+def run_scalability_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker for one scalability cell."""
+    point = run_scalability_point(
+        params["n"],
+        params["quantum_ms"],
+        cycles=params["cycles"],
+        seed=params["seed"],
+        max_wall_s=params["max_wall_s"],
+    )
+    return asdict(point)
+
+
+def scalability_point_from_payload(
+    payload: Mapping[str, Any],
+) -> ScalabilityPoint:
+    """Rebuild a :class:`ScalabilityPoint` from its cache payload."""
+    return ScalabilityPoint(**payload)
+
+
+def scalability_sweep_spec(
+    *,
+    sizes: Sequence[int] = SCALABILITY_SIZES,
+    quanta_ms: Sequence[float] = SCALABILITY_QUANTA_MS,
+    cycles: int = 40,
+    seed: int = 0,
+    max_wall_s: float = 600.0,
+) -> SweepSpec:
+    """The Figures 8/9 matrix as a :class:`SweepSpec`."""
+    return SweepSpec(
+        worker=run_scalability_cell,
+        cells=[
+            scalability_cell(
+                n, q, cycles=cycles, seed=seed, max_wall_s=max_wall_s
+            )
+            for q in quanta_ms
+            for n in sizes
+        ],
+    )
+
+
 def scalability_sweep(
     *,
     sizes: Sequence[int] = SCALABILITY_SIZES,
@@ -91,15 +160,17 @@ def scalability_sweep(
     cycles: int = 40,
     seed: int = 0,
     max_wall_s: float = 600.0,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
 ) -> list[ScalabilityPoint]:
-    """The full Figures 8/9 sweep."""
-    return [
-        run_scalability_point(
-            n, q, cycles=cycles, seed=seed, max_wall_s=max_wall_s
-        )
-        for q in quanta_ms
-        for n in sizes
-    ]
+    """The full Figures 8/9 sweep (pooled and cache-aware via
+    :func:`repro.sweep.run_sweep`)."""
+    spec = scalability_sweep_spec(
+        sizes=sizes, quanta_ms=quanta_ms, cycles=cycles, seed=seed,
+        max_wall_s=max_wall_s,
+    )
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return [scalability_point_from_payload(v) for v in outcome.values]
 
 
 def analyze_breakdown(

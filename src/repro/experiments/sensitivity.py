@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.alps.config import AlpsConfig
 from repro.alps.costs import CostModel
@@ -21,9 +21,14 @@ from repro.experiments.common import run_for_cycles
 from repro.metrics.accuracy import mean_rms_relative_error
 from repro.metrics.breakdown import predicted_threshold
 from repro.metrics.overhead import fit_overhead_line
+from repro.sweep.cache import SweepCache
+from repro.sweep.scheduler import SweepCell, SweepSpec, run_sweep
 from repro.units import SEC, ms
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.shares import equal_shares
+
+#: Sweep-cache experiment id of one cost-sensitivity cell.
+SENSITIVITY_EXPERIMENT = "sec4.sensitivity"
 
 
 def scaled_costs(factor: float) -> CostModel:
@@ -94,8 +99,89 @@ def run_sensitivity_point(
     )
 
 
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration: cell params, worker, payload codec
+# ---------------------------------------------------------------------------
+def sensitivity_cell(
+    factor: float,
+    *,
+    quantum_ms: float = 10.0,
+    sizes: Sequence[int] = (5, 10, 15, 20, 30, 40, 60),
+    cycles: int = 20,
+    seed: int = 0,
+    error_knee_pct: float = 15.0,
+    max_wall_s: float = 120.0,
+) -> SweepCell:
+    """Declarative form of one cost-scale cell."""
+    return SweepCell(
+        SENSITIVITY_EXPERIMENT,
+        {
+            "factor": factor,
+            "quantum_ms": quantum_ms,
+            "sizes": list(sizes),
+            "cycles": cycles,
+            "seed": seed,
+            "error_knee_pct": error_knee_pct,
+            "max_wall_s": max_wall_s,
+        },
+    )
+
+
+def run_sensitivity_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker for one sensitivity cell."""
+    point = run_sensitivity_point(
+        params["factor"],
+        quantum_ms=params["quantum_ms"],
+        sizes=tuple(params["sizes"]),
+        cycles=params["cycles"],
+        seed=params["seed"],
+        error_knee_pct=params["error_knee_pct"],
+        max_wall_s=params["max_wall_s"],
+    )
+    return sensitivity_point_payload(point)
+
+
+def sensitivity_point_payload(point: SensitivityPoint) -> dict:
+    """JSON-safe encoding of a :class:`SensitivityPoint`."""
+    return {
+        "cost_factor": point.cost_factor,
+        "fit_slope": point.fit_slope,
+        "fit_intercept": point.fit_intercept,
+        "predicted_n": point.predicted_n,
+        "observed_n": point.observed_n,
+        "points": [list(row) for row in point.points],
+    }
+
+
+def sensitivity_point_from_payload(
+    payload: Mapping[str, Any],
+) -> SensitivityPoint:
+    """Inverse of :func:`sensitivity_point_payload` (exact round-trip)."""
+    return SensitivityPoint(
+        cost_factor=payload["cost_factor"],
+        fit_slope=payload["fit_slope"],
+        fit_intercept=payload["fit_intercept"],
+        predicted_n=payload["predicted_n"],
+        observed_n=payload["observed_n"],
+        points=tuple(tuple(row) for row in payload["points"]),
+    )
+
+
 def cost_sensitivity_sweep(
-    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0), **kwargs
+    factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    **kwargs,
 ) -> list[SensitivityPoint]:
-    """Thresholds across cost scales (slower host ⇒ earlier breakdown)."""
-    return [run_sensitivity_point(f, **kwargs) for f in factors]
+    """Thresholds across cost scales (slower host ⇒ earlier breakdown).
+
+    One sweep cell per cost factor, dispatched through
+    :func:`repro.sweep.run_sweep` (pooled and cache-aware).
+    """
+    spec = SweepSpec(
+        worker=run_sensitivity_cell,
+        cells=[sensitivity_cell(f, **kwargs) for f in factors],
+    )
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return [sensitivity_point_from_payload(v) for v in outcome.values]

@@ -10,16 +10,18 @@ linearly in n, is the reproduced claim).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.hostos.procfs import read_proc_stat
+from repro.sweep.scheduler import SweepCell, SweepSpec
 from repro.hostos.spawn import spawn_spinner
 
 
@@ -119,4 +121,37 @@ def run_table1(*, quick: bool = False) -> Table1Result:
         measure_fixed_us=fixed,
         measure_per_proc_us=per_proc,
         signal_us=sig,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration.  Table 1 measures *this host's* live
+# timings, so the sweep is declared non-cacheable: it always reruns,
+# but shares the scheduler's dispatch, retry, and footer machinery.
+# ---------------------------------------------------------------------------
+#: Sweep experiment id of the Table 1 measurement (never cached).
+TABLE1_EXPERIMENT = "table1.ops"
+
+
+def table1_cell(*, quick: bool = False) -> SweepCell:
+    """Declarative form of the Table 1 measurement."""
+    return SweepCell(TABLE1_EXPERIMENT, {"quick": quick})
+
+
+def run_table1_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker for the Table 1 measurement."""
+    return dataclasses.asdict(run_table1(quick=params["quick"]))
+
+
+def table1_result_from_payload(payload: Mapping[str, Any]) -> Table1Result:
+    """Inverse of :func:`run_table1_cell`'s payload encoding."""
+    return Table1Result(**payload)
+
+
+def table1_sweep_spec(*, quick: bool = False) -> SweepSpec:
+    """The (single-cell, non-cacheable) Table 1 sweep."""
+    return SweepSpec(
+        worker=run_table1_cell,
+        cells=[table1_cell(quick=quick)],
+        cacheable=False,
     )

@@ -1,0 +1,78 @@
+"""Code fingerprints: hash the source a sweep cell actually runs.
+
+A content-addressed result cache is only sound if a *code* change
+invalidates entries the same way a *config* change does.  The
+fingerprint of a cell is the SHA-256 over the source bytes of the
+modules its worker imports — by default the whole ``repro`` package,
+which is coarse (any library edit invalidates every cell) but safe and
+cheap: the tree is ~100 small files, hashed once per process.
+
+Packages are walked recursively; compiled/namespace modules without
+source files contribute their name only (their behavior is pinned by
+the interpreter, not by repo edits).  Results are memoized per module
+set; :func:`clear_fingerprint_cache` resets the memo (tests that edit
+module sources on disk need it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from pathlib import Path
+from typing import Sequence
+
+#: Memo of computed fingerprints, keyed by the sorted module-name tuple.
+_memo: dict[tuple[str, ...], str] = {}
+
+#: The default module set: everything a simulation cell can import.
+DEFAULT_MODULES: tuple[str, ...] = ("repro",)
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop memoized fingerprints (needed after editing sources on disk)."""
+    _memo.clear()
+
+
+def _source_files(module_name: str) -> list[Path]:
+    """Source files backing ``module_name`` (all of them for a package)."""
+    module = importlib.import_module(module_name)
+    origin = getattr(module, "__file__", None)
+    if origin is None:
+        return []
+    path = Path(origin)
+    if path.name == "__init__.py":
+        return sorted(p for p in path.parent.rglob("*.py"))
+    return [path]
+
+
+def code_fingerprint(modules: Sequence[str] = DEFAULT_MODULES) -> str:
+    """SHA-256 fingerprint of the source of ``modules`` (memoized).
+
+    The digest covers, for each module, every backing ``.py`` file's
+    repo-relative name and bytes, so renames, edits, additions, and
+    deletions all move the fingerprint.
+    """
+    key = tuple(sorted(set(modules)))
+    cached = _memo.get(key)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for name in key:
+        h.update(name.encode())
+        h.update(b"\x00")
+        files = _source_files(name)
+        if not files:
+            continue
+        root = files[0].parent
+        for path in files:
+            try:
+                rel = path.relative_to(root)
+            except ValueError:  # pragma: no cover - single-file module
+                rel = Path(path.name)
+            h.update(str(rel).encode())
+            h.update(b"\x00")
+            h.update(path.read_bytes())
+            h.update(b"\x00")
+    digest = h.hexdigest()
+    _memo[key] = digest
+    return digest

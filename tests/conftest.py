@@ -9,6 +9,13 @@ from repro.kernel.kernel import Kernel
 from repro.sim.engine import Engine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the sweep result cache at a per-test directory so tests
+    never read or pollute the user's ``~/.cache/repro-sweep``."""
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweep-cache"))
+
+
 @pytest.fixture
 def engine() -> Engine:
     """A fresh deterministic engine."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import SweepCellError
 from repro.experiments.parallel import default_workers, parallel_map
 
 
@@ -45,9 +46,12 @@ def test_worker_count_does_not_change_results():
 
 
 @pytest.mark.parametrize("workers", (1, 4))
-def test_exceptions_propagate(workers):
-    with pytest.raises(ValueError, match="injected failure"):
+def test_exceptions_propagate_with_failing_cell(workers):
+    with pytest.raises(SweepCellError, match="injected failure") as info:
         parallel_map(_boom, list(range(6)), workers=workers)
+    # The error names the exact cell that died, not just the sweep.
+    assert "3" in str(info.value)
+    assert isinstance(info.value.__cause__, ValueError)
 
 
 def test_degenerate_inputs():

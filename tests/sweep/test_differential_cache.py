@@ -1,0 +1,55 @@
+"""Differential guarantee: cached results are byte-identical to fresh.
+
+Runs the Table 2 workload matrix (all nine model × size combinations,
+seeds 0-2, benchmark-sized cycle counts) three ways — cold through the
+cache, warm from the cache, and fresh with no cache — and asserts the
+canonical JSON encodings agree byte for byte.  This is the property
+that makes ``repro report`` safely incremental: a cache hit can never
+change a reported number.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.accuracy import (
+    accuracy_cell,
+    accuracy_point_from_payload,
+    run_accuracy_cell,
+)
+from repro.sweep import SweepCache, SweepSpec, run_sweep
+from repro.workloads.shares import DISTRIBUTIONS
+
+
+def _table2_spec() -> SweepSpec:
+    return SweepSpec(
+        worker=run_accuracy_cell,
+        cells=[
+            accuracy_cell(model, n, 10.0, cycles=5, seeds=(0, 1, 2))
+            for model in DISTRIBUTIONS
+            for n in (5, 10, 20)
+        ],
+    )
+
+
+def _bytes(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def test_cached_and_fresh_results_byte_identical(tmp_path):
+    cold = run_sweep(_table2_spec(), workers=1, cache=SweepCache(tmp_path / "c"))
+    assert (cold.stats.hits, cold.stats.misses) == (0, 9)
+
+    warm = run_sweep(_table2_spec(), workers=1, cache=SweepCache(tmp_path / "c"))
+    assert (warm.stats.hits, warm.stats.misses) == (9, 0)
+
+    fresh = run_sweep(_table2_spec(), workers=1, cache=None)
+
+    for cold_v, warm_v, fresh_v in zip(cold.values, warm.values, fresh.values):
+        assert _bytes(cold_v) == _bytes(warm_v) == _bytes(fresh_v)
+        # The payload codec is an exact inverse: decoding a cached blob
+        # and re-encoding it reproduces the same bytes.
+        point = accuracy_point_from_payload(warm_v)
+        from repro.experiments.accuracy import accuracy_point_payload
+
+        assert _bytes(accuracy_point_payload(point)) == _bytes(warm_v)

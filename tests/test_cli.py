@@ -53,3 +53,37 @@ def test_parser_structure():
     assert args.experiment == "fig4"
     assert args.full
     assert args.seed == 7
+    assert args.workers is None
+    assert not args.no_cache
+
+
+def test_parser_sweep_flags():
+    parser = build_parser()
+    args = parser.parse_args(["run", "fig5", "--workers", "3", "--no-cache"])
+    assert args.workers == 3
+    assert args.no_cache
+    args = parser.parse_args(["report", "--workers", "2", "--no-cache"])
+    assert args.workers == 2
+    assert args.no_cache
+
+
+def test_run_footer_reports_cache_hits_on_second_invocation(capsys):
+    # Cold run computes and stores; the warm rerun is served entirely
+    # from the content-addressed cache (REPRO_SWEEP_CACHE is pointed at
+    # a per-test directory by the suite-wide fixture).
+    assert main(["run", "fig7"]) == 0
+    cold = capsys.readouterr().out
+    assert "[sweep: 1 cells, 0 cache hits, 1 misses, 1 worker(s)]" in cold
+    assert main(["run", "fig7"]) == 0
+    warm = capsys.readouterr().out
+    assert "[sweep: 1 cells, 1 cache hits, 0 misses, 1 worker(s)]" in warm
+    # Identical table either way — the differential guarantee.
+    assert cold.split("[sweep:")[0] == warm.split("[sweep:")[0]
+
+
+def test_run_no_cache_recomputes(capsys):
+    assert main(["run", "fig7"]) == 0
+    capsys.readouterr()
+    assert main(["run", "fig7", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "[sweep: 1 cells, 0 cache hits, 1 misses, 1 worker(s)]" in out
