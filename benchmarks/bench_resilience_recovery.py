@@ -1,0 +1,123 @@
+"""Resilience — journaled crash recovery vs the lossy re-baseline.
+
+An agent crash mid-run loses volatile state; what recovery preserves
+decides how much fairness the crash costs.  This benchmark runs the
+same seeded workload three ways — fault-free, crash with journaled
+recovery, crash with the PR 1 lossy re-baseline — and compares the
+*cumulative* per-process attained-CPU fractions of the two recovery
+paths against the fault-free run.
+
+Reproduction claims: the journaled path lands within
+``REPRO_RESILIENCE_MAX_ERROR`` (fraction, default 0.005) of the
+fault-free split on every seed, and is strictly better than the lossy
+path (which forgives the downtime debt and permanently shifts the
+split).
+"""
+
+import os
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.common import run_for_cycles
+from repro.faults.plan import AgentCrash, FaultPlan
+from repro.resilience.journal import MemoryJournal
+from repro.units import ms
+from repro.workloads.scenarios import build_controlled_workload
+
+SHARES = (1, 2, 3, 4)
+QUANTUM_US = ms(10)
+CYCLES = 60
+SEEDS = (0, 1, 2)
+
+#: Max allowed deviation (absolute attained fraction) of the journaled
+#: path from the fault-free run.
+MAX_ERROR = float(os.environ.get("REPRO_RESILIENCE_MAX_ERROR", "0.005"))
+
+
+def _attained_fractions(cw) -> list[float]:
+    kapi = cw.kernel.kapi
+    usages = [kapi.getrusage(p.pid) for p in cw.workers]
+    total = sum(usages)
+    return [u / total for u in usages]
+
+
+def _run(seed: int, *, crash: bool, journaled: bool) -> list[float]:
+    horizon_us = int(2 * (CYCLES + 5) * sum(SHARES) * QUANTUM_US)
+    plan = None
+    if crash:
+        plan = FaultPlan(
+            seed=seed,
+            horizon_us=horizon_us,
+            agent_crashes=(AgentCrash(time_us=horizon_us // 3),),
+        )
+    journal = MemoryJournal() if journaled else None
+    cw = build_controlled_workload(
+        list(SHARES),
+        AlpsConfig(quantum_us=QUANTUM_US),
+        seed=seed,
+        fault_plan=plan,
+        journal=journal,
+    )
+    run_for_cycles(cw, CYCLES, max_sim_us=horizon_us, on_incomplete="ignore")
+    cw.agent.shutdown(cw.kernel.kapi)
+    if journaled:
+        assert cw.agent.journal_recoveries == 1
+        assert cw.agent.recovery_fallbacks == 0
+    return _attained_fractions(cw)
+
+
+def _max_deviation(a: list[float], b: list[float]) -> float:
+    return max(abs(x - y) for x, y in zip(a, b))
+
+
+def _sweep():
+    rows = []
+    for seed in SEEDS:
+        reference = _run(seed, crash=False, journaled=False)
+        journaled = _run(seed, crash=True, journaled=True)
+        lossy = _run(seed, crash=True, journaled=False)
+        rows.append(
+            {
+                "seed": seed,
+                "journaled_dev": _max_deviation(journaled, reference),
+                "lossy_dev": _max_deviation(lossy, reference),
+            }
+        )
+    return rows
+
+
+def test_journaled_recovery_beats_rebaseline(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    emit(
+        "RESILIENCE — crash-recovery fidelity "
+        "(max attained-fraction deviation vs fault-free)",
+        format_table(
+            ["seed", "journaled", "re-baseline", "improvement"],
+            [
+                [
+                    r["seed"],
+                    f"{r['journaled_dev']:.6f}",
+                    f"{r['lossy_dev']:.6f}",
+                    f"{r['lossy_dev'] / max(r['journaled_dev'], 1e-12):.0f}x",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    write_csv(results_dir / "resilience_recovery.csv", rows)
+
+    for r in rows:
+        # 1. Journaled recovery restores the fault-free split within the
+        #    configured bound.
+        assert r["journaled_dev"] <= MAX_ERROR, (
+            f"seed {r['seed']}: journaled deviation {r['journaled_dev']:.6f} "
+            f"exceeds REPRO_RESILIENCE_MAX_ERROR={MAX_ERROR}"
+        )
+        # 2. And strictly beats the PR 1 lossy re-baseline path.
+        assert r["journaled_dev"] < r["lossy_dev"], (
+            f"seed {r['seed']}: journaled {r['journaled_dev']:.6f} not "
+            f"better than re-baseline {r['lossy_dev']:.6f}"
+        )

@@ -23,6 +23,16 @@ of issuing a burst of catch-up decisions), and crash-with-restart
 (:meth:`AlpsAgent.restart` wipes volatile state; the next activation
 reconciles the stop-set against kernel truth so no subject is left
 wedged in SIGSTOP).
+
+Crash *safety* (docs/resilience.md): with a journal attached via
+:meth:`AlpsAgent.attach_journal` the agent appends one checksummed
+snapshot of its scheduling state per quantum, and :meth:`restart`
+replays it — the restarted agent resumes the same cycle with its
+fairness debt (allowances, cycle remainder, read baselines) intact
+instead of forgiving everything that happened while it was down.  A
+corrupt or empty journal falls back to the lossy reconciliation path
+above.  Journal appends charge no CPU and draw no engine randomness,
+so journaling is schedule-invisible until a crash actually happens.
 """
 
 from __future__ import annotations
@@ -36,9 +46,21 @@ from repro.alps.costs import CostAccumulator
 from repro.alps.instrumentation import CycleLog
 from repro.alps.state import Eligibility
 from repro.alps.subjects import ProcessSubject, Subject
-from repro.errors import NoSuchProcessError, TransientReadError
+from repro.errors import (
+    JournalCorruptError,
+    NoSuchProcessError,
+    TransientReadError,
+)
 from repro.kernel.actions import Action, Compute, Sleep
 from repro.kernel.signals import SIGCONT, SIGSTOP
+from repro.resilience.journal import (
+    SNAPSHOT_VERSION,
+    core_snapshot,
+    drain_debt,
+    restore_core,
+    schedule_debt,
+    validate_snapshot,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.injector import FaultInjector
@@ -47,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kernel import Kernel
     from repro.kernel.process import Process
     from repro.obs.observer import Observer
+    from repro.resilience.journal import MemoryJournal
 
 
 _EMPTY_SET: frozenset[int] = frozenset()
@@ -58,6 +81,7 @@ class _Phase(enum.Enum):
     MEASURING = "measuring"
     SIGNALING = "signaling"
     RECONCILING = "reconciling"
+    RECOVERING = "recovering"
 
 
 class AlpsAgent:
@@ -140,6 +164,22 @@ class AlpsAgent:
         #: instrumentation point at a single attribute read; observation
         #: is read-only and schedule-invisible either way.
         self._obs: Optional["Observer"] = None
+        # -- crash safety (docs/resilience.md) -------------------------
+        #: Write-ahead journal (repro.resilience); None = PR 1 behavior.
+        self._journal: Optional["MemoryJournal"] = None
+        #: Snapshot payload recovered by restart(), consumed by the
+        #: RECOVERING activation.
+        self._recovered: Optional[dict] = None
+        #: Restarts that replayed the journal successfully.
+        self.journal_recoveries = 0
+        #: Restarts that fell back to lossy reconciliation (corrupt or
+        #: empty journal).
+        self.recovery_fallbacks = 0
+        #: Whether the most recent restart recovered from the journal.
+        self.last_restart_journaled = False
+        #: Downtime CPU debt (µs) per subject awaiting amortized
+        #: repayment (:func:`~repro.resilience.journal.drain_debt`).
+        self._deferred_debt: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -167,13 +207,51 @@ class AlpsAgent:
     # ------------------------------------------------------------------
     # Crash / shutdown recovery surface
     # ------------------------------------------------------------------
+    def attach_journal(self, journal: "MemoryJournal") -> None:
+        """Attach a write-ahead journal (:mod:`repro.resilience.journal`).
+
+        The agent appends one snapshot per quantum (at the end of the
+        measurement phase, before signals are delivered) and
+        :meth:`restart` replays the latest valid record.  The journal
+        object must survive the crash — it models persistent storage.
+        """
+        self._journal = journal
+
+    def snapshot_state(self, now: int) -> dict:
+        """JSON-safe snapshot of all state a restart must not lose."""
+        return {
+            "v": SNAPSHOT_VERSION,
+            "kind": "snapshot",
+            "t": now,
+            "core": core_snapshot(self.core),
+            "agent": {
+                "epoch": self._epoch,
+                "last_read": {
+                    str(pid): usage for pid, usage in sorted(self._last_read.items())
+                },
+                "stopped": sorted(self._stopped_pids),
+                "cumulative": {
+                    str(sid): total
+                    for sid, total in sorted(self._cumulative.items())
+                },
+                "debt": {
+                    str(sid): owed
+                    for sid, owed in sorted(self._deferred_debt.items())
+                },
+            },
+        }
+
     def restart(self) -> None:
         """Simulate a crash-with-restart: wipe all volatile state.
 
-        Only the algorithm core (shares/allowances — the part a real
-        deployment would checkpoint) survives.  Read baselines, the
-        stop-set, and in-flight work are gone; the next activation runs
-        a reconciliation pass that rebuilds them from kernel truth.
+        Without a journal only the algorithm core object survives in
+        whatever state the crash left it; read baselines, the stop-set,
+        and in-flight work are gone, and the next activation runs a
+        reconciliation pass that rebuilds them from kernel truth —
+        forgiving all fairness debt.  With a journal attached, the next
+        activation instead replays the last valid snapshot
+        (:meth:`_do_recover`); a corrupt or empty journal falls back to
+        the lossy path.
         """
         self._phase = _Phase.RECONCILING
         self._due = []
@@ -184,6 +262,22 @@ class AlpsAgent:
         self._acc = CostAccumulator()
         self._deferred_cost_us = 0.0
         self.restarts += 1
+        self.last_restart_journaled = False
+        self._recovered = None
+        self._deferred_debt = {}
+        journal = self._journal
+        if journal is None:
+            return
+        try:
+            rec = journal.recover()
+            if rec.snapshot is None:
+                raise JournalCorruptError("journal holds no snapshot")
+            self._recovered = dict(validate_snapshot(rec.snapshot))
+        except JournalCorruptError:
+            self.recovery_fallbacks += 1
+            return
+        self._phase = _Phase.RECOVERING
+        self.last_restart_journaled = True
 
     def shutdown(self, kapi: "KernelAPI") -> int:
         """Resume every controlled process left stopped; returns the
@@ -225,6 +319,8 @@ class AlpsAgent:
             return self._do_init(kapi)
         if phase is _Phase.RECONCILING:
             return self._do_reconcile(kapi)
+        if phase is _Phase.RECOVERING:
+            return self._do_recover(kapi)
         raise AssertionError(f"unknown phase {phase}")  # pragma: no cover
 
     # -- phase bodies ----------------------------------------------------
@@ -307,6 +403,7 @@ class AlpsAgent:
         core_subjects = self.core.subjects
         last_read = self._last_read
         cumulative = self._cumulative
+        deferred = self._deferred_debt
         getrusage = kapi.getrusage
         is_blocked = kapi.is_blocked
         track_io = self.cfg.track_io
@@ -338,11 +435,22 @@ class AlpsAgent:
                 if blocked and not is_blocked(pid):
                     blocked = False
             blocked = blocked and live > 0
+            cumulative[sid] = cumulative.get(sid, 0) + consumed
+            if deferred:
+                # Post-crash repayment: charge a share-proportional
+                # sliver of the downtime debt on top of the measured
+                # consumption (never touches the clean path — deferred
+                # is empty unless a journaled recovery scheduled debt).
+                st = core_subjects.get(sid)
+                if st is not None:
+                    consumed += drain_debt(
+                        deferred, sid, st.share,
+                        self.core.quantum_us, self.core.total_shares,
+                    )
             # A bare tuple, not Measurement: the NamedTuple constructor
             # costs several times a tuple display, and complete_quantum
             # unpacks positionally so both are accepted.
             measurements[sid] = (consumed, blocked)
-            cumulative[sid] = cumulative.get(sid, 0) + consumed
         decisions = self.core.complete_quantum(measurements)
         if self.cfg.enforce_invariants:
             self.core.check_runtime_invariants()
@@ -367,6 +475,12 @@ class AlpsAgent:
                     self._cost_signal_us * len(self._pending_signals),
                     start_us=now,
                 )
+        journal = self._journal
+        if journal is not None:
+            # Write-ahead: the snapshot is durable before the decisions
+            # it encodes are enacted.  Appends charge no CPU and draw no
+            # engine randomness, so journaling is schedule-invisible.
+            journal.append(self.snapshot_state(now))
         if not self._pending_signals:
             self._phase = _Phase.SLEEPING
             return self._sleep_until_boundary(now)
@@ -412,6 +526,125 @@ class AlpsAgent:
         cost = self.cfg.costs.measure_cost(npids)
         self.reads += npids
         cost += self.cfg.costs.signal_us * len(resume)
+        self._phase = _Phase.SIGNALING
+        return Compute(self._acc.charge(cost))
+
+    def _do_recover(self, kapi: "KernelAPI") -> Action:
+        """First activation after a journaled restart: replay the snapshot.
+
+        Restores the algorithm core (allowances, cycle position,
+        eligibility partition, postponement indices) and — crucially —
+        preserves the fairness debt: the CPU each subject consumed
+        while the agent was down (current reading minus the journaled
+        baseline) is scheduled for amortized repayment
+        (:func:`~repro.resilience.journal.schedule_debt`) instead of
+        being forgiven by a re-baseline.  Repayment is spread over
+        subsequent measurements at each debtor's fair-share rate — a
+        one-shot lump charge would destabilise the postponement
+        optimization.  Kernel truth still wins where it disagrees: dead
+        subjects are dropped, and any pid whose stopped-ness
+        contradicts the restored eligibility partition gets a fix-up
+        signal.  Any inconsistency in the payload degrades to the lossy
+        reconciliation path rather than failing the agent.
+        """
+        payload = self._recovered
+        self._recovered = None
+        now = kapi.now
+        obs = self._obs
+        try:
+            if payload is None:
+                raise JournalCorruptError("recovery payload missing")
+            ag = payload.get("agent", {})
+            last_read = {
+                int(pid): int(usage)
+                for pid, usage in ag.get("last_read", {}).items()
+            }
+            cumulative = {
+                int(sid): int(total)
+                for sid, total in ag.get("cumulative", {}).items()
+            }
+            deferred = {
+                int(sid): int(owed)
+                for sid, owed in ag.get("debt", {}).items()
+                if int(owed) > 0
+            }
+            epoch = int(ag.get("epoch", self._epoch))
+            restore_core(self.core, payload["core"])
+        except (JournalCorruptError, TypeError, ValueError, KeyError, AttributeError):
+            # Unusable payload: degrade to the PR 1 reconciliation pass.
+            self.recovery_fallbacks += 1
+            self.last_restart_journaled = False
+            if obs is not None and obs.enabled:
+                obs.events.emit(now, "agent.recovery_fallback")
+            self._phase = _Phase.RECONCILING
+            return self._do_reconcile(kapi)
+        # The core snapshot predates any subject deaths the liveness
+        # sweep noticed between snapshot and crash: self.subjects is
+        # kernel-adjacent truth, so prune restored sids it lost.
+        for sid in list(self.core.subjects):
+            if sid not in self.subjects:
+                self.core.remove_subject(sid)
+        self._epoch = epoch
+        npids = 0
+        stopped_now: set[int] = set()
+        debts: dict[int, int] = {}
+        pid_rows: list[tuple[int, int, bool]] = []
+        for sid, subj in self.subjects.items():
+            subj.refresh(kapi)
+            debt = 0
+            for pid in subj.pids(kapi):
+                npids += 1
+                try:
+                    stopped = kapi.is_stopped(pid)
+                except NoSuchProcessError:
+                    last_read.pop(pid, None)
+                    continue
+                try:
+                    usage = kapi.getrusage(pid)
+                except NoSuchProcessError:
+                    continue
+                except TransientReadError:
+                    usage = self._retry_read(kapi, pid)
+                if usage is not None:
+                    base = last_read.get(pid)
+                    if base is not None and usage > base:
+                        debt += usage - base
+                    self._last_read[pid] = usage
+                if stopped:
+                    stopped_now.add(pid)
+                pid_rows.append((sid, pid, stopped))
+            if debt:
+                debts[sid] = debt
+        # Downtime consumption is repaid gradually, not as a lump (see
+        # schedule_debt); the restored eligibility partition stands.
+        scheduled_us = schedule_debt(self.core, debts, deferred)
+        self._deferred_debt = deferred
+        fixups: list[tuple[int, int]] = []
+        core_subjects = self.core.subjects
+        for sid, pid, stopped in pid_rows:
+            st = core_subjects.get(sid)
+            want_stopped = st is not None and not st.eligible
+            if stopped != want_stopped:
+                fixups.append((pid, SIGSTOP if want_stopped else SIGCONT))
+        self._stopped_pids = stopped_now
+        self._reap_dead_subjects(kapi)
+        for sid in self.subjects:
+            cumulative.setdefault(sid, 0)
+        self._cumulative = cumulative
+        self._next_refresh = now + self.cfg.principal_refresh_us
+        self._pending_signals = fixups
+        self.journal_recoveries += 1
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                now, "agent.recovered",
+                subjects=len(core_subjects), fixups=len(fixups),
+                debt_us=scheduled_us,
+            )
+        # The stopped-ness checks walk every pid like a measurement pass,
+        # and the fix-up signals are real kill(2) calls: charge both.
+        cost = self.cfg.costs.measure_cost(npids)
+        self.reads += npids
+        cost += self.cfg.costs.signal_us * len(fixups)
         self._phase = _Phase.SIGNALING
         return Compute(self._acc.charge(cost))
 
@@ -647,6 +880,8 @@ def spawn_alps(
     nice: int = 0,
     start_delay: int = 0,
     injector: Optional["FaultInjector"] = None,
+    journal: Optional["MemoryJournal"] = None,
+    supervisor=None,
 ) -> tuple["Process", AlpsAgent]:
     """Spawn an ALPS scheduler process in the simulated kernel.
 
@@ -654,11 +889,21 @@ def spawn_alps(
     ``proc.cpu_time``) and the agent object (for its cycle log).  When a
     :class:`~repro.faults.injector.FaultInjector` is supplied, the agent
     runs behind its behavior wrapper and sees the injector's faulty
-    system-call surface.
+    system-call surface.  A ``journal`` makes restarts crash-safe
+    (:meth:`AlpsAgent.attach_journal`); a ``supervisor``
+    (:class:`~repro.resilience.supervisor.Supervisor`) hosts the agent
+    behind :class:`~repro.resilience.supervisor.SupervisedAlpsBehavior`,
+    which subsumes the plain fault wrapper.
     """
     agent = AlpsAgent(subjects, config)
+    if journal is not None:
+        agent.attach_journal(journal)
     behavior: "Behavior" = agent
-    if injector is not None:
+    if supervisor is not None:
+        from repro.resilience.supervisor import SupervisedAlpsBehavior
+
+        behavior = SupervisedAlpsBehavior(agent, supervisor, injector)
+    elif injector is not None:
         from repro.faults.injector import FaultableAlpsBehavior
 
         behavior = FaultableAlpsBehavior(agent, injector)

@@ -810,3 +810,110 @@ def cmd_obs_snapshot(
          "attained": r[3], "drift": r[4]} for r in rows
     ])
     return 0
+
+
+# ---------------------------------------------------------------------------
+def _parse_rates(rates: str) -> tuple[float, ...]:
+    try:
+        parsed = tuple(float(tok) for tok in rates.split(",") if tok.strip())
+    except ValueError:
+        raise SystemExit(f"invalid --rates {rates!r}: expected floats")
+    if not parsed:
+        raise SystemExit("at least one fault rate is required")
+    return parsed
+
+
+def _run_chaos(
+    *,
+    seed: int,
+    episodes: int,
+    rates: str,
+    shares: str,
+    quantum_ms: float,
+    cycles: int,
+    workers: Optional[int],
+    no_cache: bool,
+):
+    from repro.resilience.chaos import run_chaos_campaign
+
+    return run_chaos_campaign(
+        seed,
+        episodes=episodes,
+        rates=_parse_rates(rates),
+        shares=tuple(int(s) for s in shares.split(",")),
+        quantum_ms=quantum_ms,
+        cycles=cycles,
+        workers=workers,
+        cache=_sweep_cache(no_cache),
+    )
+
+
+def _chaos_verdict(report) -> int:
+    """Shared exit policy: non-zero with a stderr summary on violation."""
+    import sys
+
+    violations = report.violations()
+    if not violations:
+        return 0
+    print(
+        f"chaos: {len(violations)} invariant violation(s):", file=sys.stderr
+    )
+    for ep, name, detail in violations:
+        print(f"  episode {ep}: {name}: {detail}", file=sys.stderr)
+    return 1
+
+
+def cmd_chaos_run(
+    *,
+    seed: int,
+    episodes: int,
+    rates: str,
+    shares: str,
+    quantum_ms: float,
+    cycles: int,
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    """``repro chaos run`` — one seeded campaign, table to stdout."""
+    report = _run_chaos(
+        seed=seed, episodes=episodes, rates=rates, shares=shares,
+        quantum_ms=quantum_ms, cycles=cycles, workers=workers,
+        no_cache=no_cache,
+    )
+    print(report.format_table())
+    return _chaos_verdict(report)
+
+
+def cmd_chaos_report(
+    *,
+    seed: int,
+    episodes: int,
+    rates: str,
+    shares: str,
+    quantum_ms: float,
+    cycles: int,
+    out: str,
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    """``repro chaos report`` — campaign + full JSON detail to a file."""
+    import json
+
+    from repro.resilience.chaos import episode_payload
+
+    report = _run_chaos(
+        seed=seed, episodes=episodes, rates=rates, shares=shares,
+        quantum_ms=quantum_ms, cycles=cycles, workers=workers,
+        no_cache=no_cache,
+    )
+    payload = {
+        "campaign_seed": report.campaign_seed,
+        "ok": report.ok,
+        "episodes": [episode_payload(ep) for ep in report.episodes],
+    }
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(report.format_table())
+    print(f"\n[chaos report written to {out}]")
+    return _chaos_verdict(report)

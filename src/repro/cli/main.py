@@ -193,6 +193,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-up cycles excluded from attained fractions",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault campaigns with machine-checked invariants",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command")
+
+    def _chaos_common(p) -> None:
+        p.add_argument("--seed", type=int, default=0, help="campaign seed")
+        p.add_argument(
+            "--episodes", type=int, default=8, help="episodes per campaign"
+        )
+        p.add_argument(
+            "--rates",
+            default="0.02,0.05,0.1,0.2",
+            help="comma-separated fault rates cycled across episodes",
+        )
+        p.add_argument("--shares", default="1,2,3,4")
+        p.add_argument("--quantum-ms", type=float, default=10.0)
+        p.add_argument(
+            "--cycles", type=int, default=60, help="target cycles per episode"
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="sweep process-pool size (default: serial)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every episode instead of reusing cached results",
+        )
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one campaign; non-zero exit on invariant violation"
+    )
+    _chaos_common(chaos_run)
+    chaos_report = chaos_sub.add_parser(
+        "report", help="run one campaign and write full JSON detail"
+    )
+    _chaos_common(chaos_report)
+    chaos_report.add_argument("--out", default="chaos_report.json")
+
     obs = sub.add_parser(
         "obs", help="observability tooling (structured events and metrics)"
     )
@@ -314,6 +354,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             interval=args.interval,
             skip_cycles=args.skip_cycles,
         )
+    if args.command == "chaos":
+        if args.chaos_command == "run":
+            return commands.cmd_chaos_run(
+                seed=args.seed,
+                episodes=args.episodes,
+                rates=args.rates,
+                shares=args.shares,
+                quantum_ms=args.quantum_ms,
+                cycles=args.cycles,
+                workers=args.workers,
+                no_cache=args.no_cache,
+            )
+        if args.chaos_command == "report":
+            return commands.cmd_chaos_report(
+                seed=args.seed,
+                episodes=args.episodes,
+                rates=args.rates,
+                shares=args.shares,
+                quantum_ms=args.quantum_ms,
+                cycles=args.cycles,
+                out=args.out,
+                workers=args.workers,
+                no_cache=args.no_cache,
+            )
+        parser.parse_args(["chaos", "--help"])
+        return 2
     if args.command == "obs":
         if args.obs_command == "tail":
             return commands.cmd_obs_tail(

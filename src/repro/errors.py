@@ -89,3 +89,53 @@ class SweepCellTimeoutError(SweepCellError):
 
 class HostOSError(ReproError):
     """Raised by the real-OS backend for host-level failures."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the crash-safety subsystem (:mod:`repro.resilience`)."""
+
+
+class JournalCorruptError(ResilienceError):
+    """Raised when a state journal cannot yield a usable snapshot.
+
+    Tolerant recovery truncates torn or corrupt *tail* records silently;
+    this error means the damage goes deeper — a valid-looking record
+    carries an unusable payload (wrong snapshot version, missing
+    fields), or a strict recovery found bytes it had to discard.
+    Catchers fall back to the lossy re-baseline restart path.
+    """
+
+    def __init__(self, reason: str, *, discarded_bytes: int = 0) -> None:
+        super().__init__(f"journal corrupt: {reason}")
+        self.reason = reason
+        self.discarded_bytes = discarded_bytes
+
+
+class RestartBudgetExhausted(ResilienceError):
+    """Raised by the supervisor when a crashing agent exceeds its
+    restart budget; the catcher must enter the degraded "resume-all and
+    stand down" mode instead of restarting again."""
+
+    def __init__(self, restarts: int, budget: int) -> None:
+        super().__init__(
+            f"restart budget exhausted: {restarts} restarts, budget {budget}"
+        )
+        self.restarts = restarts
+        self.budget = budget
+
+
+class InvariantViolation(ResilienceError):
+    """One or more chaos-campaign invariants failed.
+
+    Carries the individual violations as ``(episode, invariant, detail)``
+    triples so the CLI can print a summary before exiting non-zero.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations = list(violations)
+        lines = ", ".join(
+            f"episode {ep}: {name} ({detail})" for ep, name, detail in self.violations
+        )
+        super().__init__(
+            f"{len(self.violations)} chaos invariant violation(s): {lines}"
+        )

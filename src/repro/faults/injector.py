@@ -66,6 +66,8 @@ class FaultInjector:
         self.reads_failed = 0
         self.stalls_injected = 0
         self.agent_crashes_injected = 0
+        self.journal_writes_lost = 0
+        self.journal_writes_torn = 0
 
     # ------------------------------------------------------------------
     # Trace
@@ -223,6 +225,36 @@ class FaultInjector:
             self.record("agent-crash", f"downtime_us={crash.downtime_us}")
             return crash
         return None
+
+    # ------------------------------------------------------------------
+    # Journal-persistence faults (repro.resilience.journal fault hook)
+    # ------------------------------------------------------------------
+    def fault_journal_append(self, encoded: bytes) -> Optional[bytes]:
+        """Perturb one journal append per the plan's write-fault rates.
+
+        Returns the bytes that actually reach the store: ``None`` for a
+        lost write, a truncated prefix for a torn one, or ``encoded``
+        unchanged.  Draws come from the dedicated ``journal`` RNG
+        stream, so enabling journal faults cannot shift the schedule of
+        any other fault kind.  Pass this method as
+        :class:`~repro.resilience.journal.MemoryJournal`'s
+        ``fault_hook``.
+        """
+        plan = self.plan
+        if plan.journal_write_fail_prob <= 0 and plan.journal_torn_write_prob <= 0:
+            return encoded
+        stream = self.rng.stream("journal")
+        draw = float(stream.random())
+        if draw < plan.journal_write_fail_prob:
+            self.journal_writes_lost += 1
+            self.record("journal-drop", f"bytes={len(encoded)}")
+            return None
+        if draw < plan.journal_write_fail_prob + plan.journal_torn_write_prob:
+            cut = 1 + int(stream.integers(0, max(1, len(encoded) - 1)))
+            self.journal_writes_torn += 1
+            self.record("journal-torn", f"kept={cut} of={len(encoded)}")
+            return encoded[:cut]
+        return encoded
 
     # ------------------------------------------------------------------
     # KernelAPI wrapping

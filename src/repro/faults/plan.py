@@ -97,6 +97,12 @@ class FaultPlan:
     agent_stall_quanta: int = 4
     agent_crashes: tuple[AgentCrash, ...] = ()
 
+    # -- journal-persistence faults (repro.resilience) --------------
+    #: Probability a journal append is lost before reaching the store.
+    journal_write_fail_prob: float = 0.0
+    #: Probability a journal append is torn (truncated mid-record).
+    journal_torn_write_prob: float = 0.0
+
     #: Horizon over which Poisson crash times are materialised.
     horizon_us: int = 60 * SEC
 
@@ -107,6 +113,8 @@ class FaultPlan:
             "signal_delay_prob",
             "rusage_fail_prob",
             "agent_stall_prob",
+            "journal_write_fail_prob",
+            "journal_torn_write_prob",
         ):
             value = getattr(self, name)
             if value < 0:
@@ -116,6 +124,8 @@ class FaultPlan:
             "signal_delay_prob",
             "rusage_fail_prob",
             "agent_stall_prob",
+            "journal_write_fail_prob",
+            "journal_torn_write_prob",
         ):
             if getattr(self, name) > 1:
                 raise SchedulerConfigError(f"{name} must be <= 1")
@@ -139,6 +149,8 @@ class FaultPlan:
             and not self.agent_stalls
             and self.agent_stall_prob == 0.0
             and not self.agent_crashes
+            and self.journal_write_fail_prob == 0.0
+            and self.journal_torn_write_prob == 0.0
         )
 
 

@@ -12,12 +12,24 @@ import os
 import signal
 import time
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.alps.algorithm import AlpsCore, Measurement
 from repro.alps.instrumentation import CycleLog
-from repro.errors import HostOSError
+from repro.errors import HostOSError, JournalCorruptError
 from repro.hostos import procfs
+from repro.resilience.journal import (
+    SNAPSHOT_VERSION,
+    core_snapshot,
+    drain_debt,
+    restore_core,
+    schedule_debt,
+    validate_snapshot,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+    from repro.resilience.journal import FileJournal
 
 
 @dataclass(slots=True)
@@ -72,6 +84,9 @@ class HostAlps:
         optimized: bool = True,
         track_io: bool = True,
         read_retry_budget: int = 2,
+        resume_retry_budget: int = 3,
+        journal: Optional["FileJournal"] = None,
+        observer: Optional["Observer"] = None,
     ) -> None:
         if quantum_s <= 0:
             raise HostOSError(f"quantum must be positive, got {quantum_s}")
@@ -79,9 +94,16 @@ class HostAlps:
             raise HostOSError(
                 f"read_retry_budget must be >= 0, got {read_retry_budget}"
             )
+        if resume_retry_budget < 0:
+            raise HostOSError(
+                f"resume_retry_budget must be >= 0, got {resume_retry_budget}"
+            )
         self.quantum_us = int(quantum_s * 1_000_000)
         self.track_io = track_io
         self.read_retry_budget = read_retry_budget
+        self.resume_retry_budget = resume_retry_budget
+        self.journal = journal
+        self.observer = observer
         self.core = AlpsCore(
             dict(shares),
             self.quantum_us,
@@ -95,6 +117,14 @@ class HostAlps:
         self.uncontrollable: set[int] = set()
         #: Transient procfs reads that needed a retry (statistics).
         self.read_retries = 0
+        #: SIGCONTs retried after a transient EINTR/EAGAIN failure.
+        self.resume_retries = 0
+        #: pids the controller could not resume within its retry budget.
+        self.resume_failures = 0
+        #: Whether state was replayed from the journal (crash recovery).
+        self.recovered = False
+        #: Downtime CPU debt (µs) per pid awaiting amortized repayment.
+        self._deferred_debt: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> HostAlpsReport:
@@ -106,6 +136,11 @@ class HostAlps:
         t_start = time.monotonic()
         own_cpu_start = time.process_time()
         for pid in list(self.core.subjects):
+            if pid in self._initial and pid in self._last_read:
+                # Journal-restored: the outage debt was already charged
+                # (capped) at restore time, and _initial keeps lifetime
+                # consumption accounting spanning the crash.
+                continue
             try:
                 usage = procfs.cpu_time_us(pid)
             except HostOSError:
@@ -164,9 +199,22 @@ class HostAlps:
             if consumed < 0:
                 consumed = 0  # never charge a backwards-running counter
             self._last_read[pid] = usage
+            if self._deferred_debt:
+                # Post-crash repayment: a share-proportional sliver of
+                # the outage debt rides on top of measured consumption.
+                st = self.core.subjects.get(pid)
+                if st is not None:
+                    consumed += drain_debt(
+                        self._deferred_debt, pid, st.share,
+                        self.quantum_us, self.core.total_shares,
+                    )
             blocked = self.track_io and stat.state in ("S", "D")
             measurements[pid] = Measurement(consumed_us=consumed, blocked=blocked)
         decisions = self.core.complete_quantum(measurements)
+        if self.journal is not None:
+            # Write-ahead: the snapshot is durable before the signals it
+            # encodes are sent.
+            self.journal.append(self.snapshot_state())
         for pid in decisions.to_suspend:
             self._signal(pid, signal.SIGSTOP)
         for pid in decisions.to_resume:
@@ -217,6 +265,14 @@ class HostAlps:
         controller ever scheduled that sits in procfs state ``T`` gets
         a SIGCONT, covering pids stopped right before an exception (or
         under bookkeeping lost to a crash).
+
+        A transient ``kill(2)`` failure (EINTR, EAGAIN — e.g. a signal
+        mid-syscall, or a momentarily full signal queue) is retried with
+        bounded backoff rather than swallowed: a SIGCONT lost on the way
+        out wedges the process forever.  A pid still unresumed after the
+        retry budget is counted in :attr:`resume_failures` and reported
+        as a ``hostalps.resume_failed`` obs event, and stays in the
+        stop-set so a later pass (or journaled restart) tries again.
         """
         candidates = set(self._stopped) | set(self._initial)
         candidates.update(self.core.subjects)
@@ -227,8 +283,131 @@ class HostAlps:
                         continue
                 except HostOSError:
                     continue
+            if self._resume_one(pid):
+                self._stopped.discard(pid)
+
+    def _resume_one(self, pid: int) -> bool:
+        """SIGCONT one pid, retrying transient EINTR/EAGAIN failures.
+
+        Returns True when the pid no longer needs resuming (delivered,
+        gone, or not ours to signal); False when the retry budget ran
+        out with the failure still transient.
+        """
+        delay_s = 0.001
+        for attempt in range(self.resume_retry_budget + 1):
             try:
                 os.kill(pid, signal.SIGCONT)
+                return True
             except (ProcessLookupError, PermissionError):
-                pass
-            self._stopped.discard(pid)
+                return True  # gone, or not ours: nothing left to recover
+            except (InterruptedError, BlockingIOError):
+                if attempt < self.resume_retry_budget:
+                    self.resume_retries += 1
+                    time.sleep(delay_s)
+                    delay_s = min(delay_s * 2, 0.05)
+        self.resume_failures += 1
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                int(time.monotonic() * 1_000_000),
+                "hostalps.resume_failed",
+                pid=pid,
+                attempts=self.resume_retry_budget + 1,
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    # Crash safety (docs/resilience.md)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-safe snapshot of everything a restarted controller needs."""
+        return {
+            "v": SNAPSHOT_VERSION,
+            "kind": "snapshot",
+            "t": int(time.monotonic() * 1_000_000),
+            "core": core_snapshot(self.core),
+            "agent": {
+                "last_read": {
+                    str(pid): usage for pid, usage in sorted(self._last_read.items())
+                },
+                "initial": {
+                    str(pid): usage for pid, usage in sorted(self._initial.items())
+                },
+                "stopped": sorted(self._stopped),
+                "debt": {
+                    str(pid): owed
+                    for pid, owed in sorted(self._deferred_debt.items())
+                },
+            },
+        }
+
+    def restore_from_journal(self) -> bool:
+        """Replay the attached journal's latest snapshot, if usable.
+
+        Returns True when state was restored: the algorithm core resumes
+        the same cycle, and CPU consumed during the outage (current
+        procfs reading minus the journaled baseline) is scheduled for
+        amortized repayment
+        (:func:`~repro.resilience.journal.schedule_debt`) — a
+        share-proportional sliver per subsequent quantum, so the
+        fairness debt survives the crash without destabilising the
+        postponement optimization.  Dead pids are pruned against procfs,
+        and restored-stopped pids are resumed only by the algorithm's
+        own next decisions.  Returns False (leaving the fresh-start
+        state untouched) for a missing, empty, or corrupt-beyond-use
+        journal.
+        """
+        if self.journal is None:
+            return False
+        try:
+            rec = self.journal.recover()
+            if rec.snapshot is None:
+                return False
+            payload = validate_snapshot(rec.snapshot)
+            ag = payload.get("agent", {})
+            last_read = {
+                int(pid): int(usage)
+                for pid, usage in ag.get("last_read", {}).items()
+            }
+            initial = {
+                int(pid): int(usage)
+                for pid, usage in ag.get("initial", {}).items()
+            }
+            stopped = {int(pid) for pid in ag.get("stopped", [])}
+            deferred = {
+                int(pid): int(owed)
+                for pid, owed in ag.get("debt", {}).items()
+                if int(owed) > 0
+            }
+            restore_core(self.core, payload["core"])
+        except (JournalCorruptError, TypeError, ValueError, KeyError):
+            return False
+        self._last_read = {}
+        self._initial = initial
+        self._stopped = stopped
+        debts: dict[int, int] = {}
+        for pid in list(self.core.subjects):
+            try:
+                usage = procfs.cpu_time_us(pid)
+            except HostOSError:
+                self._drop_subject(pid)
+                self._initial.pop(pid, None)
+                continue
+            base = last_read.get(pid)
+            if base is not None and usage > base:
+                debts[pid] = usage - base
+            self._last_read[pid] = usage
+        debt_us = schedule_debt(self.core, debts, deferred)
+        self._deferred_debt = deferred
+        self._stopped = {pid for pid in self._stopped if procfs.is_alive(pid)}
+        self.recovered = True
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                int(time.monotonic() * 1_000_000),
+                "hostalps.recovered",
+                subjects=len(self.core.subjects),
+                records=rec.records,
+                debt_us=debt_us,
+            )
+        return True

@@ -99,20 +99,36 @@ def fingerprint_run(
     strict: bool = False,
     quantum_us: int = ms(10),
     horizon_us: int = DEFAULT_HORIZON_US,
+    resilience: bool = False,
 ) -> RunFingerprint:
     """Run one controlled workload and fingerprint its schedule.
 
     ``strict=True`` selects the kernel's original eager bookkeeping;
     ``strict=False`` the optimized lazy path.  Everything else is held
     identical, so any fingerprint difference is a fast-path bug.
+
+    ``resilience=True`` additionally attaches the crash-safety stack —
+    a state journal and a supervision wrapper (no fault plan, so
+    neither ever acts) — which must *also* be schedule-invisible: the
+    fingerprint with the stack on must equal the fingerprint with it
+    off, byte for byte (docs/resilience.md).
     """
     tracer = Tracer(enabled=True)
+    journal = supervisor = None
+    if resilience:
+        from repro.resilience.journal import MemoryJournal
+        from repro.resilience.supervisor import RestartPolicy, Supervisor
+
+        journal = MemoryJournal()
+        supervisor = Supervisor(RestartPolicy(), quantum_us=quantum_us)
     cw = build_controlled_workload(
         shares,
         AlpsConfig(quantum_us=quantum_us),
         seed=seed,
         kernel_config=KernelConfig(strict=strict),
         tracer=tracer,
+        journal=journal,
+        supervisor=supervisor,
     )
     cw.engine.run_until(horizon_us)
     return RunFingerprint(

@@ -1,0 +1,384 @@
+"""Seeded chaos campaigns with machine-checked invariants.
+
+A *campaign* is a batch of independent *episodes*.  Each episode runs
+the standard controlled workload with the full resilience stack on —
+state journal, supervision wrapper, observability — under a seeded
+:class:`~repro.faults.plan.FaultPlan` that mixes every fault kind the
+injector knows, including journal write loss and torn journal writes,
+plus agent crashes at fixed fractions of the horizon so journaled
+recovery is exercised at every rate.  When the episode ends, the five
+invariants of :mod:`repro.resilience.invariants` are evaluated
+*in-worker* over the final kernel state and obs event log, so a cached
+episode carries its verdicts with it.
+
+Episodes are :class:`~repro.sweep.scheduler.SweepCell`s dispatched
+through :func:`~repro.sweep.scheduler.run_sweep`: campaigns parallelize
+across cores, re-running a campaign is incremental, and equal seeds
+produce byte-identical reports (the CLI determinism contract).
+
+Surfaced as ``repro chaos run|report`` and gated in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.alps.config import AlpsConfig
+from repro.errors import InvariantViolation, NoSuchProcessError
+from repro.experiments.common import run_for_cycles
+from repro.faults.plan import AgentCrash, FaultPlan, default_fault_plan
+from repro.obs.observer import Observer
+from repro.resilience.invariants import (
+    DEFAULT_FAIRNESS_BASE_PCT,
+    DEFAULT_FAIRNESS_SLOPE_PCT,
+    InvariantResult,
+    evaluate_episode_invariants,
+)
+from repro.resilience.journal import MemoryJournal
+from repro.resilience.supervisor import RestartPolicy, Supervisor
+from repro.sweep.cache import SweepCache
+from repro.sweep.scheduler import SweepCell, SweepSpec, run_sweep
+from repro.units import ms
+from repro.workloads.scenarios import build_controlled_workload
+
+#: Sweep-cache experiment id of one chaos episode.
+CHAOS_EXPERIMENT = "resilience.chaos"
+
+#: Default fault rates cycled across a campaign's episodes — the same
+#: rates the robustness benchmark sweeps (minus the fault-free point,
+#: which chaos has nothing to check against).
+DEFAULT_RATES = (0.02, 0.05, 0.1, 0.2)
+#: Episodes per campaign.
+DEFAULT_EPISODES = 8
+#: Workload shares (S = 10, cycle = 10 Q — the Table 2 small case).
+DEFAULT_SHARES = (1, 2, 3, 4)
+
+
+def episode_plan(
+    fault_rate: float, *, seed: int, horizon_us: int
+) -> FaultPlan:
+    """One episode's fault plan: the standard mix plus journal faults.
+
+    On top of :func:`~repro.faults.plan.default_fault_plan`, journal
+    appends are lost with probability ``rate`` and torn with ``rate/2``,
+    and two agent crashes are pinned at 1/3 and 2/3 of the horizon so
+    journaled recovery runs in *every* episode, not only at high rates.
+    """
+    plan = default_fault_plan(
+        fault_rate, seed=seed, horizon_us=horizon_us, agent_crash=False
+    )
+    if fault_rate == 0:
+        return plan
+    return replace(
+        plan,
+        journal_write_fail_prob=min(1.0, fault_rate),
+        journal_torn_write_prob=min(1.0, fault_rate / 2),
+        agent_crashes=(
+            AgentCrash(time_us=horizon_us // 3),
+            AgentCrash(time_us=2 * horizon_us // 3),
+        ),
+    )
+
+
+def attained_error_pct(cw: Any) -> float:
+    """Worst-subject relative deviation of attained CPU fractions (%).
+
+    Cumulative kernel-accounted CPU per worker over the whole episode,
+    as a fraction of the group total, against the share-proportional
+    target.  Unlike the per-cycle RMS metric, this is the quantity
+    journaled recovery actually protects: debt repayment deliberately
+    skews individual post-crash cycles, but the *cumulative* split must
+    converge back to the shares.  Dead workers (injected crashes) are
+    excluded and the targets renormalised over the survivors.
+    """
+    kapi = cw.kernel.kapi
+    attained: list[tuple[int, int]] = []  # (share, usage)
+    for proc, share in zip(cw.workers, cw.shares):
+        try:
+            attained.append((share, kapi.getrusage(proc.pid)))
+        except NoSuchProcessError:
+            continue
+    total_us = sum(usage for _, usage in attained)
+    total_shares = sum(share for share, _ in attained)
+    if total_us <= 0 or total_shares <= 0:
+        return float("nan")
+    worst = 0.0
+    for share, usage in attained:
+        target = share / total_shares
+        deviation = abs(usage / total_us - target) / target
+        worst = max(worst, deviation)
+    return 100.0 * worst
+
+
+@dataclass(slots=True, frozen=True)
+class ChaosEpisode:
+    """One episode's outcome: fault census, recovery census, verdicts."""
+
+    seed: int
+    fault_rate: float
+    cycles: int
+    error_pct: float
+    # -- recovery census --------------------------------------------
+    restarts: int
+    journal_recoveries: int
+    recovery_fallbacks: int
+    journal_writes_lost: int
+    journal_writes_torn: int
+    supervisor_restarts: int
+    degraded: bool
+    # -- verdicts ----------------------------------------------------
+    invariants: tuple[InvariantResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return all(res.ok for res in self.invariants)
+
+
+def run_chaos_episode(
+    seed: int,
+    fault_rate: float,
+    *,
+    shares: Sequence[int] = DEFAULT_SHARES,
+    quantum_ms: float = 10.0,
+    cycles: int = 60,
+    warmup_cycles: int = 5,
+    restart_budget: int = 5,
+    fairness_base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
+    fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+) -> ChaosEpisode:
+    """Run one fully-instrumented episode and evaluate its invariants."""
+    total_cycles = cycles + warmup_cycles
+    quantum_us = ms(quantum_ms)
+    horizon_us = int(2 * total_cycles * sum(shares) * quantum_us)
+    plan = episode_plan(fault_rate, seed=seed, horizon_us=horizon_us)
+    observer = Observer()
+    journal = MemoryJournal()
+    supervisor = Supervisor(
+        RestartPolicy(restart_budget=restart_budget),
+        quantum_us=quantum_us,
+        label=f"chaos-{seed}",
+    )
+    cw = build_controlled_workload(
+        list(shares),
+        AlpsConfig(quantum_us=quantum_us),
+        seed=seed,
+        fault_plan=plan,
+        observer=observer,
+        journal=journal,
+        supervisor=supervisor,
+    )
+    # Heavy plans (or a stood-down agent) may never reach the cycle
+    # goal; the horizon bounds the episode and a short log is still an
+    # auditable result.
+    run_for_cycles(
+        cw, total_cycles, max_sim_us=horizon_us, on_incomplete="ignore"
+    )
+    cw.agent.shutdown(cw.kernel.kapi)
+    error_pct = attained_error_pct(cw)
+    invariants = evaluate_episode_invariants(
+        cw,
+        fault_rate=fault_rate,
+        error_pct=error_pct,
+        fairness_base_pct=fairness_base_pct,
+        fairness_slope_pct=fairness_slope_pct,
+    )
+    injector = cw.injector
+    return ChaosEpisode(
+        seed=seed,
+        fault_rate=fault_rate,
+        cycles=len(cw.agent.cycle_log),
+        error_pct=float(error_pct),
+        restarts=cw.agent.restarts,
+        journal_recoveries=cw.agent.journal_recoveries,
+        recovery_fallbacks=cw.agent.recovery_fallbacks,
+        journal_writes_lost=injector.journal_writes_lost if injector else 0,
+        journal_writes_torn=injector.journal_writes_torn if injector else 0,
+        supervisor_restarts=supervisor.restarts,
+        degraded=supervisor.degraded,
+        invariants=tuple(invariants),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sweep-scheduler integration: cell params, worker, payload codec
+# ---------------------------------------------------------------------------
+def chaos_cell(
+    seed: int,
+    fault_rate: float,
+    *,
+    shares: Sequence[int] = DEFAULT_SHARES,
+    quantum_ms: float = 10.0,
+    cycles: int = 60,
+    warmup_cycles: int = 5,
+    restart_budget: int = 5,
+    fairness_base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
+    fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+) -> SweepCell:
+    """Declarative form of one chaos episode."""
+    return SweepCell(
+        CHAOS_EXPERIMENT,
+        {
+            "seed": seed,
+            "fault_rate": fault_rate,
+            "shares": list(shares),
+            "quantum_ms": quantum_ms,
+            "cycles": cycles,
+            "warmup_cycles": warmup_cycles,
+            "restart_budget": restart_budget,
+            "fairness_base_pct": fairness_base_pct,
+            "fairness_slope_pct": fairness_slope_pct,
+        },
+    )
+
+
+def run_chaos_cell(params: Mapping[str, Any]) -> dict:
+    """Module-level sweep worker for one chaos episode."""
+    episode = run_chaos_episode(
+        params["seed"],
+        params["fault_rate"],
+        shares=tuple(params["shares"]),
+        quantum_ms=params["quantum_ms"],
+        cycles=params["cycles"],
+        warmup_cycles=params["warmup_cycles"],
+        restart_budget=params["restart_budget"],
+        fairness_base_pct=params["fairness_base_pct"],
+        fairness_slope_pct=params["fairness_slope_pct"],
+    )
+    return episode_payload(episode)
+
+
+def episode_payload(episode: ChaosEpisode) -> dict:
+    """JSON-safe encoding of a :class:`ChaosEpisode`."""
+    payload = asdict(episode)
+    payload["invariants"] = [
+        {"name": res.name, "ok": res.ok, "detail": res.detail}
+        for res in episode.invariants
+    ]
+    return payload
+
+
+def episode_from_payload(payload: Mapping[str, Any]) -> ChaosEpisode:
+    """Inverse of :func:`episode_payload` (exact round-trip)."""
+    data = dict(payload)
+    data["invariants"] = tuple(
+        InvariantResult(res["name"], bool(res["ok"]), res["detail"])
+        for res in data["invariants"]
+    )
+    return ChaosEpisode(**data)
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """A finished campaign: every episode plus aggregate verdicts."""
+
+    campaign_seed: int
+    episodes: list[ChaosEpisode]
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant of every episode held."""
+        return all(ep.ok for ep in self.episodes)
+
+    def violations(self) -> list[tuple[int, str, str]]:
+        """``(episode_index, invariant, detail)`` for every failure."""
+        out: list[tuple[int, str, str]] = []
+        for i, ep in enumerate(self.episodes):
+            for res in ep.invariants:
+                if not res.ok:
+                    out.append((i, res.name, res.detail))
+        return out
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`~repro.errors.InvariantViolation` unless clean."""
+        violations = self.violations()
+        if violations:
+            raise InvariantViolation(violations)
+
+    def format_table(self) -> str:
+        """Stable text rendering (equal seeds render identical bytes)."""
+        lines = [
+            f"chaos campaign seed={self.campaign_seed} "
+            f"episodes={len(self.episodes)} "
+            f"verdict={'PASS' if self.ok else 'FAIL'}",
+            f"{'ep':>3} {'seed':>6} {'rate':>5} {'cycles':>6} "
+            f"{'err%':>7} {'restarts':>8} {'journaled':>9} "
+            f"{'fallback':>8} {'verdict':>7}",
+        ]
+        for i, ep in enumerate(self.episodes):
+            lines.append(
+                f"{i:>3} {ep.seed:>6} {ep.fault_rate:>5.2f} {ep.cycles:>6} "
+                f"{ep.error_pct:>7.2f} {ep.restarts:>8} "
+                f"{ep.journal_recoveries:>9} {ep.recovery_fallbacks:>8} "
+                f"{'ok' if ep.ok else 'FAIL':>7}"
+            )
+            for res in ep.invariants:
+                if not res.ok:
+                    lines.append(f"      ! {res.name}: {res.detail}")
+        return "\n".join(lines)
+
+
+def run_chaos_campaign(
+    seed: int = 0,
+    *,
+    episodes: int = DEFAULT_EPISODES,
+    rates: Sequence[float] = DEFAULT_RATES,
+    shares: Sequence[int] = DEFAULT_SHARES,
+    quantum_ms: float = 10.0,
+    cycles: int = 60,
+    warmup_cycles: int = 5,
+    restart_budget: int = 5,
+    fairness_base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
+    fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+) -> ChaosReport:
+    """Run one seeded campaign: ``episodes`` cells cycling over ``rates``.
+
+    Episode *i* uses fault rate ``rates[i % len(rates)]`` and seed
+    ``seed * 1000 + i``, so campaigns with different seeds never share
+    an episode and ``repro chaos run --seed N`` is fully deterministic.
+    """
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1, got {episodes}")
+    if not rates:
+        raise ValueError("at least one fault rate is required")
+    cells = [
+        chaos_cell(
+            seed * 1000 + i,
+            rates[i % len(rates)],
+            shares=shares,
+            quantum_ms=quantum_ms,
+            cycles=cycles,
+            warmup_cycles=warmup_cycles,
+            restart_budget=restart_budget,
+            fairness_base_pct=fairness_base_pct,
+            fairness_slope_pct=fairness_slope_pct,
+        )
+        for i in range(episodes)
+    ]
+    spec = SweepSpec(worker=run_chaos_cell, cells=cells)
+    outcome = run_sweep(spec, workers=workers, cache=cache)
+    return ChaosReport(
+        campaign_seed=seed,
+        episodes=[episode_from_payload(v) for v in outcome.values],
+    )
+
+
+__all__ = [
+    "CHAOS_EXPERIMENT",
+    "ChaosEpisode",
+    "ChaosReport",
+    "DEFAULT_EPISODES",
+    "DEFAULT_RATES",
+    "DEFAULT_SHARES",
+    "attained_error_pct",
+    "chaos_cell",
+    "episode_from_payload",
+    "episode_payload",
+    "episode_plan",
+    "run_chaos_campaign",
+    "run_chaos_cell",
+    "run_chaos_episode",
+]

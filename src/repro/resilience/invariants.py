@@ -1,0 +1,239 @@
+"""Machine-checked invariants over one chaos episode.
+
+A chaos campaign is only as good as what it *checks*.  Each episode
+(one seeded fault plan over one controlled workload) finishes with the
+five safety/liveness properties below evaluated against the workload's
+final kernel state, its obs event log, and the fault injector's trace.
+All five must hold at every fault rate the robustness benchmark sweeps;
+a failure is a real resilience bug, not noise — each invariant is
+conditioned on what the plan actually injected.
+
+The invariants:
+
+``no_lost_process``
+    Every controlled process that is dead at the end of the episode
+    died to an *injected* crash (a ``crash pid=N`` record in the fault
+    trace).  Anything else lost a process to the scheduler itself.
+``no_wedged_process``
+    After shutdown, no live controlled process remains job-control
+    stopped.  The PR 1 guarantee, now audited under supervision and
+    journaled restarts too.
+``cpu_conservation``
+    The agent's accounting never exceeds physics: per live pid, the
+    agent's cumulative measured consumption is bounded by the kernel's
+    own rusage counter, and the kernel's total consumption is bounded
+    by elapsed virtual time × CPUs.
+``bounded_fairness``
+    The worst subject's relative deviation of *cumulative* attained-CPU
+    fraction from its share-proportional target stays under an affine
+    bound in the fault rate: ``error ≤ base + slope · rate`` (percent).
+    The journaled-recovery claim, as an inequality: individual
+    post-crash cycles deliberately deviate while debt is repaid, but
+    the cumulative split must converge back to the shares.
+``agent_liveness``
+    Unless the supervisor legitimately stood the agent down (restart
+    budget exhausted), the agent serviced a quantum timer within the
+    liveness window of the episode's end — crashes plus backoff never
+    silence it permanently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NoSuchProcessError
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.scenarios import ControlledWorkload
+
+#: Fairness bound intercept (percent error at fault rate 0).  Clean
+#: runs land under 1%; the intercept leaves slack for startup skew.
+DEFAULT_FAIRNESS_BASE_PCT = 8.0
+#: Fairness bound slope (percent error per unit fault rate).  Dominated
+#: by the heaviest sweep point (rate 0.2: one in five control signals
+#: is dropped outright, so proportions genuinely loosen — the measured
+#: worst case is ~45% with salvage recovery and amortized debt
+#: repayment keeping it bounded; the slope leaves seed headroom).
+DEFAULT_FAIRNESS_SLOPE_PCT = 320.0
+#: How recently (µs before episode end) the agent must have ticked.
+DEFAULT_LIVENESS_WINDOW_US = 2 * SEC
+
+
+@dataclass(slots=True, frozen=True)
+class InvariantResult:
+    """One invariant's verdict for one episode."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+def _crashed_pids(cw: "ControlledWorkload") -> set[int]:
+    """pids the injector deliberately killed (from its fault trace)."""
+    pids: set[int] = set()
+    if cw.injector is None:
+        return pids
+    for rec in cw.injector.trace:
+        if rec.kind == "crash" and rec.detail.startswith("pid="):
+            try:
+                pids.add(int(rec.detail[4:]))
+            except ValueError:  # pragma: no cover - trace is ours
+                continue
+    return pids
+
+
+def check_no_lost_process(cw: "ControlledWorkload") -> InvariantResult:
+    """Every dead controlled process died to an injected crash."""
+    crashed = _crashed_pids(cw)
+    kapi = cw.kernel.kapi
+    lost = []
+    for proc in cw.workers:
+        if not kapi.pid_exists(proc.pid) and proc.pid not in crashed:
+            lost.append(proc.pid)
+    return InvariantResult(
+        "no_lost_process",
+        not lost,
+        "all deaths injected" if not lost else f"unexplained deaths: {lost}",
+    )
+
+
+def check_no_wedged_process(cw: "ControlledWorkload") -> InvariantResult:
+    """No live controlled process remains stopped after shutdown."""
+    wedged = []
+    for proc in cw.workers:
+        try:
+            if cw.kernel.is_stopped(proc.pid):
+                wedged.append(proc.pid)
+        except Exception:
+            continue  # dead — cannot be wedged
+    return InvariantResult(
+        "no_wedged_process",
+        not wedged,
+        "no wedged pids" if not wedged else f"wedged pids: {wedged}",
+    )
+
+
+def check_cpu_conservation(cw: "ControlledWorkload") -> InvariantResult:
+    """Agent accounting ≤ kernel accounting ≤ time × CPUs."""
+    kapi = cw.kernel.kapi
+    total_kernel_us = 0
+    for sid, subj in cw.agent.subjects.items():
+        pid = getattr(subj, "pid", None)
+        if pid is None:
+            continue
+        try:
+            kernel_us = kapi.getrusage(pid)
+        except NoSuchProcessError:
+            continue
+        total_kernel_us += kernel_us
+        agent_us = cw.agent.cumulative_cpu_of(sid)
+        if agent_us > kernel_us:
+            return InvariantResult(
+                "cpu_conservation",
+                False,
+                f"agent measured {agent_us}us for sid {sid} "
+                f"but kernel accounted only {kernel_us}us",
+            )
+    ncpus = cw.kernel.cfg.ncpus
+    budget = cw.engine.now * ncpus
+    if total_kernel_us > budget:
+        return InvariantResult(
+            "cpu_conservation",
+            False,
+            f"kernel accounted {total_kernel_us}us over a "
+            f"{budget}us budget ({ncpus} cpu(s))",
+        )
+    return InvariantResult(
+        "cpu_conservation",
+        True,
+        f"{total_kernel_us}us within {budget}us budget",
+    )
+
+
+def check_bounded_fairness(
+    fault_rate: float,
+    error_pct: float,
+    *,
+    base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
+    slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+) -> InvariantResult:
+    """Cumulative attained-fraction error under ``base + slope · rate``.
+
+    ``error_pct`` is :func:`repro.resilience.chaos.attained_error_pct`:
+    the worst subject's relative deviation of cumulative attained CPU
+    from its share-proportional target, in percent.
+    """
+    bound = base_pct + slope_pct * fault_rate
+    ok = error_pct == error_pct and error_pct <= bound  # NaN fails
+    return InvariantResult(
+        "bounded_fairness",
+        ok,
+        f"error {error_pct:.2f}% vs bound {bound:.2f}% at rate {fault_rate}",
+    )
+
+
+def check_agent_liveness(
+    cw: "ControlledWorkload",
+    *,
+    window_us: int = DEFAULT_LIVENESS_WINDOW_US,
+) -> InvariantResult:
+    """The agent kept servicing quanta (unless legitimately degraded)."""
+    if cw.supervisor is not None and cw.supervisor.degraded:
+        return InvariantResult(
+            "agent_liveness", True, "supervisor stood the agent down"
+        )
+    obs = cw.observer
+    if obs is None:
+        return InvariantResult(
+            "agent_liveness", False, "no observer attached: cannot audit"
+        )
+    ticks = obs.events.of_kind("quantum.tick")
+    if not ticks:
+        return InvariantResult("agent_liveness", False, "agent never ticked")
+    last = ticks[-1].time_us
+    gap = cw.engine.now - last
+    return InvariantResult(
+        "agent_liveness",
+        gap <= window_us,
+        f"last tick {gap}us before episode end (window {window_us}us)",
+    )
+
+
+def evaluate_episode_invariants(
+    cw: "ControlledWorkload",
+    *,
+    fault_rate: float,
+    error_pct: float,
+    fairness_base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
+    fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+    liveness_window_us: int = DEFAULT_LIVENESS_WINDOW_US,
+) -> list[InvariantResult]:
+    """All five invariants for one finished episode, in canonical order."""
+    return [
+        check_no_lost_process(cw),
+        check_no_wedged_process(cw),
+        check_cpu_conservation(cw),
+        check_bounded_fairness(
+            fault_rate,
+            error_pct,
+            base_pct=fairness_base_pct,
+            slope_pct=fairness_slope_pct,
+        ),
+        check_agent_liveness(cw, window_us=liveness_window_us),
+    ]
+
+
+__all__ = [
+    "DEFAULT_FAIRNESS_BASE_PCT",
+    "DEFAULT_FAIRNESS_SLOPE_PCT",
+    "DEFAULT_LIVENESS_WINDOW_US",
+    "InvariantResult",
+    "check_agent_liveness",
+    "check_bounded_fairness",
+    "check_cpu_conservation",
+    "check_no_lost_process",
+    "check_no_wedged_process",
+    "evaluate_episode_invariants",
+]

@@ -27,6 +27,8 @@ from repro.workloads.spinner import spinner_behavior
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
     from repro.perf.counters import PerfCounters
+    from repro.resilience.journal import MemoryJournal
+    from repro.resilience.supervisor import Supervisor
 
 
 @dataclass(slots=True)
@@ -44,6 +46,10 @@ class ControlledWorkload:
     #: Present when the workload was built with an observability handle
     #: (``build_controlled_workload(observer=...)``).
     observer: Optional["Observer"] = None
+    #: Present when the agent journals its state (crash safety).
+    journal: Optional["MemoryJournal"] = None
+    #: Present when the agent runs under a supervision wrapper.
+    supervisor: Optional["Supervisor"] = None
 
     @property
     def total_shares(self) -> int:
@@ -74,6 +80,8 @@ def build_controlled_workload(
     tracer: Optional[Tracer] = None,
     counters: Optional["PerfCounters"] = None,
     observer: Optional["Observer"] = None,
+    journal: Optional["MemoryJournal"] = None,
+    supervisor: Optional["Supervisor"] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -89,7 +97,12 @@ def build_controlled_workload(
     ``observer`` attaches a :class:`repro.obs.Observer` to every layer —
     engine run accounting, kernel context-switch/signal events, and the
     agent's quantum/eligibility/cycle events and cost spans — without
-    perturbing the schedule (docs/observability.md).
+    perturbing the schedule (docs/observability.md).  ``journal``
+    attaches a write-ahead state journal to the agent (crash safety,
+    docs/resilience.md; the injector's journal-write faults are wired as
+    its fault hook when both are present); ``supervisor`` hosts the
+    agent behind the supervision wrapper (heartbeats, backoff restarts,
+    degraded-mode stand-down), which subsumes the plain fault wrapper.
     """
     engine = Engine(seed=seed, tracer=tracer, counters=counters, observer=observer)
     kernel = kernel_factory(engine, kernel_config)
@@ -107,12 +120,16 @@ def build_controlled_workload(
     if fault_plan is not None:
         injector = FaultInjector(fault_plan, engine, kernel)
         injector.arm([w.pid for w in workers])
+    if journal is not None and injector is not None and journal.fault_hook is None:
+        journal.fault_hook = injector.fault_journal_append
     alps_proc, agent = spawn_alps(
         kernel,
         subjects,
         alps_config,
         start_delay=alps_start_delay,
         injector=injector,
+        journal=journal,
+        supervisor=supervisor,
     )
     return ControlledWorkload(
         engine=engine,
@@ -123,6 +140,8 @@ def build_controlled_workload(
         shares=list(shares),
         injector=injector,
         observer=observer,
+        journal=journal,
+        supervisor=supervisor,
     )
 
 

@@ -1,0 +1,82 @@
+"""``AlpsAgent._retry_read``: budget exhaustion and its accounting.
+
+Companion to tests/hostos/test_controller_robustness.py, which pins the
+same discrimination (transient vs gone) for the live controller.
+"""
+
+from __future__ import annotations
+
+from repro.alps.agent import AlpsAgent
+from repro.alps.config import AlpsConfig
+from repro.alps.subjects import ProcessSubject
+from repro.errors import NoSuchProcessError, TransientReadError
+
+Q = 10_000
+
+
+class RetryKapi:
+    """getrusage scripted per call; everything else inert."""
+
+    def __init__(self, script) -> None:
+        self.now = 0
+        self.script = list(script)
+        self.calls = 0
+
+    def getrusage(self, pid: int) -> int:
+        self.calls += 1
+        step = self.script.pop(0) if self.script else 0
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def make_agent(budget: int) -> AlpsAgent:
+    return AlpsAgent(
+        [ProcessSubject(sid=0, share=1, pid=100)],
+        AlpsConfig(quantum_us=Q, read_retry_budget=budget),
+    )
+
+
+def test_retry_read_succeeds_within_budget():
+    agent = make_agent(budget=3)
+    kapi = RetryKapi([TransientReadError(100), 4321])
+    assert agent._retry_read(kapi, 100) == 4321
+    assert agent.read_retries == 2
+    assert agent.read_failures == 0
+    # Each retry's CPU is owed to the next quantum, never free.
+    assert agent._deferred_cost_us > 0
+
+
+def test_retry_read_exhaustion_returns_none_and_counts_failure():
+    agent = make_agent(budget=2)
+    agent._last_read[100] = 777  # pre-existing baseline
+    kapi = RetryKapi([TransientReadError(100)] * 10)
+    assert agent._retry_read(kapi, 100) is None
+    assert kapi.calls == 2  # exactly the budget, no unbounded spinning
+    assert agent.read_retries == 2
+    assert agent.read_failures == 1
+    # The baseline survives: the next successful read charges the full
+    # elapsed interval — a skipped measurement defers, never loses.
+    assert agent._last_read[100] == 777
+
+
+def test_retry_read_zero_budget_fails_immediately():
+    agent = make_agent(budget=0)
+    kapi = RetryKapi([1234])
+    assert agent._retry_read(kapi, 100) is None
+    assert kapi.calls == 0
+    assert agent.read_failures == 1
+
+
+def test_retry_read_discriminates_gone_from_transient():
+    """A pid that vanishes mid-retry is death, not a transient glitch:
+    its per-pid records go and no failure is counted against the
+    retry machinery."""
+    agent = make_agent(budget=3)
+    agent._last_read[100] = 777
+    agent._stopped_pids.add(100)
+    kapi = RetryKapi([TransientReadError(100), NoSuchProcessError(100)])
+    assert agent._retry_read(kapi, 100) is None
+    assert agent.read_failures == 0
+    assert 100 not in agent._last_read
+    assert 100 not in agent._stopped_pids

@@ -148,3 +148,77 @@ def test_run_reports_last_read_for_died_process(monkeypatch):
     # It may get the initial everyone-eligible SIGCONT, but once dead it
     # is never suspended again.
     assert all(signo == signal.SIGCONT for _, signo in killed)
+
+
+# ----------------------------------------------------------------------
+# _resume_all transient-failure retries (docs/resilience.md)
+# ----------------------------------------------------------------------
+def test_resume_one_retries_eintr_then_succeeds(monkeypatch):
+    alps = HostAlps({777: 1}, quantum_s=0.05, resume_retry_budget=3)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    attempts = {"n": 0}
+
+    def flaky(pid, signo):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise InterruptedError("EINTR")
+
+    monkeypatch.setattr(os, "kill", flaky)
+    assert alps._resume_one(777)
+    assert alps.resume_retries == 2
+    assert alps.resume_failures == 0
+
+
+def test_resume_one_exhausted_budget_counts_failure(monkeypatch):
+    alps = HostAlps({777: 1}, quantum_s=0.05, resume_retry_budget=2)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    monkeypatch.setattr(
+        os, "kill", lambda pid, signo: (_ for _ in ()).throw(BlockingIOError("EAGAIN"))
+    )
+    assert not alps._resume_one(777)
+    assert alps.resume_retries == 2
+    assert alps.resume_failures == 1
+
+
+def test_resume_one_unrecovered_pid_is_reported(monkeypatch):
+    from repro.obs.observer import Observer
+
+    obs = Observer()
+    alps = HostAlps({777: 1}, quantum_s=0.05, resume_retry_budget=1, observer=obs)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    monkeypatch.setattr(
+        os, "kill", lambda pid, signo: (_ for _ in ()).throw(InterruptedError("EINTR"))
+    )
+    assert not alps._resume_one(777)
+    failed = obs.events.of_kind("hostalps.resume_failed")
+    assert len(failed) == 1
+    assert failed[0].fields["pid"] == 777
+
+
+def test_resume_one_gone_or_denied_needs_no_retry(monkeypatch):
+    alps = HostAlps({777: 1}, quantum_s=0.05, resume_retry_budget=5)
+    monkeypatch.setattr(
+        os, "kill", lambda pid, signo: (_ for _ in ()).throw(ProcessLookupError())
+    )
+    assert alps._resume_one(777)  # gone: nothing left to recover
+    monkeypatch.setattr(
+        os, "kill", lambda pid, signo: (_ for _ in ()).throw(PermissionError())
+    )
+    assert alps._resume_one(777)  # not ours: retrying cannot help
+    assert alps.resume_retries == 0
+    assert alps.resume_failures == 0
+
+
+def test_resume_all_keeps_unresumed_pid_in_stop_set(monkeypatch):
+    """A pid the budget could not resume stays in the stop-set: a later
+    _resume_all (or the exit path's) gets another chance at it."""
+    alps = HostAlps({777: 1}, quantum_s=0.05, resume_retry_budget=1)
+    alps._initial[777] = 0
+    alps._stopped.add(777)
+    monkeypatch.setattr("time.sleep", lambda s: None)
+    monkeypatch.setattr(
+        os, "kill", lambda pid, signo: (_ for _ in ()).throw(InterruptedError())
+    )
+    alps._resume_all()
+    assert 777 in alps._stopped
+    assert alps.resume_failures == 1

@@ -1,0 +1,69 @@
+"""The ``repro chaos`` CLI: exit codes, determinism, report files."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli.main import main
+
+#: Tiny campaign so the CLI tests stay in tier-1 time.
+FAST = ["--episodes", "2", "--cycles", "15", "--no-cache"]
+
+
+def test_chaos_run_passes_and_prints_table(capsys):
+    rc = main(["chaos", "run", "--seed", "0", "--rates", "0.05", *FAST])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "verdict=PASS" in captured.out
+    assert captured.err == ""
+
+
+def test_chaos_run_is_deterministic(capsys):
+    main(["chaos", "run", "--seed", "3", "--rates", "0.05", *FAST])
+    first = capsys.readouterr().out
+    main(["chaos", "run", "--seed", "3", "--rates", "0.05", *FAST])
+    assert capsys.readouterr().out == first
+
+
+def test_chaos_run_violation_exits_nonzero_with_stderr_summary(
+    capsys, monkeypatch
+):
+    # Force a violation by collapsing the fairness bound to zero.
+    from repro.resilience import chaos as chaos_mod
+
+    original = chaos_mod.run_chaos_campaign
+
+    def strict_campaign(seed, **kwargs):
+        kwargs["fairness_base_pct"] = 0.0
+        kwargs["fairness_slope_pct"] = 0.0
+        return original(seed, **kwargs)
+
+    monkeypatch.setattr(chaos_mod, "run_chaos_campaign", strict_campaign)
+    rc = main(["chaos", "run", "--seed", "0", "--rates", "0.05", *FAST])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "verdict=FAIL" in captured.out
+    assert "invariant violation" in captured.err
+    assert "bounded_fairness" in captured.err
+
+
+def test_chaos_report_writes_json(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = main(
+        ["chaos", "report", "--seed", "0", "--rates", "0.05",
+         "--out", str(out), *FAST]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["campaign_seed"] == 0
+    assert payload["ok"] is True
+    assert len(payload["episodes"]) == 2
+    for ep in payload["episodes"]:
+        assert len(ep["invariants"]) == 5
+
+
+def test_chaos_rejects_bad_rates(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["chaos", "run", "--rates", "fast,slow", *FAST])

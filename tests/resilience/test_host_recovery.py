@@ -1,0 +1,92 @@
+"""HostAlps journaled crash recovery, with procfs monkeypatched.
+
+Never touches real processes: procfs reads are scripted, so these run
+in the default (non-hostos) suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HostOSError
+from repro.hostos import procfs
+from repro.hostos.controller import HostAlps
+from repro.resilience.journal import FileJournal, encode_record
+
+
+def make_journal(tmp_path) -> FileJournal:
+    return FileJournal(str(tmp_path / "host.journal"), fsync=False)
+
+
+def patched_procfs(monkeypatch, usages: dict[int, int]) -> None:
+    monkeypatch.setattr(procfs, "cpu_time_us", lambda pid: usages[pid])
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: pid in usages)
+
+
+def test_restore_from_journal_resumes_core_and_schedules_debt(
+    tmp_path, monkeypatch
+):
+    journal = make_journal(tmp_path)
+    first = HostAlps({41: 1, 42: 3}, quantum_s=0.05, journal=journal)
+    first.core.count = 17  # mid-cycle state worth preserving
+    first._last_read = {41: 1_000, 42: 5_000}
+    journal.append(first.snapshot_state())
+    journal.close()
+
+    # "Crash": a fresh controller over the same journal.  Both pids
+    # consumed CPU during the outage.
+    patched_procfs(monkeypatch, {41: 1_800, 42: 6_200})
+    second = HostAlps(
+        {41: 1, 42: 3},
+        quantum_s=0.05,
+        journal=FileJournal(str(tmp_path / "host.journal"), fsync=False),
+    )
+    assert second.restore_from_journal()
+    assert second.recovered
+    assert second.core.count == 17
+    # Downtime consumption became amortized debt, not a lump and not a
+    # forgiven re-baseline.
+    assert second._deferred_debt == {41: 800, 42: 1_200}
+    # Baselines moved to the fresh readings: the debt is charged once.
+    assert second._last_read == {41: 1_800, 42: 6_200}
+
+
+def test_restore_prunes_pids_dead_during_outage(tmp_path, monkeypatch):
+    journal = make_journal(tmp_path)
+    first = HostAlps({41: 1, 42: 3}, quantum_s=0.05, journal=journal)
+    first._last_read = {41: 1_000, 42: 5_000}
+    journal.append(first.snapshot_state())
+    journal.close()
+
+    def read(pid):
+        if pid == 42:
+            raise HostOSError("gone")
+        return 1_500
+
+    monkeypatch.setattr(procfs, "cpu_time_us", read)
+    monkeypatch.setattr(procfs, "is_alive", lambda pid: pid == 41)
+    second = HostAlps(
+        {41: 1, 42: 3},
+        quantum_s=0.05,
+        journal=FileJournal(str(tmp_path / "host.journal"), fsync=False),
+    )
+    assert second.restore_from_journal()
+    assert 42 not in second.core.subjects
+    assert 41 in second.core.subjects
+
+
+def test_restore_returns_false_without_usable_journal(tmp_path):
+    alps = HostAlps({41: 1}, quantum_s=0.05)  # no journal at all
+    assert not alps.restore_from_journal()
+
+    empty = FileJournal(str(tmp_path / "empty.journal"), fsync=False)
+    alps2 = HostAlps({41: 1}, quantum_s=0.05, journal=empty)
+    assert not alps2.restore_from_journal()
+    assert not alps2.recovered
+
+    # A journal whose only record is not a valid snapshot payload.
+    path = tmp_path / "bad.journal"
+    path.write_bytes(encode_record(0, {"kind": "not-a-snapshot"}))
+    alps3 = HostAlps(
+        {41: 1}, quantum_s=0.05,
+        journal=FileJournal(str(path), fsync=False),
+    )
+    assert not alps3.restore_from_journal()

@@ -1,0 +1,190 @@
+"""Journal record format, salvage recovery, and both journal stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JournalCorruptError
+from repro.resilience.journal import (
+    FileJournal,
+    MemoryJournal,
+    encode_record,
+    recover_journal,
+)
+
+
+def payload(n: int) -> dict:
+    return {"kind": "snapshot", "n": n}
+
+
+# ----------------------------------------------------------------------
+# Record format
+# ----------------------------------------------------------------------
+def test_encode_is_deterministic_and_newline_terminated():
+    a = encode_record(3, {"b": 1, "a": 2})
+    b = encode_record(3, {"a": 2, "b": 1})  # key order must not matter
+    assert a == b
+    assert a.endswith(b"\n")
+    assert a.startswith(b"ALPSJ1 3 ")
+
+
+def test_recover_empty_journal():
+    rec = recover_journal(b"")
+    assert rec.snapshot is None
+    assert rec.last_seq == -1
+    assert rec.records == 0
+
+
+def test_recover_clean_journal_returns_last_record():
+    data = b"".join(encode_record(i, payload(i)) for i in range(5))
+    rec = recover_journal(data)
+    assert rec.records == 5
+    assert rec.last_seq == 4
+    assert rec.snapshot == payload(4)
+    assert rec.discarded_bytes == 0
+    assert rec.valid_bytes == len(data)
+
+
+def test_bit_flip_invalidates_only_that_record():
+    records = [encode_record(i, payload(i)) for i in range(4)]
+    corrupt = bytearray(records[2])
+    corrupt[len(corrupt) // 2] ^= 0xFF  # flip a body byte: CRC fails
+    data = records[0] + records[1] + bytes(corrupt) + records[3]
+    rec = recover_journal(data)
+    assert rec.records == 3
+    assert rec.snapshot == payload(3)  # later record salvaged
+    assert rec.discarded_bytes == len(records[2])
+
+
+def test_torn_tail_is_discarded():
+    data = b"".join(encode_record(i, payload(i)) for i in range(3))
+    torn = data + encode_record(3, payload(3))[:-5]  # no newline
+    rec = recover_journal(torn)
+    assert rec.records == 3
+    assert rec.snapshot == payload(2)
+    assert rec.discarded_bytes > 0
+
+
+def test_torn_mid_journal_append_does_not_shadow_later_records():
+    """The regression the salvage scan exists for: a torn record eats
+    its newline, merging with the next append onto one line.  Recovery
+    must resynchronise and keep trusting the CRC'd records after it."""
+    good = [encode_record(i, payload(i)) for i in range(6)]
+    torn = encode_record(99, {"kind": "snapshot", "n": 99})[:-10]
+    data = good[0] + good[1] + torn + good[2] + good[3] + good[4] + good[5]
+    rec = recover_journal(data)
+    assert rec.snapshot == payload(5)
+    assert rec.last_seq == 5
+    # Only the torn record (and nothing else) was lost: the append it
+    # merged with is salvaged from inside the damaged line.
+    assert rec.records == 6
+    assert rec.discarded_bytes == len(torn)
+
+
+def test_stale_sequence_numbers_never_shadow_newer_state():
+    data = (
+        encode_record(5, payload(5))
+        + encode_record(2, payload(2))  # replayed old record
+        + encode_record(6, payload(6))
+    )
+    rec = recover_journal(data)
+    assert rec.snapshot == payload(6)
+    assert rec.records == 2  # the stale record does not count
+
+
+def test_strict_mode_raises_on_any_damage():
+    data = encode_record(0, payload(0)) + b"garbage-no-newline"
+    with pytest.raises(JournalCorruptError) as exc:
+        recover_journal(data, strict=True)
+    assert exc.value.discarded_bytes > 0
+    # Clean data never raises.
+    recover_journal(encode_record(0, payload(0)), strict=True)
+
+
+def test_pure_garbage_recovers_to_nothing():
+    rec = recover_journal(b"not a journal\nat all\n")
+    assert rec.snapshot is None
+    assert rec.records == 0
+    assert rec.discarded_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# MemoryJournal
+# ----------------------------------------------------------------------
+def test_memory_journal_roundtrip_and_seq_advance():
+    j = MemoryJournal()
+    for i in range(10):
+        j.append(payload(i))
+    rec = j.recover()
+    assert rec.snapshot == payload(9)
+    assert rec.records == 10
+    assert j.appends == 10
+
+
+def test_memory_journal_fault_hook_can_lose_and_tear():
+    drops = iter([None, b"ALPSJ1 torn", *([None] * 0)])
+
+    def hook(encoded: bytes):
+        try:
+            return next(drops)
+        except StopIteration:
+            return encoded
+
+    j = MemoryJournal(fault_hook=hook)
+    j.append(payload(0))  # lost
+    j.append(payload(1))  # torn
+    j.append(payload(2))  # intact
+    rec = j.recover()
+    assert rec.snapshot == payload(2)
+    assert rec.records == 1
+
+
+def test_memory_journal_compaction_preserves_recovery_point():
+    j = MemoryJournal(compact_threshold=8)
+    for i in range(20):
+        j.append(payload(i))
+    assert j.compactions >= 2
+    rec = j.recover()
+    assert rec.snapshot == payload(19)
+    assert len(j) < 20 * len(encode_record(0, payload(0)))
+
+
+def test_memory_journal_rejects_tiny_compact_threshold():
+    with pytest.raises(ValueError):
+        MemoryJournal(compact_threshold=1)
+
+
+# ----------------------------------------------------------------------
+# FileJournal
+# ----------------------------------------------------------------------
+def test_file_journal_roundtrip(tmp_path):
+    path = tmp_path / "alps.journal"
+    j = FileJournal(str(path), fsync=False)
+    for i in range(5):
+        j.append(payload(i))
+    j.close()
+    # A fresh handle (the restarted controller) recovers the tail.
+    j2 = FileJournal(str(path), fsync=False)
+    rec = j2.recover()
+    assert rec.snapshot == payload(4)
+    # And keeps sequence numbers advancing past everything on disk.
+    j2.append(payload(5))
+    rec2 = j2.recover()
+    assert rec2.last_seq > rec.last_seq
+    assert rec2.snapshot == payload(5)
+    j2.close()
+
+
+def test_file_journal_recovers_after_torn_tail(tmp_path):
+    path = tmp_path / "alps.journal"
+    j = FileJournal(str(path), fsync=False)
+    for i in range(3):
+        j.append(payload(i))
+    j.close()
+    with open(path, "ab") as fh:
+        fh.write(b"ALPSJ1 3 deadbeef {\"tor")  # crash mid-write
+    j2 = FileJournal(str(path), fsync=False)
+    rec = j2.recover()
+    assert rec.snapshot == payload(2)
+    assert rec.discarded_bytes > 0
+    j2.close()

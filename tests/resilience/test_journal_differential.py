@@ -1,0 +1,37 @@
+"""Schedule invisibility of the crash-safety stack.
+
+Journaling appends one snapshot per quantum and the supervision wrapper
+monitors every activation — neither may perturb the schedule: with no
+fault plan, a run with the full resilience stack attached must produce
+byte-identical observable behavior (cycle log, event trace, event
+count, final clock) to a run without it, over the Table 2 workload
+matrix and seeds 0–2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.differential import TABLE2_SIZES, fingerprint_run
+from repro.units import sec
+from repro.workloads.shares import DISTRIBUTIONS, workload_shares
+
+#: Shorter horizon than the strict-vs-optimized goldens: the matrix is
+#: crossed with seeds, and a second of simulated time already covers
+#: several hundred quanta of journal appends per cell.
+HORIZON_US = sec(1)
+
+
+@pytest.mark.parametrize("model", DISTRIBUTIONS)
+@pytest.mark.parametrize("n", TABLE2_SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_resilience_stack_is_schedule_invisible(model, n, seed):
+    shares = workload_shares(model, n)
+    bare = fingerprint_run(shares, seed=seed, horizon_us=HORIZON_US)
+    stacked = fingerprint_run(
+        shares, seed=seed, horizon_us=HORIZON_US, resilience=True
+    )
+    assert bare == stacked, (
+        f"resilience stack changed the schedule for {model} n={n} "
+        f"seed={seed}: {bare.digest()} != {stacked.digest()}"
+    )

@@ -1,0 +1,56 @@
+"""The crash-recovery fidelity claim, as a fast tier-1 test.
+
+The full sweep lives in ``benchmarks/bench_resilience_recovery.py``;
+this keeps a single-seed version of the same assertion in the default
+suite: a crashed-and-journaled run lands within a small bound of the
+fault-free attained-CPU split, and strictly beats the PR 1 lossy
+re-baseline path.
+"""
+
+from __future__ import annotations
+
+from repro.alps.config import AlpsConfig
+from repro.experiments.common import run_for_cycles
+from repro.faults.plan import AgentCrash, FaultPlan
+from repro.resilience.journal import MemoryJournal
+from repro.units import ms
+from repro.workloads.scenarios import build_controlled_workload
+
+SHARES = (1, 2, 3, 4)
+QUANTUM_US = ms(10)
+CYCLES = 60
+MAX_ERROR = 0.005  # absolute attained-fraction deviation
+
+
+def _run(*, crash: bool, journaled: bool) -> list[float]:
+    horizon_us = int(2 * (CYCLES + 5) * sum(SHARES) * QUANTUM_US)
+    plan = None
+    if crash:
+        plan = FaultPlan(
+            seed=0,
+            horizon_us=horizon_us,
+            agent_crashes=(AgentCrash(time_us=horizon_us // 3),),
+        )
+    cw = build_controlled_workload(
+        list(SHARES),
+        AlpsConfig(quantum_us=QUANTUM_US),
+        seed=0,
+        fault_plan=plan,
+        journal=MemoryJournal() if journaled else None,
+    )
+    run_for_cycles(cw, CYCLES, max_sim_us=horizon_us, on_incomplete="ignore")
+    cw.agent.shutdown(cw.kernel.kapi)
+    kapi = cw.kernel.kapi
+    usages = [kapi.getrusage(p.pid) for p in cw.workers]
+    total = sum(usages)
+    return [u / total for u in usages]
+
+
+def test_journaled_recovery_preserves_the_attained_split():
+    reference = _run(crash=False, journaled=False)
+    journaled = _run(crash=True, journaled=True)
+    lossy = _run(crash=True, journaled=False)
+    j_dev = max(abs(a - b) for a, b in zip(journaled, reference))
+    l_dev = max(abs(a - b) for a, b in zip(lossy, reference))
+    assert j_dev <= MAX_ERROR, f"journaled deviation {j_dev:.6f}"
+    assert j_dev < l_dev, f"journaled {j_dev:.6f} not better than {l_dev:.6f}"

@@ -1,0 +1,110 @@
+"""Supervisor policy state machine: backoff, budget, heartbeats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RestartBudgetExhausted, SchedulerConfigError
+from repro.obs.observer import Observer
+from repro.resilience.supervisor import (
+    RestartPolicy,
+    Supervisor,
+    SupervisorState,
+)
+from repro.units import ms
+
+
+def test_policy_rejects_bad_tunables():
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(initial_backoff_us=-1)
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(backoff_multiplier=0.5)
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(initial_backoff_us=100, max_backoff_us=50)
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(restart_budget=-1)
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(heartbeat_timeout_quanta=0)
+    with pytest.raises(SchedulerConfigError):
+        Supervisor(RestartPolicy(), quantum_us=0)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RestartPolicy(
+        initial_backoff_us=100,
+        backoff_multiplier=2.0,
+        max_backoff_us=350,
+        restart_budget=10,
+    )
+    sup = Supervisor(policy, quantum_us=ms(10))
+    backoffs = [sup.on_failure(now).backoff_us for now in (0, 1, 2, 3)]
+    assert backoffs == [100, 200, 350, 350]
+    assert sup.state is SupervisorState.RESTARTING
+    assert sup.restarts == 4
+
+
+def test_budget_exhaustion_escalates_to_degraded():
+    sup = Supervisor(RestartPolicy(restart_budget=2), quantum_us=ms(10))
+    sup.on_failure(0)
+    sup.on_failure(1)
+    with pytest.raises(RestartBudgetExhausted) as exc:
+        sup.on_failure(2)
+    assert exc.value.restarts == 2
+    assert exc.value.budget == 2
+    assert sup.degraded
+    assert sup.stood_down_at == 2
+    # Once degraded, every further failure stays terminal.
+    with pytest.raises(RestartBudgetExhausted):
+        sup.on_failure(3)
+
+
+def test_zero_budget_never_grants_a_restart():
+    sup = Supervisor(RestartPolicy(restart_budget=0), quantum_us=ms(10))
+    with pytest.raises(RestartBudgetExhausted):
+        sup.on_failure(0)
+    assert sup.restarts == 0
+    assert sup.degraded
+
+
+def test_heartbeat_gap_detection():
+    sup = Supervisor(
+        RestartPolicy(heartbeat_timeout_quanta=2), quantum_us=ms(10)
+    )
+    sup.heartbeat(0)
+    sup.heartbeat(ms(10))  # one quantum: fine
+    sup.heartbeat(ms(30))  # exactly the limit: fine
+    assert sup.missed_heartbeats == 0
+    sup.heartbeat(ms(60))  # 30ms gap > 20ms limit
+    assert sup.missed_heartbeats == 1
+    assert sup.heartbeats == 4
+
+
+def test_recovered_resets_state_and_heartbeat_baseline():
+    sup = Supervisor(RestartPolicy(), quantum_us=ms(10))
+    sup.heartbeat(0)
+    sup.on_failure(ms(10))
+    sup.on_recovered(ms(500), journaled=True)
+    assert sup.state is SupervisorState.RUNNING
+    # The gap was downtime, not a missed heartbeat.
+    sup.heartbeat(ms(510))
+    assert sup.missed_heartbeats == 0
+
+
+def test_transitions_are_emitted_as_events():
+    obs = Observer()
+    sup = Supervisor(
+        RestartPolicy(restart_budget=1),
+        quantum_us=ms(10),
+        observer=obs,
+        label="t",
+    )
+    sup.on_failure(5)
+    sup.on_recovered(10, journaled=False)
+    with pytest.raises(RestartBudgetExhausted):
+        sup.on_failure(20)
+    sup.stand_down(21, resumed=3)
+    kinds = [ev.kind for ev in obs.events]
+    assert "supervisor.restart" in kinds
+    assert "supervisor.recovered" in kinds
+    assert "supervisor.degraded" in kinds
+    assert "supervisor.stand_down" in kinds
