@@ -1,0 +1,95 @@
+"""Overload — bounded degradation past the scalability knee.
+
+Section 4.2's breakdown is a cliff: past the knee the agent starves in
+multi-second outages and accuracy error climbs past 60 %.  The
+graceful-degradation ladder (docs/overload.md) trades enforcement
+granularity for stability — stretch, coarsen, shed — and should turn
+the cliff into a plateau.
+
+This benchmark runs the past-the-knee experiment at twice the observed
+knee (n = 80 at Q = 10 ms) with the ladder on and off and gates both
+halves of the claim:
+
+* the protected run's error stays under ``REPRO_OVERLOAD_MAX_ERROR``
+  (percent, default 45);
+* the ladder-disabled control reproduces the cliff — error above
+  ``REPRO_OVERLOAD_MIN_CLIFF`` (percent, default 55) — so the gate
+  cannot pass by accidentally running a sustainable workload.
+"""
+
+import os
+
+from benchmarks.conftest import emit
+from repro.analysis.export import write_csv
+from repro.analysis.tables import format_table
+from repro.experiments.overload import PAST_KNEE_N, run_overload_comparison
+
+SEEDS = (0, 1, 2)
+
+#: Max mean RMS accuracy error (%) allowed with the ladder engaged.
+MAX_ERROR = float(os.environ.get("REPRO_OVERLOAD_MAX_ERROR", "45.0"))
+#: Min error (%) the unprotected control must show (the cliff exists).
+MIN_CLIFF = float(os.environ.get("REPRO_OVERLOAD_MIN_CLIFF", "55.0"))
+
+
+def _sweep():
+    rows = []
+    for seed in SEEDS:
+        cmp = run_overload_comparison(seed=seed)
+        rows.append(
+            {
+                "seed": seed,
+                "n": PAST_KNEE_N,
+                "protected_err_pct": cmp.protected.mean_rms_error_pct,
+                "control_err_pct": cmp.control.mean_rms_error_pct,
+                "error_ratio": cmp.error_ratio,
+                "engagements": cmp.protected.engagements,
+                "sheds": cmp.protected.sheds,
+                "max_degraded_slip_quanta": (
+                    cmp.protected.max_degraded_slip_quanta
+                ),
+            }
+        )
+    return rows
+
+
+def test_ladder_bounds_past_knee_error(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    emit(
+        f"OVERLOAD — accuracy at 2x the knee (n={PAST_KNEE_N}), "
+        "ladder vs control",
+        format_table(
+            ["seed", "protected", "control", "ratio", "sheds"],
+            [
+                [
+                    r["seed"],
+                    f"{r['protected_err_pct']:.1f}%",
+                    f"{r['control_err_pct']:.1f}%",
+                    f"{r['error_ratio']:.2f}",
+                    r["sheds"],
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    write_csv(results_dir / "overload_degradation.csv", rows)
+
+    for r in rows:
+        # 1. The ladder bounds the error past the knee.
+        assert r["protected_err_pct"] <= MAX_ERROR, (
+            f"seed {r['seed']}: protected error "
+            f"{r['protected_err_pct']:.1f}% exceeds "
+            f"REPRO_OVERLOAD_MAX_ERROR={MAX_ERROR}"
+        )
+        # 2. The control reproduces the seed's cliff.
+        assert r["control_err_pct"] >= MIN_CLIFF, (
+            f"seed {r['seed']}: control error {r['control_err_pct']:.1f}% "
+            f"below REPRO_OVERLOAD_MIN_CLIFF={MIN_CLIFF} — "
+            "the workload is not past the knee"
+        )
+        # 3. The ladder actually engaged (the bound is not vacuous).
+        assert r["engagements"] >= 1 and r["sheds"] >= 1, (
+            f"seed {r['seed']}: ladder never engaged/shed "
+            f"(engagements={r['engagements']}, sheds={r['sheds']})"
+        )

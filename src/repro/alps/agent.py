@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.kernel.actions import Action, Compute, Sleep
 from repro.kernel.signals import SIGCONT, SIGSTOP
+from repro.overload.ladder import Rung
 from repro.resilience.journal import (
     SNAPSHOT_VERSION,
     core_snapshot,
@@ -69,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kernel import Kernel
     from repro.kernel.process import Process
     from repro.obs.observer import Observer
+    from repro.overload.guard import OverloadGuard
     from repro.resilience.journal import MemoryJournal
 
 
@@ -127,6 +129,11 @@ class AlpsAgent:
         self._cumulative: dict[int, int] = {}
         #: The boundary the agent intended to wake at (stall detection).
         self._sleep_target = 0
+        #: Previous wake's timestamp and the intended wake-to-wake
+        #: period, for the overload layer's cadence-slip signal; -1
+        #: means no previous wake (startup, crash-restart).
+        self._last_wake_now = -1
+        self._wake_cadence_us = config.quantum_us
         #: Fractional CPU owed for recovery work (retries), folded into
         #: the next quantum's charge.
         self._deferred_cost_us = 0.0
@@ -180,6 +187,17 @@ class AlpsAgent:
         #: Downtime CPU debt (µs) per subject awaiting amortized
         #: repayment (:func:`~repro.resilience.journal.drain_debt`).
         self._deferred_debt: dict[int, int] = {}
+        # -- overload protection (docs/overload.md) --------------------
+        #: Guard composing admission control, the timer-slip monitor and
+        #: the degradation ladder; None = no overload layer (exact seed
+        #: behavior).  Schedule-invisible while the ladder sits at
+        #: NORMAL: the wake-path hook is pure bookkeeping that charges
+        #: no CPU and changes no decision until a rung engages.
+        self._overload: Optional["OverloadGuard"] = None
+        #: Subjects currently released to best-effort by the SHED rung,
+        #: kept aside (out of the core and the liveness sweep) until the
+        #: ladder walks back down and readmits them.
+        self._shed_subjects: dict[int, Subject] = {}
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -216,6 +234,196 @@ class AlpsAgent:
         object must survive the crash — it models persistent storage.
         """
         self._journal = journal
+
+    # ------------------------------------------------------------------
+    # Overload protection surface (docs/overload.md)
+    # ------------------------------------------------------------------
+    def attach_overload(self, guard: "OverloadGuard") -> None:
+        """Attach an overload guard (:mod:`repro.overload`).
+
+        Every wake feeds the guard the timer slip (actual minus
+        scheduled delivery); the guard's ladder answers with the current
+        quantum stretch, measurement-postponement boost, and shed
+        decisions, which the agent enacts.  Like the journal and the
+        observer, an attached-but-idle guard is schedule-invisible.
+        """
+        self._overload = guard
+
+    @property
+    def overload(self) -> Optional["OverloadGuard"]:
+        """The attached overload guard, if any (obs/top surface)."""
+        return self._overload
+
+    @property
+    def timer_slip_us(self) -> int:
+        """Most recent wake's timer slip (µs); 0 without a guard.
+
+        The supervision wrapper feeds this into its heartbeat so
+        starvation shows up as supervisor pressure, not just as an
+        overload metric.
+        """
+        guard = self._overload
+        if guard is None:
+            return 0
+        return int(guard.slip.last_quanta * self._quantum_us)
+
+    def submit_subject(self, subject: Subject, kapi: "KernelAPI") -> bool:
+        """Offer a new arrival to the group through admission control.
+
+        Without a guard (or with spare capacity) the subject joins the
+        enforced set immediately; otherwise it waits in the FIFO
+        admission queue and is drained at a later wake as capacity
+        frees up.  Returns True when admitted immediately.
+        """
+        guard = self._overload
+        if guard is None:
+            self._admit_subject(subject, kapi)
+            return True
+        admitted = guard.admission.submit(
+            subject, len(self.core.subjects), paused=guard.admission_paused
+        )
+        obs = self._obs
+        if admitted:
+            self._admit_subject(subject, kapi)
+            if obs is not None and obs.enabled:
+                obs.events.emit(kapi.now, "overload.admitted", sid=subject.sid)
+        elif obs is not None and obs.enabled:
+            obs.events.emit(
+                kapi.now, "overload.queued",
+                sid=subject.sid, depth=guard.admission.depth,
+            )
+        return admitted
+
+    def _admit_subject(self, subject: Subject, kapi: "KernelAPI") -> bool:
+        """Add a subject to the enforced set; False if it died first."""
+        subject.refresh(kapi)
+        pids = subject.pids(kapi)
+        if not pids:
+            return False  # died before admission; nothing to enforce
+        sid = subject.sid
+        self.subjects[sid] = subject
+        if isinstance(subject, ProcessSubject):
+            self._proc_subjects.append(subject)
+        self.core.add_subject(sid, subject.share)
+        self._cumulative.setdefault(sid, 0)
+        for pid in pids:
+            self._set_baseline(kapi, pid)
+        return True
+
+    def _drain_admissions(self, kapi: "KernelAPI") -> float:
+        """Admit queued arrivals into spare capacity; returns CPU cost."""
+        guard = self._overload
+        ready = guard.admission.admit_ready(
+            len(self.core.subjects), paused=guard.admission_paused
+        )
+        if not ready:
+            return 0.0
+        npids = 0
+        obs = self._obs
+        for subject in ready:
+            if not self._admit_subject(subject, kapi):
+                continue
+            npids += len(subject.pids(kapi))
+            if obs is not None and obs.enabled:
+                obs.events.emit(kapi.now, "overload.admitted", sid=subject.sid)
+        if npids == 0:
+            return 0.0
+        self.reads += npids
+        return self.cfg.costs.measure_cost(npids)
+
+    def _apply_ladder(self, kapi: "KernelAPI", now: int, delta: int) -> float:
+        """Enact a ladder transition; returns the CPU cost of enactment."""
+        guard = self._overload
+        self.core.postpone_boost = guard.postpone_boost
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                now,
+                "overload.engage" if delta > 0 else "overload.relax",
+                rung=int(guard.rung),
+                slip_ewma_quanta=round(guard.slip.ewma_quanta, 3),
+            )
+        cost = 0.0
+        if delta > 0 and guard.rung >= Rung.SHED:
+            cost += self._shed_members(kapi, now)
+        elif delta < 0 and guard.rung < Rung.SHED and guard.shed_sids:
+            cost += self._readmit_shed(kapi, now)
+        return cost
+
+    def _shed_members(self, kapi: "KernelAPI", now: int) -> float:
+        """SHED rung: release the lowest-share tail to best-effort.
+
+        Shed subjects leave the enforced set entirely (core, liveness
+        sweep, measurement loop) and their stopped pids are resumed —
+        best-effort means the kernel schedules them, not us.
+        """
+        guard = self._overload
+        quota = guard.shed_quota(len(self.core.subjects))
+        if quota <= 0:
+            return 0.0
+        shares = {sid: st.share for sid, st in self.core.subjects.items()}
+        cost = 0.0
+        obs = self._obs
+        for sid in guard.select_shed(shares, quota):
+            subj = self.subjects.pop(sid, None)
+            if subj is None:  # pragma: no cover - raced a reap
+                continue
+            if isinstance(subj, ProcessSubject):
+                self._proc_subjects.remove(subj)
+            self.core.remove_subject(sid)
+            self._shed_subjects[sid] = subj
+            guard.note_shed(sid)
+            # Resume-all for the tail: deliver immediately (the pending
+            # list belongs to the measurement phase) and pay for it.
+            for pid in subj.pids(kapi):
+                if pid in self._stopped_pids:
+                    try:
+                        kapi.kill(pid, SIGCONT)
+                        self.signals_sent += 1
+                    except NoSuchProcessError:
+                        pass
+                    cost += self._cost_signal_us
+                self._forget_pid(pid)
+            if obs is not None and obs.enabled:
+                obs.events.emit(now, "overload.shed", sid=sid)
+        return cost
+
+    def _readmit_shed(self, kapi: "KernelAPI", now: int) -> float:
+        """Walking back below SHED: return the shed tail to enforcement.
+
+        Best-effort consumption while shed is deliberately forgiven —
+        the baseline restarts at the current reading; the subject
+        rejoins with a full allowance like any other arrival.
+        """
+        guard = self._overload
+        cost = 0.0
+        npids = 0
+        obs = self._obs
+        for sid in list(guard.shed_sids):
+            subj = self._shed_subjects.pop(sid, None)
+            if subj is None:  # pragma: no cover - bookkeeping drift
+                guard.note_departed(sid)
+                continue
+            subj.refresh(kapi)
+            pids = subj.pids(kapi)
+            if not pids:
+                guard.note_departed(sid)
+                continue
+            self.subjects[sid] = subj
+            if isinstance(subj, ProcessSubject):
+                self._proc_subjects.append(subj)
+            self.core.add_subject(sid, subj.share)
+            self._cumulative.setdefault(sid, 0)
+            for pid in pids:
+                self._set_baseline(kapi, pid)
+                npids += 1
+            guard.note_readmitted(sid)
+            if obs is not None and obs.enabled:
+                obs.events.emit(now, "overload.readmit", sid=sid)
+        if npids:
+            self.reads += npids
+            cost += self.cfg.costs.measure_cost(npids)
+        return cost
 
     def snapshot_state(self, now: int) -> dict:
         """JSON-safe snapshot of all state a restart must not lose."""
@@ -261,6 +469,9 @@ class AlpsAgent:
         self._seen_exit_count = -1
         self._acc = CostAccumulator()
         self._deferred_cost_us = 0.0
+        #: Downtime must not read as kernel starvation: the cadence-slip
+        #: baseline restarts with the agent.
+        self._last_wake_now = -1
         self.restarts += 1
         self.last_restart_journaled = False
         self._recovered = None
@@ -286,7 +497,9 @@ class AlpsAgent:
         subject (lost bookkeeping, delayed SIGSTOP) is released too.
         """
         to_resume = set(self._stopped_pids)
-        for subj in self.subjects.values():
+        subjects = list(self.subjects.values())
+        subjects.extend(self._shed_subjects.values())
+        for subj in subjects:
             for pid in subj.pids(kapi):
                 try:
                     if kapi.is_stopped(pid):
@@ -344,6 +557,26 @@ class AlpsAgent:
         now = kapi.now
         cost = self._cost_timer_us + self._deferred_cost_us
         self._deferred_cost_us = 0.0
+        guard = self._overload
+        if guard is not None:
+            # Starvation detection: feed the wake's timer slip to the
+            # ladder.  Slip is *cadence* slip — the actual wake-to-wake
+            # gap minus the intended period — because a deprioritised
+            # agent shows up as servicing (Compute bursts) crawling
+            # between boundaries, not as late timer delivery (wakeups
+            # carry a priority boost).  Pure bookkeeping unless a rung
+            # actually changes or queued arrivals fit —
+            # schedule-invisible while idle.
+            prev = self._last_wake_now
+            self._last_wake_now = now
+            if prev >= 0:
+                delta = guard.observe_wake(
+                    now - prev - self._wake_cadence_us, self._quantum_us
+                )
+                if delta:
+                    cost += self._apply_ladder(kapi, now, delta)
+            if guard.admission.depth and not guard.admission_paused:
+                cost += self._drain_admissions(kapi)
         if now - self._sleep_target >= self._quantum_us:
             # At least one whole quantum overslept (the guard mirrors
             # _absorb_stall's own missed <= 0 early-out).
@@ -656,6 +889,15 @@ class AlpsAgent:
 
     def _sleep_until_boundary(self, now: int) -> Sleep:
         duration = self._until_next_boundary(now)
+        guard = self._overload
+        if guard is not None:
+            # STRETCH and above: skip ahead extra boundaries so the
+            # agent wakes every stretch × Q.  The epoch-aligned grid is
+            # unchanged, so walking back down re-synchronises exactly.
+            stretch = guard.stretch_factor
+            if stretch > 1:
+                duration += (stretch - 1) * self._quantum_us
+            self._wake_cadence_us = stretch * self._quantum_us
         self._sleep_target = now + duration
         return Sleep(duration, "alpstimer")
 
@@ -882,6 +1124,7 @@ def spawn_alps(
     injector: Optional["FaultInjector"] = None,
     journal: Optional["MemoryJournal"] = None,
     supervisor=None,
+    overload: Optional["OverloadGuard"] = None,
 ) -> tuple["Process", AlpsAgent]:
     """Spawn an ALPS scheduler process in the simulated kernel.
 
@@ -893,11 +1136,16 @@ def spawn_alps(
     (:meth:`AlpsAgent.attach_journal`); a ``supervisor``
     (:class:`~repro.resilience.supervisor.Supervisor`) hosts the agent
     behind :class:`~repro.resilience.supervisor.SupervisedAlpsBehavior`,
-    which subsumes the plain fault wrapper.
+    which subsumes the plain fault wrapper; an ``overload`` guard
+    (:class:`~repro.overload.guard.OverloadGuard`) arms admission
+    control, starvation detection and the degradation ladder
+    (:meth:`AlpsAgent.attach_overload`).
     """
     agent = AlpsAgent(subjects, config)
     if journal is not None:
         agent.attach_journal(journal)
+    if overload is not None:
+        agent.attach_overload(overload)
     behavior: "Behavior" = agent
     if supervisor is not None:
         from repro.resilience.supervisor import SupervisedAlpsBehavior

@@ -96,6 +96,11 @@ class AlpsCore:
             raise SchedulerConfigError("at least one subject is required")
         self.quantum_us = quantum_us
         self.optimized = optimized
+        #: Multiplier on the postponement intervals (Section 2.3).  The
+        #: overload layer's COARSEN rung raises it so measurements batch
+        #: more coarsely under pressure; 1 is the exact paper behavior
+        #: (docs/overload.md).
+        self.postpone_boost = 1
         self.cycle_log = cycle_log if cycle_log is not None else CycleLog()
         self._now_fn = now_fn
         self.subjects: dict[int, SubjectState] = {}
@@ -263,6 +268,7 @@ class AlpsCore:
         eligible = Eligibility.ELIGIBLE
         ineligible = Eligibility.INELIGIBLE
         ceil = math.ceil
+        boost = self.postpone_boost
         if cycles or self._dirty:
             # Full partition sweep: a cycle credit (or a membership /
             # share change since the last sweep) can flip any subject.
@@ -279,7 +285,9 @@ class AlpsCore:
                     st.state = new_state
                 if st.update <= count or sid in measured_set:
                     up = ceil(allowance)
-                    st.update = count + (up if up > 1 else 1)
+                    if up < 1:
+                        up = 1
+                    st.update = count + up * boost
             self._dirty = False
         else:
             # No credit and no external change: only subjects whose
@@ -308,7 +316,9 @@ class AlpsCore:
                     st.state = new_state
                 if st.update <= count or sid in measured_set:
                     up = ceil(allowance)
-                    st.update = count + (up if up > 1 else 1)
+                    if up < 1:
+                        up = 1
+                    st.update = count + up * boost
         return decisions
 
     def _finish_cycle(self) -> CycleRecord:

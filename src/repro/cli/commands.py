@@ -442,6 +442,69 @@ def cmd_ablation(
     return 0
 
 
+def cmd_overload(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+) -> int:
+    """Past-the-knee degradation: ladder-armed vs control (docs/overload.md)."""
+    from repro.experiments.overload import (
+        KNEE_N,
+        PAST_KNEE_N,
+        OverloadComparison,
+        overload_point_from_payload,
+        overload_sweep_spec,
+    )
+    from repro.sweep.scheduler import run_sweep
+
+    sizes = (KNEE_N, 60, PAST_KNEE_N, 120) if full else (KNEE_N, PAST_KNEE_N)
+    spec = overload_sweep_spec(
+        sizes=sizes, cycles=60 if full else 40, seed=seed
+    )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    points = [overload_point_from_payload(v) for v in outcome.values]
+    rows = [
+        [p.n, "ladder" if p.ladder else "control",
+         round(p.mean_rms_error_pct, 1), p.engagements, p.sheds,
+         round(p.max_degraded_slip_quanta, 1)]
+        for p in points
+    ]
+    print(format_table(
+        ["N", "arm", "RMS error %", "engaged", "sheds", "max slip (q)"],
+        rows,
+        title=f"Overload — bounded degradation past the knee (knee N={KNEE_N})",
+    ))
+    print()
+    for n in sizes:
+        protected = next(p for p in points if p.n == n and p.ladder)
+        control = next(p for p in points if p.n == n and not p.ladder)
+        ratio = OverloadComparison(protected, control).error_ratio
+        print(
+            f"N={n:>3}: ladder {protected.mean_rms_error_pct:.1f}% vs "
+            f"control {control.mean_rms_error_pct:.1f}%  "
+            f"(ratio {ratio:.2f})"
+        )
+    _maybe_csv(
+        csv,
+        [
+            {"n": p.n, "ladder": p.ladder,
+             "error_pct": p.mean_rms_error_pct,
+             "engagements": p.engagements, "sheds": p.sheds,
+             "readmits": p.readmits,
+             "max_degraded_slip_quanta": p.max_degraded_slip_quanta,
+             "overhead_pct": p.overhead_pct}
+            for p in points
+        ],
+    )
+    _sweep_footer(outcome)
+    return 0
+
+
 def parse_group_spec(spec: str) -> list[tuple[int, int]]:
     """Parse 'SHARExMEMBERS,...' (e.g. '1x2,3x1') to (share, size) pairs."""
     groups: list[tuple[int, int]] = []
@@ -828,9 +891,10 @@ def _run_chaos(
     seed: int,
     episodes: int,
     rates: str,
-    shares: str,
+    shares: Optional[str],
     quantum_ms: float,
     cycles: int,
+    suite: str,
     workers: Optional[int],
     no_cache: bool,
 ):
@@ -838,9 +902,12 @@ def _run_chaos(
 
     return run_chaos_campaign(
         seed,
+        suite=suite,
         episodes=episodes,
         rates=_parse_rates(rates),
-        shares=tuple(int(s) for s in shares.split(",")),
+        shares=(
+            tuple(int(s) for s in shares.split(",")) if shares else None
+        ),
         quantum_ms=quantum_ms,
         cycles=cycles,
         workers=workers,
@@ -868,16 +935,17 @@ def cmd_chaos_run(
     seed: int,
     episodes: int,
     rates: str,
-    shares: str,
+    shares: Optional[str],
     quantum_ms: float,
     cycles: int,
+    suite: str = "resilience",
     workers: Optional[int] = None,
     no_cache: bool = False,
 ) -> int:
     """``repro chaos run`` — one seeded campaign, table to stdout."""
     report = _run_chaos(
         seed=seed, episodes=episodes, rates=rates, shares=shares,
-        quantum_ms=quantum_ms, cycles=cycles, workers=workers,
+        quantum_ms=quantum_ms, cycles=cycles, suite=suite, workers=workers,
         no_cache=no_cache,
     )
     print(report.format_table())
@@ -889,10 +957,11 @@ def cmd_chaos_report(
     seed: int,
     episodes: int,
     rates: str,
-    shares: str,
+    shares: Optional[str],
     quantum_ms: float,
     cycles: int,
     out: str,
+    suite: str = "resilience",
     workers: Optional[int] = None,
     no_cache: bool = False,
 ) -> int:
@@ -903,7 +972,7 @@ def cmd_chaos_report(
 
     report = _run_chaos(
         seed=seed, episodes=episodes, rates=rates, shares=shares,
-        quantum_ms=quantum_ms, cycles=cycles, workers=workers,
+        quantum_ms=quantum_ms, cycles=cycles, suite=suite, workers=workers,
         no_cache=no_cache,
     )
     payload = {

@@ -41,6 +41,10 @@ EXPERIMENTS = {
         commands.cmd_ablation,
         "§2.3/§3.2 ablation — measurement-postponement optimization",
     ),
+    "overload": (
+        commands.cmd_overload,
+        "overload protection — bounded degradation past the §4.2 knee",
+    ),
 }
 
 
@@ -202,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
     def _chaos_common(p) -> None:
         p.add_argument("--seed", type=int, default=0, help="campaign seed")
         p.add_argument(
+            "--suite",
+            choices=("resilience", "overload"),
+            default="resilience",
+            help="fault suite: 'resilience' (journal/signal/crash faults) "
+            "or 'overload' (arrival storms, nice-bombs, thousand-process "
+            "herds against the degradation ladder)",
+        )
+        p.add_argument(
             "--episodes", type=int, default=8, help="episodes per campaign"
         )
         p.add_argument(
@@ -209,7 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
             default="0.02,0.05,0.1,0.2",
             help="comma-separated fault rates cycled across episodes",
         )
-        p.add_argument("--shares", default="1,2,3,4")
+        p.add_argument(
+            "--shares",
+            default=None,
+            help="comma-separated worker shares "
+            "(default: per-suite standard mix)",
+        )
         p.add_argument("--quantum-ms", type=float, default=10.0)
         p.add_argument(
             "--cycles", type=int, default=60, help="target cycles per episode"
@@ -363,6 +380,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 shares=args.shares,
                 quantum_ms=args.quantum_ms,
                 cycles=args.cycles,
+                suite=args.suite,
                 workers=args.workers,
                 no_cache=args.no_cache,
             )
@@ -375,6 +393,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 quantum_ms=args.quantum_ms,
                 cycles=args.cycles,
                 out=args.out,
+                suite=args.suite,
                 workers=args.workers,
                 no_cache=args.no_cache,
             )

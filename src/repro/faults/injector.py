@@ -55,6 +55,15 @@ class FaultInjector:
         self.trace: list[FaultRecord] = []
         self._armed = False
         self._victims: list[int] = []
+        # Agent-targeted overload faults (docs/overload.md), armed by
+        # arm_agent() once the agent exists.
+        self._agent_armed = False
+        self._agent: Optional["AlpsAgent"] = None
+        self._alps_pid: Optional[int] = None
+        self._kapi: Optional["KernelAPI"] = None
+        #: Next sid handed to a storm arrival; far above any workload's
+        #: own sids so storm subjects can never collide.
+        self._next_storm_sid = 1_000_000
         # Agent-fault schedules, consumed in time order by the wrapper.
         self._stalls = sorted(plan.agent_stalls, key=lambda s: s.time_us)
         self._agent_crashes = sorted(plan.agent_crashes, key=lambda c: c.time_us)
@@ -68,6 +77,8 @@ class FaultInjector:
         self.agent_crashes_injected = 0
         self.journal_writes_lost = 0
         self.journal_writes_torn = 0
+        self.storm_arrivals = 0
+        self.nice_bombs_injected = 0
 
     # ------------------------------------------------------------------
     # Trace
@@ -130,6 +141,119 @@ class FaultInjector:
                 payload=storm,
                 tag="fault:forkstorm",
             )
+
+    def arm_agent(self, agent: "AlpsAgent", alps_pid: int) -> None:
+        """Schedule the agent-targeted overload faults.
+
+        Arrival storms need the agent's admission surface
+        (:meth:`~repro.alps.agent.AlpsAgent.submit_subject`) and nice
+        bombs need the agent's pid, so this is a second arming step run
+        after the agent is spawned (``build_controlled_workload`` wires
+        it).  A plan with neither fault kind schedules nothing.
+        """
+        if self._agent_armed:
+            raise RuntimeError("FaultInjector.arm_agent() called twice")
+        self._agent_armed = True
+        self._agent = agent
+        self._alps_pid = alps_pid
+        for storm in self.plan.arrival_storms:
+            self.engine.at(
+                max(storm.time_us, self.engine.now),
+                self._fire_arrival_storm,
+                payload=storm,
+                tag="fault:arrivalstorm",
+            )
+        for bomb in self.plan.agent_nice_bombs:
+            self.engine.at(
+                max(bomb.time_us, self.engine.now),
+                self._fire_nice_bomb,
+                payload=bomb,
+                tag="fault:nicebomb",
+            )
+
+    def _fire_arrival_storm(self, event) -> None:
+        from repro.alps.subjects import ProcessSubject
+
+        storm = event.payload
+        agent = self._agent
+        if agent is None:  # pragma: no cover - armed without an agent
+            return
+        if self._kapi is None:
+            from repro.kernel.kapi import KernelAPI
+
+            self._kapi = KernelAPI(self.kernel)
+        if self._behavior_factory is None:
+            from repro.workloads.spinner import spinner_behavior
+
+            factory: Callable[[], "Behavior"] = spinner_behavior
+        else:
+            factory = self._behavior_factory
+        admitted = 0
+        pids: list[int] = []
+        for i in range(storm.count):
+            sid = self._next_storm_sid
+            self._next_storm_sid += 1
+            proc = self.kernel.spawn(
+                f"arr-u{storm.uid}-{sid}", factory(), uid=storm.uid
+            )
+            pids.append(proc.pid)
+            subject = ProcessSubject(sid=sid, share=storm.share, pid=proc.pid)
+            if agent.submit_subject(subject, self._kapi):
+                admitted += 1
+        if storm.lifetime_us > 0:
+            self.engine.after(
+                storm.lifetime_us,
+                self._fire_storm_reap,
+                payload=tuple(pids),
+                tag="fault:stormreap",
+            )
+        self.storm_arrivals += storm.count
+        self.record(
+            "arrival-storm",
+            f"uid={storm.uid} count={storm.count} admitted={admitted}",
+        )
+
+    def _fire_storm_reap(self, event) -> None:
+        """End of a storm's lifetime: kill its processes so the load
+        clears and recovery has something to recover *to*."""
+        reaped = 0
+        for pid in event.payload:
+            try:
+                self.kernel.kill(pid, SIGKILL)
+            except NoSuchProcessError:
+                continue
+            reaped += 1
+        self.record("storm-reap", f"count={reaped}")
+
+    def _fire_nice_bomb(self, event) -> None:
+        bomb = event.payload
+        pid = self._alps_pid
+        if pid is None:  # pragma: no cover - armed without an agent
+            return
+        try:
+            old = self.kernel.renice(pid, bomb.nice)
+        except NoSuchProcessError:
+            self.record("nice-bomb-noop", f"pid={pid}")
+            return
+        self.nice_bombs_injected += 1
+        self.record(
+            "nice-bomb",
+            f"pid={pid} nice={bomb.nice} duration_us={bomb.duration_us}",
+        )
+        self.engine.after(
+            bomb.duration_us,
+            self._fire_nice_restore,
+            payload=(pid, old),
+            tag="fault:nicerestore",
+        )
+
+    def _fire_nice_restore(self, event) -> None:
+        pid, old = event.payload
+        try:
+            self.kernel.renice(pid, old)
+        except NoSuchProcessError:
+            return
+        self.record("nice-restore", f"pid={pid} nice={old}")
 
     def _fire_crash(self, event) -> None:
         if not self._victims:

@@ -68,6 +68,46 @@ class AgentCrash:
 
 
 @dataclass(slots=True, frozen=True)
+class ArrivalStorm:
+    """Spawn ``count`` new compute-bound processes at ``time_us`` and
+    offer each to the agent's group through admission control
+    (:meth:`~repro.alps.agent.AlpsAgent.submit_subject`).
+
+    Exercises the overload layer (docs/overload.md): with a bounded
+    group the storm queues instead of inflating the measurement set;
+    without one it reproduces the Section 4.2 breakdown.
+    """
+
+    time_us: int
+    count: int
+    #: Share each storm arrival asks for.
+    share: int = 1
+    #: Uid the storm processes run as (storms from distinct tenants get
+    #: distinct uids so fork-storm discovery stays separate).
+    uid: int = 900
+    #: How long the storm processes live before the injector reaps them
+    #: (0 = forever).  A finite lifetime lets an episode's load clear so
+    #: the degrade-then-recover round-trip invariant has something to
+    #: verify.
+    lifetime_us: int = 0
+
+
+@dataclass(slots=True, frozen=True)
+class AgentNiceBomb:
+    """Renice the *agent* to ``nice`` at ``time_us`` for ``duration_us``.
+
+    Models an administrator (or a co-tenant with CAP_SYS_NICE) pushing
+    the agent's priority down — the kernel deprioritises the scheduler
+    itself, which is exactly the §4.2 starvation signature the timer-slip
+    monitor must detect.
+    """
+
+    time_us: int
+    nice: int = 16
+    duration_us: int = 2 * SEC
+
+
+@dataclass(slots=True, frozen=True)
 class FaultPlan:
     """One run's complete fault description (see module docstring).
 
@@ -96,6 +136,10 @@ class FaultPlan:
     agent_stall_prob: float = 0.0
     agent_stall_quanta: int = 4
     agent_crashes: tuple[AgentCrash, ...] = ()
+
+    # -- overload faults (repro.overload, docs/overload.md) ---------
+    arrival_storms: tuple[ArrivalStorm, ...] = ()
+    agent_nice_bombs: tuple[AgentNiceBomb, ...] = ()
 
     # -- journal-persistence faults (repro.resilience) --------------
     #: Probability a journal append is lost before reaching the store.
@@ -135,6 +179,24 @@ class FaultPlan:
             raise SchedulerConfigError("agent_stall_quanta must be >= 1")
         if self.horizon_us <= 0:
             raise SchedulerConfigError("horizon_us must be positive")
+        for storm in self.arrival_storms:
+            if storm.count < 1:
+                raise SchedulerConfigError(
+                    f"arrival storm count must be >= 1, got {storm.count}"
+                )
+            if storm.share < 1:
+                raise SchedulerConfigError(
+                    f"arrival storm share must be >= 1, got {storm.share}"
+                )
+            if storm.lifetime_us < 0:
+                raise SchedulerConfigError(
+                    f"arrival storm lifetime must be >= 0, got {storm.lifetime_us}"
+                )
+        for bomb in self.agent_nice_bombs:
+            if bomb.duration_us <= 0:
+                raise SchedulerConfigError(
+                    f"nice bomb duration must be positive, got {bomb.duration_us}"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -149,6 +211,8 @@ class FaultPlan:
             and not self.agent_stalls
             and self.agent_stall_prob == 0.0
             and not self.agent_crashes
+            and not self.arrival_storms
+            and not self.agent_nice_bombs
             and self.journal_write_fail_prob == 0.0
             and self.journal_torn_write_prob == 0.0
         )
@@ -200,7 +264,9 @@ class FaultRecord:
 
 __all__ = [
     "AgentCrash",
+    "AgentNiceBomb",
     "AgentStall",
+    "ArrivalStorm",
     "FaultPlan",
     "FaultRecord",
     "ForkStorm",

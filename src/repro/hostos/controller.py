@@ -18,6 +18,7 @@ from repro.alps.algorithm import AlpsCore, Measurement
 from repro.alps.instrumentation import CycleLog
 from repro.errors import HostOSError, JournalCorruptError
 from repro.hostos import procfs
+from repro.overload.ladder import Rung
 from repro.resilience.journal import (
     SNAPSHOT_VERSION,
     core_snapshot,
@@ -29,6 +30,7 @@ from repro.resilience.journal import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
+    from repro.overload.guard import OverloadGuard
     from repro.resilience.journal import FileJournal
 
 
@@ -43,6 +45,8 @@ class HostAlpsReport:
     consumed_us: dict[int, int]
     #: The controller's own CPU time (µs) — the overhead numerator.
     controller_cpu_us: int
+    #: Overload-guard counters (None when no guard was attached).
+    overload_stats: Optional[dict] = None
 
     def fractions(self) -> dict[int, float]:
         """Fraction of group CPU each pid received."""
@@ -87,6 +91,7 @@ class HostAlps:
         resume_retry_budget: int = 3,
         journal: Optional["FileJournal"] = None,
         observer: Optional["Observer"] = None,
+        overload: Optional["OverloadGuard"] = None,
     ) -> None:
         if quantum_s <= 0:
             raise HostOSError(f"quantum must be positive, got {quantum_s}")
@@ -125,6 +130,15 @@ class HostAlps:
         self.recovered = False
         #: Downtime CPU debt (µs) per pid awaiting amortized repayment.
         self._deferred_debt: dict[int, int] = {}
+        #: Overload protection (docs/overload.md).  The guard's state is
+        #: volatile by design: after a journaled restart protection
+        #: re-engages from fresh slip evidence rather than replaying the
+        #: pre-crash ladder position.
+        self.overload = overload
+        #: Shares of pids currently shed to best-effort (pid -> share).
+        self._shed_shares: dict[int, int] = {}
+        self._prev_wake_us: Optional[int] = None
+        self._wake_cadence_us = self.quantum_us
 
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> HostAlpsReport:
@@ -159,9 +173,32 @@ class HostAlps:
                     time.sleep(boundary - now)
                 # Skip past any boundaries we overslept.
                 now = time.monotonic()
+                guard = self.overload
+                if guard is not None:
+                    # Cadence slip: the gap between consecutive wakes
+                    # minus the stride we intended when we went to sleep.
+                    # Wake *dispatch* is usually prompt even under load;
+                    # starvation shows as the whole loop iteration (reads,
+                    # signals, the sleep) taking longer than the stride.
+                    now_us = int(now * 1_000_000)
+                    prev = self._prev_wake_us
+                    self._prev_wake_us = now_us
+                    if prev is not None:
+                        delta = guard.observe_wake(
+                            now_us - prev - self._wake_cadence_us,
+                            self.quantum_us,
+                        )
+                        if delta:
+                            self._apply_ladder(delta)
+                    if guard.admission.depth and not guard.admission_paused:
+                        self._drain_admissions()
                 q_s = self.quantum_us / 1_000_000
-                missed = int((now - boundary) / q_s)
-                boundary += (missed + 1) * q_s
+                stride_s = q_s
+                if guard is not None:
+                    stride_s = q_s * guard.stretch_factor
+                missed = int((now - boundary) / stride_s)
+                boundary += (missed + 1) * stride_s
+                self._wake_cadence_us = int(stride_s * 1_000_000)
                 self._one_quantum()
         finally:
             self._resume_all()
@@ -182,6 +219,9 @@ class HostAlps:
             cycle_log=self.core.cycle_log,
             consumed_us=consumed,
             controller_cpu_us=own_cpu_us,
+            overload_stats=(
+                self.overload.stats() if self.overload is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -219,6 +259,106 @@ class HostAlps:
             self._signal(pid, signal.SIGSTOP)
         for pid in decisions.to_resume:
             self._signal(pid, signal.SIGCONT)
+
+    # ------------------------------------------------------------------
+    # Overload protection (docs/overload.md)
+    # ------------------------------------------------------------------
+    def submit_pid(self, pid: int, share: int) -> bool:
+        """Offer a new pid to the group through admission control.
+
+        Without a guard (or with spare capacity) the pid joins the
+        enforced set immediately; otherwise it waits in the FIFO
+        admission queue and drains at a later wake.  Returns True when
+        admitted immediately.
+        """
+        if share < 1:
+            raise HostOSError(f"share must be >= 1, got {share}")
+        guard = self.overload
+        if guard is None:
+            return self._admit_pid(pid, share)
+        admitted = guard.admission.submit(
+            (pid, share), len(self.core.subjects), paused=guard.admission_paused
+        )
+        if admitted:
+            self._admit_pid(pid, share)
+            self._emit_overload("overload.admitted", pid=pid)
+        else:
+            self._emit_overload(
+                "overload.queued", pid=pid, depth=guard.admission.depth
+            )
+        return admitted
+
+    def _admit_pid(self, pid: int, share: int) -> bool:
+        """Add a live pid to the enforced set; False if it is gone."""
+        try:
+            usage = procfs.cpu_time_us(pid)
+        except HostOSError:
+            return False
+        self.core.add_subject(pid, share)
+        self._last_read[pid] = usage
+        self._initial.setdefault(pid, usage)
+        return True
+
+    def _drain_admissions(self) -> None:
+        """Admit queued arrivals into spare capacity."""
+        guard = self.overload
+        ready = guard.admission.admit_ready(
+            len(self.core.subjects), paused=guard.admission_paused
+        )
+        for pid, share in ready:
+            if self._admit_pid(pid, share):
+                self._emit_overload("overload.admitted", pid=pid)
+
+    def _apply_ladder(self, delta: int) -> None:
+        """Enact a ladder transition (same order as the sim agent)."""
+        guard = self.overload
+        self.core.postpone_boost = guard.postpone_boost
+        self._emit_overload(
+            "overload.engage" if delta > 0 else "overload.relax",
+            rung=int(guard.rung),
+            slip_ewma_quanta=round(guard.slip.ewma_quanta, 3),
+        )
+        if delta > 0 and guard.rung >= Rung.SHED:
+            self._shed_members()
+        elif delta < 0 and guard.rung < Rung.SHED and guard.shed_sids:
+            self._readmit_shed()
+
+    def _shed_members(self) -> None:
+        """SHED rung: release the lowest-share tail to best-effort."""
+        guard = self.overload
+        quota = guard.shed_quota(len(self.core.subjects))
+        if quota <= 0:
+            return
+        shares = {pid: st.share for pid, st in self.core.subjects.items()}
+        for pid in guard.select_shed(shares, quota):
+            state = self.core.remove_subject(pid)
+            self._shed_shares[pid] = state.share
+            guard.note_shed(pid)
+            # Best-effort means the kernel schedules it, not us.
+            if pid in self._stopped and self._resume_one(pid):
+                self._stopped.discard(pid)
+            self._emit_overload("overload.shed", pid=pid)
+
+    def _readmit_shed(self) -> None:
+        """Walking back below SHED: return the shed tail to enforcement.
+
+        Best-effort consumption while shed is deliberately forgiven —
+        the read baseline restarts at the current procfs value and the
+        pid rejoins with a full allowance like any other arrival.
+        """
+        guard = self.overload
+        for pid in list(guard.shed_sids):
+            share = self._shed_shares.pop(pid, None)
+            if share is None or not self._admit_pid(pid, share):
+                guard.note_departed(pid)
+                continue
+            guard.note_readmitted(pid)
+            self._emit_overload("overload.readmit", pid=pid)
+
+    def _emit_overload(self, name: str, **fields) -> None:
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.events.emit(int(time.monotonic() * 1_000_000), name, **fields)
 
     def _read_stat_with_retry(self, pid: int):
         """Read ``/proc/<pid>/stat``, retrying transient failures.

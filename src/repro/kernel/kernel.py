@@ -254,6 +254,54 @@ class Kernel:
         else:
             raise KernelError(f"unsupported signal {signal_name(signo)}")
 
+    def renice(self, pid: int, nice: int) -> int:
+        """setpriority(2): change a live process's nice value.
+
+        Returns the previous nice.  The priority is recomputed from the
+        current estcpu immediately — a running process first materialises
+        its in-flight consumption, and a runnable one is requeued at its
+        new priority so the change takes effect at the next dispatch,
+        not at the next charge.  This is a privileged kernel-side
+        operation (deliberately absent from :class:`KernelAPI`): the
+        fault injector uses it to model an administrator nice-bombing
+        the agent (docs/fault_model.md).
+        """
+        proc = self.procs.get(pid)
+        if proc is None or proc.state is ProcState.ZOMBIE:
+            raise NoSuchProcessError(pid)
+        old = proc.nice
+        if nice == old:
+            return old
+        if proc.state is ProcState.RUNNING:
+            self._charge_proc(proc)
+        proc.nice = nice
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                self._clock._now, "kernel.renice", pid=pid, nice=nice
+            )
+        on_runq = pid in self._on_runq
+        if on_runq:
+            self.runq.remove(proc)
+            self._on_runq.discard(pid)
+        # Inlined user_priority (see _charge_proc).
+        pri = (
+            self._puser
+            + proc.estcpu / self._estcpu_weight
+            + self._nice_weight * nice
+        )
+        if pri < 0:
+            proc.priority = 0
+        elif pri > self._maxpri:
+            proc.priority = self._maxpri
+        else:
+            proc.priority = int(pri)
+        if on_runq:
+            self.runq.insert(proc)
+            self._on_runq.add(pid)
+        self._request_resched()
+        return old
+
     def wakeup(self, channel: str) -> int:
         """Wake every process sleeping on ``channel``; returns the count."""
         sleepers = self._channels.pop(channel, [])

@@ -100,5 +100,24 @@ def collect_workload(
             injector.agent_crashes_injected
         )
 
+    # Overload-protection state, when the run carried a guard
+    # (docs/overload.md): the starvation signal, the ladder position,
+    # and the admission/shed census.
+    guard = getattr(agent, "overload", None)
+    if guard is not None:
+        reg.gauge("alps_overload_rung").set(int(guard.rung))
+        reg.gauge("alps_overload_stretch_factor").set(guard.stretch_factor)
+        reg.gauge("alps_timer_slip_quanta").set(guard.slip.ewma_quanta)
+        reg.gauge("alps_timer_slip_max_quanta").set(guard.slip.max_quanta)
+        reg.gauge("alps_admission_queue_depth").set(guard.admission.depth)
+        reg.gauge("alps_overload_shed_outstanding").set(
+            guard.shed_outstanding
+        )
+        reg.counter("alps_overload_engagements").inc(
+            guard.ladder.engagements
+        )
+        reg.counter("alps_overload_sheds").inc(guard.sheds)
+        reg.counter("alps_overload_readmits").inc(guard.readmits)
+
     obs.finalize_metrics()
     return obs

@@ -71,6 +71,17 @@ def render_top_frame(
         f"retries={agent.signal_retries + agent.read_retries} "
         f"heals={agent.heals} stalls={agent.missed_boundaries}"
     )
+    guard = getattr(agent, "overload", None)
+    if guard is not None:
+        rung = guard.rung
+        lines.append(
+            f"overload: rung={int(rung)}({rung.name.lower()}) "
+            f"slip={guard.slip.ewma_quanta:.2f}q "
+            f"queue={guard.admission.depth} "
+            f"shed={guard.shed_outstanding} "
+            f"stretch=x{guard.stretch_factor} "
+            f"engaged={guard.ladder.engagements}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,31 @@
+"""Overload protection: admission control, starvation detection, and a
+graceful-degradation ladder (docs/overload.md).
+
+The paper's Section 4.2 shows ALPS falling off a cliff once the agent's
+own work exceeds its fair share: the kernel deprioritises the agent,
+measurements arrive late, and enforcement collapses.  This package is
+the robustness layer that notices the collapse beginning (timer slip),
+bounds the measurement set (admission control), and degrades enforcement
+deliberately — stretch the quantum, coarsen measurement batching, shed
+the lowest-share tail to best-effort — instead of wedging, then walks
+back to full enforcement when the pressure clears.
+
+The layer is schedule-invisible while the ladder sits at NORMAL: a run
+with a guard attached and no overload is byte-identical to a bare run
+(tests/overload/test_overload_differential.py).
+"""
+
+from repro.overload.admission import AdmissionQueue
+from repro.overload.config import OverloadConfig
+from repro.overload.guard import OverloadGuard
+from repro.overload.ladder import DegradationLadder, Rung
+from repro.overload.slip import SlipMonitor
+
+__all__ = [
+    "AdmissionQueue",
+    "DegradationLadder",
+    "OverloadConfig",
+    "OverloadGuard",
+    "Rung",
+    "SlipMonitor",
+]

@@ -1,0 +1,106 @@
+"""Bounded group membership with a FIFO admission queue.
+
+Arrival storms are the first way a group outgrows its agent: each new
+process adds a measurement read and a signal decision per boundary, so
+an unbounded group drags the agent past its fair share (Section 4.2).
+The admission queue caps the *enforced* set at a fixed capacity;
+arrivals beyond it wait in FIFO order and are drained as capacity frees
+up (departures, sheds walking back).  Queueing is lossless and
+order-preserving — the property tests in
+``tests/overload/test_admission_property.py`` pin both.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+
+class AdmissionQueue:
+    """FIFO admission queue in front of a bounded enforced set.
+
+    Entries are opaque to the queue (the sim driver queues ``Subject``
+    objects, the live driver queues pids).  The queue itself is
+    unbounded — admission control bounds the measurement set, not the
+    backlog.
+    """
+
+    __slots__ = (
+        "capacity",
+        "_pending",
+        "submitted",
+        "admitted_immediately",
+        "queued",
+        "drained",
+        "queued_peak",
+    )
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self._pending: deque[Any] = deque()
+        self.submitted = 0
+        self.admitted_immediately = 0
+        self.queued = 0
+        self.drained = 0
+        self.queued_peak = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of entries waiting for admission."""
+        return len(self._pending)
+
+    def has_room(self, active: int) -> bool:
+        """Whether an enforced set of ``active`` members has spare capacity."""
+        return self.capacity is None or active < self.capacity
+
+    def submit(self, entry: Any, active: int, *, paused: bool = False) -> bool:
+        """Offer ``entry`` for admission given ``active`` enforced members.
+
+        Returns True when the caller should admit the entry now.  Returns
+        False when the entry was queued instead — because the group is at
+        capacity, admission is ``paused`` (ladder at SHED), or older
+        entries are already waiting (FIFO order is never violated by a
+        late arrival slipping past the queue).
+        """
+        self.submitted += 1
+        if not paused and not self._pending and self.has_room(active):
+            self.admitted_immediately += 1
+            return True
+        self._pending.append(entry)
+        self.queued += 1
+        if len(self._pending) > self.queued_peak:
+            self.queued_peak = len(self._pending)
+        return False
+
+    def admit_ready(self, active: int, *, paused: bool = False) -> list[Any]:
+        """Pop entries that fit into the spare capacity, oldest first."""
+        if paused or not self._pending:
+            return []
+        ready: list[Any] = []
+        while self._pending and self.has_room(active + len(ready)):
+            ready.append(self._pending.popleft())
+        self.drained += len(ready)
+        return ready
+
+    def discard(self, entry: Any) -> bool:
+        """Drop a queued entry (e.g. its process died while waiting)."""
+        try:
+            self._pending.remove(entry)
+        except ValueError:
+            return False
+        return True
+
+    def pending(self) -> tuple[Any, ...]:
+        """Snapshot of the waiting entries, oldest first."""
+        return tuple(self._pending)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for obs export and the chaos report."""
+        return {
+            "submitted": self.submitted,
+            "admitted_immediately": self.admitted_immediately,
+            "queued": self.queued,
+            "drained": self.drained,
+            "queued_peak": self.queued_peak,
+            "depth": self.depth,
+        }

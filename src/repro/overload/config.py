@@ -1,0 +1,108 @@
+"""Tunables of the overload-protection layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchedulerConfigError
+
+#: Number of ladder rungs (NORMAL, STRETCH, COARSEN, SHED).
+RUNG_COUNT = 4
+
+
+@dataclass(slots=True, frozen=True)
+class OverloadConfig:
+    """Tunables of one :class:`~repro.overload.guard.OverloadGuard`.
+
+    Attributes:
+        capacity: maximum number of concurrently *enforced* subjects in
+            the group.  Arrivals beyond capacity wait in a FIFO
+            admission queue instead of inflating the measurement set.
+            ``None`` disables admission control (everything admits
+            immediately).
+        slip_alpha: EWMA smoothing factor for the timer-slip signal
+            (weight of the newest sample).
+        engage_slip_quanta: smoothed slip, in quanta, at or above which
+            a wake counts toward engaging the next rung.
+        release_slip_quanta: smoothed slip, in quanta, at or below which
+            a wake counts toward releasing the current rung.  Must sit
+            strictly below ``engage_slip_quanta`` — the gap is the
+            hysteresis band.
+        engage_dwell: consecutive hot wakes required before the ladder
+            steps up one rung.
+        release_dwell: consecutive cool wakes required before the ladder
+            steps down one rung.  Larger than ``engage_dwell`` so the
+            ladder is quick to protect and slow to trust recovery.
+        stretch_factors: per-rung multiplier on the effective quantum
+            (the agent sleeps ``stretch × Q`` between boundaries).
+            Index 0 (NORMAL) must be 1 — schedule invisibility.
+        postpone_boosts: per-rung multiplier applied to the measurement
+            postponement intervals of Section 2.3 (``alps/algorithm.py``)
+            — coarser batching means fewer reads per boundary.  Index 0
+            must be 1.
+        shed_fraction: fraction of the enforced set (lowest shares
+            first) released to best-effort when the ladder reaches SHED.
+        max_degraded_slip_quanta: invariant bound — the largest per-wake
+            slip, in quanta, tolerated while the ladder is engaged
+            (checked by the chaos invariant ``bounded_timer_slip``).
+    """
+
+    capacity: Optional[int] = None
+    slip_alpha: float = 0.3
+    engage_slip_quanta: float = 1.0
+    release_slip_quanta: float = 0.25
+    engage_dwell: int = 2
+    release_dwell: int = 400
+    stretch_factors: tuple[int, ...] = (1, 2, 4, 4)
+    postpone_boosts: tuple[int, ...] = (1, 1, 2, 2)
+    shed_fraction: float = 0.25
+    max_degraded_slip_quanta: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise SchedulerConfigError(
+                f"capacity must be >= 1 or None, got {self.capacity}"
+            )
+        if not 0.0 < self.slip_alpha <= 1.0:
+            raise SchedulerConfigError(
+                f"slip_alpha must be in (0, 1], got {self.slip_alpha}"
+            )
+        if self.release_slip_quanta < 0:
+            raise SchedulerConfigError(
+                f"release_slip_quanta must be >= 0, got {self.release_slip_quanta}"
+            )
+        if self.engage_slip_quanta <= self.release_slip_quanta:
+            raise SchedulerConfigError(
+                "hysteresis band is empty: engage_slip_quanta "
+                f"{self.engage_slip_quanta} <= release_slip_quanta "
+                f"{self.release_slip_quanta}"
+            )
+        if self.engage_dwell < 1 or self.release_dwell < 1:
+            raise SchedulerConfigError(
+                "dwell counts must be >= 1, got "
+                f"engage={self.engage_dwell} release={self.release_dwell}"
+            )
+        for name, seq in (
+            ("stretch_factors", self.stretch_factors),
+            ("postpone_boosts", self.postpone_boosts),
+        ):
+            if len(seq) != RUNG_COUNT:
+                raise SchedulerConfigError(
+                    f"{name} needs one entry per rung ({RUNG_COUNT}), got {seq}"
+                )
+            if any(v < 1 for v in seq):
+                raise SchedulerConfigError(f"{name} entries must be >= 1, got {seq}")
+            if seq[0] != 1:
+                raise SchedulerConfigError(
+                    f"{name}[NORMAL] must be 1 (schedule invisibility), got {seq[0]}"
+                )
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise SchedulerConfigError(
+                f"shed_fraction must be in (0, 1], got {self.shed_fraction}"
+            )
+        if self.max_degraded_slip_quanta <= 0:
+            raise SchedulerConfigError(
+                "max_degraded_slip_quanta must be positive, got "
+                f"{self.max_degraded_slip_quanta}"
+            )

@@ -1,0 +1,118 @@
+"""The graceful-degradation ladder.
+
+Four rungs, climbed one at a time under sustained timer slip and walked
+back down when slip clears:
+
+====== ========= =================================================
+rung   name      effect
+====== ========= =================================================
+0      NORMAL    full enforcement, schedule-identical to no guard
+1      STRETCH   effective quantum stretched (agent wakes less often)
+2      COARSEN   + measurement postponement intervals multiplied
+3      SHED      + lowest-share tail resumed and released to best-effort
+====== ========= =================================================
+
+The top rung is not a single action: every time slip re-accumulates
+while at SHED the ladder emits another +1 pulse and the driver sheds a
+further quota, so the group converges on whatever size the host can
+actually sustain instead of stopping one shed short.
+
+Hysteresis has two parts: a dead band between the engage and release
+slip thresholds (wakes there reset both dwell counters), and asymmetric
+dwell counts (quick to protect, slow to trust recovery).  Both prevent
+rung flapping when load sits near a threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.overload.config import OverloadConfig
+
+
+class Rung(enum.IntEnum):
+    """Ladder positions, least to most degraded."""
+
+    NORMAL = 0
+    STRETCH = 1
+    COARSEN = 2
+    SHED = 3
+
+
+class DegradationLadder:
+    """Hysteresis state machine mapping smoothed slip to a rung."""
+
+    __slots__ = (
+        "config",
+        "rung",
+        "_hot",
+        "_cool",
+        "engagements",
+        "steps_up",
+        "steps_down",
+        "max_rung_seen",
+    )
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self.rung = Rung.NORMAL
+        self._hot = 0
+        self._cool = 0
+        #: Times the ladder left NORMAL (distinct overload episodes).
+        self.engagements = 0
+        self.steps_up = 0
+        self.steps_down = 0
+        self.max_rung_seen = Rung.NORMAL
+
+    def update(self, ewma_quanta: float) -> int:
+        """Feed one wake's smoothed slip; returns the rung delta (-1/0/+1)."""
+        cfg = self.config
+        if ewma_quanta >= cfg.engage_slip_quanta:
+            self._cool = 0
+            self._hot += 1
+            if self._hot >= cfg.engage_dwell:
+                self._hot = 0
+                if self.rung < Rung.SHED:
+                    if self.rung == Rung.NORMAL:
+                        self.engagements += 1
+                    self.rung = Rung(self.rung + 1)
+                    self.steps_up += 1
+                    if self.rung > self.max_rung_seen:
+                        self.max_rung_seen = self.rung
+                # At SHED the rung cannot rise further, but the +1 pulse
+                # still fires: the driver sheds another quota each time
+                # slip re-accumulates, converging on a sustainable group.
+                return 1
+        elif ewma_quanta <= cfg.release_slip_quanta:
+            self._hot = 0
+            self._cool += 1
+            if self._cool >= cfg.release_dwell and self.rung > Rung.NORMAL:
+                self._cool = 0
+                self.rung = Rung(self.rung - 1)
+                self.steps_down += 1
+                return -1
+        else:
+            # Dead band: demand consecutive samples on either side.
+            self._hot = 0
+            self._cool = 0
+        return 0
+
+    @property
+    def stretch_factor(self) -> int:
+        """Effective-quantum multiplier at the current rung."""
+        return self.config.stretch_factors[self.rung]
+
+    @property
+    def postpone_boost(self) -> int:
+        """Measurement-postponement multiplier at the current rung."""
+        return self.config.postpone_boosts[self.rung]
+
+    def stats(self) -> dict[str, int]:
+        """Counters for obs export and the chaos report."""
+        return {
+            "rung": int(self.rung),
+            "engagements": self.engagements,
+            "steps_up": self.steps_up,
+            "steps_down": self.steps_down,
+            "max_rung_seen": int(self.max_rung_seen),
+        }

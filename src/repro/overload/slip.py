@@ -1,0 +1,76 @@
+"""Starvation detection via timer slip.
+
+The agent schedules its own wakeups one quantum apart; the kernel
+delivers them when the agent next wins the CPU.  The gap between the
+scheduled and actual delivery — *timer slip* — is the agent's only
+self-referential load signal: when the kernel deprioritises the agent
+(Section 4.2's breakdown, a nice-bomb, sheer group size), slip is the
+first thing that grows.  The monitor keeps a per-wake sample and an
+EWMA, both in units of the base quantum, so thresholds transfer across
+quantum settings.
+"""
+
+from __future__ import annotations
+
+
+class SlipMonitor:
+    """EWMA timer-slip tracker; pure bookkeeping, no clock reads."""
+
+    __slots__ = (
+        "alpha",
+        "samples",
+        "last_quanta",
+        "ewma_quanta",
+        "max_quanta",
+        "total_slip_us",
+    )
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self.alpha = alpha
+        self.samples = 0
+        self.last_quanta = 0.0
+        self.ewma_quanta = 0.0
+        self.max_quanta = 0.0
+        self.total_slip_us = 0
+
+    def observe(self, slip_us: int, quantum_us: int) -> float:
+        """Record one wake's slip; returns the updated EWMA in quanta.
+
+        Early wakes (negative slip — e.g. a restart re-anchoring the
+        epoch) clamp to zero: only lateness indicates starvation.
+        """
+        if slip_us < 0:
+            slip_us = 0
+        quanta = slip_us / quantum_us
+        self.samples += 1
+        self.last_quanta = quanta
+        self.total_slip_us += slip_us
+        if quanta > self.max_quanta:
+            self.max_quanta = quanta
+        if self.samples == 1:
+            self.ewma_quanta = quanta
+        else:
+            a = self.alpha
+            self.ewma_quanta = a * quanta + (1.0 - a) * self.ewma_quanta
+        return self.ewma_quanta
+
+    def reset_ewma(self) -> None:
+        """Discard the smoothed history (cumulative counters survive).
+
+        Called after an enactment that changes the system being measured
+        — a shed round, a rung change — so the old samples stop arguing
+        for further action the new population hasn't earned.
+        """
+        self.samples = 0
+        self.ewma_quanta = 0.0
+        self.last_quanta = 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counters for obs export and the chaos report."""
+        return {
+            "samples": float(self.samples),
+            "last_quanta": self.last_quanta,
+            "ewma_quanta": self.ewma_quanta,
+            "max_quanta": self.max_quanta,
+            "total_slip_us": float(self.total_slip_us),
+        }

@@ -100,6 +100,7 @@ def fingerprint_run(
     quantum_us: int = ms(10),
     horizon_us: int = DEFAULT_HORIZON_US,
     resilience: bool = False,
+    overload: bool = False,
 ) -> RunFingerprint:
     """Run one controlled workload and fingerprint its schedule.
 
@@ -112,15 +113,24 @@ def fingerprint_run(
     neither ever acts) — which must *also* be schedule-invisible: the
     fingerprint with the stack on must equal the fingerprint with it
     off, byte for byte (docs/resilience.md).
+
+    ``overload=True`` attaches an armed :class:`OverloadGuard` with the
+    default config.  Table 2 workloads never push the ladder off NORMAL,
+    so the guarded fingerprint must equal the bare one byte for byte —
+    the overload layer's schedule-invisibility claim (docs/overload.md).
     """
     tracer = Tracer(enabled=True)
-    journal = supervisor = None
+    journal = supervisor = guard = None
     if resilience:
         from repro.resilience.journal import MemoryJournal
         from repro.resilience.supervisor import RestartPolicy, Supervisor
 
         journal = MemoryJournal()
         supervisor = Supervisor(RestartPolicy(), quantum_us=quantum_us)
+    if overload:
+        from repro.overload import OverloadGuard
+
+        guard = OverloadGuard()
     cw = build_controlled_workload(
         shares,
         AlpsConfig(quantum_us=quantum_us),
@@ -129,6 +139,7 @@ def fingerprint_run(
         tracer=tracer,
         journal=journal,
         supervisor=supervisor,
+        overload=guard,
     )
     cw.engine.run_until(horizon_us)
     return RunFingerprint(

@@ -6,10 +6,22 @@ state journal, supervision wrapper, observability — under a seeded
 :class:`~repro.faults.plan.FaultPlan` that mixes every fault kind the
 injector knows, including journal write loss and torn journal writes,
 plus agent crashes at fixed fractions of the horizon so journaled
-recovery is exercised at every rate.  When the episode ends, the five
+recovery is exercised at every rate.  When the episode ends, the
 invariants of :mod:`repro.resilience.invariants` are evaluated
 *in-worker* over the final kernel state and obs event log, so a cached
 episode carries its verdicts with it.
+
+Two suites share this machinery.  The default ``resilience`` suite is
+the crash/signal-loss campaign above.  The ``overload`` suite arms an
+:class:`~repro.overload.guard.OverloadGuard` on the agent and cycles
+three overload episode flavours on top of the base fault mix —
+*arrival storms* that push the group well past the Section 4.2 knee
+(and are reaped mid-episode so recovery can be audited), *agent
+nice-bombs* that starve the scheduler itself, and *thousand-process
+storms* against a bounded group, which exercise the admission queue at
+depth without ever inflating the measurement set.  The two overload
+invariants (bounded degraded slip, degrade-then-recover round trip)
+have teeth only in this suite.
 
 Episodes are :class:`~repro.sweep.scheduler.SweepCell`s dispatched
 through :func:`~repro.sweep.scheduler.run_sweep`: campaigns parallelize
@@ -27,7 +39,13 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.alps.config import AlpsConfig
 from repro.errors import InvariantViolation, NoSuchProcessError
 from repro.experiments.common import run_for_cycles
-from repro.faults.plan import AgentCrash, FaultPlan, default_fault_plan
+from repro.faults.plan import (
+    AgentCrash,
+    AgentNiceBomb,
+    ArrivalStorm,
+    FaultPlan,
+    default_fault_plan,
+)
 from repro.obs.observer import Observer
 from repro.resilience.invariants import (
     DEFAULT_FAIRNESS_BASE_PCT,
@@ -35,6 +53,7 @@ from repro.resilience.invariants import (
     InvariantResult,
     evaluate_episode_invariants,
 )
+from repro.overload import OverloadConfig, OverloadGuard
 from repro.resilience.journal import MemoryJournal
 from repro.resilience.supervisor import RestartPolicy, Supervisor
 from repro.sweep.cache import SweepCache
@@ -53,6 +72,105 @@ DEFAULT_RATES = (0.02, 0.05, 0.1, 0.2)
 DEFAULT_EPISODES = 8
 #: Workload shares (S = 10, cycle = 10 Q — the Table 2 small case).
 DEFAULT_SHARES = (1, 2, 3, 4)
+
+#: The campaign suites (see module docstring).
+SUITES = ("resilience", "overload")
+#: Overload episode flavours, cycled across an overload campaign.
+OVERLOAD_KINDS = ("storm", "nicebomb", "thousand")
+#: Workload shares for overload episodes.  No share-1 member: storm
+#: arrivals ask for share 1, so the shed selector (lowest share first)
+#: releases storm processes before any original worker.
+OVERLOAD_SHARES = (2, 3, 4, 5)
+#: Fairness bound for overload episodes.  Wider than the resilience
+#: suite's: a storm legitimately floods the group (and the thousand
+#: flavour floods the whole host) for a quarter of the horizon, so the
+#: workers' cumulative split genuinely loosens beyond what signal-level
+#: faults alone would cost.
+OVERLOAD_FAIRNESS_BASE_PCT = 12.0
+OVERLOAD_FAIRNESS_SLOPE_PCT = 520.0
+
+
+def overload_guard_config(kind: str = "storm") -> OverloadConfig:
+    """Guard tuning for chaos episodes.
+
+    Chaos episodes differ from the past-the-knee experiment in two ways
+    the defaults don't fit.  First, the base fault mix injects agent
+    *stalls* (4-quanta oversleeps) at every rate: with the default
+    1-quantum engage threshold every stall engages the ladder and the
+    rung flaps for the whole episode, so the engage threshold rises
+    above a single stall's EWMA spike — genuine breakdown outages are
+    tens of quanta and still trip it instantly.  Second, horizons are
+    seconds, so the recovery dwell shortens to let the
+    degrade-then-recover round trip finish inside the episode once the
+    injected load clears.
+
+    The thousand flavour adds a hard membership capacity — its storm
+    must *queue*, not degrade — and widens the slip bound to
+    non-binding: a thousand-process best-effort herd starves *any*
+    process at the kernel's whim, exactly like a nice-bomb, so its
+    checked claim is the bounded queue (``admission_queued_peak``
+    against an unchanged measurement set), not bounded slip.
+    """
+    capacity = 8 if kind == "thousand" else None
+    slip_bound = 1024.0 if kind == "thousand" else 64.0
+    return OverloadConfig(
+        capacity=capacity,
+        engage_slip_quanta=4.0,
+        release_slip_quanta=0.5,
+        release_dwell=20,
+        max_degraded_slip_quanta=slip_bound,
+    )
+
+
+def overload_episode_plan(
+    kind: str, fault_rate: float, *, seed: int, horizon_us: int
+) -> FaultPlan:
+    """One overload episode's plan: the resilience mix plus one flavour.
+
+    Storms arrive at 1/4 of the horizon and are reaped a quarter of a
+    horizon later, leaving the final half for the round-trip recovery
+    the invariants audit; a nice-bomb runs for a sixth of the horizon.
+    """
+    plan = episode_plan(fault_rate, seed=seed, horizon_us=horizon_us)
+    if kind == "storm":
+        # Push the group well past the Section 4.2 knee.
+        return replace(
+            plan,
+            arrival_storms=(
+                ArrivalStorm(
+                    time_us=horizon_us // 4,
+                    count=48,
+                    share=1,
+                    lifetime_us=horizon_us // 4,
+                ),
+            ),
+        )
+    if kind == "nicebomb":
+        return replace(
+            plan,
+            agent_nice_bombs=(
+                AgentNiceBomb(
+                    time_us=horizon_us // 4,
+                    nice=16,
+                    duration_us=horizon_us // 6,
+                ),
+            ),
+        )
+    if kind == "thousand":
+        # A thousand arrivals against a capacity-8 group: the queue
+        # absorbs what the measurement set must never see.
+        return replace(
+            plan,
+            arrival_storms=(
+                ArrivalStorm(
+                    time_us=horizon_us // 4,
+                    count=1000,
+                    share=1,
+                    lifetime_us=horizon_us // 4,
+                ),
+            ),
+        )
+    raise ValueError(f"unknown overload episode kind {kind!r}")
 
 
 def episode_plan(
@@ -129,6 +247,13 @@ class ChaosEpisode:
     degraded: bool
     # -- verdicts ----------------------------------------------------
     invariants: tuple[InvariantResult, ...]
+    # -- overload census (zeros outside the overload suite) ----------
+    suite: str = "resilience"
+    overload_kind: str = ""
+    engagements: int = 0
+    sheds: int = 0
+    max_degraded_slip_quanta: float = 0.0
+    admission_queued_peak: int = 0
 
     @property
     def ok(self) -> bool:
@@ -140,6 +265,8 @@ def run_chaos_episode(
     seed: int,
     fault_rate: float,
     *,
+    suite: str = "resilience",
+    overload_kind: str = "storm",
     shares: Sequence[int] = DEFAULT_SHARES,
     quantum_ms: float = 10.0,
     cycles: int = 60,
@@ -149,16 +276,27 @@ def run_chaos_episode(
     fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
 ) -> ChaosEpisode:
     """Run one fully-instrumented episode and evaluate its invariants."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown chaos suite {suite!r}")
     total_cycles = cycles + warmup_cycles
     quantum_us = ms(quantum_ms)
     horizon_us = int(2 * total_cycles * sum(shares) * quantum_us)
-    plan = episode_plan(fault_rate, seed=seed, horizon_us=horizon_us)
+    guard: Optional[OverloadGuard] = None
+    if suite == "overload":
+        plan = overload_episode_plan(
+            overload_kind, fault_rate, seed=seed, horizon_us=horizon_us
+        )
+        guard = OverloadGuard(overload_guard_config(overload_kind))
+    else:
+        overload_kind = ""
+        plan = episode_plan(fault_rate, seed=seed, horizon_us=horizon_us)
     observer = Observer()
     journal = MemoryJournal()
     supervisor = Supervisor(
         RestartPolicy(restart_budget=restart_budget),
         quantum_us=quantum_us,
         label=f"chaos-{seed}",
+        seed=seed,
     )
     cw = build_controlled_workload(
         list(shares),
@@ -168,6 +306,7 @@ def run_chaos_episode(
         observer=observer,
         journal=journal,
         supervisor=supervisor,
+        overload=guard,
     )
     # Heavy plans (or a stood-down agent) may never reach the cycle
     # goal; the horizon bounds the episode and a short log is still an
@@ -198,6 +337,14 @@ def run_chaos_episode(
         supervisor_restarts=supervisor.restarts,
         degraded=supervisor.degraded,
         invariants=tuple(invariants),
+        suite=suite,
+        overload_kind=overload_kind,
+        engagements=guard.ladder.engagements if guard else 0,
+        sheds=guard.sheds if guard else 0,
+        max_degraded_slip_quanta=(
+            guard.max_degraded_slip_quanta if guard else 0.0
+        ),
+        admission_queued_peak=guard.admission.queued_peak if guard else 0,
     )
 
 
@@ -208,6 +355,8 @@ def chaos_cell(
     seed: int,
     fault_rate: float,
     *,
+    suite: str = "resilience",
+    overload_kind: str = "storm",
     shares: Sequence[int] = DEFAULT_SHARES,
     quantum_ms: float = 10.0,
     cycles: int = 60,
@@ -222,6 +371,8 @@ def chaos_cell(
         {
             "seed": seed,
             "fault_rate": fault_rate,
+            "suite": suite,
+            "overload_kind": overload_kind,
             "shares": list(shares),
             "quantum_ms": quantum_ms,
             "cycles": cycles,
@@ -238,6 +389,8 @@ def run_chaos_cell(params: Mapping[str, Any]) -> dict:
     episode = run_chaos_episode(
         params["seed"],
         params["fault_rate"],
+        suite=params.get("suite", "resilience"),
+        overload_kind=params.get("overload_kind", "storm"),
         shares=tuple(params["shares"]),
         quantum_ms=params["quantum_ms"],
         cycles=params["cycles"],
@@ -298,17 +451,23 @@ class ChaosReport:
 
     def format_table(self) -> str:
         """Stable text rendering (equal seeds render identical bytes)."""
+        overload = any(ep.suite == "overload" for ep in self.episodes)
+        kind_hdr = f" {'kind':>9} {'shed':>4}" if overload else ""
         lines = [
             f"chaos campaign seed={self.campaign_seed} "
             f"episodes={len(self.episodes)} "
             f"verdict={'PASS' if self.ok else 'FAIL'}",
-            f"{'ep':>3} {'seed':>6} {'rate':>5} {'cycles':>6} "
+            f"{'ep':>3} {'seed':>6} {'rate':>5}{kind_hdr} {'cycles':>6} "
             f"{'err%':>7} {'restarts':>8} {'journaled':>9} "
             f"{'fallback':>8} {'verdict':>7}",
         ]
         for i, ep in enumerate(self.episodes):
+            kind_col = (
+                f" {ep.overload_kind:>9} {ep.sheds:>4}" if overload else ""
+            )
             lines.append(
-                f"{i:>3} {ep.seed:>6} {ep.fault_rate:>5.2f} {ep.cycles:>6} "
+                f"{i:>3} {ep.seed:>6} {ep.fault_rate:>5.2f}{kind_col} "
+                f"{ep.cycles:>6} "
                 f"{ep.error_pct:>7.2f} {ep.restarts:>8} "
                 f"{ep.journal_recoveries:>9} {ep.recovery_fallbacks:>8} "
                 f"{'ok' if ep.ok else 'FAIL':>7}"
@@ -322,15 +481,16 @@ class ChaosReport:
 def run_chaos_campaign(
     seed: int = 0,
     *,
+    suite: str = "resilience",
     episodes: int = DEFAULT_EPISODES,
     rates: Sequence[float] = DEFAULT_RATES,
-    shares: Sequence[int] = DEFAULT_SHARES,
+    shares: Optional[Sequence[int]] = None,
     quantum_ms: float = 10.0,
     cycles: int = 60,
     warmup_cycles: int = 5,
     restart_budget: int = 5,
-    fairness_base_pct: float = DEFAULT_FAIRNESS_BASE_PCT,
-    fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
+    fairness_base_pct: Optional[float] = None,
+    fairness_slope_pct: Optional[float] = None,
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
 ) -> ChaosReport:
@@ -339,15 +499,35 @@ def run_chaos_campaign(
     Episode *i* uses fault rate ``rates[i % len(rates)]`` and seed
     ``seed * 1000 + i``, so campaigns with different seeds never share
     an episode and ``repro chaos run --seed N`` is fully deterministic.
+    The ``overload`` suite additionally cycles episode flavours through
+    :data:`OVERLOAD_KINDS` and defaults to :data:`OVERLOAD_SHARES`.
     """
+    if suite not in SUITES:
+        raise ValueError(f"unknown chaos suite {suite!r}")
     if episodes < 1:
         raise ValueError(f"episodes must be >= 1, got {episodes}")
     if not rates:
         raise ValueError("at least one fault rate is required")
+    if shares is None:
+        shares = OVERLOAD_SHARES if suite == "overload" else DEFAULT_SHARES
+    if fairness_base_pct is None:
+        fairness_base_pct = (
+            OVERLOAD_FAIRNESS_BASE_PCT
+            if suite == "overload"
+            else DEFAULT_FAIRNESS_BASE_PCT
+        )
+    if fairness_slope_pct is None:
+        fairness_slope_pct = (
+            OVERLOAD_FAIRNESS_SLOPE_PCT
+            if suite == "overload"
+            else DEFAULT_FAIRNESS_SLOPE_PCT
+        )
     cells = [
         chaos_cell(
             seed * 1000 + i,
             rates[i % len(rates)],
+            suite=suite,
+            overload_kind=OVERLOAD_KINDS[i % len(OVERLOAD_KINDS)],
             shares=shares,
             quantum_ms=quantum_ms,
             cycles=cycles,
@@ -373,11 +553,16 @@ __all__ = [
     "DEFAULT_EPISODES",
     "DEFAULT_RATES",
     "DEFAULT_SHARES",
+    "OVERLOAD_KINDS",
+    "OVERLOAD_SHARES",
+    "SUITES",
     "attained_error_pct",
     "chaos_cell",
     "episode_from_payload",
     "episode_payload",
     "episode_plan",
+    "overload_episode_plan",
+    "overload_guard_config",
     "run_chaos_campaign",
     "run_chaos_cell",
     "run_chaos_episode",

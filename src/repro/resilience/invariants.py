@@ -2,9 +2,9 @@
 
 A chaos campaign is only as good as what it *checks*.  Each episode
 (one seeded fault plan over one controlled workload) finishes with the
-five safety/liveness properties below evaluated against the workload's
+safety/liveness properties below evaluated against the workload's
 final kernel state, its obs event log, and the fault injector's trace.
-All five must hold at every fault rate the robustness benchmark sweeps;
+All must hold at every fault rate the robustness benchmark sweeps;
 a failure is a real resilience bug, not noise — each invariant is
 conditioned on what the plan actually injected.
 
@@ -35,6 +35,24 @@ The invariants:
     budget exhausted), the agent serviced a quantum timer within the
     liveness window of the episode's end — crashes plus backoff never
     silence it permanently.
+
+Two more apply to episodes run with an overload guard attached
+(docs/overload.md); both report trivially-true when no guard was
+armed:
+
+``bounded_timer_slip``
+    Once the degradation ladder is engaged, per-wake timer slip stays
+    under the guard's configured bound — degradation actually buys the
+    stability it trades accuracy for.  Conditioned on the plan: while
+    an injected nice-bomb deprioritises the *agent itself*, no amount
+    of stretching or shedding can bound its slip, so bombed episodes
+    skip this check.
+``degrade_recover_roundtrip``
+    If the ladder engaged during the episode, then by the end — after
+    the plan's storms were reaped and bombs expired — it walked back to
+    NORMAL with every shed member readmitted or accounted dead, and the
+    measurement cadence restored (postpone boost 1): degradation is a
+    round trip, not a ratchet.
 """
 
 from __future__ import annotations
@@ -201,6 +219,69 @@ def check_agent_liveness(
     )
 
 
+def check_bounded_timer_slip(cw: "ControlledWorkload") -> InvariantResult:
+    """Degraded-mode slip stayed within the guard's configured bound."""
+    guard = cw.overload
+    if guard is None:
+        return InvariantResult(
+            "bounded_timer_slip", True, "n/a: no overload guard"
+        )
+    plan = cw.injector.plan if cw.injector is not None else None
+    if plan is not None and plan.agent_nice_bombs:
+        return InvariantResult(
+            "bounded_timer_slip",
+            True,
+            "n/a: agent nice-bomb injected (agent-external suppression)",
+        )
+    if guard.degraded_wakes == 0:
+        return InvariantResult(
+            "bounded_timer_slip", True, "ladder never engaged"
+        )
+    bound = guard.config.max_degraded_slip_quanta
+    return InvariantResult(
+        "bounded_timer_slip",
+        guard.slip_bound_ok,
+        f"max degraded slip {guard.max_degraded_slip_quanta:.1f}q "
+        f"vs bound {bound:.1f}q over {guard.degraded_wakes} degraded wakes",
+    )
+
+
+def check_degrade_recover_roundtrip(
+    cw: "ControlledWorkload",
+) -> InvariantResult:
+    """An engaged ladder walked all the way back once the load cleared."""
+    guard = cw.overload
+    if guard is None:
+        return InvariantResult(
+            "degrade_recover_roundtrip", True, "n/a: no overload guard"
+        )
+    if guard.ladder.engagements == 0:
+        return InvariantResult(
+            "degrade_recover_roundtrip", True, "ladder never engaged"
+        )
+    if not guard.fully_recovered:
+        return InvariantResult(
+            "degrade_recover_roundtrip",
+            False,
+            f"still degraded at episode end: rung={int(guard.rung)} "
+            f"shed_outstanding={guard.shed_outstanding} "
+            f"after {guard.ladder.engagements} engagement(s)",
+        )
+    boost = cw.agent.core.postpone_boost
+    if boost != 1:
+        return InvariantResult(
+            "degrade_recover_roundtrip",
+            False,
+            f"recovered rung but postpone boost still {boost}",
+        )
+    return InvariantResult(
+        "degrade_recover_roundtrip",
+        True,
+        f"{guard.ladder.engagements} engagement(s), "
+        f"{guard.sheds} shed(s), full enforcement restored",
+    )
+
+
 def evaluate_episode_invariants(
     cw: "ControlledWorkload",
     *,
@@ -210,7 +291,8 @@ def evaluate_episode_invariants(
     fairness_slope_pct: float = DEFAULT_FAIRNESS_SLOPE_PCT,
     liveness_window_us: int = DEFAULT_LIVENESS_WINDOW_US,
 ) -> list[InvariantResult]:
-    """All five invariants for one finished episode, in canonical order."""
+    """All seven invariants for one finished episode, in canonical order
+    (the two overload checks answer trivially without a guard)."""
     return [
         check_no_lost_process(cw),
         check_no_wedged_process(cw),
@@ -222,6 +304,8 @@ def evaluate_episode_invariants(
             slope_pct=fairness_slope_pct,
         ),
         check_agent_liveness(cw, window_us=liveness_window_us),
+        check_bounded_timer_slip(cw),
+        check_degrade_recover_roundtrip(cw),
     ]
 
 
@@ -232,7 +316,9 @@ __all__ = [
     "InvariantResult",
     "check_agent_liveness",
     "check_bounded_fairness",
+    "check_bounded_timer_slip",
     "check_cpu_conservation",
+    "check_degrade_recover_roundtrip",
     "check_no_lost_process",
     "check_no_wedged_process",
     "evaluate_episode_invariants",

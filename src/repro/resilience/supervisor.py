@@ -6,9 +6,12 @@ policy state machine shared by both drivers:
 
 * **heartbeats** — every serviced activation beats; a gap wider than
   ``heartbeat_timeout_quanta`` quanta is recorded and reported;
-* **bounded exponential backoff** — each crash delays the restart by a
-  growing, capped backoff so a crash-looping agent cannot hammer the
-  system with reconciliation work;
+* **bounded exponential backoff with seeded jitter** — each crash
+  delays the restart by a growing, capped backoff so a crash-looping
+  agent cannot hammer the system with reconciliation work; a seeded
+  random jitter fraction decorrelates restarts of co-scheduled agents
+  (no thundering herd after a shared outage) while staying fully
+  deterministic under the campaign seed;
 * **restart-budget escalation** — past ``restart_budget`` crashes the
   supervisor raises :class:`~repro.errors.RestartBudgetExhausted`; the
   caller must then *resume every controlled process and stand down*
@@ -59,6 +62,11 @@ class RestartPolicy:
     backoff_multiplier: float = 2.0
     #: Backoff ceiling.
     max_backoff_us: int = 2 * SEC
+    #: Fraction of the granted backoff added as seeded uniform jitter
+    #: (0 disables).  Applied on top of the (possibly capped) base, so
+    #: restarts stay decorrelated even once the cap is reached; the
+    #: deterministic base escalation itself is never jittered.
+    backoff_jitter: float = 0.1
     #: Restarts allowed before the supervisor escalates to stand-down.
     restart_budget: int = 5
     #: Heartbeat gap (in quanta) past which a missed-heartbeat event is
@@ -73,6 +81,10 @@ class RestartPolicy:
         if self.max_backoff_us < self.initial_backoff_us:
             raise SchedulerConfigError(
                 "max_backoff_us must be >= initial_backoff_us"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise SchedulerConfigError(
+                "backoff_jitter must be in [0, 1]"
             )
         if self.restart_budget < 0:
             raise SchedulerConfigError("restart_budget must be >= 0")
@@ -111,12 +123,14 @@ class Supervisor:
         quantum_us: int = 10 * MSEC,
         observer: Optional["Observer"] = None,
         label: str = "alps",
+        seed: int = 0,
     ) -> None:
         if quantum_us <= 0:
             raise SchedulerConfigError("quantum_us must be positive")
         self.policy = policy
         self.quantum_us = quantum_us
         self.label = label
+        self.seed = seed
         self.state = SupervisorState.RUNNING
         self.restarts = 0
         self.heartbeats = 0
@@ -125,6 +139,7 @@ class Supervisor:
         self._backoff_us = policy.initial_backoff_us
         self._last_beat: Optional[int] = None
         self._obs = observer
+        self._jitter_rng = None
 
     # -- observability -------------------------------------------------
     def bind_observer(self, observer: Optional["Observer"]) -> None:
@@ -138,19 +153,47 @@ class Supervisor:
         if obs is not None and obs.enabled:
             obs.events.emit(now, kind, label=self.label, **fields)
 
+    def _jitter_us(self, base_us: int) -> int:
+        """Seeded uniform jitter in ``[0, jitter · base_us]``.
+
+        The stream mixes the seed with the supervisor label, so two
+        supervisors sharing a campaign seed still draw independently —
+        that independence is the whole anti-herd point.
+        """
+        frac = self.policy.backoff_jitter
+        if frac <= 0.0 or base_us <= 0:
+            return 0
+        if self._jitter_rng is None:
+            from repro.sim.rng import RngStreams
+
+            self._jitter_rng = RngStreams(self.seed).stream(
+                f"supervisor.backoff:{self.label}"
+            )
+        return int(base_us * frac * self._jitter_rng.random())
+
     # -- the policy surface --------------------------------------------
-    def heartbeat(self, now: int) -> None:
-        """Record one driver activation; report oversized gaps."""
+    def heartbeat(self, now: int, *, slip_us: int = 0) -> None:
+        """Record one driver activation; report oversized gaps.
+
+        ``slip_us`` is the driver's own starvation estimate for this
+        wake (the overload layer's cadence slip,
+        :attr:`~repro.alps.agent.AlpsAgent.timer_slip_us`).  The monitor
+        judges the worse of the wall gap and the reported slip, so a
+        starved wake registers as supervisor pressure even when restarts
+        have reset the wall-gap baseline under it.
+        """
         self.heartbeats += 1
         last = self._last_beat
         self._last_beat = now
         if last is None:
             return
-        gap = now - last
+        gap = max(now - last, slip_us)
         limit = self.policy.heartbeat_timeout_quanta * self.quantum_us
         if gap > limit:
             self.missed_heartbeats += 1
-            self._emit(now, "supervisor.heartbeat_missed", gap_us=gap)
+            self._emit(
+                now, "supervisor.heartbeat_missed", gap_us=gap, slip_us=slip_us
+            )
 
     def on_failure(self, now: int) -> RestartDecision:
         """Grant a backoff restart, or raise once the budget is gone.
@@ -170,7 +213,7 @@ class Supervisor:
             )
             raise RestartBudgetExhausted(self.restarts, self.policy.restart_budget)
         self.restarts += 1
-        backoff = self._backoff_us
+        backoff = self._backoff_us + self._jitter_us(self._backoff_us)
         self._backoff_us = min(
             int(self._backoff_us * self.policy.backoff_multiplier),
             self.policy.max_backoff_us,
@@ -262,7 +305,7 @@ class SupervisedAlpsBehavior:
                     crash.downtime_us + decision.backoff_us,
                     channel="alpsrestart",
                 )
-        sup.heartbeat(now)
+        sup.heartbeat(now, slip_us=self.agent.timer_slip_us)
         action = self.agent.next_action(
             proc, self._fkapi if self._fkapi is not None else kapi
         )

@@ -26,6 +26,7 @@ from repro.workloads.spinner import spinner_behavior
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
+    from repro.overload.guard import OverloadGuard
     from repro.perf.counters import PerfCounters
     from repro.resilience.journal import MemoryJournal
     from repro.resilience.supervisor import Supervisor
@@ -50,6 +51,9 @@ class ControlledWorkload:
     journal: Optional["MemoryJournal"] = None
     #: Present when the agent runs under a supervision wrapper.
     supervisor: Optional["Supervisor"] = None
+    #: Present when the agent runs with overload protection
+    #: (``build_controlled_workload(overload=...)``).
+    overload: Optional["OverloadGuard"] = None
 
     @property
     def total_shares(self) -> int:
@@ -82,6 +86,7 @@ def build_controlled_workload(
     observer: Optional["Observer"] = None,
     journal: Optional["MemoryJournal"] = None,
     supervisor: Optional["Supervisor"] = None,
+    overload: Optional["OverloadGuard"] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -103,6 +108,10 @@ def build_controlled_workload(
     its fault hook when both are present); ``supervisor`` hosts the
     agent behind the supervision wrapper (heartbeats, backoff restarts,
     degraded-mode stand-down), which subsumes the plain fault wrapper.
+    ``overload`` arms the overload-protection layer — admission control,
+    starvation detection, and the graceful-degradation ladder
+    (docs/overload.md); the injector's arrival storms and nice bombs
+    require it to be meaningful but do not require it.
     """
     engine = Engine(seed=seed, tracer=tracer, counters=counters, observer=observer)
     kernel = kernel_factory(engine, kernel_config)
@@ -130,7 +139,10 @@ def build_controlled_workload(
         injector=injector,
         journal=journal,
         supervisor=supervisor,
+        overload=overload,
     )
+    if injector is not None:
+        injector.arm_agent(agent, alps_proc.pid)
     return ControlledWorkload(
         engine=engine,
         kernel=kernel,
@@ -142,6 +154,7 @@ def build_controlled_workload(
         observer=observer,
         journal=journal,
         supervisor=supervisor,
+        overload=overload,
     )
 
 

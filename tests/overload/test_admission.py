@@ -1,0 +1,77 @@
+"""AdmissionQueue: bounded membership with lossless FIFO queueing."""
+
+from __future__ import annotations
+
+from repro.overload import AdmissionQueue
+
+
+def test_unbounded_queue_admits_everything_immediately():
+    q = AdmissionQueue(None)
+    assert all(q.submit(i, active=i) for i in range(50))
+    assert q.depth == 0
+    assert q.admitted_immediately == 50
+
+
+def test_capacity_queues_the_overflow_in_order():
+    q = AdmissionQueue(2)
+    assert q.submit("a", active=0)
+    assert q.submit("b", active=1)
+    assert not q.submit("c", active=2)
+    assert not q.submit("d", active=2)
+    assert q.pending() == ("c", "d")
+    assert q.queued_peak == 2
+
+
+def test_drain_respects_spare_capacity_and_order():
+    q = AdmissionQueue(3)
+    for entry in ("a", "b", "c"):
+        q.submit(entry, active=0)  # fills... but active is the caller's
+    # Queue three more behind a full set.
+    for entry in ("d", "e", "f"):
+        q.submit(entry, active=3)
+    # One slot frees up: exactly the oldest waiter admits.
+    assert q.admit_ready(active=2) == ["d"]
+    # Two slots free up: the next two, still in order.
+    assert q.admit_ready(active=1) == ["e", "f"]
+    assert q.depth == 0
+    assert q.drained == 3
+
+
+def test_pause_blocks_both_submit_and_drain():
+    q = AdmissionQueue(4)
+    assert not q.submit("a", active=0, paused=True)
+    assert q.admit_ready(active=0, paused=True) == []
+    assert q.pending() == ("a",)
+    # Unpaused, the waiter drains normally.
+    assert q.admit_ready(active=0) == ["a"]
+
+
+def test_late_arrival_cannot_jump_a_nonempty_queue():
+    """FIFO even when the set has room: queued entries go first."""
+    q = AdmissionQueue(10)
+    q.submit("old", active=10)       # queued at capacity
+    assert not q.submit("new", active=3)  # room now, but "old" waits
+    assert q.admit_ready(active=3) == ["old", "new"]
+
+
+def test_discard_drops_only_the_named_entry():
+    q = AdmissionQueue(1)
+    q.submit("a", active=1)
+    q.submit("b", active=1)
+    assert q.discard("a")
+    assert not q.discard("zzz")
+    assert q.pending() == ("b",)
+
+
+def test_stats_counters_add_up():
+    q = AdmissionQueue(1)
+    q.submit("a", active=0)
+    q.submit("b", active=1)
+    q.admit_ready(active=0)
+    stats = q.stats()
+    assert stats["submitted"] == 2
+    assert stats["admitted_immediately"] == 1
+    assert stats["queued"] == 1
+    assert stats["drained"] == 1
+    assert stats["depth"] == 0
+    assert stats["queued_peak"] == 1

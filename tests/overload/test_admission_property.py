@@ -1,0 +1,112 @@
+"""Property tests: the overload layer never loses or reorders a process.
+
+Two Hypothesis-driven models:
+
+* the admission queue, under arbitrary interleavings of submit / drain /
+  pause, is a lossless FIFO — every entry is admitted, still pending,
+  or explicitly discarded, and admissions happen in submission order;
+* a full admit → degrade → shed → recover round trip conserves the
+  group — at every step the enforced set and the shed set partition the
+  original membership, and after recovery the enforced set is exactly
+  the original again.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.overload import AdmissionQueue, OverloadConfig, OverloadGuard, Rung
+
+# -- model 1: the admission queue is a lossless FIFO -------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.booleans()),   # paused?
+        st.tuples(st.just("drain"), st.booleans()),    # paused?
+        st.just(("discard_oldest", False)),
+    ),
+    max_size=60,
+)
+
+
+@given(capacity=st.one_of(st.none(), st.integers(1, 5)), script=ops)
+@settings(max_examples=120, deadline=None)
+def test_admission_queue_is_lossless_and_ordered(capacity, script):
+    q = AdmissionQueue(capacity)
+    active: list[int] = []       # the model's enforced set
+    admitted: list[int] = []     # admission order over the whole run
+    discarded: set[int] = set()
+    next_id = 0
+    for op, paused in script:
+        if op == "submit":
+            entry = next_id
+            next_id += 1
+            if q.submit(entry, len(active), paused=paused):
+                active.append(entry)
+                admitted.append(entry)
+        elif op == "drain":
+            for entry in q.admit_ready(len(active), paused=paused):
+                active.append(entry)
+                admitted.append(entry)
+        else:
+            pending = q.pending()
+            if pending:
+                assert q.discard(pending[0])
+                discarded.add(pending[0])
+    # Conservation: every submitted entry is in exactly one place.
+    assert set(admitted) | set(q.pending()) | discarded == set(range(next_id))
+    assert len(admitted) + q.depth + len(discarded) == next_id
+    # Order: admissions are monotone in submission id once discards are
+    # projected out (FIFO never lets a late arrival overtake a waiter).
+    assert admitted == sorted(admitted)
+
+
+# -- model 2: degrade → shed → recover conserves the group -------------
+
+share_lists = st.lists(st.integers(1, 9), min_size=4, max_size=16)
+
+
+@given(shares=share_lists, shed_fraction=st.floats(0.1, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_shed_recover_roundtrip_conserves_membership(shares, shed_fraction):
+    cfg = OverloadConfig(
+        engage_dwell=1,
+        release_dwell=1,
+        shed_fraction=shed_fraction,
+    )
+    guard = OverloadGuard(cfg)
+    q_us = 10_000
+    enforced = {sid: share for sid, share in enumerate(shares)}
+    shed: dict[int, int] = {}
+    original = dict(enforced)
+
+    def enact(delta: int) -> None:
+        if delta > 0 and guard.rung >= Rung.SHED:
+            for sid in guard.select_shed(enforced, guard.shed_quota(len(enforced))):
+                shed[sid] = enforced.pop(sid)
+                guard.note_shed(sid)
+        elif delta < 0 and guard.rung < Rung.SHED:
+            for sid in list(guard.shed_sids):
+                enforced[sid] = shed.pop(sid)
+                guard.note_readmitted(sid)
+
+    # Degrade: sustained hot wakes climb to SHED and pulse shed rounds.
+    for _ in range(8):
+        enact(guard.observe_wake(50 * q_us, q_us))
+        assert set(enforced) | set(shed) == set(original)
+        assert not set(enforced) & set(shed)
+    assert guard.rung is Rung.SHED
+    assert shed  # at least one shed round happened
+    # Shedding takes the lowest shares first.
+    if enforced:
+        assert max(shed.values()) <= min(enforced.values()) or any(
+            shed_share == min(original.values()) for shed_share in shed.values()
+        )
+    # Recover: cool wakes walk the ladder all the way back down.
+    for _ in range(8):
+        enact(guard.observe_wake(0, q_us))
+        assert set(enforced) | set(shed) == set(original)
+    assert guard.rung is Rung.NORMAL
+    assert guard.fully_recovered
+    assert enforced == original
+    assert guard.sheds == guard.readmits

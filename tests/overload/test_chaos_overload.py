@@ -1,0 +1,105 @@
+"""The chaos overload suite: episode flavours, census, invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import (
+    OVERLOAD_FAIRNESS_BASE_PCT,
+    OVERLOAD_FAIRNESS_SLOPE_PCT,
+    OVERLOAD_KINDS,
+    OVERLOAD_SHARES,
+    overload_episode_plan,
+    overload_guard_config,
+    run_chaos_campaign,
+    run_chaos_episode,
+)
+from repro.units import sec
+
+# The campaign's suite defaults, spelled out: direct episode runs get
+# the resilience-suite fairness bound unless told otherwise, and the
+# horizon must leave room for a storm to clear and the release dwell
+# to be served (cycles=60 is the campaign default).
+FAST = dict(
+    shares=OVERLOAD_SHARES,
+    cycles=60,
+    fairness_base_pct=OVERLOAD_FAIRNESS_BASE_PCT,
+    fairness_slope_pct=OVERLOAD_FAIRNESS_SLOPE_PCT,
+)
+
+
+def test_overload_plan_flavours():
+    horizon = sec(10)
+    storm = overload_episode_plan("storm", 0.05, seed=0, horizon_us=horizon)
+    assert storm.arrival_storms and not storm.agent_nice_bombs
+    assert storm.arrival_storms[0].lifetime_us > 0  # load must clear
+    bomb = overload_episode_plan("nicebomb", 0.05, seed=0, horizon_us=horizon)
+    assert bomb.agent_nice_bombs and not bomb.arrival_storms
+    herd = overload_episode_plan("thousand", 0.05, seed=0, horizon_us=horizon)
+    assert herd.arrival_storms[0].count == 1000
+    with pytest.raises(ValueError):
+        overload_episode_plan("flood", 0.05, seed=0, horizon_us=horizon)
+
+
+def test_overload_guard_config_scales_with_flavour():
+    storm = overload_guard_config("storm")
+    herd = overload_guard_config("thousand")
+    assert storm.capacity is None
+    assert herd.capacity is not None  # the herd claim is queue bounding
+    assert herd.max_degraded_slip_quanta > storm.max_degraded_slip_quanta
+
+
+def test_storm_episode_sheds_and_recovers():
+    ep = run_chaos_episode(0, 0.05, suite="overload", overload_kind="storm", **FAST)
+    assert ep.suite == "overload"
+    assert ep.overload_kind == "storm"
+    assert ep.ok, [r for r in ep.invariants if not r.ok]
+    assert ep.engagements >= 1
+    assert ep.sheds >= 1
+    names = [r.name for r in ep.invariants]
+    assert "bounded_timer_slip" in names
+    assert "degrade_recover_roundtrip" in names
+
+
+def test_thousand_episode_bounds_the_queue():
+    ep = run_chaos_episode(
+        2, 0.05, suite="overload", overload_kind="thousand", **FAST
+    )
+    assert ep.ok, [r for r in ep.invariants if not r.ok]
+    # 1000 arrivals against a capacity-8 group: nearly all must queue
+    # rather than inflate the measurement set.
+    assert ep.admission_queued_peak > 900
+
+
+def test_nicebomb_episode_skips_the_slip_check():
+    ep = run_chaos_episode(
+        1, 0.05, suite="overload", overload_kind="nicebomb", **FAST
+    )
+    slip = next(r for r in ep.invariants if r.name == "bounded_timer_slip")
+    assert slip.ok and "n/a" in slip.detail
+    assert ep.ok, [r for r in ep.invariants if not r.ok]
+
+
+def test_overload_campaign_cycles_kinds_and_renders_columns():
+    report = run_chaos_campaign(
+        0, suite="overload", episodes=3, rates=(0.05,), cycles=30,
+    )
+    assert report.ok, report.format_table()
+    kinds = [ep.overload_kind for ep in report.episodes]
+    assert kinds == list(OVERLOAD_KINDS)
+    table = report.format_table()
+    assert "kind" in table and "shed" in table
+
+
+def test_resilience_campaign_table_is_unchanged_by_the_new_columns():
+    report = run_chaos_campaign(0, episodes=2, rates=(0.05,), cycles=15,
+                                warmup_cycles=3)
+    table = report.format_table()
+    assert "kind" not in table.splitlines()[1]
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ValueError):
+        run_chaos_episode(0, 0.05, suite="mystery")
+    with pytest.raises(ValueError):
+        run_chaos_campaign(0, suite="mystery")

@@ -1,0 +1,63 @@
+"""The overload CLI surfaces: ``repro run overload``, ``repro chaos --suite``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import EXPERIMENTS, build_parser, main
+
+#: The real knee (N=40/80) belongs to the perf-gate benchmark; the CLI
+#: tests shrink the matrix so the plumbing check stays in tier-1 time.
+TINY = {"KNEE_N": 6, "PAST_KNEE_N": 12}
+
+
+@pytest.fixture
+def tiny_knee(monkeypatch):
+    from repro.experiments import overload as mod
+
+    for name, value in TINY.items():
+        monkeypatch.setattr(mod, name, value)
+
+
+def test_overload_is_a_registered_experiment():
+    assert "overload" in EXPERIMENTS
+
+
+def test_run_overload_prints_table_and_ratios(tiny_knee, capsys):
+    assert main(["run", "overload", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "bounded degradation past the knee" in out
+    assert "ladder" in out and "control" in out
+    assert out.count("ratio") == 2  # one comparison line per size
+
+
+def test_run_overload_writes_csv(tiny_knee, tmp_path, capsys):
+    csv = tmp_path / "overload.csv"
+    assert main(["run", "overload", "--no-cache", "--csv", str(csv)]) == 0
+    header = csv.read_text().splitlines()[0]
+    assert "ladder" in header
+    assert "max_degraded_slip_quanta" in header
+
+
+def test_chaos_suite_overload_passes_and_shows_kinds(capsys):
+    rc = main(
+        ["chaos", "run", "--suite", "overload", "--seed", "0",
+         "--rates", "0.05", "--episodes", "3", "--cycles", "30",
+         "--no-cache"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "verdict=PASS" in captured.out
+    assert "kind" in captured.out
+    assert "storm" in captured.out
+
+
+def test_chaos_suite_defaults_to_resilience():
+    args = build_parser().parse_args(["chaos", "run"])
+    assert args.suite == "resilience"
+    assert args.shares is None
+
+
+def test_chaos_rejects_unknown_suite():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "run", "--suite", "mystery"])

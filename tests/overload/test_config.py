@@ -1,0 +1,44 @@
+"""OverloadConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerConfigError
+from repro.overload import OverloadConfig
+
+
+def test_default_config_is_valid_and_schedule_invisible_at_normal():
+    cfg = OverloadConfig()
+    assert cfg.capacity is None
+    assert cfg.stretch_factors[0] == 1
+    assert cfg.postpone_boosts[0] == 1
+    assert cfg.engage_slip_quanta > cfg.release_slip_quanta
+    assert cfg.release_dwell > cfg.engage_dwell
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"capacity": 0},
+        {"slip_alpha": 0.0},
+        {"slip_alpha": 1.5},
+        {"release_slip_quanta": -0.1},
+        # Empty hysteresis band.
+        {"engage_slip_quanta": 0.25, "release_slip_quanta": 0.25},
+        {"engage_dwell": 0},
+        {"release_dwell": 0},
+        # Wrong arity, sub-1 entries, non-1 NORMAL entry.
+        {"stretch_factors": (1, 2, 4)},
+        {"stretch_factors": (1, 0, 4, 4)},
+        {"stretch_factors": (2, 2, 4, 4)},
+        {"postpone_boosts": (1, 1)},
+        {"postpone_boosts": (3, 1, 2, 2)},
+        {"shed_fraction": 0.0},
+        {"shed_fraction": 1.1},
+        {"max_degraded_slip_quanta": 0},
+    ],
+)
+def test_bad_tunables_rejected(kwargs):
+    with pytest.raises(SchedulerConfigError):
+        OverloadConfig(**kwargs)

@@ -1,0 +1,114 @@
+"""OverloadGuard: the glue between slip, ladder, and shed bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overload import OverloadConfig, OverloadGuard, Rung
+
+Q = 10_000  # 10 ms quantum
+
+
+def hot_guard(**kwargs) -> OverloadGuard:
+    defaults = dict(engage_dwell=1, release_dwell=1)
+    defaults.update(kwargs)
+    return OverloadGuard(OverloadConfig(**defaults))
+
+
+def test_normal_guard_is_inert():
+    guard = OverloadGuard()
+    assert guard.rung is Rung.NORMAL
+    assert not guard.degraded
+    assert guard.stretch_factor == 1
+    assert guard.postpone_boost == 1
+    assert not guard.admission_paused
+    assert guard.fully_recovered
+
+
+def test_observe_wake_climbs_and_tracks_degraded_slip():
+    guard = hot_guard()
+    assert guard.observe_wake(5 * Q, Q) == 1
+    assert guard.rung is Rung.STRETCH
+    # Degraded-wake census starts once the ladder is off NORMAL.
+    guard.observe_wake(7 * Q, Q)
+    assert guard.degraded_wakes == 1
+    assert guard.max_degraded_slip_quanta == pytest.approx(7.0)
+    assert guard.slip_bound_ok
+    guard.observe_wake(int(40.5 * Q), Q)
+    assert not guard.slip_bound_ok  # default bound is 32 quanta
+
+
+def test_shed_pulse_resets_the_ewma_evidence():
+    """Each shed round must be earned by a fresh episode of slip."""
+    guard = hot_guard(engage_dwell=2)
+    for _ in range(6):
+        guard.observe_wake(50 * Q, Q)
+    assert guard.rung is Rung.SHED
+    assert guard.slip.ewma_quanta == 0.0  # reset by the shed pulse
+    # A single further hot wake is not enough to pulse again...
+    assert guard.observe_wake(50 * Q, Q) == 0
+    # ...but a sustained one is.
+    assert guard.observe_wake(50 * Q, Q) == 1
+    assert guard.slip.ewma_quanta == 0.0
+
+
+def test_admission_pauses_only_at_shed():
+    guard = hot_guard()
+    guard.observe_wake(5 * Q, Q)
+    guard.observe_wake(5 * Q, Q)
+    assert guard.rung is Rung.COARSEN
+    assert not guard.admission_paused
+    guard.observe_wake(5 * Q, Q)
+    assert guard.rung is Rung.SHED
+    assert guard.admission_paused
+
+
+def test_shed_quota_and_selection_take_the_lowest_share_tail():
+    guard = hot_guard(shed_fraction=0.5)
+    shares = {1: 9, 2: 1, 3: 5, 4: 1}
+    quota = guard.shed_quota(len(shares))
+    assert quota == 2
+    # Lowest (share, sid) pairs first: both share-1 subjects.
+    assert guard.select_shed(shares, quota) == [2, 4]
+
+
+def test_shed_quota_never_empties_the_group():
+    guard = hot_guard(shed_fraction=1.0)
+    assert guard.shed_quota(1) == 0
+
+
+def test_roundtrip_restores_fully_recovered():
+    guard = hot_guard()
+    guard.observe_wake(5 * Q, Q)
+    guard.note_shed(7)
+    assert not guard.fully_recovered
+    # The EWMA decays toward the release threshold over several clean
+    # wakes; each one below it walks the ladder down a rung.
+    for _ in range(30):
+        guard.observe_wake(0, Q)
+    assert guard.rung is Rung.NORMAL
+    assert not guard.fully_recovered  # sid 7 still out
+    guard.note_readmitted(7)
+    assert guard.fully_recovered
+    assert guard.shed_outstanding == 0
+
+
+def test_departed_shed_member_is_accounted():
+    guard = hot_guard()
+    guard.note_shed(3)
+    guard.note_departed(3)
+    assert guard.shed_outstanding == 0
+    # Departure of a never-shed sid is a no-op, not an error.
+    guard.note_departed(99)
+
+
+def test_stats_namespaces_cover_all_components():
+    guard = hot_guard()
+    guard.observe_wake(5 * Q, Q)
+    stats = guard.stats()
+    assert any(k.startswith("admission.") for k in stats)
+    assert any(k.startswith("slip.") for k in stats)
+    assert any(k.startswith("ladder.") for k in stats)
+    for key in ("sheds", "readmits", "shed_outstanding", "degraded_wakes",
+                "max_degraded_slip_quanta"):
+        assert key in stats

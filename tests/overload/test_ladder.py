@@ -1,0 +1,85 @@
+"""DegradationLadder: hysteresis, dwell, and shed pulses at the top."""
+
+from __future__ import annotations
+
+from repro.overload import DegradationLadder, OverloadConfig, Rung
+
+HOT = 10.0   # well above the default engage threshold
+COOL = 0.0   # well below the default release threshold
+BAND = 0.5   # inside the default dead band (0.25 .. 1.0)
+
+
+def ladder(**kwargs) -> DegradationLadder:
+    return DegradationLadder(OverloadConfig(**kwargs))
+
+
+def test_engage_requires_dwell():
+    lad = ladder(engage_dwell=3)
+    assert lad.update(HOT) == 0
+    assert lad.update(HOT) == 0
+    assert lad.update(HOT) == 1
+    assert lad.rung is Rung.STRETCH
+    assert lad.engagements == 1
+
+
+def test_climbs_one_rung_at_a_time_to_shed():
+    lad = ladder(engage_dwell=1)
+    rungs = []
+    for _ in range(4):
+        lad.update(HOT)
+        rungs.append(lad.rung)
+    assert rungs == [Rung.STRETCH, Rung.COARSEN, Rung.SHED, Rung.SHED]
+    assert lad.max_rung_seen is Rung.SHED
+    # Leaving NORMAL once is one engagement regardless of height.
+    assert lad.engagements == 1
+
+
+def test_shed_rung_keeps_pulsing():
+    """At SHED each dwell completion still returns +1 — another quota."""
+    lad = ladder(engage_dwell=2)
+    for _ in range(6):
+        lad.update(HOT)
+    assert lad.rung is Rung.SHED
+    pulses = [lad.update(HOT) for _ in range(4)]
+    # Every engage_dwell-th hot wake pulses again.
+    assert pulses == [0, 1, 0, 1]
+    assert lad.rung is Rung.SHED
+
+
+def test_release_requires_longer_dwell_and_walks_down():
+    lad = ladder(engage_dwell=1, release_dwell=3)
+    lad.update(HOT)
+    lad.update(HOT)
+    assert lad.rung is Rung.COARSEN
+    deltas = [lad.update(COOL) for _ in range(6)]
+    assert deltas == [0, 0, -1, 0, 0, -1]
+    assert lad.rung is Rung.NORMAL
+    assert lad.steps_down == 2
+    # Fully recovered: further cool wakes are no-ops.
+    assert lad.update(COOL) == 0
+
+
+def test_dead_band_resets_both_dwell_counters():
+    lad = ladder(engage_dwell=2, release_dwell=2)
+    lad.update(HOT)
+    lad.update(BAND)   # resets the hot streak
+    assert lad.update(HOT) == 0
+    assert lad.update(HOT) == 1
+    lad.update(COOL)
+    lad.update(BAND)   # resets the cool streak
+    assert lad.update(COOL) == 0
+    assert lad.update(COOL) == -1
+
+
+def test_per_rung_knobs_follow_the_config():
+    cfg = OverloadConfig(
+        engage_dwell=1,
+        stretch_factors=(1, 3, 5, 5),
+        postpone_boosts=(1, 1, 4, 4),
+    )
+    lad = DegradationLadder(cfg)
+    assert (lad.stretch_factor, lad.postpone_boost) == (1, 1)
+    lad.update(HOT)
+    assert (lad.stretch_factor, lad.postpone_boost) == (3, 1)
+    lad.update(HOT)
+    assert (lad.stretch_factor, lad.postpone_boost) == (5, 4)

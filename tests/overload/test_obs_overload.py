@@ -1,0 +1,60 @@
+"""Overload state on the observability surfaces (top frame, metrics)."""
+
+from __future__ import annotations
+
+from repro.alps.config import AlpsConfig
+from repro.obs import Observer
+from repro.obs.bridge import collect_workload
+from repro.obs.top import render_top_frame
+from repro.overload import OverloadGuard
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def run_guarded(seconds=1.0):
+    cw = build_controlled_workload(
+        [1, 2, 4],
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        observer=Observer(),
+        overload=OverloadGuard(),
+    )
+    cw.engine.run_until(sec(seconds))
+    return cw
+
+
+def test_top_frame_shows_overload_status_line():
+    cw = run_guarded()
+    frame = render_top_frame(cw)
+    line = next(l for l in frame.splitlines() if l.startswith("overload:"))
+    assert "rung=0(normal)" in line
+    assert "queue=0" in line
+    assert "stretch=x1" in line
+
+
+def test_top_frame_omits_the_line_without_a_guard():
+    cw = build_controlled_workload(
+        [1, 2], AlpsConfig(quantum_us=ms(10)), seed=0, observer=Observer()
+    )
+    cw.engine.run_until(sec(0.5))
+    assert "overload:" not in render_top_frame(cw)
+
+
+def test_bridge_exports_overload_gauges():
+    cw = run_guarded()
+    reg = collect_workload(cw).metrics
+    assert reg.get("alps_overload_rung").value == 0
+    assert reg.get("alps_overload_stretch_factor").value == 1
+    assert reg.get("alps_timer_slip_quanta").value >= 0.0
+    assert reg.get("alps_admission_queue_depth").value == 0
+    assert reg.get("alps_overload_shed_outstanding").value == 0
+    assert reg.get("alps_overload_engagements").value == 0
+
+
+def test_bridge_skips_overload_gauges_without_a_guard():
+    cw = build_controlled_workload(
+        [1, 2], AlpsConfig(quantum_us=ms(10)), seed=0, observer=Observer()
+    )
+    cw.engine.run_until(sec(0.5))
+    reg = collect_workload(cw).metrics
+    assert reg.get("alps_overload_rung") is None

@@ -1,0 +1,48 @@
+"""Schedule invisibility of an idle overload guard.
+
+An armed guard observes every wake, but at NORMAL it must change
+*nothing*: no admission queue forms (capacity defaults to unbounded),
+the stretch factor is 1, the postpone boost is 1, and no shed ever
+happens.  Table 2 workloads never push the ladder off NORMAL, so a
+guarded run must produce byte-identical observable behavior (cycle
+log, event trace, event count, final clock) to a bare run, over the
+Table 2 workload matrix and seeds 0–2 (docs/overload.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.differential import TABLE2_SIZES, fingerprint_run
+from repro.units import sec
+from repro.workloads.shares import DISTRIBUTIONS, workload_shares
+
+#: Same budget rationale as the resilience differential: the matrix is
+#: crossed with seeds, and one simulated second covers hundreds of
+#: guarded wakes per cell.
+HORIZON_US = sec(1)
+
+
+@pytest.mark.parametrize("model", DISTRIBUTIONS)
+@pytest.mark.parametrize("n", TABLE2_SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_idle_guard_is_schedule_invisible(model, n, seed):
+    shares = workload_shares(model, n)
+    bare = fingerprint_run(shares, seed=seed, horizon_us=HORIZON_US)
+    guarded = fingerprint_run(
+        shares, seed=seed, horizon_us=HORIZON_US, overload=True
+    )
+    assert bare == guarded, (
+        f"idle overload guard changed the schedule for {model} n={n} "
+        f"seed={seed}: {bare.digest()} != {guarded.digest()}"
+    )
+
+
+def test_guard_and_resilience_stack_compose_invisibly():
+    """Both robustness layers together still leave the schedule alone."""
+    shares = workload_shares(DISTRIBUTIONS[0], 5)
+    bare = fingerprint_run(shares, seed=0, horizon_us=HORIZON_US)
+    stacked = fingerprint_run(
+        shares, seed=0, horizon_us=HORIZON_US, resilience=True, overload=True
+    )
+    assert bare == stacked

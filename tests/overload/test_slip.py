@@ -1,0 +1,55 @@
+"""SlipMonitor: EWMA bookkeeping of the starvation signal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overload import SlipMonitor
+
+
+def test_first_sample_seeds_the_ewma():
+    mon = SlipMonitor(alpha=0.3)
+    assert mon.observe(5_000, 10_000) == pytest.approx(0.5)
+    assert mon.last_quanta == pytest.approx(0.5)
+    assert mon.max_quanta == pytest.approx(0.5)
+
+
+def test_ewma_follows_the_standard_recurrence():
+    mon = SlipMonitor(alpha=0.5)
+    mon.observe(10_000, 10_000)  # ewma = 1.0
+    assert mon.observe(30_000, 10_000) == pytest.approx(0.5 * 3 + 0.5 * 1)
+    assert mon.max_quanta == pytest.approx(3.0)
+    assert mon.total_slip_us == 40_000
+    assert mon.samples == 2
+
+
+def test_negative_slip_clamps_to_zero():
+    """Early wakes (restart re-anchoring) are not negative starvation."""
+    mon = SlipMonitor()
+    mon.observe(-25_000, 10_000)
+    assert mon.last_quanta == 0.0
+    assert mon.ewma_quanta == 0.0
+    assert mon.total_slip_us == 0
+
+
+def test_reset_ewma_preserves_cumulative_counters():
+    mon = SlipMonitor(alpha=0.5)
+    mon.observe(20_000, 10_000)
+    mon.observe(20_000, 10_000)
+    mon.reset_ewma()
+    assert mon.ewma_quanta == 0.0
+    assert mon.last_quanta == 0.0
+    assert mon.samples == 0
+    # Evidence restarts, history survives.
+    assert mon.max_quanta == pytest.approx(2.0)
+    assert mon.total_slip_us == 40_000
+    # The next sample re-seeds the EWMA rather than averaging into 0.
+    assert mon.observe(10_000, 10_000) == pytest.approx(1.0)
+
+
+def test_stats_keys_are_stable():
+    mon = SlipMonitor()
+    mon.observe(1_000, 10_000)
+    assert set(mon.stats()) == {
+        "samples", "last_quanta", "ewma_quanta", "max_quanta", "total_slip_us",
+    }

@@ -44,7 +44,7 @@ def test_episode_exercises_journaled_recovery():
     assert ep.journal_recoveries == 2
     assert ep.recovery_fallbacks == 0
     assert ep.journal_writes_lost > 0
-    assert len(ep.invariants) == 5
+    assert len(ep.invariants) == 7
     assert ep.ok
 
 

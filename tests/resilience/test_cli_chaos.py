@@ -59,7 +59,7 @@ def test_chaos_report_writes_json(tmp_path, capsys):
     assert payload["ok"] is True
     assert len(payload["episodes"]) == 2
     for ep in payload["episodes"]:
-        assert len(ep["invariants"]) == 5
+        assert len(ep["invariants"]) == 7
 
 
 def test_chaos_rejects_bad_rates(capsys):

@@ -35,12 +35,47 @@ def test_backoff_grows_exponentially_and_caps():
         backoff_multiplier=2.0,
         max_backoff_us=350,
         restart_budget=10,
+        backoff_jitter=0.0,
     )
     sup = Supervisor(policy, quantum_us=ms(10))
     backoffs = [sup.on_failure(now).backoff_us for now in (0, 1, 2, 3)]
     assert backoffs == [100, 200, 350, 350]
     assert sup.state is SupervisorState.RESTARTING
     assert sup.restarts == 4
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    policy = RestartPolicy(
+        initial_backoff_us=1000,
+        backoff_multiplier=2.0,
+        max_backoff_us=4000,
+        restart_budget=10,
+        backoff_jitter=0.25,
+    )
+
+    def draws(seed: int, label: str = "alps") -> list[int]:
+        sup = Supervisor(policy, quantum_us=ms(10), seed=seed, label=label)
+        return [sup.on_failure(now).backoff_us for now in range(4)]
+
+    first = draws(7)
+    # Deterministic under the seed: same seed, same schedule.
+    assert draws(7) == first
+    # Different seeds (and different labels) draw independently.
+    assert draws(8) != first
+    assert draws(7, label="other") != first
+    # Jitter only ever adds, within the configured fraction of the base.
+    for got, base in zip(first, [1000, 2000, 4000, 4000]):
+        assert base <= got <= int(base * 1.25)
+    # Past the cap the base stops growing but jitter keeps restarts
+    # decorrelated (overwhelmingly likely to differ under any seed).
+    assert first[2] != first[3]
+
+
+def test_policy_rejects_bad_jitter():
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(backoff_jitter=-0.1)
+    with pytest.raises(SchedulerConfigError):
+        RestartPolicy(backoff_jitter=1.5)
 
 
 def test_budget_exhaustion_escalates_to_degraded():
