@@ -15,14 +15,24 @@ Two layers:
   (default 0.3 — a loose floor that survives noisy shared runners).
   ``alps_cell_20`` additionally carries the fast-path acceptance
   target: ``REPRO_PERF_TARGET_RATIO`` × baseline (default 2.0).
+
+The backend cells (``*_strict`` / ``*_batch`` pairs) extend the series
+with the explicit kernel backends: event counts must match within each
+pair, and the decay-dominated gate pair carries the batch speedup gate
+(armed by ``REPRO_SUBSTRATE_MIN_SPEEDUP``; the ``substrate-batch`` CI
+job sets it).
 """
 
 import csv
 import os
 from pathlib import Path
 
+import pytest
+
 from benchmarks.conftest import emit
 from benchmarks.substrate_cells import (
+    BACKEND_PAIRS,
+    GATE_PAIR,
     SWEEP_CELLS,
     load_baseline,
     run_all,
@@ -172,6 +182,64 @@ def test_alps_cell_20_meets_speedup_target():
     assert ratio >= TARGET_RATIO, (
         f"alps_cell_20 at {ratio:.2f}x baseline, below the "
         f"{TARGET_RATIO}x fast-path target"
+    )
+
+
+@pytest.mark.parametrize("pair", sorted(BACKEND_PAIRS))
+def test_backend_pair_event_counts_match(pair):
+    """Strict and batch cells of a pair must process identical event
+    counts (the schedule-invisibility contract, at benchmark scale)."""
+    strict_cell, batch_cell = BACKEND_PAIRS[pair]
+    strict = run_cell(strict_cell, repeats=1)
+    batch = run_cell(batch_cell, repeats=1)
+    assert batch.events == strict.events, (
+        f"{pair}: batch processed {batch.events} events vs strict "
+        f"{strict.events} — the batch backend changed the schedule"
+    )
+
+
+#: Batch-over-strict speedup gate, activated by setting
+#: ``REPRO_SUBSTRATE_MIN_SPEEDUP`` (the substrate-batch CI job sets it;
+#: see docs/performance.md for the measured ceiling of the pure-Python
+#: backend before pinning a value).  The ratio compares strict and
+#: batch measured back-to-back in this process — machine-portable —
+#: while the committed baseline anchors the event counts and provides
+#: the reference throughput for the report.
+MIN_SPEEDUP = os.environ.get("REPRO_SUBSTRATE_MIN_SPEEDUP")
+
+
+@pytest.mark.skipif(
+    MIN_SPEEDUP is None,
+    reason="speedup gate disarmed (set REPRO_SUBSTRATE_MIN_SPEEDUP)",
+)
+def test_batch_backend_meets_speedup_gate():
+    """Batch ≥ MIN_SPEEDUP × strict on the decay-dominated gate pair."""
+    baseline = load_baseline(BASELINE_CSV)
+    strict_cell, batch_cell = BACKEND_PAIRS[GATE_PAIR]
+    strict = run_cell(strict_cell, repeats=3)
+    batch = run_cell(batch_cell, repeats=3)
+    assert batch.events == strict.events
+    for result, cell in ((strict, strict_cell), (batch, batch_cell)):
+        assert result.events == baseline[cell]["events"], (
+            f"{cell}: event count {result.events} != committed baseline "
+            f"{baseline[cell]['events']}"
+        )
+    speedup = batch.events_per_sec / strict.events_per_sec
+    base_speedup = (
+        baseline[batch_cell]["events_per_sec"]
+        / baseline[strict_cell]["events_per_sec"]
+    )
+    emit(
+        f"Batch speedup gate ({GATE_PAIR})",
+        f"batch {batch.events_per_sec:,.1f} ev/s vs strict "
+        f"{strict.events_per_sec:,.1f} ev/s = {speedup:.2f}x "
+        f"(committed baseline ratio {base_speedup:.2f}x, "
+        f"gate {float(MIN_SPEEDUP):.1f}x)",
+    )
+    assert speedup >= float(MIN_SPEEDUP), (
+        f"batch backend at {speedup:.2f}x strict on {GATE_PAIR}, below "
+        f"the {float(MIN_SPEEDUP):.1f}x gate (committed baseline ratio: "
+        f"{base_speedup:.2f}x)"
     )
 
 

@@ -6,7 +6,13 @@ change (docs/performance.md).  Refreshing to hide a regression defeats
 the perf gate.
 
 Usage:
-    PYTHONPATH=src:benchmarks python benchmarks/refresh_substrate_baseline.py
+    PYTHONPATH=src:benchmarks python benchmarks/refresh_substrate_baseline.py [CELL ...]
+
+With no arguments every cell is re-measured.  Naming cells refreshes
+only those rows and carries the rest of the committed baseline forward
+verbatim — the right move when *adding* cells (e.g. the backend pairs):
+frozen reference rows like the fast-path target's ``alps_cell_20`` must
+not be silently re-anchored to today's throughput.
 """
 
 from __future__ import annotations
@@ -17,24 +23,54 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from substrate_cells import run_all  # noqa: E402
+from substrate_cells import CELL_BACKENDS, CELLS, load_baseline, run_cell  # noqa: E402
 
 OUT = pathlib.Path(__file__).parent / "results" / "substrate_baseline.csv"
 
 
-def main() -> None:
-    results = run_all(repeats=5)
+def main(argv: list[str]) -> None:
+    only = set(argv)
+    unknown = only - set(CELLS)
+    if unknown:
+        raise SystemExit(f"unknown cells: {', '.join(sorted(unknown))}")
+    carried = load_baseline(OUT) if only and OUT.exists() else {}
     OUT.parent.mkdir(parents=True, exist_ok=True)
     with open(OUT, "w", newline="") as f:
         writer = csv.writer(f)
-        writer.writerow(["cell", "events", "events_per_sec", "best_wall_s"])
-        for r in results:
+        writer.writerow(
+            ["cell", "backend", "events", "events_per_sec", "best_wall_s"]
+        )
+        for name in CELLS:
+            backend = CELL_BACKENDS[name]
+            if only and name not in only and name in carried:
+                row = carried[name]
+                writer.writerow(
+                    [
+                        name,
+                        backend,
+                        row["events"],
+                        f"{row['events_per_sec']:.1f}",
+                        f"{row['best_wall_s']:.6f}",
+                    ]
+                )
+                print(f"{name} [{backend}]: carried forward")
+                continue
+            r = run_cell(name, repeats=5)
             writer.writerow(
-                [r.name, r.events, f"{r.events_per_sec:.1f}", f"{r.best_wall_s:.6f}"]
+                [
+                    name,
+                    backend,
+                    r.events,
+                    f"{r.events_per_sec:.1f}",
+                    f"{r.best_wall_s:.6f}",
+                ]
             )
-            print(f"{r.name}: {r.events} events, {r.events_per_sec:,.1f} ev/s")
+            print(
+                f"{name} [{backend}]: {r.events} events, "
+                f"{r.events_per_sec:,.1f} ev/s"
+            )
     print(f"wrote {OUT}")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

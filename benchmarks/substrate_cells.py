@@ -23,12 +23,22 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.alps.config import AlpsConfig
+from repro.kernel import make_kernel
 from repro.kernel.kconfig import KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.sim.engine import Engine
 from repro.units import ms, sec
 from repro.workloads.scenarios import build_controlled_workload
 from repro.workloads.spinner import spinner_behavior
+
+
+def _kernel_config(backend: str) -> KernelConfig:
+    """Cell kernel config for an explicit backend name.
+
+    ``strict`` is carried alongside so the strict cell measures the
+    reference eager kernel rather than strict-flagged dispatch quirks.
+    """
+    return KernelConfig(strict=(backend == "strict"), backend=backend)
 
 
 @dataclass(frozen=True)
@@ -63,13 +73,36 @@ def _kernel_spinners_8() -> int:
     return eng.events_processed
 
 
-def _alps_cell(n: int) -> Callable[[], int]:
+def _alps_cell(n: int, backend: str = "auto") -> Callable[[], int]:
     def run() -> int:
+        kwargs = {}
+        if backend != "auto":
+            kwargs["kernel_config"] = _kernel_config(backend)
         cw = build_controlled_workload(
-            [5] * n, AlpsConfig(quantum_us=ms(10)), seed=0
+            [5] * n, AlpsConfig(quantum_us=ms(10)), seed=0, **kwargs
         )
         cw.engine.run_until(sec(10))
         return cw.engine.events_processed
+
+    return run
+
+
+def _kernel_decay_cell(n: int, backend: str) -> Callable[[], int]:
+    """Kernel-only cell dominated by the per-second schedcpu decay pass.
+
+    No ALPS agent: with ``n`` spinners and one CPU, almost all wall time
+    goes into decaying ``n`` PCBs once per simulated second — the path
+    the batch backend vectorizes, so this pair carries the batch-speedup
+    gate.
+    """
+
+    def run() -> int:
+        eng = Engine(seed=0)
+        kernel = make_kernel(eng, _kernel_config(backend))
+        for i in range(n):
+            kernel.spawn(f"p{i}", spinner_behavior())
+        eng.run_until(sec(20))
+        return eng.events_processed
 
     return run
 
@@ -82,7 +115,41 @@ CELLS: dict[str, Callable[[], int]] = {
     "alps_cell_10": _alps_cell(10),
     "alps_cell_20": _alps_cell(20),
     "alps_cell_40": _alps_cell(40),
+    # Backend pairs: the same workload under an explicit kernel backend.
+    # Event counts must be identical within a pair (schedule-invisible
+    # backends); events/sec is what the speedup gate compares.
+    "alps_cell_20_strict": _alps_cell(20, "strict"),
+    "alps_cell_20_batch": _alps_cell(20, "batch"),
+    "alps_cell_400_strict": _alps_cell(400, "strict"),
+    "alps_cell_400_batch": _alps_cell(400, "batch"),
+    "kernel_decay_3000_strict": _kernel_decay_cell(3000, "strict"),
+    "kernel_decay_3000_batch": _kernel_decay_cell(3000, "batch"),
 }
+
+#: Kernel backend measured by each cell ("auto" = the library default).
+#: Written as the ``backend`` column of the baseline CSV.
+CELL_BACKENDS: dict[str, str] = {
+    name: (
+        "strict"
+        if name.endswith("_strict")
+        else "batch" if name.endswith("_batch") else "auto"
+    )
+    for name in CELLS
+}
+
+#: Backend pairs (strict cell, batch cell) whose event counts must
+#: match exactly and whose events/sec ratio is the batch speedup.
+BACKEND_PAIRS: dict[str, tuple[str, str]] = {
+    "alps_cell_20": ("alps_cell_20_strict", "alps_cell_20_batch"),
+    "alps_cell_400": ("alps_cell_400_strict", "alps_cell_400_batch"),
+    "kernel_decay_3000": (
+        "kernel_decay_3000_strict",
+        "kernel_decay_3000_batch",
+    ),
+}
+
+#: The pair carrying the ``REPRO_SUBSTRATE_MIN_SPEEDUP`` gate.
+GATE_PAIR = "kernel_decay_3000"
 
 #: The cells forming the Fig. 8/9-style scalability sweep (wall-clock
 #: series over process count).
@@ -110,11 +177,14 @@ def run_all(*, repeats: int = 3) -> list[CellResult]:
 
 def load_baseline(path) -> dict[str, dict[str, float]]:
     """Parse the committed baseline CSV into {cell: row} (see
-    ``refresh_substrate_baseline.py`` for the writer)."""
+    ``refresh_substrate_baseline.py`` for the writer).  The ``backend``
+    column is carried through as a string; baselines predating it load
+    as ``auto``."""
     out: dict[str, dict[str, float]] = {}
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
             out[row["cell"]] = {
+                "backend": row.get("backend", "auto"),
                 "events": int(row["events"]),
                 "events_per_sec": float(row["events_per_sec"]),
                 "best_wall_s": float(row["best_wall_s"]),

@@ -632,6 +632,63 @@ class AlpsAgent:
         """
         now = kapi.now  # no events fire inside next_action: read once
         self.sampling_delays_us.append(now - self._wake_boundary)
+        # Batched measurement fast path: only the batch backend's kapi
+        # (repro.kernel.batch.BatchKernelAPI) advertises ``measure_many``.
+        # Fault wrappers deliberately do not forward it — the injector
+        # must see every individual read to keep its per-call RNG draw
+        # order — so faulted and classic kapis take the per-pid loop.
+        measure_many = getattr(kapi, "measure_many", None)
+        stopped_cache: Optional[dict[int, Optional[bool]]] = None
+        if measure_many is not None:
+            measurements, stopped_cache = self._measure_batched(measure_many)
+        else:
+            measurements = self._measure_classic(kapi)
+        decisions = self.core.complete_quantum(measurements)
+        if self.cfg.enforce_invariants:
+            self.core.check_runtime_invariants()
+        self._pending_signals = self._signals_for(kapi, decisions, stopped_cache)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            events = obs.events
+            for sid in decisions.to_suspend:
+                events.emit(now, "eligibility.stop", sid=sid)
+            for sid in decisions.to_resume:
+                events.emit(now, "eligibility.cont", sid=sid)
+            if decisions.cycle_completed:
+                rec = decisions.cycle_record
+                events.emit(
+                    now, "cycle.complete",
+                    index=rec.index if rec is not None else -1,
+                    consumed_us=rec.total_consumed if rec is not None else 0,
+                )
+            if self._pending_signals:
+                obs.spans.record(
+                    "signal",
+                    self._cost_signal_us * len(self._pending_signals),
+                    start_us=now,
+                )
+        journal = self._journal
+        if journal is not None:
+            # Write-ahead: the snapshot is durable before the decisions
+            # it encodes are enacted.  Appends charge no CPU and draw no
+            # engine randomness, so journaling is schedule-invisible.
+            journal.append(self.snapshot_state(now))
+        if not self._pending_signals:
+            self._phase = _Phase.SLEEPING
+            return self._sleep_until_boundary(now)
+        self._phase = _Phase.SIGNALING
+        cost = self._cost_signal_us * len(self._pending_signals)
+        return Compute(self._acc.charge(cost))
+
+    def _measure_classic(self, kapi: "KernelAPI") -> dict[int, tuple[int, bool]]:
+        """Per-pid measurement loop (the reference semantics).
+
+        One getrusage per due pid, the blocked vote short-circuited via
+        ``is_blocked``, dead pids forgotten in iteration order,
+        transient failures retried.  :meth:`_measure_batched` must stay
+        behaviorally identical to this loop — the backend matrix pins
+        the resulting schedules byte-for-byte.
+        """
         measurements: dict[int, tuple[int, bool]] = {}
         core_subjects = self.core.subjects
         last_read = self._last_read
@@ -684,42 +741,69 @@ class AlpsAgent:
             # costs several times a tuple display, and complete_quantum
             # unpacks positionally so both are accepted.
             measurements[sid] = (consumed, blocked)
-        decisions = self.core.complete_quantum(measurements)
-        if self.cfg.enforce_invariants:
-            self.core.check_runtime_invariants()
-        self._pending_signals = self._signals_for(kapi, decisions)
-        obs = self._obs
-        if obs is not None and obs.enabled:
-            events = obs.events
-            for sid in decisions.to_suspend:
-                events.emit(now, "eligibility.stop", sid=sid)
-            for sid in decisions.to_resume:
-                events.emit(now, "eligibility.cont", sid=sid)
-            if decisions.cycle_completed:
-                rec = decisions.cycle_record
-                events.emit(
-                    now, "cycle.complete",
-                    index=rec.index if rec is not None else -1,
-                    consumed_us=rec.total_consumed if rec is not None else 0,
-                )
-            if self._pending_signals:
-                obs.spans.record(
-                    "signal",
-                    self._cost_signal_us * len(self._pending_signals),
-                    start_us=now,
-                )
-        journal = self._journal
-        if journal is not None:
-            # Write-ahead: the snapshot is durable before the decisions
-            # it encodes are enacted.  Appends charge no CPU and draw no
-            # engine randomness, so journaling is schedule-invisible.
-            journal.append(self.snapshot_state(now))
-        if not self._pending_signals:
-            self._phase = _Phase.SLEEPING
-            return self._sleep_until_boundary(now)
-        self._phase = _Phase.SIGNALING
-        cost = self._cost_signal_us * len(self._pending_signals)
-        return Compute(self._acc.charge(cost))
+        return measurements
+
+    def _measure_batched(
+        self, measure_many
+    ) -> tuple[dict[int, tuple[int, bool]], dict[int, Optional[bool]]]:
+        """One-call measurement over every due pid (batch backend only).
+
+        Behaviorally identical to :meth:`_measure_classic`: same
+        per-pid readings (``measure_many`` reuses the getrusage
+        arithmetic), same dead-pid forgetting, same blocked vote per
+        subject.  Additionally returns a pid → stopped cache for the
+        wedge-healing pass: no events fire inside one agent activation,
+        so kernel state cannot change between the measurement and
+        :meth:`_signals_for` reading it — the cached values equal what
+        per-pid ``is_stopped`` calls would return.  ``None`` in the
+        cache marks a pid found dead (already forgotten here).
+        """
+        measurements: dict[int, tuple[int, bool]] = {}
+        stopped_cache: dict[int, Optional[bool]] = {}
+        core_subjects = self.core.subjects
+        last_read = self._last_read
+        cumulative = self._cumulative
+        deferred = self._deferred_debt
+        track_io = self.cfg.track_io
+        due = [(sid, pids) for sid, pids in self._due if sid in core_subjects]
+        readings: dict[int, tuple[int, bool]] = {}
+        all_pids = [pid for _, pids in due for pid in pids]
+        for pid, usage, blk, stopped in measure_many(all_pids):
+            if usage is None:
+                self._forget_pid(pid)
+                stopped_cache[pid] = None
+            else:
+                readings[pid] = (usage, blk)
+                stopped_cache[pid] = stopped
+        for sid, pids in due:
+            consumed = 0
+            live = 0
+            blocked = track_io
+            for pid in pids:
+                reading = readings.get(pid)
+                if reading is None:
+                    continue  # dead; forgotten above
+                usage, blk = reading
+                live += 1
+                delta = usage - last_read.get(pid, usage)
+                if delta < 0:
+                    self.anomalies += 1
+                    delta = 0
+                consumed += delta
+                last_read[pid] = usage
+                if blocked and not blk:
+                    blocked = False
+            blocked = blocked and live > 0
+            cumulative[sid] = cumulative.get(sid, 0) + consumed
+            if deferred:
+                st = core_subjects.get(sid)
+                if st is not None:
+                    consumed += drain_debt(
+                        deferred, sid, st.share,
+                        self.core.quantum_us, self.core.total_shares,
+                    )
+            measurements[sid] = (consumed, blocked)
+        return measurements, stopped_cache
 
     def _do_deliver(self, kapi: "KernelAPI") -> Action:
         """Signal CPU spent: deliver the queued signals, verify, retry."""
@@ -958,7 +1042,10 @@ class AlpsAgent:
         # eligibility transition gets another chance.
 
     def _signals_for(
-        self, kapi: "KernelAPI", decisions: QuantumDecisions
+        self,
+        kapi: "KernelAPI",
+        decisions: QuantumDecisions,
+        stopped_cache: Optional[dict[int, Optional[bool]]] = None,
     ) -> list[tuple[int, int]]:
         signals: list[tuple[int, int]] = []
         to_suspend = decisions.to_suspend
@@ -989,6 +1076,17 @@ class AlpsAgent:
             if st is None or st.state is not eligible or sid in suspend:
                 continue
             for pid in pids:
+                if stopped_cache is not None:
+                    # Batched path: stopped-ness was read in the same
+                    # activation (no intervening events, so it cannot
+                    # have changed); None marks a pid found dead and
+                    # already forgotten during measurement.
+                    stopped = stopped_cache.get(pid)
+                    if stopped:
+                        signals.append((pid, SIGCONT))
+                        self._stopped_pids.add(pid)  # make delivery resume it
+                        self.heals += 1
+                    continue
                 try:
                     if is_stopped(pid):
                         signals.append((pid, SIGCONT))

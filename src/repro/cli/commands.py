@@ -629,10 +629,17 @@ def cmd_demo(*, shares: str, quantum_ms: float, seconds: float, seed: int) -> in
 
 
 def cmd_perf_report(
-    *, shares: str, quantum_ms: float, seconds: float, seed: int, profile: bool
+    *,
+    shares: str,
+    quantum_ms: float,
+    seconds: float,
+    seed: int,
+    profile: bool,
+    backend: str = "auto",
 ) -> int:
     """Run a controlled workload with counters attached and report them."""
     from repro.alps.config import AlpsConfig
+    from repro.kernel.kconfig import KernelConfig
     from repro.perf.counters import PerfCounters
     from repro.perf.profiler import profile_call
     from repro.perf.report import collect_workload_counters, render_report
@@ -648,6 +655,9 @@ def cmd_perf_report(
         share_list,
         AlpsConfig(quantum_us=ms(quantum_ms)),
         seed=seed,
+        kernel_config=KernelConfig(
+            strict=(backend == "strict"), backend=backend
+        ),
         counters=counters,
     )
     if profile:
@@ -661,9 +671,18 @@ def cmd_perf_report(
 
 
 def cmd_perf_diff(
-    *, sizes: str, seeds: str, quantum_ms: float, seconds: float
+    *,
+    sizes: str,
+    seeds: str,
+    quantum_ms: float,
+    seconds: float,
+    backend: str = "optimized",
 ) -> int:
-    """Run the strict-vs-optimized differential sweep and report results."""
+    """Run the strict-vs-challenger differential sweep and report results.
+
+    ``backend`` selects the challenger compared against the strict
+    reference: ``optimized`` (default) or ``batch``.
+    """
     from repro.perf.differential import differential_check
     from repro.units import ms, sec
 
@@ -677,6 +696,7 @@ def cmd_perf_diff(
         seeds=seed_list,
         quantum_us=ms(quantum_ms),
         horizon_us=sec(seconds),
+        backend=backend,
     )
     mismatches = 0
     for cell in results:
@@ -691,7 +711,7 @@ def cmd_perf_diff(
         print(line)
     print(
         f"\n{len(results)} cells, {mismatches} mismatches"
-        + ("" if mismatches else " — strict and optimized paths agree")
+        + ("" if mismatches else f" — strict and {backend} paths agree")
     )
     return 1 if mismatches else 0
 

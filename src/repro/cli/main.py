@@ -157,14 +157,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the simulation under cProfile and print the top rows",
     )
+    perf_report.add_argument(
+        "--backend",
+        choices=["auto", "strict", "optimized", "batch"],
+        default="auto",
+        help="kernel backend to run the workload on (default: auto)",
+    )
     perf_diff = perf_sub.add_parser(
         "diff",
-        help="strict-vs-optimized differential equivalence sweep (Table 2)",
+        help="strict-vs-challenger differential equivalence sweep (Table 2)",
     )
     perf_diff.add_argument("--sizes", default="5,10,20")
     perf_diff.add_argument("--seeds", default="0,1,2")
     perf_diff.add_argument("--quantum-ms", type=float, default=10.0)
     perf_diff.add_argument("--seconds", type=float, default=5.0)
+    perf_diff.add_argument(
+        "--backend",
+        choices=["optimized", "batch"],
+        default="optimized",
+        help="challenger backend compared against strict (default: optimized)",
+    )
 
     top = sub.add_parser(
         "top", help="live share-vs-attained view of a simulated workload"
@@ -351,6 +363,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seconds=args.seconds,
                 seed=args.seed,
                 profile=args.profile,
+                backend=args.backend,
             )
         if args.perf_command == "diff":
             return commands.cmd_perf_diff(
@@ -358,6 +371,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 seeds=args.seeds,
                 quantum_ms=args.quantum_ms,
                 seconds=args.seconds,
+                backend=args.backend,
             )
         parser.parse_args(["perf", "--help"])
         return 2

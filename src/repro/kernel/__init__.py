@@ -22,10 +22,38 @@ from repro.kernel.actions import Compute, Exit, Sleep, SleepOn
 from repro.kernel.behaviors import Behavior, GeneratorBehavior, behavior
 from repro.kernel.cfs import CfsKernel
 from repro.kernel.kapi import KernelAPI
-from repro.kernel.kconfig import KernelConfig
+from repro.kernel.kconfig import KERNEL_BACKENDS, KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, ProcState
 from repro.kernel.signals import SIGCONT, SIGKILL, SIGSTOP
+
+
+def make_kernel(engine, config: KernelConfig = None) -> Kernel:
+    """Build the kernel implementation selected by ``config.backend``.
+
+    ``"strict"`` and ``"optimized"`` both map to :class:`Kernel` (with
+    the matching eager/lazy bookkeeping); ``"batch"`` maps to the
+    struct-of-arrays :class:`repro.kernel.batch.BatchKernel`.  The batch
+    module is imported lazily so workloads that never select it do not
+    pay the numpy import.
+    """
+    from dataclasses import replace
+
+    from repro.kernel.kconfig import DEFAULT_CONFIG
+
+    if config is None:
+        config = DEFAULT_CONFIG
+    backend = config.resolve_backend()
+    if backend == "batch":
+        from repro.kernel.batch import BatchKernel
+
+        return BatchKernel(engine, config)
+    if backend == "strict" and not config.strict:
+        config = replace(config, strict=True)
+    elif backend == "optimized" and config.strict:
+        config = replace(config, strict=False)
+    return Kernel(engine, config)
+
 
 __all__ = [
     "Behavior",
@@ -33,6 +61,7 @@ __all__ = [
     "Compute",
     "Exit",
     "GeneratorBehavior",
+    "KERNEL_BACKENDS",
     "Kernel",
     "KernelAPI",
     "KernelConfig",
@@ -44,4 +73,5 @@ __all__ = [
     "Sleep",
     "SleepOn",
     "behavior",
+    "make_kernel",
 ]

@@ -12,6 +12,9 @@ from dataclasses import dataclass
 
 from repro.units import MSEC, SEC
 
+#: Valid values of :attr:`KernelConfig.backend` besides ``"auto"``.
+KERNEL_BACKENDS = frozenset({"strict", "optimized", "batch"})
+
 
 @dataclass(slots=True, frozen=True)
 class KernelConfig:
@@ -63,6 +66,30 @@ class KernelConfig:
     #: paths and asserts byte-identical schedules; production runs leave
     #: this False.
     strict: bool = False
+    #: Scheduler backend: ``"auto"`` resolves to ``"strict"`` or
+    #: ``"optimized"`` from :attr:`strict`; ``"batch"`` selects the
+    #: struct-of-arrays :class:`~repro.kernel.batch.BatchKernel`
+    #: (vectorized decay, batched priority recomputation, fused
+    #: same-instant event stepping).  Every backend must produce
+    #: byte-identical schedules — tests/perf/test_backend_matrix.py is
+    #: the contract.
+    backend: str = "auto"
+
+    def resolve_backend(self) -> str:
+        """The concrete backend name this config selects.
+
+        ``"auto"`` defers to the legacy :attr:`strict` flag so existing
+        call sites keep their exact behavior; any explicit name wins
+        over ``strict``.
+        """
+        if self.backend == "auto":
+            return "strict" if self.strict else "optimized"
+        if self.backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.backend!r}; "
+                f"expected one of {sorted(KERNEL_BACKENDS)}"
+            )
+        return self.backend
 
     @property
     def estcpu_limit(self) -> float:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from repro.alps.config import AlpsConfig
 from repro.alps.instrumentation import CycleLog
@@ -32,6 +32,9 @@ from repro.sim.trace import Tracer
 from repro.units import ms, sec
 from repro.workloads.shares import DISTRIBUTIONS, ShareDistribution, workload_shares
 from repro.workloads.scenarios import build_controlled_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 #: Workload sizes of the Table 2 matrix.
 TABLE2_SIZES = (5, 10, 20)
@@ -97,16 +100,22 @@ def fingerprint_run(
     *,
     seed: int = 0,
     strict: bool = False,
+    backend: Optional[str] = None,
     quantum_us: int = ms(10),
     horizon_us: int = DEFAULT_HORIZON_US,
     resilience: bool = False,
     overload: bool = False,
+    obs: bool = False,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> RunFingerprint:
     """Run one controlled workload and fingerprint its schedule.
 
     ``strict=True`` selects the kernel's original eager bookkeeping;
-    ``strict=False`` the optimized lazy path.  Everything else is held
-    identical, so any fingerprint difference is a fast-path bug.
+    ``strict=False`` the optimized lazy path.  ``backend`` names a
+    concrete kernel backend (``"strict"``/``"optimized"``/``"batch"``,
+    see :data:`repro.kernel.KERNEL_BACKENDS`) and overrides ``strict``
+    when given.  Everything else is held identical, so any fingerprint
+    difference is a fast-path bug.
 
     ``resilience=True`` additionally attaches the crash-safety stack —
     a state journal and a supervision wrapper (no fault plan, so
@@ -118,9 +127,22 @@ def fingerprint_run(
     default config.  Table 2 workloads never push the ladder off NORMAL,
     so the guarded fingerprint must equal the bare one byte for byte —
     the overload layer's schedule-invisibility claim (docs/overload.md).
+
+    ``obs=True`` attaches a live :class:`repro.obs.Observer` to every
+    layer — already proven schedule-invisible in isolation; here it
+    stacks with the backend sweep.
+
+    ``fault_plan`` runs the workload under deterministic fault
+    injection.  Faulted runs are *not* expected to match clean runs;
+    they must match each other across backends — the injector wraps the
+    kapi, hiding the batched-measurement surface, so every backend
+    replays the identical per-call fault RNG draw sequence.  The
+    injector's realized fault trace is appended to the fingerprint's
+    trace bytes so a divergence in fault realization fails the
+    comparison even if the schedule happens to agree.
     """
     tracer = Tracer(enabled=True)
-    journal = supervisor = guard = None
+    journal = supervisor = guard = observer = None
     if resilience:
         from repro.resilience.journal import MemoryJournal
         from repro.resilience.supervisor import RestartPolicy, Supervisor
@@ -131,20 +153,35 @@ def fingerprint_run(
         from repro.overload import OverloadGuard
 
         guard = OverloadGuard()
+    if obs:
+        from repro.obs import Observer
+
+        observer = Observer()
+    if backend is None:
+        kernel_config = KernelConfig(strict=strict)
+    else:
+        kernel_config = KernelConfig(strict=strict, backend=backend)
     cw = build_controlled_workload(
         shares,
         AlpsConfig(quantum_us=quantum_us),
         seed=seed,
-        kernel_config=KernelConfig(strict=strict),
+        kernel_config=kernel_config,
         tracer=tracer,
         journal=journal,
         supervisor=supervisor,
         overload=guard,
+        observer=observer,
+        fault_plan=fault_plan,
     )
     cw.engine.run_until(horizon_us)
+    trace = "\n".join(tracer.lines()).encode()
+    if cw.injector is not None:
+        trace += b"\n--faults--\n" + "\n".join(
+            cw.injector.trace_lines()
+        ).encode()
     return RunFingerprint(
         cycle_log=serialize_cycle_log(cw.agent.cycle_log),
-        trace="\n".join(tracer.lines()).encode(),
+        trace=trace,
         events=cw.engine.events_processed,
         final_now=cw.engine.now,
     )
@@ -152,7 +189,12 @@ def fingerprint_run(
 
 @dataclass(frozen=True)
 class CellComparison:
-    """Strict-vs-optimized outcome for one (model, n, seed) cell."""
+    """Strict-vs-challenger outcome for one (model, n, seed) cell.
+
+    The challenger is ``optimized`` by default; ``compare_cell``'s
+    ``backend`` parameter swaps in any registered kernel backend (the
+    ``optimized_digest`` field name is kept for report compatibility).
+    """
 
     model: ShareDistribution
     n: int
@@ -171,8 +213,13 @@ def compare_cell(
     *,
     quantum_us: int = ms(10),
     horizon_us: int = DEFAULT_HORIZON_US,
+    backend: str = "optimized",
 ) -> CellComparison:
-    """Fingerprint one workload cell under both paths and diff them."""
+    """Fingerprint one workload cell under both paths and diff them.
+
+    ``backend`` names the challenger compared against strict —
+    ``optimized`` (the default fast path) or ``batch``.
+    """
     shares = workload_shares(model, n)
     strict = fingerprint_run(
         shares,
@@ -185,12 +232,13 @@ def compare_cell(
         shares,
         seed=seed,
         strict=False,
+        backend=None if backend == "optimized" else backend,
         quantum_us=quantum_us,
         horizon_us=horizon_us,
     )
     detail = ""
     if strict != fast:
-        detail = _first_difference(strict, fast)
+        detail = describe_difference(strict, fast, right=backend)
     return CellComparison(
         model=model,
         n=n,
@@ -209,11 +257,17 @@ def differential_check(
     seeds: Iterable[int] = (0, 1, 2),
     quantum_us: int = ms(10),
     horizon_us: int = DEFAULT_HORIZON_US,
+    backend: str = "optimized",
 ) -> list[CellComparison]:
     """Sweep the Table 2 matrix × seeds; return one comparison per cell."""
     return [
         compare_cell(
-            model, n, seed, quantum_us=quantum_us, horizon_us=horizon_us
+            model,
+            n,
+            seed,
+            quantum_us=quantum_us,
+            horizon_us=horizon_us,
+            backend=backend,
         )
         for model in models
         for n in sizes
@@ -221,25 +275,38 @@ def differential_check(
     ]
 
 
-def _first_difference(a: RunFingerprint, b: RunFingerprint) -> str:
-    """Locate the first diverging line between two fingerprints."""
+def describe_difference(
+    a: RunFingerprint,
+    b: RunFingerprint,
+    *,
+    left: str = "strict",
+    right: str = "optimized",
+) -> str:
+    """Locate the first diverging line between two fingerprints.
+
+    ``left``/``right`` label the two runs in the message (backend
+    names in the backend-matrix tests, strict/optimized here).
+    """
     if a.events != b.events:
-        return f"event counts differ: strict={a.events} optimized={b.events}"
+        return f"event counts differ: {left}={a.events} {right}={b.events}"
     if a.final_now != b.final_now:
-        return f"final clocks differ: strict={a.final_now} optimized={b.final_now}"
-    for name, left, right in (
+        return f"final clocks differ: {left}={a.final_now} {right}={b.final_now}"
+    for name, lbytes, rbytes in (
         ("cycle_log", a.cycle_log, b.cycle_log),
         ("trace", a.trace, b.trace),
     ):
-        if left == right:
+        if lbytes == rbytes:
             continue
         for i, (la, lb) in enumerate(
-            zip(left.splitlines(), right.splitlines())
+            zip(lbytes.splitlines(), rbytes.splitlines())
         ):
             if la != lb:
                 return (
-                    f"{name} line {i}: strict={la.decode()!r} "
-                    f"optimized={lb.decode()!r}"
+                    f"{name} line {i}: {left}={la.decode()!r} "
+                    f"{right}={lb.decode()!r}"
                 )
-        return f"{name} lengths differ: {len(left)} vs {len(right)} bytes"
+        return f"{name} lengths differ: {len(lbytes)} vs {len(rbytes)} bytes"
     return "fingerprints differ"  # pragma: no cover - covered above
+
+
+_first_difference = describe_difference

@@ -61,6 +61,11 @@ class Engine:
         self.counters = counters
         self._events_processed = 0
         self._stop_requested = False
+        #: Fused same-instant stepping (enabled by the batch kernel
+        #: backend): drain all events sharing a timestamp in one heap
+        #: pass.  Off by default — the classic per-pop loop is the
+        #: reference semantics.
+        self._fused = False
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -119,6 +124,21 @@ class Engine:
         """Request the run loop to stop after the current event."""
         self._stop_requested = True
 
+    def enable_fused_stepping(self) -> None:
+        """Switch :meth:`run_until` to fused same-instant stepping.
+
+        All events sharing the earliest pending timestamp are drained in
+        one heap pass and dispatched from a flat list, with one clock
+        write per instant instead of one per event.  An order guard
+        compares the heap head's ``(time, priority, seq)`` key against
+        the next batch entry before every dispatch and falls back to the
+        heap when a callback schedules or cancels same-instant work, so
+        dispatch order — and therefore every golden trace — is identical
+        to the classic loop (pinned by tests/sim/test_event_ordering.py
+        and the backend matrix).
+        """
+        self._fused = True
+
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
@@ -129,6 +149,8 @@ class Engine:
         left at ``until`` even if the queue drained earlier, so callers can
         take end-of-run measurements at a well-defined instant.
         """
+        if self._fused and max_events is None:
+            return self._run_until_fused(until)
         timer = _start_timer(self.counters)
         processed = 0
         self._stop_requested = False
@@ -159,6 +181,74 @@ class Engine:
                     tracer.record(event.time, "event", event.tag)
                 event.callback(event)
                 processed += 1
+        self._events_processed += processed
+        if not self._stop_requested and clock._now < until:
+            clock.advance_to(until)
+        _stop_timer(self.counters, timer, "engine.run_until", processed)
+        return processed
+
+    def _run_until_fused(self, until: int) -> int:
+        """Fused-stepping body of :meth:`run_until` (no ``max_events``).
+
+        Dispatch order is identical to the classic loop: batch entries
+        carry their original ``(time, priority, seq)`` keys, each is
+        re-checked for cancellation at dispatch, and the guard pushes
+        the undispatched tail back to the heap the moment the heap head
+        would sort before it (a callback scheduled same-instant work
+        that must interleave).
+        """
+        timer = _start_timer(self.counters)
+        processed = 0
+        self._stop_requested = False
+        clock = self.clock
+        tracer = self.tracer
+        queue = self.queue
+        pop_time_batch = queue.pop_time_batch
+        peek_key = queue.peek_key
+        # Friend-class heap access (like the kernel's direct-schedule
+        # hook): the order guard must cost one tuple-index compare per
+        # event, not a method call.  After pop_time_batch the head is
+        # never cancelled and never at the batch time, so only a
+        # callback's same-instant schedule/cancel makes the slow-path
+        # peek necessary.
+        heap = queue._heap
+        while not self._stop_requested:
+            entries = pop_time_batch(until)
+            if entries is None:
+                break
+            time = entries[0][0]
+            clock._now = time
+            fired = 0
+            tail = None
+            for i, entry in enumerate(entries):
+                event = entry[3]
+                if event.cancelled:
+                    continue  # cancelled by an earlier same-instant event
+                if self._stop_requested:
+                    tail = entries[i:]
+                    break
+                if heap:
+                    head = heap[0]
+                    if head[0] == time or head[3].cancelled:
+                        key = peek_key()
+                        if key is not None and key < (
+                            time, entry[1], entry[2]
+                        ):
+                            # A callback scheduled same-instant work that
+                            # sorts before the rest of the batch: fall
+                            # back to the heap so it interleaves exactly
+                            # as the classic loop would.
+                            tail = entries[i:]
+                            break
+                event.fired = True
+                fired += 1
+                if tracer.enabled:
+                    tracer.record(time, "event", event.tag)
+                event.callback(event)
+            queue._live -= fired
+            processed += fired
+            if tail is not None:
+                queue.push_back(tail)
         self._events_processed += processed
         if not self._stop_requested and clock._now < until:
             clock.advance_to(until)

@@ -163,6 +163,76 @@ class EventQueue:
         event.fired = True
         return event
 
+    # ------------------------------------------------------------------
+    # Fused same-instant stepping (the batch backend's run loop)
+    # ------------------------------------------------------------------
+    # The engine's fused mode drains every pending event that shares the
+    # earliest timestamp in one heap pass, then dispatches them from a
+    # flat list.  The contract that keeps golden traces byte-identical:
+    # batch entries keep their full ``(time, priority, seq)`` keys, stay
+    # cancellable until the moment they are individually marked fired,
+    # and the engine compares the heap head's key against the next batch
+    # entry before every dispatch, pushing the remainder back whenever a
+    # callback scheduled something that must interleave.  Dispatch order
+    # is therefore *provably* the heap order — the fusion only removes
+    # sift work, never reorders.
+
+    def pop_time_batch(
+        self, until: int
+    ) -> Optional[list[tuple[int, int, int, Event]]]:
+        """Remove and return all pending entries at the earliest time.
+
+        Returns None when the queue is empty or the earliest pending
+        event fires after ``until``.  The returned entries are *not*
+        marked fired and still count as live: the caller dispatches them
+        one by one via :meth:`mark_fired` (so late cancellation keeps
+        working) and returns any undispatched tail with
+        :meth:`push_back`.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+        if not heap or heap[0][0] > until:
+            return None
+        first = heappop(heap)
+        time = first[0]
+        entries = [first]
+        append = entries.append
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                heappop(heap)
+                continue
+            if head[0] != time:
+                break
+            append(heappop(heap))
+        return entries
+
+    def peek_key(self) -> Optional[tuple[int, int, int]]:
+        """``(time, priority, seq)`` of the next pending event, or None."""
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        head = heap[0]
+        return (head[0], head[1], head[2])
+
+    def mark_fired(self, event: Event) -> None:
+        """Commit one batch-popped event as dispatched."""
+        event.fired = True
+        self._live -= 1
+
+    def push_back(self, entries: list[tuple[int, int, int, Event]]) -> None:
+        """Reinsert undispatched batch entries (original keys intact)."""
+        heap = self._heap
+        heappush = heapq.heappush
+        for entry in entries:
+            event = entry[3]
+            if not event.cancelled and not event.fired:
+                heappush(heap, entry)
+
     def clear(self) -> None:
         """Drop all pending events."""
         self._heap.clear()

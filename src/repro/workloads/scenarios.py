@@ -16,6 +16,7 @@ from repro.alps.config import AlpsConfig
 from repro.alps.subjects import ProcessSubject
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.kernel import make_kernel
 from repro.kernel.behaviors import Behavior
 from repro.kernel.kconfig import DEFAULT_CONFIG, KernelConfig
 from repro.kernel.kernel import Kernel
@@ -79,7 +80,7 @@ def build_controlled_workload(
     kernel_config: KernelConfig = DEFAULT_CONFIG,
     behaviors: Optional[Sequence[Behavior]] = None,
     alps_start_delay: int = 0,
-    kernel_factory: KernelFactory = Kernel,
+    kernel_factory: KernelFactory = make_kernel,
     fault_plan: Optional[FaultPlan] = None,
     tracer: Optional[Tracer] = None,
     counters: Optional["PerfCounters"] = None,
@@ -93,7 +94,10 @@ def build_controlled_workload(
     ``behaviors`` overrides the default all-spinner workload (used by
     the I/O experiment to make one process block periodically);
     ``kernel_factory`` selects the kernel policy (e.g.
-    :class:`~repro.kernel.cfs.CfsKernel` for the portability study).
+    :class:`~repro.kernel.cfs.CfsKernel` for the portability study) —
+    the default dispatches on ``kernel_config.backend`` through
+    :func:`repro.kernel.make_kernel`, so ``backend="batch"`` selects
+    the struct-of-arrays batch kernel with no other changes.
     ``fault_plan`` runs the whole workload under deterministic fault
     injection (docs/fault_model.md); a null/omitted plan is the exact
     clean path.  ``tracer`` attaches an event tracer to the engine (the
@@ -189,7 +193,7 @@ def build_multi_alps_scenario(
     """Build several (label, shares, start_time_us) groups, each with its
     own ALPS process, all contending under one kernel scheduler."""
     engine = Engine(seed=seed)
-    kernel = Kernel(engine, kernel_config)
+    kernel = make_kernel(engine, kernel_config)
     scenario = MultiAlpsScenario(engine=engine, kernel=kernel)
     for label, shares, start in group_specs:
         workers = [

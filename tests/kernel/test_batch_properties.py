@@ -1,0 +1,306 @@
+"""Property tests for the struct-of-arrays batch kernel core.
+
+Three equivalences, each pinned with exact (``==``) comparisons, never
+tolerances — the batch backend's byte-identity contract rests on the
+array arithmetic reproducing the scalar arithmetic bit for bit:
+
+* :func:`batched_decay` / :func:`batched_user_priority` over arbitrary
+  estcpu/nice vectors equal the per-process scalar functions
+  (:func:`decay_estcpu` / :func:`user_priority`) elementwise;
+* :class:`ArrayRunQueue` (bitmap pick over flat buckets) is
+  operation-for-operation indistinguishable from the linked-list
+  :class:`RunQueue` under arbitrary insert/pop/remove scripts,
+  including removes after a stale priority change;
+* :meth:`SoaState.gather` → :meth:`SoaState.scatter` round-trips every
+  scheduler-owned PCB field exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel.batch import (
+    ArrayRunQueue,
+    SoaState,
+    batched_decay,
+    batched_user_priority,
+)
+from repro.kernel.kconfig import DEFAULT_CONFIG
+from repro.kernel.priorities import decay_estcpu, user_priority
+from repro.kernel.process import Process, ProcState
+from repro.kernel.runqueue import NQS, PPQ, RunQueue
+
+CFG = DEFAULT_CONFIG
+
+# estcpu values beyond the clamp limit included on purpose: the clamp
+# lanes must agree too.
+estcpus = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+nices = st.integers(min_value=-20, max_value=20)
+loads = st.floats(
+    min_value=0.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _proc(pid: int, priority: int = 50) -> Process:
+    proc = Process(pid=pid, name=f"p{pid}", uid=0, nice=0, behavior=None)
+    proc.priority = priority
+    return proc
+
+
+# ----------------------------------------------------------------------
+# Vectorized arithmetic ≡ scalar arithmetic
+# ----------------------------------------------------------------------
+@given(
+    rows=st.lists(st.tuples(estcpus, nices), min_size=1, max_size=50),
+    load=loads,
+)
+@settings(max_examples=200, deadline=None)
+def test_batched_decay_equals_scalar_decay_exactly(rows, load):
+    est = np.array([e for e, _ in rows], dtype=np.float64)
+    nice = np.array([n for _, n in rows], dtype=np.int64)
+    batched = batched_decay(est, nice, load, CFG.estcpu_limit)
+    for i, (e, n) in enumerate(rows):
+        expected = decay_estcpu(CFG, e, n, load)
+        assert batched[i] == expected, (
+            f"row {i}: est={e!r} nice={n} load={load!r}: "
+            f"batched={batched[i]!r} scalar={expected!r}"
+        )
+
+
+@given(rows=st.lists(st.tuples(estcpus, nices), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_batched_priority_equals_scalar_priority_exactly(rows):
+    est = np.array([e for e, _ in rows], dtype=np.float64)
+    nice = np.array([n for _, n in rows], dtype=np.int64)
+    batched = batched_user_priority(CFG, est, nice)
+    for i, (e, n) in enumerate(rows):
+        expected = user_priority(CFG, e, n)
+        assert batched[i] == expected
+        assert isinstance(int(batched[i]), int)
+
+
+@given(
+    rows=st.lists(st.tuples(estcpus, nices), min_size=1, max_size=50),
+    load=loads,
+)
+@settings(max_examples=100, deadline=None)
+def test_decay_then_priority_composes_like_the_eager_loop(rows, load):
+    """The exact composition the batch schedcpu pass performs."""
+    est = np.array([e for e, _ in rows], dtype=np.float64)
+    nice = np.array([n for _, n in rows], dtype=np.int64)
+    new_est = batched_decay(est, nice, load, CFG.estcpu_limit)
+    new_pri = batched_user_priority(CFG, new_est, nice)
+    for i, (e, n) in enumerate(rows):
+        scalar_est = decay_estcpu(CFG, e, n, load)
+        assert new_est[i] == scalar_est
+        assert new_pri[i] == user_priority(CFG, scalar_est, n)
+
+
+# ----------------------------------------------------------------------
+# ArrayRunQueue ≡ RunQueue
+# ----------------------------------------------------------------------
+# Operation alphabet: (op, argument)
+#   insert      — new process at a priority
+#   insert_head — new process prepended
+#   pop         — pop_best from both, compare
+#   remove      — remove the k-th live member (same in both)
+#   retag       — change the k-th live member's priority *without*
+#                 requeueing (models the stale-priority remove path)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, NQS * PPQ - 1)),
+        st.tuples(st.just("insert_head"), st.integers(0, NQS * PPQ - 1)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("remove"), st.integers(0, 10_000)),
+        st.tuples(
+            st.just("retag"),
+            st.tuples(st.integers(0, 10_000), st.integers(0, NQS * PPQ - 1)),
+        ),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=200, deadline=None)
+def test_array_runqueue_matches_linked_list_runqueue(ops):
+    reference = RunQueue()
+    array = ArrayRunQueue()
+    # Two mirror Process populations: queue membership mutates the
+    # Process objects' bucket linkage, so each queue gets its own.
+    ref_procs: dict[int, Process] = {}
+    arr_procs: dict[int, Process] = {}
+    live: list[int] = []  # insertion-ordered live pids
+    next_pid = 1
+    for op, arg in ops:
+        if op in ("insert", "insert_head"):
+            pid, pri = next_pid, arg
+            next_pid += 1
+            ref_procs[pid] = _proc(pid, pri)
+            arr_procs[pid] = _proc(pid, pri)
+            getattr(reference, op)(ref_procs[pid])
+            getattr(array, op)(arr_procs[pid])
+            live.append(pid)
+        elif op == "pop":
+            a = reference.pop_best()
+            b = array.pop_best()
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.pid == b.pid and a.priority == b.priority
+                live.remove(a.pid)
+        elif op == "remove":
+            if not live:
+                continue
+            pid = live[arg % len(live)]
+            reference.remove(ref_procs[pid])
+            array.remove(arr_procs[pid])
+            live.remove(pid)
+        else:  # retag
+            idx, pri = arg
+            if not live:
+                continue
+            pid = live[idx % len(live)]
+            ref_procs[pid].priority = pri
+            arr_procs[pid].priority = pri
+        assert len(reference) == len(array)
+        assert reference.best_priority() == array.best_priority()
+    # Drain: the full remaining pick order must agree.
+    while True:
+        a = reference.pop_best()
+        b = array.pop_best()
+        assert (a is None) == (b is None)
+        if a is None:
+            break
+        assert a.pid == b.pid
+
+
+def test_array_runqueue_rejects_out_of_range_priority():
+    queue = ArrayRunQueue()
+    from repro.errors import KernelError
+
+    with pytest.raises(KernelError):
+        queue.insert(_proc(1, priority=NQS * PPQ))
+    with pytest.raises(KernelError):
+        queue.insert(_proc(2, priority=-1))
+    with pytest.raises(KernelError):
+        queue.remove(_proc(3, priority=5))  # never inserted
+
+
+def test_array_runqueue_contains_and_compaction():
+    queue = ArrayRunQueue()
+    procs = [_proc(pid, priority=8) for pid in range(1, 101)]
+    for proc in procs:
+        queue.insert(proc)
+    # Pop enough to trigger the dead-prefix compaction branch.
+    for i in range(70):
+        assert queue.pop_best() is procs[i]
+    assert procs[69] not in queue
+    assert procs[70] in queue
+    assert len(queue) == 30
+    assert [queue.pop_best().pid for _ in range(30)] == list(range(71, 101))
+
+
+# ----------------------------------------------------------------------
+# SoaState gather/scatter round trip
+# ----------------------------------------------------------------------
+_states = st.sampled_from(list(ProcState))
+_pcb_rows = st.lists(
+    st.tuples(
+        estcpus,  # estcpu
+        st.integers(0, 127),  # priority
+        nices,  # nice
+        st.integers(0, 1000),  # slptime
+        st.integers(0, 10**9),  # cpu_time
+        st.integers(0, 10**9),  # run_start
+        st.integers(0, 10**6),  # pending_burst_us
+        _states,
+        st.booleans(),  # stopped
+        st.one_of(st.none(), st.integers(0, 127)),  # boost_priority
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _populate(proc: Process, row) -> None:
+    (
+        proc.estcpu,
+        proc.priority,
+        proc.nice,
+        proc.slptime,
+        proc.cpu_time,
+        proc.run_start,
+        proc.pending_burst_us,
+        proc.state,
+        proc.stopped,
+        proc.boost_priority,
+    ) = row
+
+
+@given(rows=_pcb_rows)
+@settings(max_examples=200, deadline=None)
+def test_soa_gather_scatter_round_trips_exactly(rows):
+    originals = []
+    blanks = []
+    for pid, row in enumerate(rows, start=1):
+        proc = _proc(pid)
+        _populate(proc, row)
+        if proc.state is ProcState.SLEEPING:
+            proc.wait_channel = f"chan{pid}"
+        originals.append(proc)
+        blanks.append(_proc(pid))
+    soa = SoaState.gather(originals, on_runq={1})
+    assert len(soa) == len(rows)
+    assert soa.slot_of == {p.pid: i for i, p in enumerate(originals)}
+    soa.scatter(blanks)
+    for orig, blank in zip(originals, blanks):
+        assert blank.estcpu == orig.estcpu
+        assert blank.priority == orig.priority
+        assert blank.nice == orig.nice
+        assert blank.slptime == orig.slptime
+        assert blank.cpu_time == orig.cpu_time
+        assert blank.run_start == orig.run_start
+        assert blank.pending_burst_us == orig.pending_burst_us
+        assert blank.state is orig.state
+        assert blank.stopped == orig.stopped
+        assert blank.boost_priority == orig.boost_priority
+
+
+def test_soa_gather_captures_masks_and_deadlines():
+    from repro.sim.engine import Engine
+    from repro.kernel.batch import NO_VALUE, BatchKernel
+
+    engine = Engine(seed=0)
+    kernel = BatchKernel(engine)
+    from repro.workloads.spinner import spinner_behavior
+
+    a = kernel.spawn("a", spinner_behavior())
+    b = kernel.spawn("b", spinner_behavior())
+    engine.run_until(50_000)
+    soa = kernel.soa_snapshot()
+    by_pid = {int(pid): i for i, pid in enumerate(soa.pids)}
+    assert set(by_pid) >= {a.pid, b.pid}
+    # Run-queue membership mask mirrors the kernel's on-runq set.
+    for pid, slot in by_pid.items():
+        assert bool(soa.on_runq[slot]) == (pid in kernel._on_runq)
+    # Exactly one spinner is on CPU; its burst deadline is armed.
+    running = [
+        i for i in range(len(soa)) if soa.state[i] == 1  # RUNNING code
+    ]
+    assert len(running) == 1
+    assert soa.deadline[running[0]] != NO_VALUE
+
+
+def test_soa_scatter_rejects_mismatched_rows():
+    from repro.errors import KernelError
+
+    soa = SoaState.gather([_proc(1), _proc(2)])
+    with pytest.raises(KernelError, match="row mismatch"):
+        soa.scatter([_proc(1)])
+    with pytest.raises(KernelError, match="pid mismatch"):
+        soa.scatter([_proc(1), _proc(3)])
