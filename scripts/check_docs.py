@@ -8,8 +8,9 @@ Checks, over ``README.md`` and every markdown file under ``docs/``:
 * every fragment (``file.md#section``) matches a heading anchor in the
   target file, using GitHub's slug rules (lowercase, punctuation
   stripped, spaces → dashes);
-* fenced ``>>>`` examples in ``docs/using_the_library.md`` pass under
-  :mod:`doctest` (run with ``PYTHONPATH=src``).
+* fenced ``>>>`` examples in ``docs/using_the_library.md`` and
+  ``docs/share_tree.md`` pass under :mod:`doctest` (run with
+  ``PYTHONPATH=src``).
 
 Exit status is non-zero on any failure, so CI can gate on it:
 
@@ -29,7 +30,10 @@ REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 
 #: Markdown files whose ``>>>`` examples must pass under doctest.
-DOCTEST_FILES = [REPO / "docs" / "using_the_library.md"]
+DOCTEST_FILES = [
+    REPO / "docs" / "using_the_library.md",
+    REPO / "docs" / "share_tree.md",
+]
 
 # Inline markdown links: [text](target). Images share the syntax.
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")

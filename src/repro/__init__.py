@@ -43,6 +43,7 @@ from repro.alps import (
 from repro.alps.agent import spawn_alps
 from repro.kernel import Kernel, KernelConfig
 from repro.obs import Observer
+from repro.sharetree import ShardedAlpsPlane, ShareTree
 from repro.sim import Engine
 from repro.units import MSEC, SEC, USEC, ms, sec, usec
 from repro.workloads import (
@@ -68,7 +69,9 @@ __all__ = [
     "Observer",
     "ProcessSubject",
     "SEC",
+    "ShardedAlpsPlane",
     "ShareDistribution",
+    "ShareTree",
     "USEC",
     "UserSubject",
     "__version__",

@@ -49,6 +49,7 @@ from repro.alps.subjects import ProcessSubject, Subject
 from repro.errors import (
     JournalCorruptError,
     NoSuchProcessError,
+    SchedulerConfigError,
     TransientReadError,
 )
 from repro.kernel.actions import Action, Compute, Sleep
@@ -72,6 +73,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
     from repro.overload.guard import OverloadGuard
     from repro.resilience.journal import MemoryJournal
+    from repro.sharetree.tree import ShareNode, ShareTree
 
 
 _EMPTY_SET: frozenset[int] = frozenset()
@@ -198,6 +200,13 @@ class AlpsAgent:
         #: kept aside (out of the core and the liveness sweep) until the
         #: ladder walks back down and readmits them.
         self._shed_subjects: dict[int, Subject] = {}
+        # -- hierarchical shares (docs/share_tree.md) ------------------
+        #: Share tree resolving each subject's effective share from its
+        #: ancestors' weights; None = the flat model (exact seed
+        #: behavior).  A flat-equivalent tree is schedule-invisible:
+        #: its effective shares equal the raw weights verbatim, so
+        #: every ``set_share`` it issues no-ops on a zero delta.
+        self._sharetree: Optional["ShareTree"] = None
 
     # ------------------------------------------------------------------
     # Introspection used by experiments
@@ -267,14 +276,199 @@ class AlpsAgent:
             return 0
         return int(guard.slip.last_quanta * self._quantum_us)
 
-    def submit_subject(self, subject: Subject, kapi: "KernelAPI") -> bool:
+    # ------------------------------------------------------------------
+    # Hierarchical shares surface (docs/share_tree.md)
+    # ------------------------------------------------------------------
+    def attach_sharetree(self, tree: "ShareTree") -> None:
+        """Attach a share tree (:mod:`repro.sharetree`).
+
+        The tree becomes the authority for every subject's share: its
+        recursive weights are resolved to flat integer effective shares
+        and applied to the core immediately (and again on every tree
+        mutation, admission, or subject death).  A flat-equivalent tree
+        resolves to the raw weights, so attaching it changes nothing —
+        the same schedule-invisibility discipline as the journal, the
+        observer, and the overload guard.
+        """
+        self._sharetree = tree
+        self.reweigh_from_tree()
+
+    @property
+    def sharetree(self) -> Optional["ShareTree"]:
+        """The attached share tree, if any (obs/top surface)."""
+        return self._sharetree
+
+    def reweigh_from_tree(self) -> None:
+        """Re-apply the tree's effective shares to the core.
+
+        ``AlpsCore.set_share`` early-outs on a zero delta, so this is
+        free (and trace-invisible) whenever the resolved shares already
+        match — the flat-equivalence case.
+        """
+        tree = self._sharetree
+        if tree is None:
+            return
+        core_subjects = self.core.subjects
+        for sid, share in tree.effective_shares().items():
+            if sid not in core_subjects:
+                continue
+            self.core.set_share(sid, share)
+            subj = self.subjects.get(sid)
+            if subj is not None:
+                subj.share = share
+
+    def set_tree_weight(self, path: str, weight: int) -> None:
+        """Reweight a tree node; every descendant leaf follows."""
+        tree = self._sharetree
+        if tree is None:
+            raise SchedulerConfigError("no share tree attached")
+        tree.set_weight(path, weight)
+        self.reweigh_from_tree()
+
+    def _active_leaves_under(self, gate: "ShareNode") -> int:
+        """Admitted members of a gated subtree (its enforced count)."""
+        tree = self._sharetree
+        assert tree is not None
+        core_subjects = self.core.subjects
+        return sum(
+            1 for leaf in tree.leaves(gate) if leaf.sid in core_subjects
+        )
+
+    def _submit_tree_subject(
+        self, subject: Subject, kapi: "KernelAPI", path: str
+    ) -> bool:
+        """Route an arrival through its subtree's admission gate.
+
+        The leaf is only created in the tree once admitted — a queued
+        arrival must not dilute its siblings' effective shares while it
+        waits.  Queue entries are ``(subject, path)`` pairs.
+        """
+        tree = self._sharetree
+        assert tree is not None
+        parent = tree.node(path.rpartition("/")[0])
+        gate = tree.admission_for(parent)
+        obs = self._obs
+        if gate is not None:
+            assert gate.admission is not None
+            admitted = gate.admission.submit(
+                (subject, path), self._active_leaves_under(gate)
+            )
+            if not admitted:
+                if obs is not None and obs.enabled:
+                    obs.events.emit(
+                        kapi.now, "sharetree.queued",
+                        sid=subject.sid, path=path,
+                        depth=gate.admission.depth,
+                    )
+                return False
+        tree.leaf(path, sid=subject.sid, weight=subject.share)
+        if not self._admit_subject(subject, kapi):
+            tree.remove(path)  # died before admission
+            return False
+        self.reweigh_from_tree()
+        if obs is not None and obs.enabled:
+            obs.events.emit(
+                kapi.now, "sharetree.admitted", sid=subject.sid, path=path
+            )
+        return True
+
+    def _drain_tree_admissions(self, kapi: "KernelAPI") -> float:
+        """Admit queued subtree arrivals into spare capacity (per gate)."""
+        tree = self._sharetree
+        assert tree is not None
+        npids = 0
+        admitted_any = False
+        obs = self._obs
+        for gate in tree.gates():
+            queue = gate.admission
+            if queue is None or not queue.depth:
+                continue
+            for subject, path in queue.admit_ready(
+                self._active_leaves_under(gate)
+            ):
+                try:
+                    tree.leaf(path, sid=subject.sid, weight=subject.share)
+                except SchedulerConfigError:
+                    continue  # its branch vanished while it waited
+                if not self._admit_subject(subject, kapi):
+                    tree.remove(path)
+                    continue
+                admitted_any = True
+                npids += len(subject.pids(kapi))
+                if obs is not None and obs.enabled:
+                    obs.events.emit(
+                        kapi.now, "sharetree.admitted",
+                        sid=subject.sid, path=path,
+                    )
+        if admitted_any:
+            self.reweigh_from_tree()
+        if npids == 0:
+            return 0.0
+        self.reads += npids
+        return self.cfg.costs.measure_cost(npids)
+
+    def release_subject(self, sid: int, kapi: "KernelAPI") -> Subject:
+        """Withdraw a subject from this agent (cell migration).
+
+        The control-plane half of rebalancing: the subject leaves the
+        enforced set, its stopped pids are resumed so it is never
+        wedged between cells, and the subject object is returned for
+        :meth:`adopt_subject` on the destination agent.
+        """
+        subj = self.subjects.pop(sid, None)
+        if subj is None:
+            subj = self._shed_subjects.pop(sid, None)
+            if subj is not None:
+                guard = self._overload
+                if guard is not None:
+                    guard.note_departed(sid)
+                return subj  # shed: already best-effort, nothing stopped
+            raise SchedulerConfigError(f"agent does not control sid {sid}")
+        if isinstance(subj, ProcessSubject):
+            self._proc_subjects.remove(subj)
+        if sid in self.core.subjects:
+            self.core.remove_subject(sid)
+        for pid in subj.pids(kapi):
+            if pid in self._stopped_pids:
+                try:
+                    kapi.kill(pid, SIGCONT)
+                    self.signals_sent += 1
+                except NoSuchProcessError:
+                    pass
+            self._forget_pid(pid)
+        self._cumulative.pop(sid, None)
+        return subj
+
+    def adopt_subject(self, subject: Subject, kapi: "KernelAPI") -> bool:
+        """Receive a migrating subject (already admitted in its old
+        cell, so admission control is deliberately bypassed)."""
+        if not self._admit_subject(subject, kapi):
+            return False
+        if self._sharetree is not None:
+            self.reweigh_from_tree()
+        return True
+
+    def submit_subject(
+        self, subject: Subject, kapi: "KernelAPI", *, path: Optional[str] = None
+    ) -> bool:
         """Offer a new arrival to the group through admission control.
 
         Without a guard (or with spare capacity) the subject joins the
         enforced set immediately; otherwise it waits in the FIFO
         admission queue and is drained at a later wake as capacity
         frees up.  Returns True when admitted immediately.
+
+        With a share tree attached, ``path`` places the arrival in the
+        tree and routes it through its subtree's *own* admission gate
+        (nearest gated ancestor; docs/share_tree.md) instead of the
+        whole-group queue.
         """
+        if path is not None:
+            if self._sharetree is None:
+                raise SchedulerConfigError(
+                    "submit_subject(path=...) requires an attached share tree"
+                )
+            return self._submit_tree_subject(subject, kapi, path)
         guard = self._overload
         if guard is None:
             self._admit_subject(subject, kapi)
@@ -577,6 +771,11 @@ class AlpsAgent:
                     cost += self._apply_ladder(kapi, now, delta)
             if guard.admission.depth and not guard.admission_paused:
                 cost += self._drain_admissions(kapi)
+        tree = self._sharetree
+        # _gates first: ungated trees (the common flat-equivalent case)
+        # must not pay a generator sum on every wake.
+        if tree is not None and tree._gates and tree.pending_admissions:
+            cost += self._drain_tree_admissions(kapi)
         if now - self._sleep_target >= self._quantum_us:
             # At least one whole quantum overslept (the guard mirrors
             # _absorb_stall's own missed <= 0 early-out).
@@ -1166,6 +1365,16 @@ class AlpsAgent:
             self._forget_pid(subj.pid)
             del self.subjects[sid]
         self._proc_subjects = [s for s in self._proc_subjects if s._alive]
+        tree = self._sharetree
+        if tree is not None:
+            # A dead leaf leaves the tree; its siblings' fractions grow
+            # recursively (flat-equivalent trees resolve to the same raw
+            # weights, so the reweigh no-ops there).
+            changed = False
+            for subj in dead:
+                changed |= tree.discard_sid(subj.sid)
+            if changed:
+                self.reweigh_from_tree()
 
     def _forget_pid(self, pid: int) -> None:
         """Remove every per-pid record (death or departure cleanup)."""
@@ -1223,6 +1432,7 @@ def spawn_alps(
     journal: Optional["MemoryJournal"] = None,
     supervisor=None,
     overload: Optional["OverloadGuard"] = None,
+    sharetree: Optional["ShareTree"] = None,
 ) -> tuple["Process", AlpsAgent]:
     """Spawn an ALPS scheduler process in the simulated kernel.
 
@@ -1237,13 +1447,18 @@ def spawn_alps(
     which subsumes the plain fault wrapper; an ``overload`` guard
     (:class:`~repro.overload.guard.OverloadGuard`) arms admission
     control, starvation detection and the degradation ladder
-    (:meth:`AlpsAgent.attach_overload`).
+    (:meth:`AlpsAgent.attach_overload`); a ``sharetree``
+    (:class:`~repro.sharetree.tree.ShareTree`) makes the tree the
+    authority for every subject's share
+    (:meth:`AlpsAgent.attach_sharetree`).
     """
     agent = AlpsAgent(subjects, config)
     if journal is not None:
         agent.attach_journal(journal)
     if overload is not None:
         agent.attach_overload(overload)
+    if sharetree is not None:
+        agent.attach_sharetree(sharetree)
     behavior: "Behavior" = agent
     if supervisor is not None:
         from repro.resilience.supervisor import SupervisedAlpsBehavior

@@ -505,6 +505,85 @@ def cmd_overload(
     return 0
 
 
+def cmd_sharetree(
+    *,
+    full: bool,
+    seed: int,
+    csv: Optional[str],
+    workers: Optional[int] = None,
+    no_cache: bool = False,
+    smoke: bool = False,
+) -> int:
+    """Gunther's ratios-not-guarantees share-tree sweep (docs/share_tree.md)."""
+    from repro.experiments.sharetree import (
+        SIBLING_COUNTS,
+        TENANT_WEIGHT,
+        sharetree_point_from_payload,
+        sharetree_sweep_spec,
+        throughput_variation,
+    )
+    from repro.sweep.scheduler import run_sweep
+
+    if smoke:
+        sibling_counts, cell_counts = (1, 4), (1,)
+        cycles, horizon_s = 20, 6.0
+    elif full:
+        sibling_counts, cell_counts = SIBLING_COUNTS, (1, 2)
+        cycles, horizon_s = 60, 12.0
+    else:
+        sibling_counts, cell_counts = SIBLING_COUNTS, (1,)
+        cycles, horizon_s = 40, 10.0
+    spec = sharetree_sweep_spec(
+        sibling_counts=sibling_counts,
+        cell_counts=cell_counts,
+        cycles=cycles,
+        seed=seed,
+        horizon_s=horizon_s,
+    )
+    outcome = run_sweep(
+        spec, workers=_sweep_workers(workers, full), cache=_sweep_cache(no_cache)
+    )
+    points = [sharetree_point_from_payload(v) for v in outcome.values]
+    rows = [
+        [p.k, p.cells, f"{p.share_ratio:.1f}", f"{p.attained_ratio:.2f}",
+         f"{p.ratio_error_pct:.1f}", f"{p.tenant_fraction:.1%}",
+         f"{p.tenant_us_per_s:,.0f}"]
+        for p in points
+    ]
+    print(format_table(
+        ["siblings k", "cells", "share ratio", "attained ratio",
+         "ratio err %", "tenant frac", "tenant µs/s"],
+        rows,
+        title=(
+            "Share tree — shares bound ratios, not guarantees "
+            f"(tenant weight {TENANT_WEIGHT} vs k unit siblings)"
+        ),
+    ))
+    single = [p for p in points if p.cells == 1]
+    variation = throughput_variation(single)
+    worst = max(p.ratio_error_pct for p in single)
+    print(
+        f"\nratio stays within {worst:.1f}% of the share-bound {TENANT_WEIGHT}:1 "
+        f"envelope while absolute tenant throughput varies "
+        f"{variation:.1f}x across load points — shares bound ratios, "
+        f"never throughput."
+    )
+    _maybe_csv(
+        csv,
+        [
+            {"k": p.k, "cells": p.cells, "share_ratio": p.share_ratio,
+             "attained_ratio": p.attained_ratio,
+             "ratio_error_pct": p.ratio_error_pct,
+             "tenant_fraction": p.tenant_fraction,
+             "tenant_us_per_s": p.tenant_us_per_s,
+             "cycles": p.cycles_completed, "wall_us": p.wall_us}
+            for p in points
+        ],
+    )
+    _sweep_footer(outcome)
+    return 0
+
+
 def parse_group_spec(spec: str) -> list[tuple[int, int]]:
     """Parse 'SHARExMEMBERS,...' (e.g. '1x2,3x1') to (share, size) pairs."""
     groups: list[tuple[int, int]] = []
@@ -745,12 +824,34 @@ def cmd_top(
     frames: Optional[int],
     interval: float,
     skip_cycles: int,
+    tree: bool = False,
 ) -> int:
-    """Live share-vs-attained view over a simulated workload."""
+    """Live share-vs-attained view over a simulated workload.
+
+    ``tree=True`` runs the docs chapter's demo share tree
+    (:func:`repro.sharetree.demo_tree`) instead of the flat ``shares``
+    list and renders the indented per-subtree view.
+    """
     from repro.obs.top import run_top
     from repro.units import ms
 
-    cw = _observed_workload(shares, quantum_ms, seed)
+    if tree:
+        from repro.alps.config import AlpsConfig
+        from repro.obs import Observer
+        from repro.sharetree import demo_tree
+        from repro.workloads.scenarios import build_controlled_workload
+
+        demo = demo_tree()
+        leaf_weights = [leaf.weight for leaf in demo.leaves()]
+        cw = build_controlled_workload(
+            leaf_weights,
+            AlpsConfig(quantum_us=ms(quantum_ms)),
+            seed=seed,
+            observer=Observer(),
+            sharetree=demo,
+        )
+    else:
+        cw = _observed_workload(shares, quantum_ms, seed)
     if cw is None:
         return 2
     run_top(
@@ -759,6 +860,7 @@ def cmd_top(
         frames=frames,
         interval_s=interval,
         skip_cycles=skip_cycles,
+        tree=tree,
     )
     return 0
 

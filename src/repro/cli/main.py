@@ -45,6 +45,10 @@ EXPERIMENTS = {
         commands.cmd_overload,
         "overload protection — bounded degradation past the §4.2 knee",
     ),
+    "sharetree": (
+        commands.cmd_sharetree,
+        "share tree — Gunther's 'shares bound ratios, not guarantees'",
+    ),
 }
 
 
@@ -85,6 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the content-addressed sweep result cache "
         "($REPRO_SWEEP_CACHE) and recompute every cell",
+    )
+    run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized protocol (sharetree only): fewest load points, "
+        "short horizon",
     )
 
     live = sub.add_parser(
@@ -208,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="warm-up cycles excluded from attained fractions",
     )
+    top.add_argument(
+        "--tree",
+        action="store_true",
+        help="hierarchical view over the demo share tree "
+        "(docs/share_tree.md) instead of the flat --shares list",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -322,13 +338,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         fn = EXPERIMENTS[args.experiment][0]
-        return fn(
+        kwargs = dict(
             full=args.full,
             seed=args.seed,
             csv=args.csv,
             workers=args.workers,
             no_cache=args.no_cache,
         )
+        if args.experiment == "sharetree":
+            kwargs["smoke"] = args.smoke
+        elif args.smoke:
+            parser.error("--smoke is only supported by 'run sharetree'")
+        return fn(**kwargs)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -384,6 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             frames=args.frames,
             interval=args.interval,
             skip_cycles=args.skip_cycles,
+            tree=args.tree,
         )
     if args.command == "chaos":
         if args.chaos_command == "run":

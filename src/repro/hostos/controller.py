@@ -16,7 +16,11 @@ from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.alps.algorithm import AlpsCore, Measurement
 from repro.alps.instrumentation import CycleLog
-from repro.errors import HostOSError, JournalCorruptError
+from repro.errors import (
+    HostOSError,
+    JournalCorruptError,
+    SchedulerConfigError,
+)
 from repro.hostos import procfs
 from repro.overload.ladder import Rung
 from repro.resilience.journal import (
@@ -32,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
     from repro.overload.guard import OverloadGuard
     from repro.resilience.journal import FileJournal
+    from repro.sharetree.tree import ShareNode, ShareTree
 
 
 @dataclass(slots=True)
@@ -92,6 +97,7 @@ class HostAlps:
         journal: Optional["FileJournal"] = None,
         observer: Optional["Observer"] = None,
         overload: Optional["OverloadGuard"] = None,
+        sharetree: Optional["ShareTree"] = None,
     ) -> None:
         if quantum_s <= 0:
             raise HostOSError(f"quantum must be positive, got {quantum_s}")
@@ -139,6 +145,12 @@ class HostAlps:
         self._shed_shares: dict[int, int] = {}
         self._prev_wake_us: Optional[int] = None
         self._wake_cadence_us = self.quantum_us
+        #: Hierarchical share tree (docs/share_tree.md); leaf sids are
+        #: pids on the host.  A flat-equivalent tree resolves to the raw
+        #: shares verbatim, so attaching it changes nothing.
+        self.sharetree = sharetree
+        if sharetree is not None:
+            self.reweigh_from_tree()
 
     # ------------------------------------------------------------------
     def run(self, duration_s: float) -> HostAlpsReport:
@@ -192,6 +204,13 @@ class HostAlps:
                             self._apply_ladder(delta)
                     if guard.admission.depth and not guard.admission_paused:
                         self._drain_admissions()
+                tree = self.sharetree
+                if (
+                    tree is not None
+                    and tree._gates
+                    and tree.pending_admissions
+                ):
+                    self._drain_tree_admissions()
                 q_s = self.quantum_us / 1_000_000
                 stride_s = q_s
                 if guard is not None:
@@ -263,16 +282,30 @@ class HostAlps:
     # ------------------------------------------------------------------
     # Overload protection (docs/overload.md)
     # ------------------------------------------------------------------
-    def submit_pid(self, pid: int, share: int) -> bool:
+    def submit_pid(
+        self, pid: int, share: int, *, path: Optional[str] = None
+    ) -> bool:
         """Offer a new pid to the group through admission control.
 
         Without a guard (or with spare capacity) the pid joins the
         enforced set immediately; otherwise it waits in the FIFO
         admission queue and drains at a later wake.  Returns True when
         admitted immediately.
+
+        With a share tree attached, ``path`` places the arrival in the
+        tree and routes it through its subtree's *own* admission gate
+        (nearest gated ancestor; docs/share_tree.md) instead of the
+        whole-group queue — the same composition as the sim agent's
+        ``submit_subject(path=...)``.
         """
         if share < 1:
             raise HostOSError(f"share must be >= 1, got {share}")
+        if path is not None:
+            if self.sharetree is None:
+                raise HostOSError(
+                    "submit_pid(path=...) requires an attached share tree"
+                )
+            return self._submit_tree_pid(pid, share, path)
         guard = self.overload
         if guard is None:
             return self._admit_pid(pid, share)
@@ -308,6 +341,95 @@ class HostAlps:
         for pid, share in ready:
             if self._admit_pid(pid, share):
                 self._emit_overload("overload.admitted", pid=pid)
+
+    # ------------------------------------------------------------------
+    # Hierarchical share tree (docs/share_tree.md)
+    # ------------------------------------------------------------------
+    def reweigh_from_tree(self) -> None:
+        """Re-apply the tree's effective shares to the core.
+
+        ``AlpsCore.set_share`` early-outs on a zero delta, so this is
+        free whenever the resolved shares already match — the
+        flat-equivalence case.
+        """
+        tree = self.sharetree
+        if tree is None:
+            return
+        core_subjects = self.core.subjects
+        for pid, share in tree.effective_shares().items():
+            if pid in core_subjects:
+                self.core.set_share(pid, share)
+
+    def set_tree_weight(self, path: str, weight: int) -> None:
+        """Reweight a tree node; every descendant leaf follows."""
+        tree = self.sharetree
+        if tree is None:
+            raise HostOSError("no share tree attached")
+        tree.set_weight(path, weight)
+        self.reweigh_from_tree()
+
+    def _active_leaves_under(self, gate: "ShareNode") -> int:
+        """Admitted members of a gated subtree (its enforced count)."""
+        tree = self.sharetree
+        assert tree is not None
+        core_subjects = self.core.subjects
+        return sum(
+            1 for leaf in tree.leaves(gate) if leaf.sid in core_subjects
+        )
+
+    def _submit_tree_pid(self, pid: int, share: int, path: str) -> bool:
+        """Route an arrival through its subtree's admission gate.
+
+        The leaf is only created in the tree once admitted — a queued
+        arrival must not dilute its siblings' effective shares while
+        it waits.  Queue entries are ``(pid, share, path)`` triples.
+        """
+        tree = self.sharetree
+        assert tree is not None
+        parent = tree.node(path.rpartition("/")[0])
+        gate = tree.admission_for(parent)
+        if gate is not None:
+            assert gate.admission is not None
+            admitted = gate.admission.submit(
+                (pid, share, path), self._active_leaves_under(gate)
+            )
+            if not admitted:
+                self._emit_overload(
+                    "sharetree.queued", pid=pid, path=path,
+                    depth=gate.admission.depth,
+                )
+                return False
+        tree.leaf(path, sid=pid, weight=share)
+        if not self._admit_pid(pid, share):
+            tree.remove(path)  # died before admission
+            return False
+        self.reweigh_from_tree()
+        self._emit_overload("sharetree.admitted", pid=pid, path=path)
+        return True
+
+    def _drain_tree_admissions(self) -> None:
+        """Admit queued subtree arrivals into spare capacity (per gate)."""
+        tree = self.sharetree
+        assert tree is not None
+        admitted_any = False
+        for gate in tree.gates():
+            queue = gate.admission
+            if queue is None or not queue.depth:
+                continue
+            for pid, share, path in queue.admit_ready(
+                self._active_leaves_under(gate)
+            ):
+                try:
+                    tree.leaf(path, sid=pid, weight=share)
+                except SchedulerConfigError:
+                    continue  # its branch vanished while it waited
+                if not self._admit_pid(pid, share):
+                    tree.remove(path)
+                    continue
+                admitted_any = True
+                self._emit_overload("sharetree.admitted", pid=pid, path=path)
+        if admitted_any:
+            self.reweigh_from_tree()
 
     def _apply_ladder(self, delta: int) -> None:
         """Enact a ladder transition (same order as the sim agent)."""
@@ -382,6 +504,9 @@ class HostAlps:
         if pid in self.core.subjects:
             self.core.remove_subject(pid)
         self._stopped.discard(pid)
+        tree = self.sharetree
+        if tree is not None and tree.discard_sid(pid):
+            self.reweigh_from_tree()
 
     def _signal(self, pid: int, signo: int) -> None:
         try:

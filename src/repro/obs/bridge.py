@@ -119,5 +119,27 @@ def collect_workload(
         reg.counter("alps_overload_sheds").inc(guard.sheds)
         reg.counter("alps_overload_readmits").inc(guard.readmits)
 
+    # Share-tree shape and per-subtree allocation, when the run carried
+    # a hierarchical tree (docs/share_tree.md).
+    tree = getattr(agent, "sharetree", None)
+    if tree is not None:
+        reg.gauge("alps_sharetree_depth").set(tree.depth)
+        reg.gauge("alps_sharetree_nodes").set(tree.node_count)
+        reg.gauge("alps_sharetree_leaves").set(tree.leaf_count)
+        reg.gauge("alps_sharetree_pending_admissions").set(
+            tree.pending_admissions
+        )
+        reg.counter("alps_sharetree_migrations").inc(tree.migrations)
+        reg.counter("alps_sharetree_reweighs").inc(tree.reweighs)
+        for node in tree.subtrees():
+            lbl = node.path
+            target = float(tree.fraction_of(node.path))
+            got = sum(
+                attained.get(leaf.sid, 0.0) for leaf in tree.leaves(node)
+            )
+            reg.gauge("alps_subtree_weight", path=lbl).set(node.weight)
+            reg.gauge("alps_subtree_target_fraction", path=lbl).set(target)
+            reg.gauge("alps_subtree_attained_fraction", path=lbl).set(got)
+
     obs.finalize_metrics()
     return obs

@@ -85,6 +85,63 @@ def render_top_frame(
     return "\n".join(lines)
 
 
+def render_tree_frame(
+    workload: "ControlledWorkload", *, skip_cycles: int = 0
+) -> str:
+    """One ``top --tree`` frame: indented subtree rows (pure).
+
+    Each node shows its weight, its target fraction (the tree's exact
+    recursive allocation, docs/share_tree.md) and the fraction its
+    subtree actually attained; leaves add the owning sid.  Requires a
+    workload built with ``sharetree=``.
+    """
+    agent = workload.agent
+    tree = agent.sharetree
+    if tree is None:
+        raise ValueError("render_tree_frame needs a share-tree workload")
+    now_s = workload.engine.now / 1_000_000
+    attained = per_subject_fractions(agent.cycle_log, skip=skip_cycles)
+
+    def subtree_attained(node) -> float:
+        return sum(
+            attained.get(leaf.sid, 0.0) for leaf in tree.leaves(node)
+        )
+
+    header = (
+        f"repro top --tree — t={now_s:9.3f}s  "
+        f"cycles={len(agent.cycle_log):<6}"
+        f"nodes={tree.node_count:<5}depth={tree.depth:<3}"
+        f"migrations={tree.migrations:<5}"
+        f"overhead={workload.overhead_fraction():6.2%}"
+    )
+    cols = (
+        f"{'NODE':<18} {'WT':>4} {'SID':>4} {'TARGET':>7} {'ATTAIN':>7} "
+        f"{'DRIFT':>7} {'':<{_BAR_WIDTH}}"
+    )
+    lines = [header, "", cols]
+    for node in tree.nodes():
+        indent = "  " * (node.depth - 1)
+        target = float(tree.fraction_of(node.path))
+        got = (
+            attained.get(node.sid, 0.0)
+            if node.is_leaf
+            else subtree_attained(node)
+        )
+        sid = str(node.sid) if node.sid is not None else "-"
+        lines.append(
+            f"{indent + node.name:<18} {node.weight:>4} {sid:>4} "
+            f"{target:>7.1%} {got:>7.1%} {got - target:>+7.1%} {_bar(got)}"
+        )
+    gates = tree.gates()
+    if gates:
+        queued = ", ".join(
+            f"{g.path}={g.admission.depth}" for g in gates if g.admission
+        )
+        lines.append("")
+        lines.append(f"admission gates: {queued}")
+    return "\n".join(lines)
+
+
 def run_top(
     workload: "ControlledWorkload",
     *,
@@ -94,22 +151,26 @@ def run_top(
     stream: Optional[TextIO] = None,
     clear: Optional[bool] = None,
     skip_cycles: int = 0,
+    tree: bool = False,
 ) -> int:
     """Drive the workload forward, rendering a frame per ``frame_us``.
 
     ``frames=None`` runs until interrupted (Ctrl-C returns cleanly).
     ``clear=None`` auto-detects a tty; non-tty output separates frames
-    with a blank line instead of ANSI clears.  Returns frames rendered.
+    with a blank line instead of ANSI clears.  ``tree=True`` renders the
+    hierarchical :func:`render_tree_frame` view instead of the flat
+    per-subject table.  Returns frames rendered.
     """
     out = stream if stream is not None else sys.stdout
     if clear is None:
         clear = hasattr(out, "isatty") and out.isatty()
     engine = workload.engine
+    render = render_tree_frame if tree else render_top_frame
     rendered = 0
     try:
         while frames is None or rendered < frames:
             engine.run_until(engine.now + frame_us)
-            frame = render_top_frame(workload, skip_cycles=skip_cycles)
+            frame = render(workload, skip_cycles=skip_cycles)
             if clear:
                 out.write(_ANSI_HOME_CLEAR + frame + "\n")
             else:

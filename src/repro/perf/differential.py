@@ -106,6 +106,7 @@ def fingerprint_run(
     resilience: bool = False,
     overload: bool = False,
     obs: bool = False,
+    sharetree: bool = False,
     fault_plan: Optional["FaultPlan"] = None,
 ) -> RunFingerprint:
     """Run one controlled workload and fingerprint its schedule.
@@ -132,6 +133,13 @@ def fingerprint_run(
     layer — already proven schedule-invisible in isolation; here it
     stacks with the backend sweep.
 
+    ``sharetree=True`` attaches a flat one-level
+    :class:`repro.sharetree.ShareTree` built from the same shares.  The
+    tree resolves each leaf's effective share to the raw weight verbatim
+    (unreduced path-product arithmetic, docs/share_tree.md), so the
+    treed fingerprint must equal the bare one byte for byte — the share
+    tree's flat-equivalence claim.
+
     ``fault_plan`` runs the workload under deterministic fault
     injection.  Faulted runs are *not* expected to match clean runs;
     they must match each other across backends — the injector wraps the
@@ -157,6 +165,11 @@ def fingerprint_run(
         from repro.obs import Observer
 
         observer = Observer()
+    tree = None
+    if sharetree:
+        from repro.sharetree import ShareTree
+
+        tree = ShareTree.flat(shares)
     if backend is None:
         kernel_config = KernelConfig(strict=strict)
     else:
@@ -171,6 +184,7 @@ def fingerprint_run(
         supervisor=supervisor,
         overload=guard,
         observer=observer,
+        sharetree=tree,
         fault_plan=fault_plan,
     )
     cw.engine.run_until(horizon_us)

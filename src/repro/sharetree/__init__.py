@@ -1,0 +1,45 @@
+"""Hierarchical share trees and the sharded multi-cell control plane.
+
+The architectural layer that turns "N processes, N shares" into
+"tenants are subtrees" (docs/share_tree.md):
+
+* :class:`ShareTree` / :class:`ShareNode` — recursive proportional
+  allocation (Solaris-SRM-style), resolved to exact flat integer
+  shares for the unmodified Figure 3 algorithm, with per-subtree
+  admission gates;
+* :class:`ShardedAlpsPlane` — many concurrent ALPS cells across
+  simulated SMP cores, each owning whole subtrees, with a rebalancer
+  migrating subtrees between cells as weights change;
+* :func:`demo_tree` — the worked example used by the docs chapter and
+  ``repro top --tree``.
+"""
+
+from repro.sharetree.plane import ShardedAlpsPlane
+from repro.sharetree.tree import ShareNode, ShareTree
+
+
+def demo_tree() -> ShareTree:
+    """The docs chapter's worked example, ready to attach.
+
+    Tenant ``a`` (weight 3) runs a 2:1 pair of workers; tenants ``b``
+    (weight 2) and ``c`` (weight 1) run one worker each.  Effective
+    shares resolve to ``{0: 6, 1: 3, 2: 6, 3: 3}`` on a scale of 18 —
+    half the machine to tenant ``a``, split 2:1 inside it.
+    """
+    tree = ShareTree()
+    tree.group("a", 3)
+    tree.leaf("a/a0", sid=0, weight=2)
+    tree.leaf("a/a1", sid=1, weight=1)
+    tree.group("b", 2)
+    tree.leaf("b/b0", sid=2, weight=1)
+    tree.group("c", 1)
+    tree.leaf("c/c0", sid=3, weight=1)
+    return tree
+
+
+__all__ = [
+    "ShardedAlpsPlane",
+    "ShareNode",
+    "ShareTree",
+    "demo_tree",
+]

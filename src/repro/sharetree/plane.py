@@ -1,0 +1,279 @@
+"""Sharded multi-cell control plane: many ALPS cells on one SMP kernel.
+
+One ALPS agent is a single process; past a few hundred subjects its own
+measurement work exceeds its fair share (the §4.2 breakdown).  The
+production-scale answer is *sharding*: run many concurrent ALPS cells
+— one agent process per simulated CPU core, extending the
+``bench_extension_smp`` seed — and give each cell ownership of whole
+**subtrees** of the share tree, so intra-tenant proportions are always
+enforced by exactly one agent.
+
+:class:`ShardedAlpsPlane` builds the whole arrangement on one simulated
+SMP kernel: it partitions the tree's top-level subtrees across cells
+greedily by effective weight (LPT — heaviest subtree to the least
+loaded cell, deterministic tie-break by creation order), spawns one
+spinner worker per leaf and one ALPS agent per non-empty cell, and
+keeps the partition balanced as weights change: :meth:`set_weight`
+reweighs every cell's core from the shared tree and :meth:`rebalance`
+migrates whole subtrees between cells when the greedy assignment moves
+(:meth:`AlpsAgent.release_subject` → :meth:`AlpsAgent.adopt_subject`,
+counting ``sharetree.migrate`` events and the tree's ``migrations``
+bridge counter).
+
+The plane is a *control plane*: migrations and reweighs happen between
+``run_until`` calls, modelling an out-of-band controller, and are fully
+deterministic for a fixed seed and call sequence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.alps.agent import AlpsAgent, spawn_alps
+from repro.alps.config import AlpsConfig
+from repro.alps.subjects import ProcessSubject
+from repro.errors import SchedulerConfigError
+from repro.kernel import make_kernel
+from repro.kernel.kconfig import KernelConfig
+from repro.kernel.process import Process
+from repro.sharetree.tree import ShareNode, ShareTree
+from repro.sim.engine import Engine
+from repro.workloads.spinner import spinner_behavior
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+
+
+class ShardedAlpsPlane:
+    """Concurrent ALPS cells sharded over a share tree's subtrees."""
+
+    def __init__(
+        self,
+        tree: ShareTree,
+        alps_config: Optional[AlpsConfig] = None,
+        *,
+        cells: int = 2,
+        seed: int = 0,
+        observer: Optional["Observer"] = None,
+    ) -> None:
+        if cells < 1:
+            raise SchedulerConfigError(f"cells must be >= 1, got {cells}")
+        if not tree.subtrees():
+            raise SchedulerConfigError("the share tree has no subtrees")
+        if not tree.leaves():
+            raise SchedulerConfigError("the share tree has no leaves")
+        self.tree = tree
+        self.cells = cells
+        self.config = alps_config if alps_config is not None else AlpsConfig()
+        self.observer = observer
+        self.engine = Engine(seed=seed, observer=observer)
+        # One simulated CPU per cell: each agent effectively owns a
+        # core's worth of control work (the bench_extension_smp seed).
+        self.kernel = make_kernel(self.engine, KernelConfig(ncpus=cells))
+        if observer is not None:
+            self.kernel.attach_observer(observer)
+        #: Subtree name -> owning cell index (the shard map).
+        self.assignment: dict[str, int] = self._partition()
+        #: Leaf sid -> its worker process.
+        self.workers: dict[int, Process] = {}
+        #: Cell index -> agent (cells left empty by the partition have
+        #: no agent; they still contribute kernel CPUs).
+        self.agents: dict[int, AlpsAgent] = {}
+        self.agent_procs: dict[int, Process] = {}
+        #: Leaves moved between cells by :meth:`rebalance`.
+        self.migrations = 0
+        #: Rebalance passes that moved at least one subtree.
+        self.rebalances = 0
+        eff = tree.effective_shares()
+        for uid, leaf in enumerate(tree.leaves()):
+            self.workers[leaf.sid] = self.kernel.spawn(  # type: ignore[index]
+                leaf.path.replace("/", "."), spinner_behavior(), uid=100 + uid
+            )
+        for cell in range(cells):
+            subjects = [
+                ProcessSubject(
+                    sid=leaf.sid,  # type: ignore[arg-type]
+                    share=eff[leaf.sid],  # type: ignore[index]
+                    pid=self.workers[leaf.sid].pid,  # type: ignore[index]
+                )
+                for name in self._subtrees_of(cell)
+                for leaf in tree.leaves(tree.node(name))
+            ]
+            if not subjects:
+                continue
+            proc, agent = spawn_alps(
+                self.kernel,
+                subjects,
+                self.config,
+                name=f"alps-c{cell}",
+                sharetree=tree,
+            )
+            self.agents[cell] = agent
+            self.agent_procs[cell] = proc
+        self._emit("sharetree.attach", cells=cells, subtrees=len(self.assignment))
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **fields) -> None:
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.events.emit(self.engine.now, kind, **fields)
+
+    def _partition(self) -> dict[str, int]:
+        """Greedy LPT: heaviest subtree to the least-loaded cell.
+
+        Deterministic: subtrees are ordered by (effective weight desc,
+        creation order), ties between cells break to the lowest index.
+        """
+        order = list(self.tree.subtrees())
+        weights = {
+            node.name: self.tree.effective_weight(node.path) for node in order
+        }
+        ranked = sorted(
+            order, key=lambda n: (-weights[n.name], order.index(n))
+        )
+        load = [0] * self.cells
+        assignment: dict[str, int] = {}
+        for node in ranked:
+            cell = load.index(min(load))
+            assignment[node.name] = cell
+            load[cell] += weights[node.name]
+        return assignment
+
+    def _subtrees_of(self, cell: int) -> list[str]:
+        """Subtree names owned by ``cell``, in creation order."""
+        return [
+            node.name
+            for node in self.tree.subtrees()
+            if self.assignment.get(node.name) == cell
+        ]
+
+    # ------------------------------------------------------------------
+    def run_until(self, t_us: int) -> None:
+        """Advance the whole plane to virtual time ``t_us``."""
+        self.engine.run_until(t_us)
+
+    def agent_of(self, subtree: str) -> AlpsAgent:
+        """The agent currently enforcing ``subtree``."""
+        cell = self.assignment.get(subtree)
+        if cell is None or cell not in self.agents:
+            raise SchedulerConfigError(f"no agent owns subtree {subtree!r}")
+        return self.agents[cell]
+
+    def cell_of_sid(self, sid: int) -> Optional[int]:
+        """The cell whose agent currently controls ``sid``."""
+        for cell, agent in self.agents.items():
+            if sid in agent.subjects:
+                return cell
+        return None
+
+    def members(self) -> dict[int, set[int]]:
+        """Cell index -> controlled sids (the conservation surface)."""
+        return {
+            cell: set(agent.subjects) for cell, agent in self.agents.items()
+        }
+
+    # ------------------------------------------------------------------
+    def set_weight(self, path: str, weight: int) -> None:
+        """Reweight a tree node, reweigh every cell, and rebalance."""
+        self.tree.set_weight(path, weight)
+        for agent in self.agents.values():
+            agent.reweigh_from_tree()
+        self._emit("sharetree.reweigh", path=path, weight=weight)
+        self.rebalance()
+
+    def rebalance(self) -> int:
+        """Re-run the greedy partition; migrate subtrees that moved.
+
+        Returns the number of leaves migrated.  Whole subtrees move
+        atomically — a tenant's members are never split across cells —
+        and every migrated leaf is released (stopped pids resumed) by
+        its old agent before the new one adopts it, so no process can
+        be wedged in SIGSTOP by a rebalance.
+        """
+        new_assignment = self._partition()
+        kapi = self.kernel.kapi
+        moved_leaves = 0
+        moved_subtrees = 0
+        for name, new_cell in new_assignment.items():
+            old_cell = self.assignment.get(name)
+            if old_cell == new_cell:
+                continue
+            src = self.agents.get(old_cell) if old_cell is not None else None
+            released = []
+            moved_paths = []
+            for leaf in self.tree.leaves(self.tree.node(name)):
+                sid = leaf.sid
+                assert sid is not None
+                if src is None or sid not in src.subjects:
+                    continue  # pragma: no cover - defensive
+                released.append(src.release_subject(sid, kapi))
+                moved_paths.append((sid, leaf.path))
+            if not released:
+                continue
+            moved_subtrees += 1
+            dst = self.agents.get(new_cell)
+            if dst is None:
+                # A previously empty cell gains its first subtree: spawn
+                # its agent with the migrating members as the founding
+                # group (baselines are established at its INIT phase).
+                proc, dst = spawn_alps(
+                    self.kernel,
+                    released,
+                    self.config,
+                    name=f"alps-c{new_cell}",
+                    sharetree=self.tree,
+                )
+                self.agents[new_cell] = dst
+                self.agent_procs[new_cell] = proc
+            else:
+                for subject in released:
+                    dst.adopt_subject(subject, kapi)
+            moved_leaves += len(released)
+            for sid, path in moved_paths:
+                self._emit(
+                    "sharetree.migrate",
+                    sid=sid, path=path, src=old_cell, dst=new_cell,
+                )
+        self.assignment = new_assignment
+        if moved_leaves:
+            self.migrations += moved_leaves
+            self.tree.note_migration(moved_leaves)
+            self.rebalances += 1
+            self._emit(
+                "sharetree.rebalance",
+                subtrees=moved_subtrees, leaves=moved_leaves,
+            )
+        return moved_leaves
+
+    # ------------------------------------------------------------------
+    # Aggregation (experiments / benchmarks)
+    # ------------------------------------------------------------------
+    def attained_us(self) -> dict[int, int]:
+        """Cumulative measured CPU (µs) per sid across every cell."""
+        totals: dict[int, int] = {}
+        for agent in self.agents.values():
+            for sid in agent.subjects:
+                totals[sid] = agent.cumulative_cpu_of(sid)
+        return totals
+
+    def subtree_attained_us(self) -> dict[str, int]:
+        """Cumulative measured CPU (µs) per top-level subtree."""
+        per_sid = self.attained_us()
+        out: dict[str, int] = {}
+        for node in self.tree.subtrees():
+            out[node.name] = sum(
+                per_sid.get(leaf.sid, 0)  # type: ignore[arg-type]
+                for leaf in self.tree.leaves(node)
+            )
+        return out
+
+    def overhead_fraction(self) -> float:
+        """All agents' CPU over aggregate machine time (SMP-aware)."""
+        elapsed = self.kernel.now * self.cells
+        if elapsed <= 0:
+            return 0.0
+        spent = sum(
+            self.kernel.getrusage(proc.pid)
+            for proc in self.agent_procs.values()
+        )
+        return spent / elapsed

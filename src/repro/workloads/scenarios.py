@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.perf.counters import PerfCounters
     from repro.resilience.journal import MemoryJournal
     from repro.resilience.supervisor import Supervisor
+    from repro.sharetree.tree import ShareTree
 
 
 @dataclass(slots=True)
@@ -55,6 +56,9 @@ class ControlledWorkload:
     #: Present when the agent runs with overload protection
     #: (``build_controlled_workload(overload=...)``).
     overload: Optional["OverloadGuard"] = None
+    #: Present when the agent resolves shares from a hierarchical share
+    #: tree (``build_controlled_workload(sharetree=...)``).
+    sharetree: Optional["ShareTree"] = None
 
     @property
     def total_shares(self) -> int:
@@ -88,6 +92,7 @@ def build_controlled_workload(
     journal: Optional["MemoryJournal"] = None,
     supervisor: Optional["Supervisor"] = None,
     overload: Optional["OverloadGuard"] = None,
+    sharetree: Optional["ShareTree"] = None,
 ) -> ControlledWorkload:
     """Create a kernel with N workers under one ALPS.
 
@@ -116,6 +121,11 @@ def build_controlled_workload(
     starvation detection, and the graceful-degradation ladder
     (docs/overload.md); the injector's arrival storms and nice bombs
     require it to be meaningful but do not require it.
+    ``sharetree`` attaches a hierarchical :class:`ShareTree` whose
+    leaves carry the same sids as the built subjects; the agent resolves
+    each subject's effective share from the tree (docs/share_tree.md).
+    A flat one-level tree built from the same shares is schedule
+    invisible — the tree resolves to the raw shares verbatim.
     """
     engine = Engine(seed=seed, tracer=tracer, counters=counters, observer=observer)
     kernel = kernel_factory(engine, kernel_config)
@@ -144,6 +154,7 @@ def build_controlled_workload(
         journal=journal,
         supervisor=supervisor,
         overload=overload,
+        sharetree=sharetree,
     )
     if injector is not None:
         injector.arm_agent(agent, alps_proc.pid)
@@ -159,6 +170,7 @@ def build_controlled_workload(
         journal=journal,
         supervisor=supervisor,
         overload=overload,
+        sharetree=sharetree,
     )
 
 

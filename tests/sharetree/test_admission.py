@@ -1,0 +1,119 @@
+"""Per-subtree admission gates composing with the agent and HostAlps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.alps.subjects import ProcessSubject
+from repro.errors import SchedulerConfigError
+from repro.obs import Observer
+from repro.sharetree import ShareTree
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+from repro.workloads.spinner import spinner_behavior
+
+
+def gated_workload(*, capacity=2, observer=None):
+    """Tenant t (capacity-gated) with two members, tenant open with one."""
+    tree = ShareTree()
+    tree.group("t", 2, capacity=capacity)
+    tree.leaf("t/p0", sid=0, weight=1)
+    tree.leaf("t/p1", sid=1, weight=1)
+    tree.group("open", 1)
+    tree.leaf("open/q0", sid=2, weight=1)
+    cw = build_controlled_workload(
+        [1, 1, 1],
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        observer=observer,
+        sharetree=tree,
+    )
+    return cw, tree
+
+
+def submit(cw, sid, path, share=1):
+    proc = cw.kernel.spawn(f"arrival-{sid}", spinner_behavior(), uid=900)
+    subject = ProcessSubject(sid=sid, share=share, pid=proc.pid)
+    return proc, cw.agent.submit_subject(subject, cw.kernel.kapi, path=path)
+
+
+def test_path_submit_requires_a_tree():
+    cw = build_controlled_workload(
+        [1, 1], AlpsConfig(quantum_us=ms(10)), seed=0
+    )
+    proc = cw.kernel.spawn("x", spinner_behavior(), uid=900)
+    with pytest.raises(SchedulerConfigError):
+        cw.agent.submit_subject(
+            ProcessSubject(sid=9, share=1, pid=proc.pid),
+            cw.kernel.kapi,
+            path="t/x",
+        )
+
+
+def test_gated_subtree_queues_past_capacity():
+    obs = Observer()
+    cw, tree = gated_workload(capacity=2, observer=obs)
+    cw.engine.run_until(sec(1))
+    # t is full (2 members): the arrival queues at t's gate.
+    _, admitted = submit(cw, sid=10, path="t/p2")
+    assert not admitted
+    assert tree.pending_admissions == 1
+    assert tree.find_sid(10) is None  # not in the tree while queued
+    # The open tenant is unaffected by t's backlog.
+    _, open_admitted = submit(cw, sid=11, path="open/q1")
+    assert open_admitted
+    assert 11 in cw.agent.subjects
+    # A death in t frees a slot; a later wake drains the gate FIFO.
+    cw.kernel.kill(cw.workers[0].pid, 9)
+    cw.engine.run_until(sec(4))
+    assert 10 in cw.agent.subjects
+    assert tree.find_sid(10) is not None
+    assert tree.pending_admissions == 0
+    kinds = [ev.kind for ev in obs.events.tail(len(obs.events))]
+    assert "sharetree.queued" in kinds
+    assert "sharetree.admitted" in kinds
+
+
+def test_admitted_member_joins_the_subtree_split():
+    cw, tree = gated_workload(capacity=3)
+    cw.engine.run_until(sec(1))
+    _, admitted = submit(cw, sid=10, path="t/p2", share=2)
+    assert admitted
+    # The new leaf reshapes t's internal split: weights 1:1:2.
+    eff = tree.effective_shares()
+    assert eff[10] == 2 * eff[0]
+    assert cw.agent.subjects[10].share == eff[10]
+    tree.check_conservation()
+
+
+def test_dead_member_leaves_the_tree():
+    cw, tree = gated_workload()
+    cw.engine.run_until(sec(1))
+    assert tree.find_sid(0) is not None
+    cw.kernel.kill(cw.workers[0].pid, 9)
+    cw.engine.run_until(sec(3))
+    assert 0 not in cw.agent.subjects
+    assert tree.find_sid(0) is None
+    tree.check_conservation()
+
+
+def test_ungated_path_admits_immediately():
+    cw, tree = gated_workload()
+    cw.engine.run_until(sec(1))
+    _, admitted = submit(cw, sid=12, path="open/q2")
+    assert admitted
+    assert 12 in cw.agent.subjects
+
+
+def test_queue_entry_for_vanished_branch_is_skipped():
+    cw, tree = gated_workload(capacity=2)
+    cw.engine.run_until(sec(1))
+    _, admitted = submit(cw, sid=10, path="t/p2")
+    assert not admitted
+    # The whole tenant disappears while the arrival waits.
+    for sid in (0, 1):
+        cw.kernel.kill(cw.workers[sid].pid, 9)
+    tree.remove("t")
+    cw.engine.run_until(sec(3))
+    assert 10 not in cw.agent.subjects

@@ -1,0 +1,53 @@
+"""Share-tree gauges exported through the metrics bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.obs import Observer, collect_workload
+from repro.sharetree import demo_tree
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _run(sharetree=None):
+    shares = [1] * (sharetree.leaf_count if sharetree else 3)
+    cw = build_controlled_workload(
+        shares,
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        observer=Observer(),
+        sharetree=sharetree,
+    )
+    cw.engine.run_until(sec(2))
+    return collect_workload(cw).metrics
+
+
+def test_tree_gauges_present_with_a_tree():
+    reg = _run(sharetree=demo_tree())
+    assert reg.get("alps_sharetree_depth").value == 2
+    assert reg.get("alps_sharetree_nodes").value == 7
+    assert reg.get("alps_sharetree_leaves").value == 4
+    assert reg.get("alps_sharetree_pending_admissions").value == 0
+    assert reg.get("alps_sharetree_migrations").value == 0
+    assert reg.get("alps_sharetree_reweighs").value == 0
+
+
+def test_subtree_series_carry_path_labels():
+    reg = _run(sharetree=demo_tree())
+    lbl = {"path": "a"}
+    assert reg.get("alps_subtree_weight", lbl).value == 3
+    target = reg.get("alps_subtree_target_fraction", lbl).value
+    assert target == pytest.approx(0.5)
+    got = reg.get("alps_subtree_attained_fraction", lbl).value
+    assert got == pytest.approx(target, abs=0.06)
+    assert reg.get("alps_subtree_weight", {"path": "c"}).value == 1
+
+
+def test_tree_series_absent_without_a_tree():
+    reg = _run(sharetree=None)
+    assert reg.get("alps_sharetree_depth") is None
+    assert reg.get("alps_subtree_weight", {"path": "a"}) is None
+    # The flat-series contract is untouched.
+    assert reg.get("alps_subject_share", {"sid": "0"}).value == 1

@@ -1,0 +1,39 @@
+"""``repro run sharetree`` and the ``--smoke`` protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+
+
+def test_list_includes_sharetree(capsys):
+    assert main(["list"]) == 0
+    assert "sharetree" in capsys.readouterr().out
+
+
+def test_run_sharetree_smoke(capsys):
+    rc = main(["run", "sharetree", "--smoke", "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "shares bound ratios, not guarantees" in out
+    assert "siblings k" in out
+    assert "never throughput" in out
+
+
+def test_run_sharetree_smoke_csv(tmp_path, capsys):
+    csv_path = tmp_path / "sharetree.csv"
+    rc = main(
+        ["run", "sharetree", "--smoke", "--no-cache", "--csv", str(csv_path)]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    text = csv_path.read_text()
+    assert "attained_ratio" in text.splitlines()[0]
+    assert len(text.splitlines()) >= 3
+
+
+def test_smoke_flag_rejected_for_other_experiments(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "overload", "--smoke"])
+    assert "--smoke" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""The Gunther ratios-vs-guarantees experiment module."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.sharetree import (
+    SHARETREE_EXPERIMENT,
+    TENANT_WEIGHT,
+    gunther_tree,
+    run_sharetree_cell,
+    run_sharetree_point,
+    sharetree_cell,
+    sharetree_point_from_payload,
+    sharetree_sweep_spec,
+    throughput_variation,
+)
+
+
+def test_gunther_tree_shape():
+    tree = gunther_tree(3)
+    assert tree.leaf_count == 5  # a0, a1, three sibling workers
+    assert tree.effective_shares() == {sid: 2 for sid in range(5)}
+    assert float(tree.fraction_of("a")) == pytest.approx(2 / 5)
+    tree.check_conservation()
+    with pytest.raises(ValueError):
+        gunther_tree(0)
+
+
+def test_single_cell_point_pins_the_ratio():
+    point = run_sharetree_point(2, cycles=20, horizon_s=6.0)
+    assert point.share_ratio == float(TENANT_WEIGHT)
+    assert point.attained_ratio == pytest.approx(2.0, rel=0.05)
+    assert point.ratio_error_pct < 5.0
+    assert point.tenant_fraction == pytest.approx(0.5, abs=0.03)
+    assert point.cycles_completed > 0
+    assert point.migrations == 0
+
+
+def test_throughput_falls_while_ratio_holds():
+    low = run_sharetree_point(1, cycles=20, horizon_s=6.0)
+    high = run_sharetree_point(8, cycles=20, horizon_s=6.0)
+    for p in (low, high):
+        assert p.attained_ratio == pytest.approx(2.0, rel=0.05)
+    assert low.tenant_us_per_s / high.tenant_us_per_s >= 2.0
+    assert throughput_variation([low, high]) >= 2.0
+
+
+def test_sharded_point_keeps_the_ratio():
+    point = run_sharetree_point(4, cells=2, horizon_s=5.0)
+    assert point.cells == 2
+    assert point.attained_ratio == pytest.approx(2.0, rel=0.1)
+
+
+def test_cell_worker_and_payload_roundtrip():
+    cell = sharetree_cell(2, cycles=10, horizon_s=4.0)
+    assert cell.experiment == SHARETREE_EXPERIMENT
+    payload = run_sharetree_cell(cell.params)
+    point = sharetree_point_from_payload(payload)
+    assert point.k == 2
+    assert asdict(point) == payload
+
+
+def test_sweep_spec_enumerates_the_grid():
+    spec = sharetree_sweep_spec(
+        sibling_counts=(1, 4), cell_counts=(1, 2)
+    )
+    assert len(spec.cells) == 4
+    ks = {(c.params["k"], c.params["cells"]) for c in spec.cells}
+    assert ks == {(1, 1), (4, 1), (1, 2), (4, 2)}
+
+
+def test_throughput_variation_degenerate_cases():
+    assert throughput_variation([]) == 1.0
+    single = run_sharetree_point(1, cycles=8, horizon_s=3.0)
+    assert throughput_variation([single]) == 1.0

@@ -1,0 +1,92 @@
+"""Flat-tree ≡ single-group: byte-identical schedule fingerprints.
+
+The share tree's admission ticket: with a flat one-level tree attached
+(``fingerprint_run(sharetree=True)``), every Table 2 workload must
+produce *exactly* the bytes of the bare run — cycle log, event trace,
+event count, final clock.  The tree resolves depth-1 weights verbatim
+(unreduced arithmetic, see ``repro/sharetree/tree.py``) and
+``AlpsCore.set_share`` no-ops on zero deltas, so the attach must be
+schedule-invisible bare *and* stacked under the observer, the
+crash-safety stack, and the overload guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.differential import TABLE2_SIZES, fingerprint_run
+from repro.units import sec
+from repro.workloads.shares import DISTRIBUTIONS, workload_shares
+
+HORIZON_US = sec(2)
+
+
+@pytest.mark.parametrize("model", DISTRIBUTIONS, ids=lambda m: m.value)
+@pytest.mark.parametrize("n", TABLE2_SIZES)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_flat_tree_fingerprints_match_bare_over_table2(model, n, seed):
+    shares = workload_shares(model, n)
+    bare = fingerprint_run(shares, seed=seed, horizon_us=HORIZON_US)
+    treed = fingerprint_run(
+        shares, seed=seed, horizon_us=HORIZON_US, sharetree=True
+    )
+    assert bare == treed, (
+        f"{model.value} n={n} seed={seed}: flat tree attach changed the "
+        f"schedule ({bare.digest()} != {treed.digest()})"
+    )
+
+
+@pytest.mark.parametrize(
+    "stack",
+    [
+        {"obs": True},
+        {"overload": True},
+        {"resilience": True},
+        {"obs": True, "overload": True, "resilience": True},
+    ],
+    ids=lambda s: "+".join(sorted(s)),
+)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_flat_tree_is_invisible_under_stacked_layers(stack, seed):
+    shares = workload_shares(DISTRIBUTIONS[0], 10)
+    bare = fingerprint_run(
+        shares, seed=seed, horizon_us=HORIZON_US, **stack
+    )
+    treed = fingerprint_run(
+        shares, seed=seed, horizon_us=HORIZON_US, sharetree=True, **stack
+    )
+    assert bare == treed, f"stack {stack} seed={seed} diverged"
+
+
+def test_nonflat_tree_changes_the_schedule():
+    """The flag is not a dummy: real hierarchy really reweighs."""
+    from repro.alps.config import AlpsConfig
+    from repro.sharetree import ShareTree
+    from repro.sim.trace import Tracer
+    from repro.units import ms
+    from repro.workloads.scenarios import build_controlled_workload
+
+    def run(tree):
+        tracer = Tracer(enabled=True)
+        cw = build_controlled_workload(
+            [1, 1, 1],
+            AlpsConfig(quantum_us=ms(10)),
+            seed=0,
+            tracer=tracer,
+            sharetree=tree,
+        )
+        cw.engine.run_until(sec(2))
+        return cw.agent.cycle_log[-1].shares
+
+    # g(4){a, b} vs c(1): the pair inside g splits 4/5 of the machine,
+    # so the resolved shares are 2:2:1 — nothing like the raw [1, 1, 1].
+    bumped = ShareTree()
+    bumped.group("g", 4)
+    bumped.leaf("g/a", sid=0, weight=1)
+    bumped.leaf("g/b", sid=1, weight=1)
+    bumped.leaf("c", sid=2, weight=1)
+    assert bumped.effective_shares() == {0: 4, 1: 4, 2: 2}
+    flat_shares = run(None)
+    treed_shares = run(bumped)
+    assert flat_shares == {0: 1, 1: 1, 2: 1}
+    assert treed_shares == {0: 4, 1: 4, 2: 2}

@@ -1,0 +1,163 @@
+"""ShardedAlpsPlane: partitioning, enforcement, migration mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.errors import SchedulerConfigError
+from repro.obs import Observer
+from repro.sharetree import ShardedAlpsPlane, ShareTree, demo_tree
+from repro.units import ms, sec
+
+
+def make_plane(cells=2, *, tree=None, observer=None, seed=0):
+    return ShardedAlpsPlane(
+        tree if tree is not None else demo_tree(),
+        AlpsConfig(quantum_us=ms(10)),
+        cells=cells,
+        seed=seed,
+        observer=observer,
+    )
+
+
+def test_partition_is_greedy_and_deterministic():
+    plane = make_plane(cells=2)
+    # Subtree effective weights are a=9, b=6, c=3 (scale 18): LPT puts
+    # a alone on cell 0 and b+c together on cell 1.
+    assert plane.assignment == {"a": 0, "b": 1, "c": 1}
+    assert make_plane(cells=2).assignment == plane.assignment
+    assert set(plane.agents) == {0, 1}
+    assert plane.members() == {0: {0, 1}, 1: {2, 3}}
+
+
+def test_single_cell_owns_everything():
+    plane = make_plane(cells=1)
+    assert set(plane.assignment.values()) == {0}
+    assert plane.members() == {0: {0, 1, 2, 3}}
+
+
+def test_construction_errors():
+    with pytest.raises(SchedulerConfigError):
+        make_plane(cells=0)
+    with pytest.raises(SchedulerConfigError):
+        ShardedAlpsPlane(ShareTree(), AlpsConfig(quantum_us=ms(10)))
+    groups_only = ShareTree()
+    groups_only.group("g", 1)
+    with pytest.raises(SchedulerConfigError):
+        ShardedAlpsPlane(groups_only, AlpsConfig(quantum_us=ms(10)))
+
+
+def test_cells_enforce_their_subtrees_proportions():
+    plane = make_plane(cells=2)
+    plane.run_until(sec(8))
+    attained = plane.attained_us()
+    # Cell 0 owns a: a0 gets 2x a1 (weights 2:1 inside the tenant).
+    assert attained[0] / attained[1] == pytest.approx(2.0, rel=0.05)
+    # Cell 1 owns b+c: b0 gets 2x c0 (subtree weights 2:1).
+    assert attained[2] / attained[3] == pytest.approx(2.0, rel=0.05)
+    assert plane.overhead_fraction() < 0.05
+
+
+def test_set_weight_triggers_migration_and_events():
+    obs = Observer()
+    plane = make_plane(cells=2, observer=obs)
+    plane.run_until(sec(2))
+    # Make c the heaviest subtree: the greedy partition re-ranks and
+    # whole subtrees migrate between cells.
+    plane.set_weight("c", 5)
+    assert plane.assignment["c"] == 0
+    assert plane.migrations > 0
+    assert plane.tree.migrations == plane.migrations
+    assert plane.rebalances == 1
+    # Membership conserved: every sid controlled by exactly one cell.
+    members = plane.members()
+    all_sids = set().union(*members.values())
+    assert all_sids == {0, 1, 2, 3}
+    assert sum(len(s) for s in members.values()) == len(all_sids)
+    kinds = [ev.kind for ev in obs.events.tail(len(obs.events))]
+    assert "sharetree.reweigh" in kinds
+    assert "sharetree.migrate" in kinds
+    assert "sharetree.rebalance" in kinds
+    # The plane keeps running and enforcing after the migration.
+    plane.run_until(sec(6))
+    assert plane.cell_of_sid(3) == plane.assignment["c"]
+
+
+def test_noop_rebalance_moves_nothing():
+    plane = make_plane(cells=2)
+    plane.run_until(sec(1))
+    assert plane.rebalance() == 0
+    assert plane.migrations == 0
+    assert plane.rebalances == 0
+
+
+def test_one_agent_per_subtree_when_cells_match():
+    plane = make_plane(cells=3)
+    assert len(plane.agents) == 3  # a, b, c each get their own cell
+    assert [plane.assignment[n] for n in ("a", "b", "c")] == [0, 1, 2]
+    plane.run_until(sec(1))
+    assert plane.members() == {0: {0, 1}, 1: {2}, 2: {3}}
+
+
+def test_migration_into_previously_empty_cell_spawns_an_agent(monkeypatch):
+    # Zero-load LPT ties always fill cells 0..n-1, so with 4 cells and
+    # 3 subtrees cell 3 starts — and stays — empty under pure reweighs.
+    # Force the shard map there to exercise the lazy agent spawn that
+    # guards the empty-cell destination.
+    plane = make_plane(cells=4)
+    empty = [c for c in range(4) if c not in plane.agents]
+    assert empty == [3]
+    plane.run_until(sec(1))
+    forced = dict(plane.assignment, b=3)
+    monkeypatch.setattr(plane, "_partition", lambda: forced)
+    moved = plane.rebalance()
+    assert moved == 1
+    assert plane.assignment["b"] == 3
+    assert 3 in plane.agents  # the founding-group agent was spawned
+    monkeypatch.undo()
+    plane.run_until(sec(5))
+    assert plane.cell_of_sid(2) == 3
+    # The new cell enforces: b0 attains CPU under its fresh agent.
+    assert plane.agents[3].cumulative_cpu_of(2) > 0
+    members = plane.members()
+    assert set().union(*members.values()) == {0, 1, 2, 3}
+
+
+def test_agent_of_and_cell_of_sid():
+    plane = make_plane(cells=2)
+    assert plane.agent_of("a") is plane.agents[0]
+    assert plane.agent_of("b") is plane.agents[1]
+    with pytest.raises(SchedulerConfigError):
+        plane.agent_of("nope")
+    assert plane.cell_of_sid(0) == 0
+    assert plane.cell_of_sid(99) is None
+
+
+def test_released_subjects_are_never_left_stopped():
+    """A migrating subject's stopped pids are resumed on release."""
+    plane = make_plane(cells=2)
+    plane.run_until(sec(2))
+    src = plane.agents[1]
+    kapi = plane.kernel.kapi
+    subj = src.release_subject(2, kapi)
+    assert subj.sid == 2
+    proc = plane.workers[2]
+    assert not proc.stopped
+    dst = plane.agents[0]
+    assert dst.adopt_subject(subj, kapi)
+    assert 2 in dst.subjects
+    with pytest.raises(SchedulerConfigError):
+        src.release_subject(2, kapi)
+
+
+def test_attach_emits_event_and_subtree_totals_aggregate():
+    obs = Observer()
+    plane = make_plane(cells=2, observer=obs)
+    kinds = [ev.kind for ev in obs.events.tail(len(obs.events))]
+    assert "sharetree.attach" in kinds
+    plane.run_until(sec(4))
+    per_subtree = plane.subtree_attained_us()
+    per_sid = plane.attained_us()
+    assert per_subtree["a"] == per_sid[0] + per_sid[1]
+    assert per_subtree["b"] == per_sid[2]

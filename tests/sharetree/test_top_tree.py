@@ -1,0 +1,82 @@
+"""The ``repro top --tree`` hierarchy renderer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.alps.config import AlpsConfig
+from repro.obs import Observer
+from repro.obs.top import render_tree_frame, run_top
+from repro.sharetree import demo_tree
+from repro.units import ms, sec
+from repro.workloads.scenarios import build_controlled_workload
+
+
+def _tree_workload():
+    tree = demo_tree()
+    leaf_weights = [1] * tree.leaf_count
+    return build_controlled_workload(
+        leaf_weights,
+        AlpsConfig(quantum_us=ms(10)),
+        seed=0,
+        observer=Observer(),
+        sharetree=tree,
+    )
+
+
+def test_tree_frame_requires_a_tree():
+    cw = build_controlled_workload(
+        [1, 2], AlpsConfig(quantum_us=ms(10)), seed=0
+    )
+    with pytest.raises(ValueError):
+        render_tree_frame(cw)
+
+
+def test_tree_frame_shows_indented_hierarchy():
+    cw = _tree_workload()
+    cw.engine.run_until(sec(2))
+    frame = render_tree_frame(cw, skip_cycles=2)
+    assert "repro top --tree" in frame
+    assert "nodes=7" in frame and "depth=2" in frame
+    lines = frame.splitlines()
+    # Groups at depth 1 are flush left; their leaves are indented.
+    assert any(line.startswith("a ") for line in lines)
+    assert any(line.startswith("  a0") for line in lines)
+    assert any(line.startswith("  b0") for line in lines)
+    # Leaves carry their sid, groups show "-".
+    a_row = next(line for line in lines if line.startswith("a "))
+    assert " - " in a_row
+    a0_row = next(line for line in lines if line.strip().startswith("a0"))
+    assert " 0 " in a0_row
+
+
+def test_tree_frame_tracks_targets():
+    cw = _tree_workload()
+    cw.engine.run_until(sec(4))
+    frame = render_tree_frame(cw, skip_cycles=3)
+    tree = cw.agent.sharetree
+    # Tenant a's target is 3/6 = 50%; the rendered row must agree with
+    # the tree's exact fraction and the attained column must be close.
+    assert float(tree.fraction_of("a")) == pytest.approx(0.5)
+    a_row = next(
+        line for line in frame.splitlines() if line.startswith("a ")
+    )
+    assert "50.0%" in a_row
+
+
+def test_tree_frame_is_pure():
+    cw = _tree_workload()
+    cw.engine.run_until(sec(1))
+    assert render_tree_frame(cw) == render_tree_frame(cw)
+
+
+def test_run_top_tree_mode():
+    cw = _tree_workload()
+    out = io.StringIO()
+    rendered = run_top(
+        cw, frame_us=ms(500), frames=2, interval_s=0, stream=out, tree=True
+    )
+    assert rendered == 2
+    assert out.getvalue().count("repro top --tree") == 2

@@ -1,0 +1,126 @@
+"""ShareTree unit behavior: construction, resolution, mutation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SchedulerConfigError
+from repro.sharetree import ShareTree, demo_tree
+
+
+def test_worked_example_resolves_exactly():
+    """The docs chapter's demo: a(3){a0:2, a1:1}, b(2){b0}, c(1){c0}."""
+    tree = demo_tree()
+    assert tree.effective_shares() == {0: 6, 1: 3, 2: 6, 3: 3}
+    assert tree.fraction_of("a") == Fraction(1, 2)
+    assert tree.fraction_of("a/a0") == Fraction(1, 3)
+    assert tree.fraction_of("a/a1") == Fraction(1, 6)
+    assert tree.fraction_of("b") == Fraction(1, 3)
+    assert tree.fraction_of("c/c0") == Fraction(1, 6)
+    assert tree.depth == 2
+    assert tree.node_count == 7
+    assert tree.leaf_count == 4
+    tree.check_conservation()
+
+
+def test_flat_tree_returns_raw_weights_verbatim():
+    """The flat-equivalence identity: depth-1 resolution is the input."""
+    for shares in ([5, 5, 5, 5, 5], [1, 2, 4, 8, 16], [7, 3, 3, 1], [1]):
+        tree = ShareTree.flat(shares)
+        assert tree.effective_shares() == dict(enumerate(shares))
+        assert tree.depth == 1
+
+
+def test_deeper_nesting_multiplies_fractions():
+    tree = ShareTree()
+    tree.group("u", 1)
+    tree.group("u/g", 1)
+    tree.leaf("u/g/p", sid=0, weight=1)
+    tree.group("v", 2)
+    tree.leaf("v/q", sid=1, weight=1)
+    assert tree.fraction_of("u/g/p") == Fraction(1, 3)
+    assert tree.fraction_of("v/q") == Fraction(2, 3)
+    eff = tree.effective_shares()
+    assert eff[1] == 2 * eff[0]
+    tree.check_conservation()
+
+
+def test_effective_weight_of_groups_is_exact_and_conserved():
+    tree = demo_tree()
+    total = sum(tree.effective_shares().values())
+    assert tree.effective_weight("a") == total // 2
+    assert tree.effective_weight("a") == (
+        tree.effective_shares()[0] + tree.effective_shares()[1]
+    )
+
+
+def test_construction_errors():
+    tree = ShareTree()
+    tree.group("g", 1)
+    tree.leaf("g/p", sid=0, weight=1)
+    with pytest.raises(SchedulerConfigError):
+        tree.node("nope")
+    with pytest.raises(SchedulerConfigError):
+        tree.group("g", 2)  # duplicate path
+    with pytest.raises(SchedulerConfigError):
+        tree.leaf("g/q", sid=0, weight=1)  # duplicate sid
+    with pytest.raises(SchedulerConfigError):
+        tree.group("g/p/x", 1)  # attach under a leaf
+    with pytest.raises(SchedulerConfigError):
+        tree.group("bad", 0)  # non-positive weight
+    with pytest.raises(SchedulerConfigError):
+        tree.set_weight("", 2)  # the root carries no weight
+    with pytest.raises(SchedulerConfigError):
+        tree.remove("")
+
+
+def test_remove_prunes_subtree_and_sid_index():
+    tree = demo_tree()
+    tree.remove("a")
+    assert tree.find_sid(0) is None and tree.find_sid(1) is None
+    assert tree.leaf_count == 2
+    assert set(tree.effective_shares()) == {2, 3}
+    tree.check_conservation()
+
+
+def test_discard_sid_is_idempotent():
+    tree = demo_tree()
+    assert tree.discard_sid(3)
+    assert not tree.discard_sid(3)
+    assert tree.leaf_count == 3
+
+
+def test_set_weight_counts_only_real_changes():
+    tree = demo_tree()
+    before = tree.effective_shares()
+    tree.set_weight("a", 3)  # no-op
+    assert tree.reweighs == 0
+    assert tree.effective_shares() == before
+    tree.set_weight("a", 1)
+    assert tree.reweighs == 1
+    assert tree.effective_shares() != before
+    tree.check_conservation()
+
+
+def test_admission_gate_resolution_walks_to_nearest_ancestor():
+    tree = ShareTree()
+    tree.group("t", 1, capacity=2)
+    tree.group("t/inner", 1)
+    tree.leaf("t/inner/p", sid=0, weight=1)
+    tree.group("open", 1)
+    tree.leaf("open/q", sid=1, weight=1)
+    gate = tree.admission_for(tree.node("t/inner"))
+    assert gate is tree.node("t")
+    assert tree.admission_for(tree.node("open")) is None
+    assert tree.gates() == [tree.node("t")]
+    assert tree.pending_admissions == 0
+
+
+def test_removing_a_gate_unregisters_it():
+    tree = ShareTree()
+    tree.group("t", 1, capacity=1)
+    tree.leaf("t/p", sid=0, weight=1)
+    tree.remove("t")
+    assert tree.gates() == []

@@ -1,0 +1,91 @@
+"""Hypothesis properties of the share tree's effective-share math.
+
+Three invariants over randomly generated trees:
+
+* **conservation at every level** — each group's effective weight is
+  exactly the sum of its children's (and the root's total is the sum of
+  all leaf shares);
+* **exact proportionality** — the integer effective shares preserve
+  every leaf's recursive fraction with zero rounding error;
+* **flat identity** — depth-1 trees resolve to their raw weights
+  verbatim, for arbitrary share lists (the schedule-invisibility
+  precondition pinned byte-for-byte in ``test_flat_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sharetree import ShareTree
+
+weights = st.integers(1, 9)
+
+
+@st.composite
+def share_trees(draw) -> ShareTree:
+    """A random tree: 1–3 levels of groups over 1–4 leaves per branch."""
+    tree = ShareTree()
+    sid = 0
+    n_top = draw(st.integers(1, 4))
+    for i in range(n_top):
+        depth = draw(st.integers(1, 3))
+        if depth == 1:
+            tree.leaf(f"n{i}", sid=sid, weight=draw(weights))
+            sid += 1
+            continue
+        tree.group(f"n{i}", draw(weights))
+        prefix = f"n{i}"
+        for lvl in range(depth - 2):
+            tree.group(f"{prefix}/g", draw(weights))
+            prefix = f"{prefix}/g"
+        for j in range(draw(st.integers(1, 4))):
+            tree.leaf(f"{prefix}/l{j}", sid=sid, weight=draw(weights))
+            sid += 1
+    return tree
+
+
+@given(tree=share_trees())
+@settings(max_examples=150, deadline=None)
+def test_conservation_holds_at_every_level(tree):
+    tree.check_conservation()
+    eff = tree.effective_shares()
+    total = sum(eff.values())
+    for node in tree.subtrees():
+        assert tree.effective_weight(node.path) == sum(
+            eff[leaf.sid] for leaf in tree.leaves(node)
+        )
+    assert sum(tree.effective_weight(n.path) for n in tree.subtrees()) == total
+
+
+@given(tree=share_trees())
+@settings(max_examples=150, deadline=None)
+def test_effective_shares_preserve_exact_fractions(tree):
+    eff = tree.effective_shares()
+    total = sum(eff.values())
+    assert all(share >= 1 for share in eff.values())
+    for leaf in tree.leaves():
+        assert Fraction(eff[leaf.sid], total) == tree.fraction_of(leaf.path)
+    assert sum(
+        (tree.fraction_of(leaf.path) for leaf in tree.leaves()),
+        Fraction(0),
+    ) == 1
+
+
+@given(shares=st.lists(st.integers(1, 100), min_size=1, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_flat_trees_resolve_to_raw_weights(shares):
+    assert ShareTree.flat(shares).effective_shares() == dict(
+        enumerate(shares)
+    )
+
+
+@given(tree=share_trees(), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_conservation_survives_arbitrary_reweighs(tree, data):
+    paths = [n.path for n in tree.nodes()]
+    for _ in range(data.draw(st.integers(0, 6))):
+        path = data.draw(st.sampled_from(paths))
+        tree.set_weight(path, data.draw(weights))
+    tree.check_conservation()
