@@ -16,11 +16,12 @@ Two layers:
   ``alps_cell_20`` additionally carries the fast-path acceptance
   target: ``REPRO_PERF_TARGET_RATIO`` × baseline (default 2.0).
 
-The backend cells (``*_strict`` / ``*_batch`` pairs) extend the series
-with the explicit kernel backends: event counts must match within each
-pair, and the decay-dominated gate pair carries the batch speedup gate
-(armed by ``REPRO_SUBSTRATE_MIN_SPEEDUP``; the ``substrate-batch`` CI
-job sets it).
+The backend cells (``*_strict`` / ``*_batch`` / ``*_resident``) extend
+the series with the explicit kernel backends: event counts must match
+within each pair, and the decay-dominated gate pair carries both
+speedup gates — batch over strict, and resident over batch — armed by
+``REPRO_SUBSTRATE_MIN_SPEEDUP`` (the ``substrate-batch`` and
+``substrate-resident`` CI jobs set it).
 """
 
 import csv
@@ -33,6 +34,8 @@ from benchmarks.conftest import emit
 from benchmarks.substrate_cells import (
     BACKEND_PAIRS,
     GATE_PAIR,
+    RESIDENT_GATE_PAIR,
+    RESIDENT_PAIRS,
     SWEEP_CELLS,
     load_baseline,
     run_all,
@@ -240,6 +243,75 @@ def test_batch_backend_meets_speedup_gate():
         f"batch backend at {speedup:.2f}x strict on {GATE_PAIR}, below "
         f"the {float(MIN_SPEEDUP):.1f}x gate (committed baseline ratio: "
         f"{base_speedup:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("pair", sorted(RESIDENT_PAIRS))
+def test_resident_pair_event_counts_match(pair):
+    """Batch and resident cells of a pair must process identical event
+    counts (the resident backend is schedule-invisible too)."""
+    batch_cell, resident_cell = RESIDENT_PAIRS[pair]
+    batch = run_cell(batch_cell, repeats=1)
+    resident = run_cell(resident_cell, repeats=1)
+    assert resident.events == batch.events, (
+        f"{pair}: resident processed {resident.events} events vs batch "
+        f"{batch.events} — the resident backend changed the schedule"
+    )
+
+
+#: Resident-over-batch speedup floor when the gate is armed.  The
+#: default depends on which fastloop implementation loaded: the
+#: interpreted dispatch loop leaves more scalar overhead in both
+#: backends, compressing the ratio, so the floors differ (1.5x
+#: interpreted, 2.0x compiled).  Override with
+#: ``REPRO_RESIDENT_MIN_SPEEDUP`` for unusual machines.
+def _resident_min_speedup() -> float:
+    override = os.environ.get("REPRO_RESIDENT_MIN_SPEEDUP")
+    if override is not None:
+        return float(override)
+    from repro.sim.fastloop import ACTIVE_IMPL
+
+    return 2.0 if ACTIVE_IMPL == "compiled" else 1.5
+
+
+@pytest.mark.skipif(
+    MIN_SPEEDUP is None,
+    reason="speedup gate disarmed (set REPRO_SUBSTRATE_MIN_SPEEDUP)",
+)
+def test_resident_backend_meets_speedup_gate():
+    """Resident ≥ floor × batch on the decay-dominated gate pair.
+
+    Armed together with the batch gate by
+    ``REPRO_SUBSTRATE_MIN_SPEEDUP`` (the ``substrate-resident`` CI job
+    arms it for both fastloop implementations); the floor itself comes
+    from :func:`_resident_min_speedup`.  Both cells are measured
+    back-to-back in this process so the ratio is machine-portable, and
+    both event counts must equal the committed baseline — a resident
+    "speedup" that changes the schedule is a bug, not a win.
+    """
+    from repro.sim.fastloop import ACTIVE_IMPL
+
+    floor = _resident_min_speedup()
+    baseline = load_baseline(BASELINE_CSV)
+    batch_cell, resident_cell = RESIDENT_PAIRS[RESIDENT_GATE_PAIR]
+    batch = run_cell(batch_cell, repeats=5)
+    resident = run_cell(resident_cell, repeats=5)
+    assert resident.events == batch.events
+    for result, cell in ((batch, batch_cell), (resident, resident_cell)):
+        assert result.events == baseline[cell]["events"], (
+            f"{cell}: event count {result.events} != committed baseline "
+            f"{baseline[cell]['events']}"
+        )
+    speedup = resident.events_per_sec / batch.events_per_sec
+    emit(
+        f"Resident speedup gate ({RESIDENT_GATE_PAIR}, fastloop={ACTIVE_IMPL})",
+        f"resident {resident.events_per_sec:,.1f} ev/s vs batch "
+        f"{batch.events_per_sec:,.1f} ev/s = {speedup:.2f}x "
+        f"(floor {floor:.1f}x)",
+    )
+    assert speedup >= floor, (
+        f"resident backend at {speedup:.2f}x batch on {RESIDENT_GATE_PAIR}, "
+        f"below the {floor:.1f}x gate (fastloop={ACTIVE_IMPL})"
     )
 
 

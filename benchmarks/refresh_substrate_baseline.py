@@ -6,13 +6,15 @@ change (docs/performance.md).  Refreshing to hide a regression defeats
 the perf gate.
 
 Usage:
-    PYTHONPATH=src:benchmarks python benchmarks/refresh_substrate_baseline.py [CELL ...]
+    PYTHONPATH=src:benchmarks python benchmarks/refresh_substrate_baseline.py [--partial] [CELL ...]
 
 With no arguments every cell is re-measured.  Naming cells refreshes
 only those rows and carries the rest of the committed baseline forward
 verbatim — the right move when *adding* cells (e.g. the backend pairs):
 frozen reference rows like the fast-path target's ``alps_cell_20`` must
-not be silently re-anchored to today's throughput.
+not be silently re-anchored to today's throughput.  ``--partial`` is
+the same thing computed for you: it measures exactly the cells that
+have no committed row yet and carries every existing row forward.
 """
 
 from __future__ import annotations
@@ -29,10 +31,16 @@ OUT = pathlib.Path(__file__).parent / "results" / "substrate_baseline.csv"
 
 
 def main(argv: list[str]) -> None:
-    only = set(argv)
+    partial = "--partial" in argv
+    only = set(argv) - {"--partial"}
     unknown = only - set(CELLS)
     if unknown:
         raise SystemExit(f"unknown cells: {', '.join(sorted(unknown))}")
+    if partial:
+        committed = load_baseline(OUT) if OUT.exists() else {}
+        only |= set(CELLS) - set(committed)
+        if not only:
+            raise SystemExit("--partial: no new cells; baseline already complete")
     carried = load_baseline(OUT) if only and OUT.exists() else {}
     OUT.parent.mkdir(parents=True, exist_ok=True)
     with open(OUT, "w", newline="") as f:

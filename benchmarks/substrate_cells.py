@@ -120,10 +120,16 @@ CELLS: dict[str, Callable[[], int]] = {
     # backends); events/sec is what the speedup gate compares.
     "alps_cell_20_strict": _alps_cell(20, "strict"),
     "alps_cell_20_batch": _alps_cell(20, "batch"),
+    "alps_cell_20_resident": _alps_cell(20, "resident"),
     "alps_cell_400_strict": _alps_cell(400, "strict"),
     "alps_cell_400_batch": _alps_cell(400, "batch"),
+    "alps_cell_400_resident": _alps_cell(400, "resident"),
+    # Beyond-paper scale: the regime the resident backend targets
+    # (thousands of scheduled entities under one ALPS agent).
+    "alps_cell_1000": _alps_cell(1000),
     "kernel_decay_3000_strict": _kernel_decay_cell(3000, "strict"),
     "kernel_decay_3000_batch": _kernel_decay_cell(3000, "batch"),
+    "kernel_decay_3000_resident": _kernel_decay_cell(3000, "resident"),
 }
 
 #: Kernel backend measured by each cell ("auto" = the library default).
@@ -132,7 +138,11 @@ CELL_BACKENDS: dict[str, str] = {
     name: (
         "strict"
         if name.endswith("_strict")
-        else "batch" if name.endswith("_batch") else "auto"
+        else (
+            "batch"
+            if name.endswith("_batch")
+            else "resident" if name.endswith("_resident") else "auto"
+        )
     )
     for name in CELLS
 }
@@ -148,8 +158,22 @@ BACKEND_PAIRS: dict[str, tuple[str, str]] = {
     ),
 }
 
+#: Resident pairs (batch cell, resident cell): same exact-event-count
+#: contract; the events/sec ratio is the resident-over-batch speedup.
+RESIDENT_PAIRS: dict[str, tuple[str, str]] = {
+    "alps_cell_20": ("alps_cell_20_batch", "alps_cell_20_resident"),
+    "alps_cell_400": ("alps_cell_400_batch", "alps_cell_400_resident"),
+    "kernel_decay_3000": (
+        "kernel_decay_3000_batch",
+        "kernel_decay_3000_resident",
+    ),
+}
+
 #: The pair carrying the ``REPRO_SUBSTRATE_MIN_SPEEDUP`` gate.
 GATE_PAIR = "kernel_decay_3000"
+
+#: The RESIDENT_PAIRS entry carrying the resident speedup gate.
+RESIDENT_GATE_PAIR = "kernel_decay_3000"
 
 #: The cells forming the Fig. 8/9-style scalability sweep (wall-clock
 #: series over process count).

@@ -716,7 +716,12 @@ def cmd_perf_report(
     profile: bool,
     backend: str = "auto",
 ) -> int:
-    """Run a controlled workload with counters attached and report them."""
+    """Run a controlled workload with counters attached and report them.
+
+    ``backend="all"`` instead runs the same workload once per kernel
+    backend and prints the active fastloop implementation plus a
+    side-by-side events/sec comparison table.
+    """
     from repro.alps.config import AlpsConfig
     from repro.kernel.kconfig import KernelConfig
     from repro.perf.counters import PerfCounters
@@ -729,6 +734,14 @@ def cmd_perf_report(
     if not share_list or any(s <= 0 for s in share_list):
         print("shares must be positive integers, e.g. --shares 1,2,3")
         return 2
+    if backend == "all":
+        return _perf_report_all_backends(
+            share_list,
+            quantum_ms=quantum_ms,
+            seconds=seconds,
+            seed=seed,
+            profile=profile,
+        )
     counters = PerfCounters()
     cw = build_controlled_workload(
         share_list,
@@ -749,6 +762,62 @@ def cmd_perf_report(
     return 0
 
 
+#: Backend order of the ``perf report --backend all`` comparison table.
+_REPORT_BACKENDS = ("strict", "optimized", "batch", "resident")
+
+
+def _perf_report_all_backends(
+    share_list: list,
+    *,
+    quantum_ms: float,
+    seconds: float,
+    seed: int,
+    profile: bool,
+) -> int:
+    """Run the workload once per kernel backend; print events/sec
+    side-by-side plus which fastloop implementation is active."""
+    import time
+
+    from repro.alps.config import AlpsConfig
+    from repro.kernel.kconfig import KernelConfig
+    from repro.sim.fastloop import ACTIVE_IMPL
+    from repro.units import ms, sec
+    from repro.workloads.scenarios import build_controlled_workload
+
+    if profile:
+        print("[--profile applies to single-backend runs; ignoring]")
+    print(f"fastloop impl: {ACTIVE_IMPL}")
+    print(f"{'backend':<10} {'events':>8} {'wall_s':>8} {'events/sec':>12}")
+    rows = []
+    for backend in _REPORT_BACKENDS:
+        cw = build_controlled_workload(
+            share_list,
+            AlpsConfig(quantum_us=ms(quantum_ms)),
+            seed=seed,
+            kernel_config=KernelConfig(
+                strict=(backend == "strict"), backend=backend
+            ),
+        )
+        t0 = time.perf_counter()
+        cw.engine.run_until(sec(seconds))
+        wall = time.perf_counter() - t0
+        events = cw.engine.events_processed
+        rows.append((backend, events))
+        print(
+            f"{backend:<10} {events:>8} {wall:>8.3f} "
+            f"{events / wall:>12.1f}"
+        )
+    counts = {events for _, events in rows}
+    if len(counts) == 1:
+        print(f"\nall backends agree on {rows[0][1]} events")
+    else:
+        print("\nWARNING: event counts differ across backends:")
+        for backend, events in rows:
+            print(f"  {backend}: {events}")
+        return 1
+    return 0
+
+
 def cmd_perf_diff(
     *,
     sizes: str,
@@ -760,8 +829,16 @@ def cmd_perf_diff(
     """Run the strict-vs-challenger differential sweep and report results.
 
     ``backend`` selects the challenger compared against the strict
-    reference: ``optimized`` (default) or ``batch``.
+    reference: ``optimized`` (default), ``batch``, or ``resident``.
+
+    On any mismatch the exit status is non-zero and a one-line summary
+    goes to *stderr* naming the first mismatching cell — challenger
+    backend, share model, workload size, seed — and the offset of the
+    first diverging byte within the fingerprint, so CI logs point at
+    the offending cell without scraping the full table.
     """
+    import sys
+
     from repro.perf.differential import differential_check
     from repro.units import ms, sec
 
@@ -778,6 +855,7 @@ def cmd_perf_diff(
         backend=backend,
     )
     mismatches = 0
+    first_bad = None
     for cell in results:
         status = "ok" if cell.matches else "MISMATCH"
         line = (
@@ -786,12 +864,26 @@ def cmd_perf_diff(
         )
         if not cell.matches:
             mismatches += 1
+            if first_bad is None:
+                first_bad = cell
             line += f"\n    {cell.detail}"
         print(line)
     print(
         f"\n{len(results)} cells, {mismatches} mismatches"
         + ("" if mismatches else f" — strict and {backend} paths agree")
     )
+    if first_bad is not None:
+        where = (
+            f"{first_bad.diverged_section} byte {first_bad.diverged_byte}"
+            if first_bad.diverged_byte >= 0
+            else "scalar fields (event count / final clock)"
+        )
+        print(
+            f"perf diff: first mismatch: backend={backend} "
+            f"model={first_bad.model.value} n={first_bad.n} "
+            f"seed={first_bad.seed}; first divergence: {where}",
+            file=sys.stderr,
+        )
     return 1 if mismatches else 0
 
 

@@ -169,9 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_report.add_argument(
         "--backend",
-        choices=["auto", "strict", "optimized", "batch"],
+        choices=["auto", "strict", "optimized", "batch", "resident", "all"],
         default="auto",
-        help="kernel backend to run the workload on (default: auto)",
+        help=(
+            "kernel backend to run the workload on (default: auto); "
+            "'all' runs every backend and prints events/sec side-by-side"
+        ),
     )
     perf_diff = perf_sub.add_parser(
         "diff",
@@ -183,7 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf_diff.add_argument("--seconds", type=float, default=5.0)
     perf_diff.add_argument(
         "--backend",
-        choices=["optimized", "batch"],
+        choices=["optimized", "batch", "resident"],
         default="optimized",
         help="challenger backend compared against strict (default: optimized)",
     )

@@ -33,9 +33,11 @@ def make_kernel(engine, config: KernelConfig = None) -> Kernel:
 
     ``"strict"`` and ``"optimized"`` both map to :class:`Kernel` (with
     the matching eager/lazy bookkeeping); ``"batch"`` maps to the
-    struct-of-arrays :class:`repro.kernel.batch.BatchKernel`.  The batch
-    module is imported lazily so workloads that never select it do not
-    pay the numpy import.
+    struct-of-arrays :class:`repro.kernel.batch.BatchKernel`;
+    ``"resident"`` maps to :class:`repro.kernel.resident.ResidentKernel`
+    (arrays as the authoritative state, PCBs as views).  The batch and
+    resident modules are imported lazily so workloads that never select
+    them do not pay the numpy import.
     """
     from dataclasses import replace
 
@@ -48,6 +50,10 @@ def make_kernel(engine, config: KernelConfig = None) -> Kernel:
         from repro.kernel.batch import BatchKernel
 
         return BatchKernel(engine, config)
+    if backend == "resident":
+        from repro.kernel.resident import ResidentKernel
+
+        return ResidentKernel(engine, config)
     if backend == "strict" and not config.strict:
         config = replace(config, strict=True)
     elif backend == "optimized" and config.strict:

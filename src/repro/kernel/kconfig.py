@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.units import MSEC, SEC
 
 #: Valid values of :attr:`KernelConfig.backend` besides ``"auto"``.
-KERNEL_BACKENDS = frozenset({"strict", "optimized", "batch"})
+KERNEL_BACKENDS = frozenset({"strict", "optimized", "batch", "resident"})
 
 
 @dataclass(slots=True, frozen=True)
@@ -70,7 +70,10 @@ class KernelConfig:
     #: ``"optimized"`` from :attr:`strict`; ``"batch"`` selects the
     #: struct-of-arrays :class:`~repro.kernel.batch.BatchKernel`
     #: (vectorized decay, batched priority recomputation, fused
-    #: same-instant event stepping).  Every backend must produce
+    #: same-instant event stepping); ``"resident"`` selects
+    #: :class:`~repro.kernel.resident.ResidentKernel`, where the arrays
+    #: are the *authoritative* state and PCBs are thin views onto their
+    #: row (no per-pass gather/scatter).  Every backend must produce
     #: byte-identical schedules — tests/perf/test_backend_matrix.py is
     #: the contract.
     backend: str = "auto"

@@ -163,7 +163,7 @@ class Kernel:
         ``start_delay`` µs."""
         pid = self._next_pid
         self._next_pid += 1
-        proc = Process(pid=pid, name=name, uid=uid, nice=nice, behavior=behavior)
+        proc = self._make_process(pid, name, uid, nice, behavior)
         proc.priority = user_priority(self.cfg, 0.0, nice)
         proc.state = ProcState.SLEEPING  # embryonic until started
         proc.wait_channel = "fork"
@@ -179,6 +179,17 @@ class Kernel:
             tag=f"start:{name}",
         )
         return proc
+
+    def _make_process(
+        self, pid: int, name: str, uid: int, nice: int, behavior: Behavior
+    ) -> Process:
+        """PCB construction hook for :meth:`spawn`.
+
+        The resident backend overrides this to allocate a row in its
+        authoritative array store and return a view-PCB bound to it;
+        every other backend gets a plain :class:`Process`.
+        """
+        return Process(pid=pid, name=name, uid=uid, nice=nice, behavior=behavior)
 
     def lookup(self, pid: int) -> Process:
         """Return the live process with ``pid`` (raises if absent/zombie)."""

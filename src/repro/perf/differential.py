@@ -218,6 +218,13 @@ class CellComparison:
     optimized_digest: str
     #: Human-oriented description of the first observed difference.
     detail: str = ""
+    #: Fingerprint section holding the first diverging byte
+    #: (``"cycle_log"`` or ``"trace"``; ``""`` when the divergence is
+    #: in the scalar fields only).
+    diverged_section: str = ""
+    #: Offset of the first diverging byte within that section
+    #: (-1 when no byte section diverges).
+    diverged_byte: int = -1
 
 
 def compare_cell(
@@ -251,8 +258,10 @@ def compare_cell(
         horizon_us=horizon_us,
     )
     detail = ""
+    section, offset = "", -1
     if strict != fast:
         detail = describe_difference(strict, fast, right=backend)
+        section, offset = first_divergent_byte(strict, fast)
     return CellComparison(
         model=model,
         n=n,
@@ -261,6 +270,8 @@ def compare_cell(
         strict_digest=strict.digest(),
         optimized_digest=fast.digest(),
         detail=detail,
+        diverged_section=section,
+        diverged_byte=offset,
     )
 
 
@@ -321,6 +332,32 @@ def describe_difference(
                 )
         return f"{name} lengths differ: {len(lbytes)} vs {len(rbytes)} bytes"
     return "fingerprints differ"  # pragma: no cover - covered above
+
+
+def first_divergent_byte(
+    a: RunFingerprint, b: RunFingerprint
+) -> tuple[str, int]:
+    """Locate the first diverging *byte* between two fingerprints.
+
+    Returns ``(section, offset)`` where ``section`` is ``"cycle_log"``
+    or ``"trace"`` (checked in that order) and ``offset`` is the index
+    of the first byte that differs; when one serialization is a strict
+    prefix of the other, the offset is the shorter length.  Returns
+    ``("", -1)`` when both byte sections agree — i.e. the fingerprints
+    differ only in the scalar event count / final clock fields.
+    """
+    for name, lbytes, rbytes in (
+        ("cycle_log", a.cycle_log, b.cycle_log),
+        ("trace", a.trace, b.trace),
+    ):
+        if lbytes == rbytes:
+            continue
+        n = min(len(lbytes), len(rbytes))
+        for i in range(n):
+            if lbytes[i] != rbytes[i]:
+                return name, i
+        return name, n
+    return "", -1
 
 
 _first_difference = describe_difference

@@ -1,0 +1,166 @@
+"""The extracted dispatch core: heap pops and the fused run loop.
+
+This module holds the innermost simulation hot path — the cancelled-
+prefix heap pops (:func:`pop_ready`, :func:`pop_time_batch`) and the
+fused same-instant drain (:func:`run_fused`) — factored out of
+:class:`~repro.sim.event_queue.EventQueue` and
+:class:`~repro.sim.engine.Engine` so it can optionally be **compiled**
+with mypyc (``REPRO_COMPILED=1 pip install -e .``; see setup.py) while
+staying byte-identical plain Python everywhere else.
+
+Import it through :mod:`repro.sim.fastloop`, never directly: the
+loader resolves the compiled extension when one was built, falls back
+to this source otherwise, and reports which one loaded as
+``ACTIVE_IMPL``.  Both implementations execute the exact same
+statements in the exact same order — the backend matrix
+(tests/perf/test_backend_matrix.py) and the fused-ordering tests
+(tests/sim/test_event_ordering.py) hold over either, with no golden
+refresh.
+
+Rules for code in this file (mypyc discipline):
+
+* no imports from the rest of ``repro`` — the compiled extension must
+  load before (and independently of) every interpreted module;
+* only plain functions over ordinary objects — classes defined here
+  would become compiled classes with different subclassing semantics;
+* annotations kept loose (``Any`` for engine/queue/event) so the
+  compiled attribute access stays boxed and behaviorally identical to
+  the interpreter's.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+
+def pop_ready(queue: Any, until: int) -> Any:
+    """Pop the next pending event firing at or before ``until``.
+
+    The body of :meth:`EventQueue.pop_ready`: one cancelled-prefix scan
+    fusing the peek + pop pair, marking the event fired and decrementing
+    the queue's live count.  Returns None when the queue is empty or the
+    next event fires after ``until``.
+    """
+    heap = queue._heap
+    while heap:
+        head = heap[0]
+        if head[3].cancelled:
+            heappop(heap)
+            continue
+        if head[0] > until:
+            return None
+        event = heappop(heap)[3]
+        queue._live -= 1
+        event.fired = True
+        return event
+    return None
+
+
+def pop_time_batch(
+    queue: Any, until: int
+) -> Optional[List[Tuple[int, int, int, Any]]]:
+    """Remove and return all pending entries at the earliest time.
+
+    The body of :meth:`EventQueue.pop_time_batch`: entries keep their
+    full ``(time, priority, seq)`` keys, are *not* marked fired, and
+    still count as live — the fused loop commits them one by one so
+    late cancellation keeps working.
+    """
+    heap = queue._heap
+    while heap and heap[0][3].cancelled:
+        heappop(heap)
+    if not heap or heap[0][0] > until:
+        return None
+    first = heappop(heap)
+    time = first[0]
+    entries = [first]
+    append = entries.append
+    while heap:
+        head = heap[0]
+        if head[3].cancelled:
+            heappop(heap)
+            continue
+        if head[0] != time:
+            break
+        append(heappop(heap))
+    return entries
+
+
+def _peek_key(queue: Any) -> Optional[Tuple[int, int, int]]:
+    """``(time, priority, seq)`` of the next pending event, or None."""
+    heap = queue._heap
+    while heap and heap[0][3].cancelled:
+        heappop(heap)
+    if not heap:
+        return None
+    head = heap[0]
+    return (head[0], head[1], head[2])
+
+
+def push_back(queue: Any, entries: List[Tuple[int, int, int, Any]]) -> None:
+    """Reinsert undispatched batch entries (original keys intact)."""
+    heap = queue._heap
+    for entry in entries:
+        event = entry[3]
+        if not event.cancelled and not event.fired:
+            heappush(heap, entry)
+
+
+def run_fused(engine: Any, until: int) -> int:
+    """The fused same-instant drain loop of :meth:`Engine._run_until_fused`.
+
+    All events sharing the earliest pending timestamp are drained in one
+    heap pass and dispatched from a flat list with a single clock write
+    per instant.  Dispatch order is identical to the classic loop: batch
+    entries carry their original ``(time, priority, seq)`` keys, each is
+    re-checked for cancellation at dispatch, and the order guard pushes
+    the undispatched tail back to the heap the moment the heap head
+    would sort before it (a callback scheduled same-instant work that
+    must interleave).
+
+    The caller (the engine) owns timer bookkeeping, the
+    ``events_processed`` accumulation, and the final clock advance; this
+    function returns the number of events dispatched.
+    """
+    processed = 0
+    clock = engine.clock
+    tracer = engine.tracer
+    queue = engine.queue
+    heap = queue._heap
+    while not engine._stop_requested:
+        entries = pop_time_batch(queue, until)
+        if entries is None:
+            break
+        time = entries[0][0]
+        clock._now = time
+        fired = 0
+        tail = None
+        for i, entry in enumerate(entries):
+            event = entry[3]
+            if event.cancelled:
+                continue  # cancelled by an earlier same-instant event
+            if engine._stop_requested:
+                tail = entries[i:]
+                break
+            if heap:
+                head = heap[0]
+                if head[0] == time or head[3].cancelled:
+                    key = _peek_key(queue)
+                    if key is not None and key < (time, entry[1], entry[2]):
+                        # A callback scheduled same-instant work that
+                        # sorts before the rest of the batch: fall back
+                        # to the heap so it interleaves exactly as the
+                        # classic loop would.
+                        tail = entries[i:]
+                        break
+            event.fired = True
+            fired += 1
+            if tracer.enabled:
+                tracer.record(time, "event", event.tag)
+            event.callback(event)
+        queue._live -= fired
+        processed += fired
+        if tail is not None:
+            push_back(queue, tail)
+    return processed

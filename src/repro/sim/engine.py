@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from repro.errors import SimulationError
 from repro.sim.clock import Clock
 from repro.sim.event_queue import Event, EventCallback, EventHandle, EventQueue
+from repro.sim.fastloop import pop_ready as _pop_ready, run_fused as _run_fused
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 
@@ -156,12 +157,13 @@ class Engine:
         self._stop_requested = False
         clock = self.clock
         tracer = self.tracer
-        pop_ready = self.queue.pop_ready
+        queue = self.queue
+        pop_ready = _pop_ready  # resolved fastloop impl (compiled or not)
         # Two loop bodies so the common unbounded run pays no per-event
         # max_events check.
         if max_events is None:
             while not self._stop_requested:
-                event = pop_ready(until)
+                event = pop_ready(queue, until)
                 if event is None:
                     break
                 # Direct assignment: pops are time-ordered and events
@@ -173,7 +175,7 @@ class Engine:
                 processed += 1
         else:
             while not self._stop_requested and processed < max_events:
-                event = pop_ready(until)
+                event = pop_ready(queue, until)
                 if event is None:
                     break
                 clock._now = event.time
@@ -190,6 +192,10 @@ class Engine:
     def _run_until_fused(self, until: int) -> int:
         """Fused-stepping body of :meth:`run_until` (no ``max_events``).
 
+        The drain loop itself lives in :mod:`repro.sim.fastloop`
+        (:func:`~repro.sim._fastloop.run_fused`, optionally compiled);
+        this wrapper owns the timer bookkeeping, the
+        ``events_processed`` accumulation, and the final clock advance.
         Dispatch order is identical to the classic loop: batch entries
         carry their original ``(time, priority, seq)`` keys, each is
         re-checked for cancellation at dispatch, and the guard pushes
@@ -198,58 +204,10 @@ class Engine:
         that must interleave).
         """
         timer = _start_timer(self.counters)
-        processed = 0
         self._stop_requested = False
-        clock = self.clock
-        tracer = self.tracer
-        queue = self.queue
-        pop_time_batch = queue.pop_time_batch
-        peek_key = queue.peek_key
-        # Friend-class heap access (like the kernel's direct-schedule
-        # hook): the order guard must cost one tuple-index compare per
-        # event, not a method call.  After pop_time_batch the head is
-        # never cancelled and never at the batch time, so only a
-        # callback's same-instant schedule/cancel makes the slow-path
-        # peek necessary.
-        heap = queue._heap
-        while not self._stop_requested:
-            entries = pop_time_batch(until)
-            if entries is None:
-                break
-            time = entries[0][0]
-            clock._now = time
-            fired = 0
-            tail = None
-            for i, entry in enumerate(entries):
-                event = entry[3]
-                if event.cancelled:
-                    continue  # cancelled by an earlier same-instant event
-                if self._stop_requested:
-                    tail = entries[i:]
-                    break
-                if heap:
-                    head = heap[0]
-                    if head[0] == time or head[3].cancelled:
-                        key = peek_key()
-                        if key is not None and key < (
-                            time, entry[1], entry[2]
-                        ):
-                            # A callback scheduled same-instant work that
-                            # sorts before the rest of the batch: fall
-                            # back to the heap so it interleaves exactly
-                            # as the classic loop would.
-                            tail = entries[i:]
-                            break
-                event.fired = True
-                fired += 1
-                if tracer.enabled:
-                    tracer.record(time, "event", event.tag)
-                event.callback(event)
-            queue._live -= fired
-            processed += fired
-            if tail is not None:
-                queue.push_back(tail)
+        processed = _run_fused(self, until)
         self._events_processed += processed
+        clock = self.clock
         if not self._stop_requested and clock._now < until:
             clock.advance_to(until)
         _stop_timer(self.counters, timer, "engine.run_until", processed)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim import fastloop as _fastloop
 
 EventCallback = Callable[["Event"], None]
 
@@ -152,16 +153,12 @@ class EventQueue:
         Fuses ``peek_time`` + ``pop`` into one cancelled-prefix scan —
         the engine run loop's fast path.  Returns None when the queue is
         empty or the next event fires after ``until``.
+
+        The body lives in :mod:`repro.sim.fastloop` (optionally
+        compiled); the engine binds the module function directly, so
+        this method exists for API compatibility and direct callers.
         """
-        heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-        if not heap or heap[0][0] > until:
-            return None
-        event = heapq.heappop(heap)[3]
-        self._live -= 1
-        event.fired = True
-        return event
+        return _fastloop.pop_ready(self, until)
 
     # ------------------------------------------------------------------
     # Fused same-instant stepping (the batch backend's run loop)
@@ -188,26 +185,12 @@ class EventQueue:
         one by one via :meth:`mark_fired` (so late cancellation keeps
         working) and returns any undispatched tail with
         :meth:`push_back`.
+
+        The body lives in :mod:`repro.sim.fastloop` (optionally
+        compiled); the fused engine loop calls the module function
+        directly.
         """
-        heap = self._heap
-        heappop = heapq.heappop
-        while heap and heap[0][3].cancelled:
-            heappop(heap)
-        if not heap or heap[0][0] > until:
-            return None
-        first = heappop(heap)
-        time = first[0]
-        entries = [first]
-        append = entries.append
-        while heap:
-            head = heap[0]
-            if head[3].cancelled:
-                heappop(heap)
-                continue
-            if head[0] != time:
-                break
-            append(heappop(heap))
-        return entries
+        return _fastloop.pop_time_batch(self, until)
 
     def peek_key(self) -> Optional[tuple[int, int, int]]:
         """``(time, priority, seq)`` of the next pending event, or None."""
@@ -226,12 +209,7 @@ class EventQueue:
 
     def push_back(self, entries: list[tuple[int, int, int, Event]]) -> None:
         """Reinsert undispatched batch entries (original keys intact)."""
-        heap = self._heap
-        heappush = heapq.heappush
-        for entry in entries:
-            event = entry[3]
-            if not event.cancelled and not event.fired:
-                heappush(heap, entry)
+        _fastloop.push_back(self, entries)
 
     def clear(self) -> None:
         """Drop all pending events."""

@@ -1,11 +1,12 @@
 """Backend differential-equivalence matrix.
 
-The struct-of-arrays batch backend (``KernelConfig(backend="batch")``)
-is only allowed to exist because this battery holds: every backend —
-strict, optimized, batch — must produce byte-identical schedules over
-the full Table 2 workload matrix × seeds 0–4, bare *and* stacked with
-every cross-cutting layer (observability, fault injection, journaling
-+ supervision, overload protection).
+The struct-of-arrays backends (``KernelConfig(backend="batch")`` and
+the array-resident ``backend="resident"``) are only allowed to exist
+because this battery holds: every backend — strict, optimized, batch,
+resident — must produce byte-identical schedules over the full Table 2
+workload matrix × seeds 0–4, bare *and* stacked with every
+cross-cutting layer (observability, fault injection, journaling +
+supervision, overload protection, hierarchical share trees).
 
 Strict is the reference: ``optimized`` and ``batch`` are each compared
 against the strict fingerprint of the same cell, so a failure names
@@ -32,7 +33,7 @@ from repro.units import sec
 from repro.workloads.shares import DISTRIBUTIONS, ShareDistribution, workload_shares
 
 #: Backends checked against the strict reference.
-CHALLENGERS = ("optimized", "batch")
+CHALLENGERS = ("optimized", "batch", "resident")
 
 #: Seeds of the acceptance sweep.
 SEEDS = (0, 1, 2, 3, 4)
@@ -52,6 +53,7 @@ STACKS: dict[str, dict] = {
     "obs": {"obs": True},
     "journal": {"resilience": True},
     "overload": {"overload": True},
+    "sharetree": {"sharetree": True},
 }
 
 
@@ -129,14 +131,16 @@ def test_backend_matches_strict_all_stacks_at_once(backend):
     )
 
 
-def test_stacked_layers_remain_schedule_invisible_on_batch():
-    """obs/journal/overload must not perturb the *batch* schedule either
-    (the invisibility contract each layer already holds on strict)."""
-    bare = _fingerprint(STACK_MODEL, STACK_N, 0, "batch", "plain")
+@pytest.mark.parametrize("backend", ("batch", "resident"))
+def test_stacked_layers_remain_schedule_invisible_on_soa_backends(backend):
+    """obs/journal/overload/sharetree must not perturb the SoA backends'
+    schedules either (the invisibility contract each layer already
+    holds on strict)."""
+    bare = _fingerprint(STACK_MODEL, STACK_N, 0, backend, "plain")
     for stack in STACKS:
-        stacked = _fingerprint(STACK_MODEL, STACK_N, 0, "batch", stack)
+        stacked = _fingerprint(STACK_MODEL, STACK_N, 0, backend, stack)
         assert stacked == bare, (
-            f"stack={stack} perturbed the batch schedule: "
+            f"stack={stack} perturbed the {backend} schedule: "
             + describe_difference(bare, stacked, left="bare", right=stack)
         )
 

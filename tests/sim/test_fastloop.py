@@ -1,0 +1,96 @@
+"""Tests for the optionally-compiled dispatch core loader.
+
+:mod:`repro.sim.fastloop` resolves either a mypyc-compiled extension
+or the plain-Python ``_fastloop.py`` source and reports the choice as
+``ACTIVE_IMPL``.  Both implementations must be behaviorally identical;
+the env overrides (``REPRO_FASTLOOP``, ``REPRO_COMPILED``) control
+which one loads and whether a missing compiled artifact is an error.
+
+The override tests run in subprocesses: the loader resolves once at
+import, so flipping the environment inside this process would not
+re-resolve it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.sim import fastloop
+
+_PRINT_IMPL = "from repro.sim.fastloop import ACTIVE_IMPL; print(ACTIVE_IMPL)"
+
+
+def _run(code: str, **env_overrides) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop("REPRO_FASTLOOP", None)
+    env.pop("REPRO_COMPILED", None)
+    env.update(env_overrides)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_active_impl_is_a_known_value():
+    assert fastloop.ACTIVE_IMPL in ("compiled", "interpreted")
+
+
+def test_loader_exports_the_resolved_hot_path_functions():
+    for name in ("pop_ready", "pop_time_batch", "push_back", "run_fused"):
+        assert callable(getattr(fastloop, name))
+
+
+def test_forced_interpreted_loads_the_python_source():
+    proc = _run(_PRINT_IMPL, REPRO_FASTLOOP="interpreted")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "interpreted"
+
+
+def test_repro_compiled_arms_the_no_fallback_guard():
+    """``REPRO_COMPILED=1`` must either resolve a compiled extension or
+    fail loudly — never silently fall back to the interpreter."""
+    proc = _run(_PRINT_IMPL, REPRO_COMPILED="1")
+    if proc.returncode == 0:
+        assert proc.stdout.strip() == "compiled"
+    else:
+        assert "REPRO_COMPILED" in proc.stderr
+        assert "compiled extension" in proc.stderr
+
+
+def test_forced_interpreted_overrides_repro_compiled():
+    proc = _run(
+        _PRINT_IMPL, REPRO_COMPILED="1", REPRO_FASTLOOP="interpreted"
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "interpreted"
+
+
+def test_interpreted_source_loader_bypasses_any_compiled_shadow():
+    module = fastloop._load_interpreted_source()
+    assert module.__file__.endswith("_fastloop.py")
+    for name in ("pop_ready", "pop_time_batch", "push_back", "run_fused"):
+        assert callable(getattr(module, name))
+
+
+def test_forced_interpreted_fingerprint_matches_in_process():
+    """The interpreted implementation is byte-identical to whatever
+    resolved in this process (trivially so when that is also the
+    interpreter; the real check on a compiled install)."""
+    from repro.perf.differential import fingerprint_run
+
+    local = fingerprint_run([3, 2, 1], seed=0, horizon_us=1_000_000)
+    proc = _run(
+        "from repro.perf.differential import fingerprint_run; "
+        "print(fingerprint_run([3, 2, 1], seed=0, "
+        "horizon_us=1_000_000).digest())",
+        REPRO_FASTLOOP="interpreted",
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == local.digest()
