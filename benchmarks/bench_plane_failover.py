@@ -1,0 +1,138 @@
+"""Plane failover — a dead cell's tenants keep their proportions.
+
+The claim from docs/share_tree.md ("Plane fault tolerance"), gated
+here: when a cell exhausts its restart budget and the plane re-homes
+its subtrees onto survivors, the *post-failover* fairness of the whole
+plane stays within ``REPRO_PLANE_MAX_ERROR`` percentage points of a
+never-crashed control run measured over the same settle window, and
+the re-home itself lands within ``REPRO_PLANE_MAX_REHOME_US`` virtual
+µs of the cell's death (one controller tick, not an outage).
+
+Both arms run the same tree, seed, and control-step cadence; the only
+difference is the crash schedule, so the gap is the cost of failover
+alone.
+"""
+
+import os
+
+from benchmarks.conftest import emit
+from repro.alps.config import AlpsConfig
+from repro.analysis.export import write_csv
+from repro.faults.plan import CellCrash, FaultPlan
+from repro.resilience.chaos import (
+    plane_attained_error_pct,
+    plane_episode_tree,
+)
+from repro.resilience.supervisor import RestartPolicy
+from repro.sharetree import ShardedAlpsPlane
+from repro.sharetree.resilience import PlaneResilienceConfig
+from repro.units import ms, sec
+
+#: Max post-failover fairness penalty vs the never-crashed run
+#: (percentage points of worst per-cell renormalised deviation).
+MAX_ERROR_PCT = float(os.environ.get("REPRO_PLANE_MAX_ERROR", "10.0"))
+#: Max virtual time from cell death to its subtrees landing on
+#: survivors.  One control step is 250 ms; the default allows two.
+MAX_REHOME_US = int(os.environ.get("REPRO_PLANE_MAX_REHOME_US", str(ms(500))))
+
+CELLS = 3
+RESTART_BUDGET = 2
+STEP_US = ms(250)
+#: Crash storm start / spacing: the third crash exhausts the budget.
+CRASH_AT_US = sec(2)
+CRASH_SPACING_US = ms(200)
+#: Fairness is measured over the settle window, well past failover.
+SETTLE_US = sec(6)
+HORIZON_US = sec(12)
+
+
+def _run_arm(crash: bool):
+    """One plane run; returns (plane, settle-window error pct)."""
+    plan = FaultPlan(
+        cell_crashes=tuple(
+            CellCrash(time_us=CRASH_AT_US + i * CRASH_SPACING_US, cell=0)
+            for i in range(RESTART_BUDGET + 1)
+        )
+        if crash
+        else ()
+    )
+    plane = ShardedAlpsPlane(
+        plane_episode_tree(),
+        AlpsConfig(quantum_us=ms(10)),
+        cells=CELLS,
+        seed=0,
+        resilience=PlaneResilienceConfig(
+            policy=RestartPolicy(restart_budget=RESTART_BUDGET),
+            plan=plan,
+        ),
+    )
+    now = 0
+    while now < SETTLE_US:
+        now += STEP_US
+        plane.run_until(now)
+    kapi = plane.kernel.kapi
+    baseline = {
+        sid: kapi.getrusage(proc.pid)
+        for sid, proc in plane.workers.items()
+    }
+    while now < HORIZON_US:
+        now += STEP_US
+        plane.run_until(now)
+    return plane, plane_attained_error_pct(plane, baseline=baseline)
+
+
+def test_plane_failover_fairness_and_rehome_latency(results_dir):
+    control, control_err = _run_arm(crash=False)
+    crashed, crashed_err = _run_arm(crash=True)
+    res = crashed.resilience
+    assert res is not None
+
+    # Failover actually happened: cell 0 stood down and was re-homed.
+    assert res.dead_cells == frozenset({0}), (
+        f"expected cell 0 dead, got {sorted(res.dead_cells)}"
+    )
+    assert res.rehomes >= 1 and res.rehomed_leaves >= 1
+    assert not any(
+        agent.subjects
+        for cell, agent in crashed.agents.items()
+        if cell in res.dead_cells
+    ), "dead cell still owns subjects"
+
+    died_at = res.health[0].died_at_us
+    rehomed_at = res.health[0].rehomed_at_us
+    assert died_at is not None and rehomed_at is not None
+    latency_us = rehomed_at - died_at
+
+    penalty = crashed_err - control_err
+    emit(
+        "PLANE FAILOVER — post-failover fairness and re-home latency",
+        f"settle-window error: control {control_err:.2f}% vs "
+        f"failover {crashed_err:.2f}% -> penalty {penalty:+.2f} pct-pts "
+        f"(gate {MAX_ERROR_PCT:.1f})\n"
+        f"re-home latency: {latency_us} virtual us "
+        f"(gate {MAX_REHOME_US}); restarts={res.cell_restarts} "
+        f"rehomed_leaves={res.rehomed_leaves}",
+    )
+    write_csv(
+        results_dir / "plane_failover.csv",
+        [
+            {
+                "control_err_pct": control_err,
+                "failover_err_pct": crashed_err,
+                "penalty_pct": penalty,
+                "rehome_latency_us": latency_us,
+                "rehomed_leaves": res.rehomed_leaves,
+                "cell_restarts": res.cell_restarts,
+            }
+        ],
+    )
+
+    assert penalty <= MAX_ERROR_PCT, (
+        f"post-failover fairness error {crashed_err:.2f}% exceeds the "
+        f"never-crashed run's {control_err:.2f}% by {penalty:.2f} "
+        f"pct-pts, over the REPRO_PLANE_MAX_ERROR={MAX_ERROR_PCT} gate"
+    )
+    assert latency_us <= MAX_REHOME_US, (
+        f"re-home took {latency_us} virtual us after cell death, over "
+        f"the REPRO_PLANE_MAX_REHOME_US={MAX_REHOME_US} gate"
+    )

@@ -917,16 +917,45 @@ def cmd_top(
     interval: float,
     skip_cycles: int,
     tree: bool = False,
+    cells: int = 1,
 ) -> int:
     """Live share-vs-attained view over a simulated workload.
 
     ``tree=True`` runs the docs chapter's demo share tree
     (:func:`repro.sharetree.demo_tree`) instead of the flat ``shares``
-    list and renders the indented per-subtree view.
+    list and renders the indented per-subtree view.  ``cells > 1``
+    shards that tree over a supervised
+    :class:`~repro.sharetree.plane.ShardedAlpsPlane` and adds per-cell
+    health lines (supervisor state, restarts, epoch, last re-home).
     """
     from repro.obs.top import run_top
     from repro.units import ms
 
+    if cells < 1:
+        print(f"repro top: --cells must be >= 1, got {cells}")
+        return 2
+    if tree and cells > 1:
+        from repro.alps.config import AlpsConfig
+        from repro.obs import Observer
+        from repro.obs.top import run_plane_top
+        from repro.sharetree import ShardedAlpsPlane, demo_tree
+        from repro.sharetree.resilience import PlaneResilienceConfig
+
+        plane = ShardedAlpsPlane(
+            demo_tree(),
+            AlpsConfig(quantum_us=ms(quantum_ms)),
+            cells=cells,
+            seed=seed,
+            observer=Observer(),
+            resilience=PlaneResilienceConfig(),
+        )
+        run_plane_top(
+            plane,
+            frame_us=ms(frame_ms),
+            frames=frames,
+            interval_s=interval,
+        )
+        return 0
     if tree:
         from repro.alps.config import AlpsConfig
         from repro.obs import Observer

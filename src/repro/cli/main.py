@@ -227,6 +227,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="hierarchical view over the demo share tree "
         "(docs/share_tree.md) instead of the flat --shares list",
     )
+    top.add_argument(
+        "--cells",
+        type=int,
+        default=1,
+        help="with --tree: shard the tree over N supervised plane cells "
+        "and render per-cell health (docs/share_tree.md, 'Plane fault "
+        "tolerance')",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -238,11 +246,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="campaign seed")
         p.add_argument(
             "--suite",
-            choices=("resilience", "overload"),
+            choices=("resilience", "overload", "plane"),
             default="resilience",
-            help="fault suite: 'resilience' (journal/signal/crash faults) "
-            "or 'overload' (arrival storms, nice-bombs, thousand-process "
-            "herds against the degradation ladder)",
+            help="fault suite: 'resilience' (journal/signal/crash faults), "
+            "'overload' (arrival storms, nice-bombs, thousand-process "
+            "herds against the degradation ladder), or 'plane' (cell "
+            "crashes, torn migrations, and re-homing on the sharded "
+            "control plane)",
         )
         p.add_argument(
             "--episodes", type=int, default=8, help="episodes per campaign"
@@ -409,6 +419,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             interval=args.interval,
             skip_cycles=args.skip_cycles,
             tree=args.tree,
+            cells=args.cells,
         )
     if args.command == "chaos":
         if args.chaos_command == "run":

@@ -124,6 +124,27 @@ class RestartBudgetExhausted(ResilienceError):
         self.budget = budget
 
 
+class MigrationTornError(ResilienceError):
+    """A sharded-plane migration was torn mid-batch by an injected
+    :class:`~repro.faults.plan.MigrationTear`.
+
+    ``crash=True`` models the controller process dying — no in-process
+    cleanup ran, and the caller must run
+    :meth:`~repro.sharetree.resilience.PlaneResilience.salvage` to
+    complete or roll back the journaled intent.  ``crash=False`` is an
+    ordinary mid-rebalance exception; the readmit-to-source guard has
+    already restored the membership partition by the time it propagates.
+    """
+
+    def __init__(self, *, crash: bool, after_ops: int) -> None:
+        mode = "controller crash" if crash else "exception"
+        super().__init__(
+            f"migration torn ({mode}) after {after_ops} release/adopt op(s)"
+        )
+        self.crash = crash
+        self.after_ops = after_ops
+
+
 class InvariantViolation(ResilienceError):
     """One or more chaos-campaign invariants failed.
 

@@ -21,9 +21,11 @@ from repro.faults.injector import (
 from repro.faults.plan import (
     AgentCrash,
     AgentStall,
+    CellCrash,
     FaultPlan,
     FaultRecord,
     ForkStorm,
+    MigrationTear,
     ProcessCrash,
     default_fault_plan,
 )
@@ -31,12 +33,14 @@ from repro.faults.plan import (
 __all__ = [
     "AgentCrash",
     "AgentStall",
+    "CellCrash",
     "FaultInjector",
     "FaultPlan",
     "FaultRecord",
     "FaultableAlpsBehavior",
     "FaultyKernelAPI",
     "ForkStorm",
+    "MigrationTear",
     "ProcessCrash",
     "default_fault_plan",
 ]

@@ -68,6 +68,43 @@ class AgentCrash:
 
 
 @dataclass(slots=True, frozen=True)
+class CellCrash:
+    """Crash one *cell* agent of a sharded control plane at ``time_us``.
+
+    The plane analogue of :class:`AgentCrash`: the targeted cell's agent
+    loses its volatile state and restarts after ``downtime_us`` under
+    its supervisor's backoff policy — until the restart budget is
+    exhausted, at which point the supervisor resumes every process the
+    cell controlled and the plane re-homes its subtrees onto surviving
+    cells (docs/share_tree.md, "Plane fault tolerance").
+    """
+
+    time_us: int
+    #: Cell index the crash targets.
+    cell: int = 0
+    downtime_us: int = 50 * MSEC
+
+
+@dataclass(slots=True, frozen=True)
+class MigrationTear:
+    """Tear the control plane mid-migration after ``after_ops``
+    release/adopt operations of the first rebalance at or after
+    ``time_us``.
+
+    ``crash=True`` models the controller process dying mid-batch — no
+    in-process cleanup runs and recovery must salvage the journaled
+    migration intent (complete it forward or roll it back).
+    ``crash=False`` raises an ordinary exception through ``rebalance()``
+    instead, exercising the readmit-to-source ``finally`` guard.
+    """
+
+    time_us: int
+    #: Release/adopt operations allowed before the tear fires.
+    after_ops: int = 1
+    crash: bool = True
+
+
+@dataclass(slots=True, frozen=True)
 class ArrivalStorm:
     """Spawn ``count`` new compute-bound processes at ``time_us`` and
     offer each to the agent's group through admission control
@@ -141,6 +178,10 @@ class FaultPlan:
     arrival_storms: tuple[ArrivalStorm, ...] = ()
     agent_nice_bombs: tuple[AgentNiceBomb, ...] = ()
 
+    # -- control-plane faults (repro.sharetree.resilience) ----------
+    cell_crashes: tuple[CellCrash, ...] = ()
+    migration_tears: tuple[MigrationTear, ...] = ()
+
     # -- journal-persistence faults (repro.resilience) --------------
     #: Probability a journal append is lost before reaching the store.
     journal_write_fail_prob: float = 0.0
@@ -197,6 +238,22 @@ class FaultPlan:
                 raise SchedulerConfigError(
                     f"nice bomb duration must be positive, got {bomb.duration_us}"
                 )
+        for crash in self.cell_crashes:
+            if crash.cell < 0:
+                raise SchedulerConfigError(
+                    f"cell crash cell must be >= 0, got {crash.cell}"
+                )
+            if crash.downtime_us <= 0:
+                raise SchedulerConfigError(
+                    f"cell crash downtime must be positive, "
+                    f"got {crash.downtime_us}"
+                )
+        for tear in self.migration_tears:
+            if tear.after_ops < 0:
+                raise SchedulerConfigError(
+                    f"migration tear after_ops must be >= 0, "
+                    f"got {tear.after_ops}"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -213,6 +270,8 @@ class FaultPlan:
             and not self.agent_crashes
             and not self.arrival_storms
             and not self.agent_nice_bombs
+            and not self.cell_crashes
+            and not self.migration_tears
             and self.journal_write_fail_prob == 0.0
             and self.journal_torn_write_prob == 0.0
         )
@@ -267,9 +326,11 @@ __all__ = [
     "AgentNiceBomb",
     "AgentStall",
     "ArrivalStorm",
+    "CellCrash",
     "FaultPlan",
     "FaultRecord",
     "ForkStorm",
+    "MigrationTear",
     "ProcessCrash",
     "default_fault_plan",
 ]

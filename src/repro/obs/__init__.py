@@ -24,7 +24,7 @@ docs/observability.md).  Observation is schedule-invisible: equal seeds
 produce byte-identical schedules with or without an observer attached.
 """
 
-from repro.obs.bridge import collect_workload
+from repro.obs.bridge import collect_plane, collect_workload
 from repro.obs.events import (
     SCHEMA_VERSION,
     CallbackSink,
@@ -54,7 +54,12 @@ from repro.obs.registry import (
     restore_snapshot,
 )
 from repro.obs.spans import Span, SpanRecorder, SpanStats
-from repro.obs.top import render_top_frame, run_top
+from repro.obs.top import (
+    render_plane_frame,
+    render_top_frame,
+    run_plane_top,
+    run_top,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -72,6 +77,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "SpanStats",
+    "collect_plane",
     "collect_workload",
     "events_to_jsonl",
     "metrics_to_csv",
@@ -81,8 +87,10 @@ __all__ = [
     "parse_metrics_csv",
     "parse_metrics_jsonl",
     "parse_prometheus_text",
+    "render_plane_frame",
     "render_top_frame",
     "restore_snapshot",
     "rows_to_markdown",
+    "run_plane_top",
     "run_top",
 ]

@@ -22,6 +22,7 @@ from repro.obs.observer import Observer
 from repro.perf.report import collect_workload_counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharetree.plane import ShardedAlpsPlane
     from repro.workloads.scenarios import ControlledWorkload
 
 #: Sampling-delay histogram bounds (µs): sub-quantum resolution up to
@@ -140,6 +141,78 @@ def collect_workload(
             reg.gauge("alps_subtree_weight", path=lbl).set(node.weight)
             reg.gauge("alps_subtree_target_fraction", path=lbl).set(target)
             reg.gauge("alps_subtree_attained_fraction", path=lbl).set(got)
+
+    obs.finalize_metrics()
+    return obs
+
+
+def collect_plane(
+    plane: "ShardedAlpsPlane", observer: Optional[Observer] = None
+) -> Observer:
+    """Load a sharded plane's control-plane state into a registry.
+
+    The ``alps_plane_*`` family mirrors what ``repro top --tree
+    --cells`` renders: shard-map shape, the migration/rebalance census,
+    per-cell supervision health, and — with the resilience stack armed
+    — the epoch fence position and the re-home/salvage/tear counters.
+    """
+    obs = observer if observer is not None else plane.observer
+    if obs is None:
+        obs = Observer()
+    reg = obs.metrics
+    res = plane.resilience
+
+    reg.gauge("alps_plane_cells").set(plane.cells)
+    reg.gauge("alps_plane_subtrees").set(len(plane.assignment))
+    reg.gauge("alps_plane_overhead_fraction").set(plane.overhead_fraction())
+    reg.counter("alps_plane_migrations").inc(plane.migrations)
+    reg.counter("alps_plane_rebalances").inc(plane.rebalances)
+
+    for cell in range(plane.cells):
+        lbl = str(cell)
+        agent = plane.agents.get(cell)
+        leaves = len(agent.subjects) if agent is not None else 0
+        reg.gauge("alps_plane_cell_leaves", cell=lbl).set(leaves)
+        reg.gauge("alps_plane_cell_subtrees", cell=lbl).set(
+            sum(1 for c in plane.assignment.values() if c == cell)
+        )
+        if res is not None and cell in res.health:
+            health = res.health[cell]
+            reg.gauge("alps_plane_cell_dead", cell=lbl).set(
+                1 if health.dead else 0
+            )
+            reg.counter("alps_plane_cell_restarts", cell=lbl).inc(
+                health.supervisor.restarts
+            )
+        elif agent is not None:
+            reg.gauge("alps_plane_cell_dead", cell=lbl).set(0)
+            reg.counter("alps_plane_cell_restarts", cell=lbl).inc(
+                agent.restarts
+            )
+
+    if res is not None:
+        reg.gauge("alps_plane_epoch").set(res.epoch)
+        reg.gauge("alps_plane_dead_cells").set(len(res.dead_cells))
+        reg.gauge("alps_plane_last_rehome_us").set(
+            res.last_rehome_us if res.last_rehome_us is not None else -1
+        )
+        reg.counter("alps_plane_rehomes").inc(res.rehomes)
+        reg.counter("alps_plane_rehomed_leaves").inc(res.rehomed_leaves)
+        reg.counter("alps_plane_salvages").inc(res.salvages)
+        reg.counter("alps_plane_salvaged_leaves").inc(res.salvaged_leaves)
+        reg.counter("alps_plane_readmits").inc(res.readmits)
+        reg.counter("alps_plane_adopt_retries").inc(res.adopt_retries)
+        reg.counter("alps_plane_fenced_adopts").inc(res.fenced_adopts)
+        reg.counter("alps_plane_cell_crashes").inc(
+            res.cell_crashes_injected
+        )
+        reg.counter("alps_plane_migration_tears").inc(res.tears_injected)
+        reg.counter("alps_plane_journal_writes_lost").inc(
+            res.journal_writes_lost
+        )
+        reg.counter("alps_plane_journal_writes_torn").inc(
+            res.journal_writes_torn
+        )
 
     obs.finalize_metrics()
     return obs

@@ -19,6 +19,7 @@ from repro.alps.state import Eligibility
 from repro.metrics.accuracy import per_subject_fractions
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharetree.plane import ShardedAlpsPlane
     from repro.workloads.scenarios import ControlledWorkload
 
 #: ANSI: cursor home + clear-to-end (avoids full-screen flicker).
@@ -140,6 +141,144 @@ def render_tree_frame(
         lines.append("")
         lines.append(f"admission gates: {queued}")
     return "\n".join(lines)
+
+
+def render_plane_frame(plane: "ShardedAlpsPlane") -> str:
+    """One ``top --tree --cells N`` frame over a sharded plane (pure).
+
+    Tree rows show each node's target against the fraction of total
+    *kernel-accounted* worker CPU its subtree attained (each cell is a
+    CPU, so cycle-log fractions would be per-cell, not comparable
+    across the machine), plus the owning cell per leaf.  A per-cell
+    health section follows: supervisor state, restarts granted, owned
+    subtrees/leaves, and — with the resilience stack armed — the
+    migration epoch, re-home/salvage census, and when each dead cell's
+    subtrees were re-homed.
+    """
+    tree = plane.tree
+    kapi = plane.kernel.kapi
+    now_s = plane.engine.now / 1_000_000
+    usage: dict[int, int] = {}
+    for sid, proc in plane.workers.items():
+        try:
+            usage[sid] = kapi.getrusage(proc.pid)
+        except Exception:
+            usage[sid] = 0
+    total_us = sum(usage.values()) or 1
+    cell_of = {
+        sid: cell
+        for cell, agent in plane.agents.items()
+        for sid in agent.subjects
+    }
+    res = plane.resilience
+    header = (
+        f"repro top --tree --cells — t={now_s:9.3f}s  "
+        f"cells={plane.cells:<3}"
+        f"migrations={plane.migrations:<5}"
+        f"rebalances={plane.rebalances:<4}"
+        f"overhead={plane.overhead_fraction():6.2%}"
+    )
+    cols = (
+        f"{'NODE':<18} {'WT':>4} {'SID':>4} {'CELL':>4} {'TARGET':>7} "
+        f"{'ATTAIN':>7} {'DRIFT':>7} {'':<{_BAR_WIDTH}}"
+    )
+    lines = [header, "", cols]
+    for node in tree.nodes():
+        indent = "  " * (node.depth - 1)
+        target = float(tree.fraction_of(node.path))
+        if node.is_leaf:
+            got = usage.get(node.sid, 0) / total_us
+            sid = str(node.sid)
+            cell = str(cell_of.get(node.sid, "-"))
+        else:
+            got = sum(
+                usage.get(leaf.sid, 0) for leaf in tree.leaves(node)
+            ) / total_us
+            sid = "-"
+            cells = sorted(
+                {
+                    cell_of[leaf.sid]
+                    for leaf in tree.leaves(node)
+                    if leaf.sid in cell_of
+                }
+            )
+            cell = str(cells[0]) if len(cells) == 1 else "*"
+        lines.append(
+            f"{indent + node.name:<18} {node.weight:>4} {sid:>4} {cell:>4} "
+            f"{target:>7.1%} {got:>7.1%} {got - target:>+7.1%} {_bar(got)}"
+        )
+    lines.append("")
+    if res is not None:
+        lines.append(
+            f"plane: epoch={res.epoch} rehomes={res.rehomes} "
+            f"salvages={res.salvages} readmits={res.readmits} "
+            f"tears={res.tears_injected} "
+            f"fenced={res.fenced_adopts}"
+        )
+    for cell in range(plane.cells):
+        agent = plane.agents.get(cell)
+        subtrees = [
+            name for name, c in sorted(plane.assignment.items()) if c == cell
+        ]
+        if res is not None and cell in res.health:
+            health = res.health[cell]
+            state = health.state
+            restarts = health.supervisor.restarts
+            extra = ""
+            if health.dead and health.died_at_us is not None:
+                extra = f" died@{health.died_at_us / 1_000_000:.3f}s"
+                if health.rehomed_at_us is not None:
+                    extra += (
+                        f" rehomed@{health.rehomed_at_us / 1_000_000:.3f}s"
+                    )
+        elif agent is not None:
+            state, restarts, extra = "running", agent.restarts, ""
+        else:
+            state, restarts, extra = "empty", 0, ""
+        leaves = len(agent.subjects) if agent is not None else 0
+        lines.append(
+            f"cell {cell}: {state:<9} restarts={restarts} "
+            f"leaves={leaves} subtrees={','.join(subtrees) or '-'}{extra}"
+        )
+    return "\n".join(lines)
+
+
+def run_plane_top(
+    plane: "ShardedAlpsPlane",
+    *,
+    frame_us: int,
+    frames: Optional[int] = None,
+    interval_s: float = 0.5,
+    stream: Optional[TextIO] = None,
+    clear: Optional[bool] = None,
+) -> int:
+    """:func:`run_top`, but driving a sharded plane.
+
+    Advances via :meth:`ShardedAlpsPlane.run_until` so the resilience
+    maintenance tick (salvage, re-homing) runs between frames exactly
+    as it would under a real out-of-band controller.
+    """
+    out = stream if stream is not None else sys.stdout
+    if clear is None:
+        clear = hasattr(out, "isatty") and out.isatty()
+    rendered = 0
+    try:
+        while frames is None or rendered < frames:
+            plane.run_until(plane.engine.now + frame_us)
+            frame = render_plane_frame(plane)
+            if clear:
+                out.write(_ANSI_HOME_CLEAR + frame + "\n")
+            else:
+                if rendered:
+                    out.write("\n")
+                out.write(frame + "\n")
+            out.flush()
+            rendered += 1
+            if interval_s > 0 and (frames is None or rendered < frames):
+                time.sleep(interval_s)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return rendered
 
 
 def run_top(

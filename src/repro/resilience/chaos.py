@@ -11,7 +11,7 @@ invariants of :mod:`repro.resilience.invariants` are evaluated
 *in-worker* over the final kernel state and obs event log, so a cached
 episode carries its verdicts with it.
 
-Two suites share this machinery.  The default ``resilience`` suite is
+Three suites share this machinery.  The default ``resilience`` suite is
 the crash/signal-loss campaign above.  The ``overload`` suite arms an
 :class:`~repro.overload.guard.OverloadGuard` on the agent and cycles
 three overload episode flavours on top of the base fault mix —
@@ -22,6 +22,17 @@ storms* against a bounded group, which exercise the admission queue at
 depth without ever inflating the measurement set.  The two overload
 invariants (bounded degraded slip, degrade-then-recover round trip)
 have teeth only in this suite.
+
+The ``plane`` suite targets the sharded control plane instead of a
+single agent: a :class:`~repro.sharetree.plane.ShardedAlpsPlane` with
+the :mod:`repro.sharetree.resilience` stack armed runs under
+control-plane faults — within-budget cell crashes, migration tears in
+both controller-crash and exception mode, and budget-exhausting crash
+storms that force re-homing — while a scripted controller mutates
+subtree weights to keep real migrations in flight.  It evaluates the
+nine-invariant plane battery
+(:func:`~repro.resilience.invariants.evaluate_plane_invariants`),
+auditing the membership partition after every control step.
 
 Episodes are :class:`~repro.sweep.scheduler.SweepCell`s dispatched
 through :func:`~repro.sweep.scheduler.run_sweep`: campaigns parallelize
@@ -37,13 +48,19 @@ from dataclasses import asdict, dataclass, replace
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.alps.config import AlpsConfig
-from repro.errors import InvariantViolation, NoSuchProcessError
+from repro.errors import (
+    InvariantViolation,
+    MigrationTornError,
+    NoSuchProcessError,
+)
 from repro.experiments.common import run_for_cycles
 from repro.faults.plan import (
     AgentCrash,
     AgentNiceBomb,
     ArrivalStorm,
+    CellCrash,
     FaultPlan,
+    MigrationTear,
     default_fault_plan,
 )
 from repro.obs.observer import Observer
@@ -52,6 +69,7 @@ from repro.resilience.invariants import (
     DEFAULT_FAIRNESS_SLOPE_PCT,
     InvariantResult,
     evaluate_episode_invariants,
+    evaluate_plane_invariants,
 )
 from repro.overload import OverloadConfig, OverloadGuard
 from repro.resilience.journal import MemoryJournal
@@ -74,7 +92,7 @@ DEFAULT_EPISODES = 8
 DEFAULT_SHARES = (1, 2, 3, 4)
 
 #: The campaign suites (see module docstring).
-SUITES = ("resilience", "overload")
+SUITES = ("resilience", "overload", "plane")
 #: Overload episode flavours, cycled across an overload campaign.
 OVERLOAD_KINDS = ("storm", "nicebomb", "thousand")
 #: Workload shares for overload episodes.  No share-1 member: storm
@@ -88,6 +106,23 @@ OVERLOAD_SHARES = (2, 3, 4, 5)
 #: faults alone would cost.
 OVERLOAD_FAIRNESS_BASE_PCT = 12.0
 OVERLOAD_FAIRNESS_SLOPE_PCT = 520.0
+
+#: Plane episode flavours, cycled across a ``plane`` campaign:
+#: within-budget cell crashes (journaled restarts), migration tears
+#: (both controller-crash and exception mode), and budget-exhausting
+#: crash storms that force a re-home onto surviving cells.
+PLANE_KINDS = ("crash", "tear", "rehome")
+#: Cells (= simulated CPUs) per plane episode.  Three cells over four
+#: subtrees: every re-home has at least two survivors to choose from,
+#: and the LPT partition genuinely moves subtrees as weights mutate.
+PLANE_CELLS = 3
+#: Fairness bound for plane episodes, audited over the *settle window*
+#: (the fault-free final quarter of the horizon, after weight mutation
+#: stops): worst per-cell renormalised deviation from the tree's
+#: effective shares.  Wider than the single-agent suite's: a cell that
+#: restarted or adopted re-homed subjects re-baselines mid-window.
+PLANE_FAIRNESS_BASE_PCT = 25.0
+PLANE_FAIRNESS_SLOPE_PCT = 320.0
 
 
 def overload_guard_config(kind: str = "storm") -> OverloadConfig:
@@ -229,6 +264,294 @@ def attained_error_pct(cw: Any) -> float:
     return 100.0 * worst
 
 
+# ---------------------------------------------------------------------------
+# Plane suite: sharded-control-plane episodes (docs/share_tree.md)
+# ---------------------------------------------------------------------------
+def plane_episode_tree():
+    """The plane suite's fixed share tree: four tenants, eight leaves.
+
+    Weights 4:3:2:1 across subtrees with a 2:1 pair inside each, so the
+    LPT partition over :data:`PLANE_CELLS` cells is non-trivial and a
+    single weight mutation regularly moves a subtree between cells.
+    """
+    from repro.sharetree import ShareTree
+
+    tree = ShareTree()
+    sid = 0
+    for i, weight in enumerate((4, 3, 2, 1)):
+        name = f"t{i}"
+        tree.group(name, weight)
+        tree.leaf(f"{name}/w0", sid=sid, weight=2)
+        tree.leaf(f"{name}/w1", sid=sid + 1, weight=1)
+        sid += 2
+    return tree
+
+
+def plane_episode_plan(
+    kind: str,
+    fault_rate: float,
+    *,
+    horizon_us: int,
+    restart_budget: int,
+) -> FaultPlan:
+    """One plane episode's control-plane fault plan.
+
+    All flavours run the per-cell state journals with lossy/torn writes
+    at the fault rate (so journaled cell restarts exercise recovery
+    fallback too); on top of that ``crash`` pins one within-budget
+    crash each on cells 0 and 1, ``tear`` pins a controller-crash tear
+    and an exception-mode tear, and ``rehome`` hammers cell 0 with
+    ``restart_budget + 2`` crashes so escalation *must* re-home its
+    subtrees.  Every fault lands before the settle window (the final
+    quarter of the horizon) so the fairness audit sees a quiet plane.
+    """
+    journal = (
+        dict(
+            journal_write_fail_prob=min(1.0, fault_rate),
+            journal_torn_write_prob=min(1.0, fault_rate / 2),
+        )
+        if fault_rate > 0
+        else {}
+    )
+    if kind == "crash":
+        return FaultPlan(
+            cell_crashes=(
+                CellCrash(time_us=horizon_us // 3, cell=0),
+                CellCrash(time_us=2 * horizon_us // 3, cell=1),
+            ),
+            **journal,
+        )
+    if kind == "tear":
+        return FaultPlan(
+            migration_tears=(
+                MigrationTear(time_us=horizon_us // 3, after_ops=1, crash=True),
+                MigrationTear(
+                    time_us=2 * horizon_us // 3, after_ops=2, crash=False
+                ),
+            ),
+            **journal,
+        )
+    if kind == "rehome":
+        return FaultPlan(
+            cell_crashes=tuple(
+                CellCrash(
+                    time_us=horizon_us // 4 + i * (horizon_us // 16), cell=0
+                )
+                for i in range(restart_budget + 2)
+            ),
+            **journal,
+        )
+    raise ValueError(f"unknown plane episode kind {kind!r}")
+
+
+def audit_plane_partition(plane) -> tuple[list[str], list[str]]:
+    """One control-step audit of the plane's membership partition.
+
+    Returns ``(orphan_violations, atomicity_violations)``:
+    *atomicity* — every leaf sid owned by exactly one cell (none lost,
+    duplicated, or invented); *orphan* — every subtree's leaves
+    co-located on a single cell that is not dead.  Called between
+    ``run_until`` segments (after the maintenance tick), where the
+    partition must always be whole regardless of what was injected.
+    """
+    orphans: list[str] = []
+    atomic: list[str] = []
+    res = plane.resilience
+    dead = res.dead_cells if res is not None else frozenset()
+    members = plane.members()
+    owner_count = {leaf.sid: 0 for leaf in plane.tree.leaves()}
+    for cell, sids in sorted(members.items()):
+        for sid in sorted(sids):
+            if sid in owner_count:
+                owner_count[sid] += 1
+            else:
+                atomic.append(f"cell {cell} owns unknown sid {sid}")
+    for sid, count in owner_count.items():
+        if count == 0:
+            atomic.append(f"sid {sid} owned by no cell")
+        elif count > 1:
+            atomic.append(f"sid {sid} owned by {count} cells")
+    for node in plane.tree.subtrees():
+        leaf_sids = {leaf.sid for leaf in plane.tree.leaves(node)}
+        cells = sorted(
+            cell
+            for cell, sids in members.items()
+            if leaf_sids & sids
+        )
+        if len(cells) > 1:
+            orphans.append(
+                f"subtree {node.name} split across cells {cells}"
+            )
+        elif cells and all(cell in dead for cell in cells):
+            orphans.append(
+                f"subtree {node.name} owned only by dead cell {cells}"
+            )
+    return orphans, atomic
+
+
+def plane_attained_error_pct(
+    plane, *, baseline: Optional[Mapping[int, int]] = None
+) -> float:
+    """Worst per-cell renormalised attained-fraction deviation (%).
+
+    Each cell is one CPU: the plane's fairness claim is proportional
+    enforcement *within* a cell's subject set, so targets renormalise
+    over each cell's members and the worst deviation across cells is
+    reported.  ``baseline`` (sid → rusage µs) restricts the measurement
+    to consumption after a snapshot — the settle-window audit.
+    """
+    kapi = plane.kernel.kapi
+    eff = plane.tree.effective_shares()
+    worst = 0.0
+    measured = False
+    for cell, sids in sorted(plane.members().items()):
+        rows: list[tuple[int, int]] = []
+        for sid in sorted(sids):
+            try:
+                usage = kapi.getrusage(plane.workers[sid].pid)
+            except NoSuchProcessError:
+                continue
+            if baseline is not None:
+                usage -= baseline.get(sid, 0)
+            rows.append((eff[sid], usage))
+        total_us = sum(usage for _, usage in rows)
+        total_shares = sum(share for share, _ in rows)
+        if len(rows) < 2 or total_us <= 0 or total_shares <= 0:
+            continue
+        measured = True
+        for share, usage in rows:
+            target = share / total_shares
+            deviation = abs(usage / total_us - target) / target
+            worst = max(worst, deviation)
+    return 100.0 * worst if measured else float("nan")
+
+
+def run_plane_episode(
+    seed: int,
+    fault_rate: float,
+    *,
+    plane_kind: str = "crash",
+    quantum_ms: float = 10.0,
+    cycles: int = 60,
+    warmup_cycles: int = 5,
+    restart_budget: int = 5,
+    cells: int = PLANE_CELLS,
+    fairness_base_pct: float = PLANE_FAIRNESS_BASE_PCT,
+    fairness_slope_pct: float = PLANE_FAIRNESS_SLOPE_PCT,
+) -> ChaosEpisode:
+    """Run one plane-suite episode and evaluate all nine invariants.
+
+    The driver models an out-of-band controller: it advances the plane
+    in fixed control steps, mutating a random subtree weight every
+    third step (forcing real migrations for the tears to land in) until
+    the settle point at 3/4 of the horizon, auditing the membership
+    partition after every step.  The final quarter runs with frozen
+    weights; fairness is measured over that window only, against the
+    final effective shares.  A crash-mode tear surfaces as
+    :class:`~repro.errors.MigrationTornError` here — exactly as it
+    would to a real controller — and the next maintenance tick
+    salvages it.
+    """
+    from repro.resilience.supervisor import RestartPolicy
+    from repro.sharetree import ShardedAlpsPlane
+    from repro.sharetree.resilience import PlaneResilienceConfig
+    from repro.sim.rng import RngStreams
+
+    if plane_kind not in PLANE_KINDS:
+        raise ValueError(f"unknown plane episode kind {plane_kind!r}")
+    total_cycles = cycles + warmup_cycles
+    quantum_us = ms(quantum_ms)
+    horizon_us = int(2 * total_cycles * 10 * quantum_us)
+    settle_us = (3 * horizon_us) // 4
+    plan = plane_episode_plan(
+        plane_kind,
+        fault_rate,
+        horizon_us=horizon_us,
+        restart_budget=restart_budget,
+    )
+    tree = plane_episode_tree()
+    plane = ShardedAlpsPlane(
+        tree,
+        AlpsConfig(quantum_us=quantum_us),
+        cells=cells,
+        seed=seed,
+        observer=Observer(),
+        resilience=PlaneResilienceConfig(
+            policy=RestartPolicy(restart_budget=restart_budget),
+            seed=seed,
+            plan=plan,
+        ),
+    )
+    res = plane.resilience
+    assert res is not None
+    mutate = RngStreams(seed).stream("plane.chaos.mutate")
+    subtrees = [node.name for node in tree.subtrees()]
+    orphans: list[str] = []
+    atomic: list[str] = []
+    steps = 24
+    step_us = settle_us // steps
+    for i in range(1, steps + 1):
+        if i % 3 == 0:
+            path = subtrees[int(mutate.integers(0, len(subtrees)))]
+            weight = int(mutate.integers(1, 9))
+            try:
+                plane.set_weight(path, weight)
+            except MigrationTornError:
+                # Crash mode: the journaled intent is salvaged by the
+                # next tick.  Exception mode: the readmit guard already
+                # rolled the torn subtree back before this propagated.
+                pass
+        plane.run_until(i * step_us)
+        step_orphans, step_atomic = audit_plane_partition(plane)
+        orphans.extend(step_orphans)
+        atomic.extend(step_atomic)
+    kapi = plane.kernel.kapi
+    baseline = {
+        sid: kapi.getrusage(proc.pid)
+        for sid, proc in plane.workers.items()
+    }
+    plane.run_until(horizon_us)
+    step_orphans, step_atomic = audit_plane_partition(plane)
+    orphans.extend(step_orphans)
+    atomic.extend(step_atomic)
+    error_pct = plane_attained_error_pct(plane, baseline=baseline)
+    for cell, agent in sorted(plane.agents.items()):
+        if not res.is_dead(cell):
+            agent.shutdown(kapi)
+    invariants = evaluate_plane_invariants(
+        plane,
+        fault_rate=fault_rate,
+        error_pct=error_pct,
+        orphan_violations=orphans,
+        atomicity_violations=atomic,
+        fairness_base_pct=fairness_base_pct,
+        fairness_slope_pct=fairness_slope_pct,
+    )
+    agents = list(plane.agents.values())
+    return ChaosEpisode(
+        seed=seed,
+        fault_rate=fault_rate,
+        cycles=max((len(a.cycle_log) for a in agents), default=0),
+        error_pct=float(error_pct),
+        restarts=sum(a.restarts for a in agents),
+        journal_recoveries=sum(a.journal_recoveries for a in agents),
+        recovery_fallbacks=sum(a.recovery_fallbacks for a in agents),
+        journal_writes_lost=res.journal_writes_lost,
+        journal_writes_torn=res.journal_writes_torn,
+        supervisor_restarts=res.cell_restarts,
+        degraded=bool(res.dead_cells),
+        invariants=tuple(invariants),
+        suite="plane",
+        plane_kind=plane_kind,
+        cells=cells,
+        dead_cells=len(res.dead_cells),
+        rehomes=res.rehomes,
+        tears=res.tears_injected,
+        salvages=res.salvages,
+        leaf_migrations=plane.migrations,
+    )
+
+
 @dataclass(slots=True, frozen=True)
 class ChaosEpisode:
     """One episode's outcome: fault census, recovery census, verdicts."""
@@ -254,6 +577,14 @@ class ChaosEpisode:
     sheds: int = 0
     max_degraded_slip_quanta: float = 0.0
     admission_queued_peak: int = 0
+    # -- plane census (zeros outside the plane suite) ----------------
+    plane_kind: str = ""
+    cells: int = 0
+    dead_cells: int = 0
+    rehomes: int = 0
+    tears: int = 0
+    salvages: int = 0
+    leaf_migrations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -267,6 +598,7 @@ def run_chaos_episode(
     *,
     suite: str = "resilience",
     overload_kind: str = "storm",
+    plane_kind: str = "crash",
     shares: Sequence[int] = DEFAULT_SHARES,
     quantum_ms: float = 10.0,
     cycles: int = 60,
@@ -278,6 +610,20 @@ def run_chaos_episode(
     """Run one fully-instrumented episode and evaluate its invariants."""
     if suite not in SUITES:
         raise ValueError(f"unknown chaos suite {suite!r}")
+    if suite == "plane":
+        # The plane suite has its own driver: a sharded plane under
+        # control-plane faults, not a single controlled workload.
+        return run_plane_episode(
+            seed,
+            fault_rate,
+            plane_kind=plane_kind,
+            quantum_ms=quantum_ms,
+            cycles=cycles,
+            warmup_cycles=warmup_cycles,
+            restart_budget=restart_budget,
+            fairness_base_pct=fairness_base_pct,
+            fairness_slope_pct=fairness_slope_pct,
+        )
     total_cycles = cycles + warmup_cycles
     quantum_us = ms(quantum_ms)
     horizon_us = int(2 * total_cycles * sum(shares) * quantum_us)
@@ -357,6 +703,7 @@ def chaos_cell(
     *,
     suite: str = "resilience",
     overload_kind: str = "storm",
+    plane_kind: str = "crash",
     shares: Sequence[int] = DEFAULT_SHARES,
     quantum_ms: float = 10.0,
     cycles: int = 60,
@@ -373,6 +720,7 @@ def chaos_cell(
             "fault_rate": fault_rate,
             "suite": suite,
             "overload_kind": overload_kind,
+            "plane_kind": plane_kind,
             "shares": list(shares),
             "quantum_ms": quantum_ms,
             "cycles": cycles,
@@ -391,6 +739,7 @@ def run_chaos_cell(params: Mapping[str, Any]) -> dict:
         params["fault_rate"],
         suite=params.get("suite", "resilience"),
         overload_kind=params.get("overload_kind", "storm"),
+        plane_kind=params.get("plane_kind", "crash"),
         shares=tuple(params["shares"]),
         quantum_ms=params["quantum_ms"],
         cycles=params["cycles"],
@@ -452,7 +801,13 @@ class ChaosReport:
     def format_table(self) -> str:
         """Stable text rendering (equal seeds render identical bytes)."""
         overload = any(ep.suite == "overload" for ep in self.episodes)
+        plane = any(ep.suite == "plane" for ep in self.episodes)
         kind_hdr = f" {'kind':>9} {'shed':>4}" if overload else ""
+        if plane:
+            kind_hdr += (
+                f" {'kind':>7} {'dead':>4} {'rehome':>6} "
+                f"{'tears':>5} {'moves':>5}"
+            )
         lines = [
             f"chaos campaign seed={self.campaign_seed} "
             f"episodes={len(self.episodes)} "
@@ -465,6 +820,11 @@ class ChaosReport:
             kind_col = (
                 f" {ep.overload_kind:>9} {ep.sheds:>4}" if overload else ""
             )
+            if plane:
+                kind_col += (
+                    f" {ep.plane_kind:>7} {ep.dead_cells:>4} "
+                    f"{ep.rehomes:>6} {ep.tears:>5} {ep.leaf_migrations:>5}"
+                )
             lines.append(
                 f"{i:>3} {ep.seed:>6} {ep.fault_rate:>5.2f}{kind_col} "
                 f"{ep.cycles:>6} "
@@ -511,23 +871,22 @@ def run_chaos_campaign(
     if shares is None:
         shares = OVERLOAD_SHARES if suite == "overload" else DEFAULT_SHARES
     if fairness_base_pct is None:
-        fairness_base_pct = (
-            OVERLOAD_FAIRNESS_BASE_PCT
-            if suite == "overload"
-            else DEFAULT_FAIRNESS_BASE_PCT
-        )
+        fairness_base_pct = {
+            "overload": OVERLOAD_FAIRNESS_BASE_PCT,
+            "plane": PLANE_FAIRNESS_BASE_PCT,
+        }.get(suite, DEFAULT_FAIRNESS_BASE_PCT)
     if fairness_slope_pct is None:
-        fairness_slope_pct = (
-            OVERLOAD_FAIRNESS_SLOPE_PCT
-            if suite == "overload"
-            else DEFAULT_FAIRNESS_SLOPE_PCT
-        )
+        fairness_slope_pct = {
+            "overload": OVERLOAD_FAIRNESS_SLOPE_PCT,
+            "plane": PLANE_FAIRNESS_SLOPE_PCT,
+        }.get(suite, DEFAULT_FAIRNESS_SLOPE_PCT)
     cells = [
         chaos_cell(
             seed * 1000 + i,
             rates[i % len(rates)],
             suite=suite,
             overload_kind=OVERLOAD_KINDS[i % len(OVERLOAD_KINDS)],
+            plane_kind=PLANE_KINDS[i % len(PLANE_KINDS)],
             shares=shares,
             quantum_ms=quantum_ms,
             cycles=cycles,
@@ -555,15 +914,22 @@ __all__ = [
     "DEFAULT_SHARES",
     "OVERLOAD_KINDS",
     "OVERLOAD_SHARES",
+    "PLANE_CELLS",
+    "PLANE_KINDS",
     "SUITES",
     "attained_error_pct",
+    "audit_plane_partition",
     "chaos_cell",
     "episode_from_payload",
     "episode_payload",
     "episode_plan",
     "overload_episode_plan",
     "overload_guard_config",
+    "plane_attained_error_pct",
+    "plane_episode_plan",
+    "plane_episode_tree",
     "run_chaos_campaign",
     "run_chaos_cell",
     "run_chaos_episode",
+    "run_plane_episode",
 ]

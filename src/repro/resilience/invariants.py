@@ -53,17 +53,34 @@ armed:
     NORMAL with every shed member readmitted or accounted dead, and the
     measurement cadence restored (postpone boost 1): degradation is a
     round trip, not a ratchet.
+
+The ``plane`` chaos suite (docs/share_tree.md, "Plane fault
+tolerance") evaluates plane-aware analogues of the five core checks
+against a :class:`~repro.sharetree.plane.ShardedAlpsPlane` plus two
+invariants of its own, for nine total
+(:func:`evaluate_plane_invariants`):
+
+``no_orphaned_subtree``
+    At every audited control step, every leaf is owned by exactly one
+    *live* cell and every subtree's leaves are co-located — cell death
+    and re-homing never strand a tenant without an enforcing agent.
+``migration_atomicity``
+    The membership partition is conserved across arbitrary crash
+    points: no sid is ever lost, duplicated, or invented, even when a
+    :class:`~repro.faults.plan.MigrationTear` kills the controller
+    mid-batch and salvage replays the journaled intent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import NoSuchProcessError
 from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharetree.plane import ShardedAlpsPlane
     from repro.workloads.scenarios import ControlledWorkload
 
 #: Fairness bound intercept (percent error at fault rate 0).  Clean
@@ -282,6 +299,187 @@ def check_degrade_recover_roundtrip(
     )
 
 
+# ---------------------------------------------------------------------------
+# Plane-suite invariants (repro.sharetree.resilience, docs/share_tree.md)
+# ---------------------------------------------------------------------------
+def check_plane_no_lost_process(plane: "ShardedAlpsPlane") -> InvariantResult:
+    """Every leaf worker survived: plane plans never kill workers, so a
+    dead worker means the control plane itself lost a process."""
+    kapi = plane.kernel.kapi
+    lost = [
+        proc.pid
+        for proc in plane.workers.values()
+        if not kapi.pid_exists(proc.pid)
+    ]
+    return InvariantResult(
+        "no_lost_process",
+        not lost,
+        "all workers alive" if not lost else f"lost worker pids: {lost}",
+    )
+
+
+def check_plane_no_wedged_process(
+    plane: "ShardedAlpsPlane",
+) -> InvariantResult:
+    """After every live cell shut down, no worker remains stopped —
+    not even one whose owning cell died mid-episode (escalation resumes
+    all before standing down; re-homing hands the rest to survivors)."""
+    wedged = []
+    for proc in plane.workers.values():
+        try:
+            if plane.kernel.is_stopped(proc.pid):
+                wedged.append(proc.pid)
+        except Exception:
+            continue  # dead — cannot be wedged
+    return InvariantResult(
+        "no_wedged_process",
+        not wedged,
+        "no wedged pids" if not wedged else f"wedged pids: {wedged}",
+    )
+
+
+def check_plane_cpu_conservation(
+    plane: "ShardedAlpsPlane",
+) -> InvariantResult:
+    """Per owning cell, agent accounting ≤ kernel accounting; the
+    kernel's total ≤ elapsed time × CPUs.  A migrated subject's new
+    cell counts only post-adoption consumption, so the per-sid bound
+    still holds under arbitrary re-homing."""
+    kapi = plane.kernel.kapi
+    for cell, agent in sorted(plane.agents.items()):
+        for sid in agent.subjects:
+            try:
+                kernel_us = kapi.getrusage(plane.workers[sid].pid)
+            except NoSuchProcessError:
+                continue
+            agent_us = agent.cumulative_cpu_of(sid)
+            if agent_us > kernel_us:
+                return InvariantResult(
+                    "cpu_conservation",
+                    False,
+                    f"cell {cell} measured {agent_us}us for sid {sid} "
+                    f"but kernel accounted only {kernel_us}us",
+                )
+    total_kernel_us = 0
+    for proc in list(plane.workers.values()) + list(
+        plane.agent_procs.values()
+    ):
+        try:
+            total_kernel_us += kapi.getrusage(proc.pid)
+        except NoSuchProcessError:
+            continue
+    budget = plane.engine.now * plane.cells
+    if total_kernel_us > budget:
+        return InvariantResult(
+            "cpu_conservation",
+            False,
+            f"kernel accounted {total_kernel_us}us over a "
+            f"{budget}us budget ({plane.cells} cpu(s))",
+        )
+    return InvariantResult(
+        "cpu_conservation",
+        True,
+        f"{total_kernel_us}us within {budget}us budget",
+    )
+
+
+def check_plane_agent_liveness(
+    plane: "ShardedAlpsPlane",
+    *,
+    window_us: int = DEFAULT_LIVENESS_WINDOW_US,
+) -> InvariantResult:
+    """Every cell that still owns subjects kept beating its supervisor
+    within the window — dead (stood-down) cells are excused, because
+    re-homing, not restarting, is their contract."""
+    res = plane.resilience
+    if res is None:
+        return InvariantResult(
+            "agent_liveness", False, "no resilience stack: cannot audit"
+        )
+    end = plane.engine.now
+    stale = []
+    for cell, agent in sorted(plane.agents.items()):
+        if not agent.subjects or res.is_dead(cell):
+            continue
+        last = res.cell_health(cell).supervisor._last_beat
+        if last is None or end - last > window_us:
+            gap = "never" if last is None else f"{end - last}us"
+            stale.append(f"cell {cell}: {gap}")
+    return InvariantResult(
+        "agent_liveness",
+        not stale,
+        "all live cells beat within window"
+        if not stale
+        else f"stale cells: {stale} (window {window_us}us)",
+    )
+
+
+def check_no_orphaned_subtree(
+    violations: Sequence[str],
+) -> InvariantResult:
+    """Every leaf is owned by a live cell, and every subtree's leaves
+    are co-located on one cell, at every audited control step."""
+    return InvariantResult(
+        "no_orphaned_subtree",
+        not violations,
+        "no orphaned leaves or split subtrees"
+        if not violations
+        else f"{len(violations)} violation(s); first: {violations[0]}",
+    )
+
+
+def check_migration_atomicity(
+    violations: Sequence[str],
+) -> InvariantResult:
+    """The membership partition is conserved across arbitrary crash
+    points: no sid lost, duplicated, or invented, at every audited
+    control step."""
+    return InvariantResult(
+        "migration_atomicity",
+        not violations,
+        "membership partition conserved"
+        if not violations
+        else f"{len(violations)} violation(s); first: {violations[0]}",
+    )
+
+
+def evaluate_plane_invariants(
+    plane: "ShardedAlpsPlane",
+    *,
+    fault_rate: float,
+    error_pct: float,
+    orphan_violations: Sequence[str],
+    atomicity_violations: Sequence[str],
+    fairness_base_pct: float,
+    fairness_slope_pct: float,
+    liveness_window_us: int = DEFAULT_LIVENESS_WINDOW_US,
+) -> list[InvariantResult]:
+    """All nine plane-suite invariants, in canonical order: the seven
+    episode invariants (the two overload checks answer trivially — the
+    plane suite arms no guard) plus ``no_orphaned_subtree`` and
+    ``migration_atomicity``."""
+    return [
+        check_plane_no_lost_process(plane),
+        check_plane_no_wedged_process(plane),
+        check_plane_cpu_conservation(plane),
+        check_bounded_fairness(
+            fault_rate,
+            error_pct,
+            base_pct=fairness_base_pct,
+            slope_pct=fairness_slope_pct,
+        ),
+        check_plane_agent_liveness(plane, window_us=liveness_window_us),
+        InvariantResult(
+            "bounded_timer_slip", True, "n/a: no overload guard"
+        ),
+        InvariantResult(
+            "degrade_recover_roundtrip", True, "n/a: no overload guard"
+        ),
+        check_no_orphaned_subtree(orphan_violations),
+        check_migration_atomicity(atomicity_violations),
+    ]
+
+
 def evaluate_episode_invariants(
     cw: "ControlledWorkload",
     *,
@@ -319,7 +517,14 @@ __all__ = [
     "check_bounded_timer_slip",
     "check_cpu_conservation",
     "check_degrade_recover_roundtrip",
+    "check_migration_atomicity",
     "check_no_lost_process",
+    "check_no_orphaned_subtree",
     "check_no_wedged_process",
+    "check_plane_agent_liveness",
+    "check_plane_cpu_conservation",
+    "check_plane_no_lost_process",
+    "check_plane_no_wedged_process",
     "evaluate_episode_invariants",
+    "evaluate_plane_invariants",
 ]

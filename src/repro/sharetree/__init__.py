@@ -11,10 +11,15 @@ The architectural layer that turns "N processes, N shares" into
   simulated SMP cores, each owning whole subtrees, with a rebalancer
   migrating subtrees between cells as weights change;
 * :func:`demo_tree` — the worked example used by the docs chapter and
-  ``repro top --tree``.
+  ``repro top --tree``;
+* :class:`PlaneResilience` / :class:`PlaneResilienceConfig` — the
+  plane's fault-tolerance stack (per-cell supervision with re-homing,
+  journaled two-phase migrations, epoch-fenced salvage; docs chapter
+  "Plane fault tolerance").
 """
 
 from repro.sharetree.plane import ShardedAlpsPlane
+from repro.sharetree.resilience import PlaneResilience, PlaneResilienceConfig
 from repro.sharetree.tree import ShareNode, ShareTree
 
 
@@ -38,6 +43,8 @@ def demo_tree() -> ShareTree:
 
 
 __all__ = [
+    "PlaneResilience",
+    "PlaneResilienceConfig",
     "ShardedAlpsPlane",
     "ShareNode",
     "ShareTree",

@@ -9,9 +9,11 @@ from repro.errors import SchedulerConfigError
 from repro.faults.plan import (
     AgentCrash,
     AgentStall,
+    CellCrash,
     FaultPlan,
     FaultRecord,
     ForkStorm,
+    MigrationTear,
     ProcessCrash,
     default_fault_plan,
 )
@@ -35,6 +37,8 @@ def test_default_plan_is_null():
         {"agent_stalls": (AgentStall(time_us=1),)},
         {"agent_stall_prob": 0.1},
         {"agent_crashes": (AgentCrash(time_us=1),)},
+        {"cell_crashes": (CellCrash(time_us=1, cell=0),)},
+        {"migration_tears": (MigrationTear(time_us=1),)},
     ],
 )
 def test_any_fault_makes_plan_non_null(kwargs):
@@ -53,6 +57,9 @@ def test_any_fault_makes_plan_non_null(kwargs):
         {"signal_delay_us": 0},
         {"agent_stall_quanta": 0},
         {"horizon_us": 0},
+        {"cell_crashes": (CellCrash(time_us=1, cell=-1),)},
+        {"cell_crashes": (CellCrash(time_us=1, downtime_us=0),)},
+        {"migration_tears": (MigrationTear(time_us=1, after_ops=-1),)},
     ],
 )
 def test_invalid_plans_rejected(kwargs):

@@ -67,3 +67,25 @@ def test_chaos_rejects_bad_rates(capsys):
 
     with pytest.raises(SystemExit):
         main(["chaos", "run", "--rates", "fast,slow", *FAST])
+
+
+def test_chaos_run_plane_suite(capsys):
+    rc = main(
+        ["chaos", "run", "--suite", "plane", "--seed", "0",
+         "--rates", "0.05", *FAST]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "verdict=PASS" in captured.out
+    # The plane columns render with the rotating episode kinds.
+    assert "kind" in captured.out
+    assert "crash" in captured.out and "tear" in captured.out
+
+
+def test_chaos_run_plane_suite_is_deterministic(capsys):
+    args = ["chaos", "run", "--suite", "plane", "--seed", "2",
+            "--rates", "0.05", *FAST]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)
+    assert capsys.readouterr().out == first

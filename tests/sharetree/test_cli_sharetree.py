@@ -37,3 +37,21 @@ def test_smoke_flag_rejected_for_other_experiments(capsys):
     with pytest.raises(SystemExit):
         main(["run", "overload", "--smoke"])
     assert "--smoke" in capsys.readouterr().err
+
+
+def test_top_tree_cells_renders_the_plane_view(capsys):
+    rc = main(
+        ["top", "--tree", "--cells", "2", "--frames", "2",
+         "--frame-ms", "200", "--interval", "0"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.count("repro top --tree --cells") == 2
+    assert "plane: epoch=" in out  # the resilience stack is armed
+    assert "cell 0:" in out and "cell 1:" in out
+
+
+def test_top_rejects_non_positive_cells(capsys):
+    rc = main(["top", "--tree", "--cells", "0", "--frames", "1"])
+    assert rc == 2
+    assert "--cells must be >= 1" in capsys.readouterr().out

@@ -110,7 +110,9 @@ def test_migration_into_previously_empty_cell_spawns_an_agent(monkeypatch):
     assert empty == [3]
     plane.run_until(sec(1))
     forced = dict(plane.assignment, b=3)
-    monkeypatch.setattr(plane, "_partition", lambda: forced)
+    monkeypatch.setattr(
+        plane, "_partition", lambda exclude=frozenset(): forced
+    )
     moved = plane.rebalance()
     assert moved == 1
     assert plane.assignment["b"] == 3

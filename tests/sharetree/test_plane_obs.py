@@ -1,0 +1,125 @@
+"""Plane observability: ``top --tree --cells`` and the metrics bridge."""
+
+from __future__ import annotations
+
+import io
+
+from repro.alps.config import AlpsConfig
+from repro.faults.plan import CellCrash, FaultPlan
+from repro.obs import Observer, collect_plane, render_plane_frame, run_plane_top
+from repro.resilience.supervisor import RestartPolicy
+from repro.sharetree import ShardedAlpsPlane, demo_tree
+from repro.sharetree.resilience import PlaneResilienceConfig
+from repro.units import ms, sec
+
+
+def make_plane(*, resilience=None, observer=None):
+    return ShardedAlpsPlane(
+        demo_tree(),
+        AlpsConfig(quantum_us=ms(10)),
+        cells=2,
+        seed=0,
+        observer=observer,
+        resilience=resilience,
+    )
+
+
+def dead_cell_config():
+    return PlaneResilienceConfig(
+        policy=RestartPolicy(restart_budget=1),
+        plan=FaultPlan(
+            cell_crashes=tuple(
+                CellCrash(time_us=sec(1) + i * ms(100), cell=0)
+                for i in range(3)
+            )
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frame rendering
+# ---------------------------------------------------------------------------
+def test_plane_frame_shows_cells_and_health():
+    plane = make_plane(resilience=PlaneResilienceConfig())
+    plane.run_until(sec(2))
+    frame = render_plane_frame(plane)
+    assert "repro top --tree --cells" in frame
+    assert "cells=2" in frame
+    assert "plane: epoch=0 rehomes=0 salvages=0" in frame
+    # One health line per cell, with its owned subtrees.
+    assert "cell 0:" in frame and "cell 1:" in frame
+    assert "subtrees=a" in frame
+    assert "subtrees=b,c" in frame
+    # Leaf rows carry their owning cell; the CELL column is populated.
+    a0_row = next(
+        line for line in frame.splitlines() if line.strip().startswith("a0")
+    )
+    assert " 0 " in a0_row  # sid 0, cell 0
+
+
+def test_plane_frame_marks_dead_and_rehomed_cells():
+    plane = make_plane(resilience=dead_cell_config())
+    plane.run_until(sec(4))
+    frame = render_plane_frame(plane)
+    assert "dead" in frame
+    assert "died@" in frame and "rehomed@" in frame
+    assert "rehomes=1" in frame
+    # The dead cell owns nothing; everything lives on cell 1.
+    cell0 = next(
+        line for line in frame.splitlines() if line.startswith("cell 0:")
+    )
+    assert "leaves=0" in cell0 and "subtrees=-" in cell0
+
+
+def test_plane_frame_works_without_resilience():
+    plane = make_plane()
+    plane.run_until(sec(1))
+    frame = render_plane_frame(plane)
+    assert "plane: epoch=" not in frame  # no stack, no stack line
+    assert "cell 0: running" in frame
+    assert render_plane_frame(plane) == frame  # pure
+
+
+def test_run_plane_top_renders_frames():
+    plane = make_plane(resilience=PlaneResilienceConfig())
+    out = io.StringIO()
+    rendered = run_plane_top(
+        plane, frame_us=ms(500), frames=2, interval_s=0, stream=out
+    )
+    assert rendered == 2
+    assert out.getvalue().count("repro top --tree --cells") == 2
+    assert plane.engine.now == sec(1)
+
+
+# ---------------------------------------------------------------------------
+# Metrics bridge
+# ---------------------------------------------------------------------------
+def _metric(obs, name, **labels):
+    inst = obs.metrics.get(name, labels or None)
+    assert inst is not None, f"metric {name} {labels} missing"
+    return inst.value
+
+
+def test_collect_plane_exports_the_failover_census():
+    obs = Observer()
+    plane = make_plane(resilience=dead_cell_config(), observer=obs)
+    plane.run_until(sec(4))
+    collect_plane(plane)
+    assert _metric(obs, "alps_plane_cells") == 2
+    assert _metric(obs, "alps_plane_dead_cells") == 1
+    assert _metric(obs, "alps_plane_rehomes") == 1
+    assert _metric(obs, "alps_plane_rehomed_leaves") == 2
+    assert _metric(obs, "alps_plane_cell_dead", cell="0") == 1
+    assert _metric(obs, "alps_plane_cell_dead", cell="1") == 0
+    assert _metric(obs, "alps_plane_cell_leaves", cell="1") == 4
+    assert _metric(obs, "alps_plane_cell_crashes") == 2  # budget+1 fired
+    assert _metric(obs, "alps_plane_last_rehome_us") > 0
+
+
+def test_collect_plane_without_resilience_or_observer():
+    plane = make_plane()
+    plane.run_until(sec(1))
+    obs = collect_plane(plane)  # fresh observer created on demand
+    assert _metric(obs, "alps_plane_cells") == 2
+    assert _metric(obs, "alps_plane_cell_leaves", cell="0") == 2
+    assert obs.metrics.get("alps_plane_epoch") is None  # resilience-only
